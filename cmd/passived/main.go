@@ -1,0 +1,110 @@
+// Command passived runs the passive service-discovery pipeline over a pcap
+// trace (e.g. one produced by cmd/campussim, or a real header trace) and
+// prints the resulting inventory; with -http it also serves the live
+// inventory and detected scanners as JSON.
+//
+//	passived -trace campus.pcap -net 128.125.0.0/16
+//	passived -trace campus.pcap -net 128.125.0.0/16 -http :8080
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/capture"
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "pcap trace to analyze (required)")
+	netFlag := flag.String("net", "128.125.0.0/16", "monitored campus prefix")
+	httpAddr := flag.String("http", "", "serve inventory as JSON on this address")
+	top := flag.Int("top", 20, "show the N busiest services")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "passived: -trace is required")
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *netFlag, *httpAddr, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "passived:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, netFlag, httpAddr string, top int) error {
+	pfx, err := netaddr.ParsePrefix(netFlag)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	disc := core.NewPassiveDiscoverer(pfx, campus.SelectedUDPPorts)
+	n, err := capture.Replay(r, disc)
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	fmt.Printf("replayed %d packets; %d services on %d addresses; %d scanners detected\n",
+		n, len(disc.Services()), len(disc.AddrFirstSeen(nil)), len(disc.DetectScanners()))
+
+	type row struct {
+		Key     string    `json:"service"`
+		First   time.Time `json:"first_seen"`
+		Flows   int       `json:"flows"`
+		Clients int       `json:"clients"`
+	}
+	var rows []row
+	for _, key := range disc.Keys() {
+		rec, _ := disc.Record(key)
+		rows = append(rows, row{
+			Key: key.String(), First: rec.FirstSeen,
+			Flows: rec.Flows, Clients: rec.Clients(),
+		})
+	}
+	// Show the busiest services first.
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].Flows > rows[i].Flows {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	limit := top
+	if limit > len(rows) {
+		limit = len(rows)
+	}
+	fmt.Printf("\n%-28s %-25s %8s %8s\n", "service", "first seen", "flows", "clients")
+	for _, r := range rows[:limit] {
+		fmt.Printf("%-28s %-25s %8d %8d\n", r.Key, r.First.Format(time.RFC3339), r.Flows, r.Clients)
+	}
+
+	if httpAddr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/services", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rows)
+	})
+	mux.HandleFunc("/scanners", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(disc.DetectScanners())
+	})
+	fmt.Printf("\nserving inventory on %s (/services, /scanners)\n", httpAddr)
+	return http.ListenAndServe(httpAddr, mux)
+}

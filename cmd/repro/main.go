@@ -1,0 +1,184 @@
+// Command repro regenerates the paper's tables and figures from the
+// calibrated campus simulation and prints them in the paper's style.
+//
+//	repro -exp all            # everything (simulates all five datasets)
+//	repro -exp table2         # one artifact
+//	repro -exp fig4 -csv out/ # also write figure series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"servdisc/internal/experiments"
+	"servdisc/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table8, fig1..fig12, all)")
+	csvDir := flag.String("csv", "", "directory for figure CSV series (optional)")
+	flag.Parse()
+
+	if err := run(*exp, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+type artifact struct {
+	id    string
+	table func() (*report.Table, error)
+	fig   func() (*report.Figure, error)
+}
+
+func artifacts() []artifact {
+	s := experiments.Shared
+	sem := func() (*experiments.Dataset, error) { return s.Semester18d() }
+	return []artifact{
+		{id: "table1", table: func() (*report.Table, error) { return experiments.Table1(), nil }},
+		{id: "table2", table: func() (*report.Table, error) {
+			ds, err := sem()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table2(ds), nil
+		}},
+		{id: "table3", table: func() (*report.Table, error) {
+			ds, err := sem()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table3(ds), nil
+		}},
+		{id: "table4", table: func() (*report.Table, error) {
+			ds, err := sem()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table4(ds), nil
+		}},
+		{id: "table5", table: func() (*report.Table, error) {
+			ds, err := sem()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table5(ds), nil
+		}},
+		{id: "table6", table: func() (*report.Table, error) {
+			ds, err := sem()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table6(ds), nil
+		}},
+		{id: "table7", table: func() (*report.Table, error) {
+			ds, err := s.UDP1d()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table7(ds), nil
+		}},
+		{id: "table8", table: func() (*report.Table, error) {
+			ds, err := sem()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table8(ds, "Table 8: servers per monitored link (DTCP1-18d)"), nil
+		}},
+		{id: "table8break", table: func() (*report.Table, error) {
+			ds, err := s.Break11d()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Table8(ds, "Table 8: servers per monitored link (DTCPbreak)"), nil
+		}},
+		{id: "fig1", fig: figOf(sem, experiments.Figure1)},
+		{id: "fig2", fig: figOf(sem, experiments.Figure2)},
+		{id: "fig3", fig: func() (*report.Figure, error) {
+			ds90, err := s.Semester90d()
+			if err != nil {
+				return nil, err
+			}
+			ds18, err := sem()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Figure3(ds90, ds18), nil
+		}},
+		{id: "fig4", fig: figOf(sem, experiments.Figure4)},
+		{id: "fig5", fig: figOf(sem, experiments.Figure5)},
+		{id: "fig6", fig: figOf(sem, experiments.Figure6)},
+		{id: "fig7", fig: figOf(sem, experiments.Figure7)},
+		{id: "fig8", fig: figOf(sem, experiments.Figure8)},
+		{id: "fig9", fig: figOf(s.Lab10d, experiments.Figure9)},
+		{id: "fig10", fig: figOf(s.Lab10d, experiments.Figure10)},
+		{id: "fig11", table: func() (*report.Table, error) {
+			lab, err := s.Lab10d()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.Figure11(lab), nil
+		}},
+		{id: "fig12", fig: figOf(s.Break11d, experiments.Figure12)},
+	}
+}
+
+func figOf(get func() (*experiments.Dataset, error), f func(*experiments.Dataset) *report.Figure) func() (*report.Figure, error) {
+	return func() (*report.Figure, error) {
+		ds, err := get()
+		if err != nil {
+			return nil, err
+		}
+		return f(ds), nil
+	}
+}
+
+func run(exp, csvDir string) error {
+	exp = strings.ToLower(exp)
+	matched := false
+	for _, a := range artifacts() {
+		if exp != "all" && a.id != exp {
+			continue
+		}
+		matched = true
+		switch {
+		case a.table != nil:
+			t, err := a.table()
+			if err != nil {
+				return fmt.Errorf("%s: %w", a.id, err)
+			}
+			fmt.Println(t.Render())
+		case a.fig != nil:
+			f, err := a.fig()
+			if err != nil {
+				return fmt.Errorf("%s: %w", a.id, err)
+			}
+			fmt.Println(f.Render())
+			if csvDir != "" {
+				if err := os.MkdirAll(csvDir, 0o755); err != nil {
+					return err
+				}
+				path := filepath.Join(csvDir, a.id+".csv")
+				out, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				if err := f.WriteCSV(out); err != nil {
+					out.Close()
+					return err
+				}
+				if err := out.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

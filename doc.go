@@ -1,0 +1,11 @@
+// Package servdisc is a from-scratch reproduction of "Understanding
+// Passive and Active Service Discovery" (Bartlett, Heidemann,
+// Papadopoulos; ISI-TR-642 / IMC 2007): passive network monitoring and
+// Nmap-style active probing for service discovery, the analysis comparing
+// them, and a calibrated campus-network simulator standing in for the
+// paper's USC testbed.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results, and bench_test.go in this directory for the
+// harness that regenerates every table and figure of the evaluation.
+package servdisc

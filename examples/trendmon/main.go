@@ -1,0 +1,74 @@
+// Trendmon: the trend-monitoring workflow (paper Section 4.1.2) — passive
+// monitoring finds the servers that matter almost immediately. This example
+// measures how fast the passive inventory covers 99% of flow-weighted and
+// client-weighted servers, reproducing Figure 1's headline numbers
+// ("99% of flow-weighted servers in 5 minutes, client-weighted in 14").
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/capture"
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/sim"
+	"servdisc/internal/traffic"
+)
+
+func main() {
+	cfg := campus.DefaultSemesterConfig()
+	cfg.StaticAddrs, cfg.StaticSubnets = 4096, 8
+	cfg.DHCPAddrs, cfg.WirelessAddrs, cfg.PPPAddrs, cfg.VPNAddrs = 256, 128, 128, 64
+	cfg.StaticLiveHosts, cfg.StaticServers, cfg.PopularServers = 900, 500, 12
+	cfg.DHCPHosts, cfg.PPPHosts, cfg.VPNHosts, cfg.WirelessHosts = 150, 60, 40, 50
+	cfg.FlowsPerDay = 40000
+
+	net, err := campus.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.New(cfg.Start)
+	campus.NewDynamics(net, eng)
+
+	campusPfx, err := netaddr.NewPrefix(net.Plan().Base(), 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	passive := core.NewPassiveDiscoverer(campusPfx, nil)
+	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, passive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, passive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traffic.NewGenerator(net, eng,
+		capture.NewMonitor(capture.NewAssigner(campusPfx, net.AcademicClients()), tap1, tap2))
+
+	end := cfg.Start.Add(12 * time.Hour)
+	eng.RunUntil(end)
+
+	an := &core.Analysis{Passive: passive, Active: core.NewActiveDiscoverer(nil)}
+	first := an.PassiveAddrs()
+
+	for _, kind := range []core.WeightKind{core.WeightFlows, core.WeightClients, core.WeightNone} {
+		s := an.WeightedSeries(first, kind, cfg.Start, end)
+		final := s.Last()
+		for _, pct := range []float64{90, 99} {
+			d, ok := core.TimeTo(s, cfg.Start, pct)
+			if !ok {
+				fmt.Printf("%-16s never reached %.0f%% of final (%.1f%%)\n", kind, pct, final)
+				continue
+			}
+			fmt.Printf("%-16s reached %.0f%% of its final coverage after %v\n",
+				kind, pct, d.Round(time.Second))
+		}
+	}
+	fmt.Printf("\nservers discovered passively in 12h: %d\n", len(first))
+	fmt.Println("flow-weighted coverage converges in minutes: the busy servers")
+	fmt.Println("announce themselves; the long tail is what takes weeks.")
+}

@@ -1,0 +1,129 @@
+// Package campus models the monitored university network that the paper's
+// measurement study observed: 16,130 addresses across 38 subnets, with
+// static server populations, transient DHCP/PPP/VPN/wireless address pools,
+// per-service firewall policy, heavy-tailed service popularity, and host
+// birth/death dynamics.
+//
+// The model is the reproduction's substitute for the USC testbed (see
+// DESIGN.md §1): every aggregate the paper publishes about its population
+// is an explicit, documented configuration parameter here, and the
+// discovery machinery interacts with the model only through the same
+// channels it would have on a real network — probe packets in, response
+// packets out, and client traffic flowing past the monitoring point.
+package campus
+
+import "fmt"
+
+// AddressClass labels a block of the campus address plan. The classes
+// mirror Section 4.4.2 of the paper: static space plus the four transient
+// pools (DHCP, wireless, PPP dialup, VPN).
+type AddressClass uint8
+
+// Address classes.
+const (
+	ClassStatic AddressClass = iota
+	ClassDHCP
+	ClassWireless
+	ClassPPP
+	ClassVPN
+)
+
+// String names the class.
+func (c AddressClass) String() string {
+	switch c {
+	case ClassStatic:
+		return "static"
+	case ClassDHCP:
+		return "dhcp"
+	case ClassWireless:
+		return "wireless"
+	case ClassPPP:
+		return "ppp"
+	case ClassVPN:
+		return "vpn"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Transient reports whether addresses of this class are reassigned over
+// time (everything but static).
+func (c AddressClass) Transient() bool { return c != ClassStatic }
+
+// Well-known TCP service ports studied by the paper (Section 3.1).
+const (
+	PortFTP   uint16 = 21
+	PortSSH   uint16 = 22
+	PortHTTP  uint16 = 80
+	PortHTTPS uint16 = 443
+	PortMySQL uint16 = 3306
+)
+
+// SelectedTCPPorts is the five-port service set of datasets DTCP1*.
+var SelectedTCPPorts = []uint16{PortFTP, PortSSH, PortHTTP, PortHTTPS, PortMySQL}
+
+// Well-known UDP service ports of dataset DUDP (Section 4.5).
+const (
+	UDPPortHTTP    uint16 = 80
+	UDPPortDNS     uint16 = 53
+	UDPPortNetBIOS uint16 = 137
+	UDPPortGame    uint16 = 27015
+)
+
+// SelectedUDPPorts is the four-port UDP set of dataset DUDP.
+var SelectedUDPPorts = []uint16{UDPPortHTTP, UDPPortDNS, UDPPortNetBIOS, UDPPortGame}
+
+// ServiceName returns the conventional name for a studied TCP port.
+func ServiceName(port uint16) string {
+	switch port {
+	case PortFTP:
+		return "FTP"
+	case PortSSH:
+		return "SSH"
+	case PortHTTP:
+		return "Web"
+	case PortHTTPS:
+		return "HTTPS"
+	case PortMySQL:
+		return "MySQL"
+	default:
+		return fmt.Sprintf("tcp/%d", port)
+	}
+}
+
+// ContentCategory classifies a web server's root page, following the seven
+// buckets of Table 5.
+type ContentCategory uint8
+
+// Content categories.
+const (
+	ContentCustom ContentCategory = iota
+	ContentDefault
+	ContentMinimal
+	ContentConfig
+	ContentDatabase
+	ContentRestricted
+	ContentNoResponse // host did not answer the follow-up fetch
+)
+
+// String names the category as in Table 5.
+func (c ContentCategory) String() string {
+	switch c {
+	case ContentCustom:
+		return "Custom content"
+	case ContentDefault:
+		return "Default content"
+	case ContentMinimal:
+		return "Minimal content"
+	case ContentConfig:
+		return "Config/status pages"
+	case ContentDatabase:
+		return "Database interface"
+	case ContentRestricted:
+		return "Restricted content"
+	case ContentNoResponse:
+		return "No response"
+	default:
+		return fmt.Sprintf("content(%d)", uint8(c))
+	}
+}

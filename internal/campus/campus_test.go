@@ -1,0 +1,507 @@
+package campus
+
+import (
+	"testing"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/sim"
+)
+
+func testConfig() Config {
+	c := DefaultSemesterConfig()
+	// Shrink the population so unit tests stay fast; proportions stay.
+	c.StaticAddrs = 2048
+	c.DHCPAddrs = 256
+	c.WirelessAddrs = 128
+	c.PPPAddrs = 128
+	c.VPNAddrs = 64
+	c.StaticSubnets = 8
+	c.StaticLiveHosts = 500
+	c.StaticServers = 300
+	c.PopularServers = 8
+	c.StealthFirewalled = 6
+	c.ServerDeaths = 2
+	c.DHCPHosts = 120
+	c.PPPHosts = 50
+	c.VPNHosts = 30
+	c.WirelessHosts = 40
+	c.ClientPool = 2000
+	c.UDP.DNSServers = 12
+	c.UDP.DNSGenericReply = 7
+	c.UDP.WindowsHosts = 150
+	c.UDP.NetBIOSGenericReply = 5
+	c.UDP.NetBIOSLeaks = 2
+	return c
+}
+
+func TestBuildPlanLayout(t *testing.T) {
+	cfg := DefaultSemesterConfig()
+	p, err := BuildPlan(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 16130 {
+		t.Errorf("Total = %d, want 16130", p.Total())
+	}
+	if len(p.Blocks()) != 34+4 {
+		t.Errorf("blocks = %d, want 38", len(p.Blocks()))
+	}
+	// Blocks must be contiguous and non-overlapping.
+	next := cfg.CampusBase
+	for _, b := range p.Blocks() {
+		if b.Range.Lo != next {
+			t.Fatalf("block %s starts at %v, want %v", b.Name, b.Range.Lo, next)
+		}
+		next = b.Range.Hi
+	}
+	// Class sizes.
+	sizes := map[AddressClass]int{}
+	for _, b := range p.Blocks() {
+		sizes[b.Class] += b.Range.Size()
+	}
+	if sizes[ClassStatic] != 13826 || sizes[ClassDHCP] != 1024 ||
+		sizes[ClassWireless] != 512 || sizes[ClassPPP] != 512 || sizes[ClassVPN] != 256 {
+		t.Errorf("class sizes = %v", sizes)
+	}
+	// Transient pools per the paper: 2,304 ≈ 2,296 addresses.
+	trans := sizes[ClassDHCP] + sizes[ClassWireless] + sizes[ClassPPP] + sizes[ClassVPN]
+	if trans != 2304 {
+		t.Errorf("transient space = %d", trans)
+	}
+}
+
+func TestPlanClassOf(t *testing.T) {
+	cfg := testConfig()
+	p, err := BuildPlan(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range p.Blocks() {
+		if c, ok := p.ClassOf(b.Range.At(0)); !ok || c != b.Class {
+			t.Errorf("ClassOf(%v) = %v, %v; want %v", b.Range.At(0), c, ok, b.Class)
+		}
+	}
+	if _, ok := p.ClassOf(netaddr.MustParseV4("1.2.3.4")); ok {
+		t.Error("ClassOf outside plan should fail")
+	}
+}
+
+func TestProbeTargetsExcludeWireless(t *testing.T) {
+	cfg := testConfig()
+	p, err := BuildPlan(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := p.ProbeTargets()
+	want := p.Total() - cfg.WirelessAddrs
+	if len(targets) != want {
+		t.Errorf("targets = %d, want %d", len(targets), want)
+	}
+	wr, _ := p.ClassRange(ClassWireless)
+	for _, a := range targets {
+		if wr.Contains(a) {
+			t.Fatalf("wireless address %v in probe targets", a)
+		}
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	a, err := NewNetwork(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNetwork(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Hosts()) != len(b.Hosts()) {
+		t.Fatalf("host counts differ: %d vs %d", len(a.Hosts()), len(b.Hosts()))
+	}
+	for i := range a.Hosts() {
+		ha, hb := a.Hosts()[i], b.Hosts()[i]
+		if ha.HomeAddr != hb.HomeAddr || ha.Class != hb.Class || len(ha.Services) != len(hb.Services) {
+			t.Fatalf("host %d differs", i)
+		}
+	}
+}
+
+func TestRespondTCPMatrix(t *testing.T) {
+	net, err := NewNetwork(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := net.Config().Start
+	ext := netaddr.MustParseV4("7.7.7.7")
+	internal := net.Plan().Base()
+
+	var server, stealth, blockExt *Host
+	for _, h := range net.Hosts() {
+		if h.Class != ClassStatic || !h.Attached() || len(h.Services) == 0 {
+			continue
+		}
+		for i := range h.Services {
+			s := &h.Services[i]
+			switch {
+			case s.StealthFW && stealth == nil:
+				stealth = h
+			case s.BlockExternal && blockExt == nil:
+				blockExt = h
+			case !s.StealthFW && !s.BlockExternal && s.Proto == packet.ProtoTCP && server == nil && h.AlwaysUp:
+				server = h
+			}
+		}
+	}
+	if server == nil || stealth == nil || blockExt == nil {
+		t.Fatal("population missing archetypes")
+	}
+
+	var openPort uint16
+	for _, s := range server.Services {
+		if s.Proto == packet.ProtoTCP && !s.StealthFW && !s.BlockExternal {
+			openPort = s.Port
+			break
+		}
+	}
+	if got := net.RespondTCP(now, ext, server.Addr(), openPort, true); got != TCPSynAck {
+		t.Errorf("open service probe = %v, want SynAck", got)
+	}
+	// Closed port on a live server host → RST.
+	if got := net.RespondTCP(now, ext, server.Addr(), 9999, true); got != TCPRst {
+		t.Errorf("closed port = %v, want Rst", got)
+	}
+	// Dead address → silence. Find one.
+	var dark netaddr.V4
+	for _, a := range net.Plan().Addresses(ClassStatic) {
+		if _, ok := net.HostAt(a); !ok {
+			dark = a
+			break
+		}
+	}
+	if got := net.RespondTCP(now, ext, dark, 80, true); got != TCPNone {
+		t.Errorf("dark address = %v, want None", got)
+	}
+
+	// Stealth firewall: probes dropped, client flows accepted.
+	var stealthPort uint16
+	for _, s := range stealth.Services {
+		if s.StealthFW {
+			stealthPort = s.Port
+			break
+		}
+	}
+	if got := net.RespondTCP(now, internal, stealth.Addr(), stealthPort, true); got != TCPNone {
+		t.Errorf("stealth probe = %v, want None", got)
+	}
+	if got := net.RespondTCP(now, ext, stealth.Addr(), stealthPort, false); got != TCPSynAck {
+		t.Errorf("stealth client = %v, want SynAck", got)
+	}
+
+	// External-blocking service: internal probe succeeds, external fails.
+	var extPort uint16
+	for _, s := range blockExt.Services {
+		if s.BlockExternal {
+			extPort = s.Port
+			break
+		}
+	}
+	if blockExt.AlwaysUp {
+		if got := net.RespondTCP(now, internal, blockExt.Addr(), extPort, true); got != TCPSynAck {
+			t.Errorf("internal probe of blocking service = %v, want SynAck", got)
+		}
+		if got := net.RespondTCP(now, ext, blockExt.Addr(), extPort, true); got != TCPNone {
+			t.Errorf("external probe of blocking service = %v, want None", got)
+		}
+	}
+}
+
+func TestRespondUDP(t *testing.T) {
+	net, err := NewNetwork(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := net.Config().Start
+	ext := netaddr.MustParseV4("7.7.7.7")
+
+	var replier, mute, windows, plain *Host
+	for _, h := range net.Hosts() {
+		if !h.Attached() {
+			continue
+		}
+		if s := h.ServiceOn(packet.ProtoUDP, UDPPortDNS); s != nil {
+			if s.GenericUDPReply && replier == nil {
+				replier = h
+			}
+			if !s.GenericUDPReply && mute == nil {
+				mute = h
+			}
+		}
+		if windows == nil && h.ServiceOn(packet.ProtoUDP, UDPPortNetBIOS) != nil {
+			if s := h.ServiceOn(packet.ProtoUDP, UDPPortNetBIOS); !s.GenericUDPReply {
+				windows = h
+			}
+		}
+		if len(h.Services) == 0 && !h.SilentUDP && plain == nil && h.Class == ClassStatic {
+			plain = h
+		}
+	}
+	if replier == nil || mute == nil || windows == nil || plain == nil {
+		t.Fatal("population missing UDP archetypes")
+	}
+	if got := net.RespondUDP(now, ext, replier.Addr(), UDPPortDNS); got != UDPReply {
+		t.Errorf("replying DNS = %v", got)
+	}
+	if got := net.RespondUDP(now, ext, mute.Addr(), UDPPortDNS); got != UDPSilent {
+		t.Errorf("mute DNS = %v", got)
+	}
+	// Windows host: mute on the open NetBIOS port, ICMP on closed ports
+	// (which is what proves it alive for Table 7's "possibly open").
+	if windows.UpAt(now) {
+		if got := net.RespondUDP(now, ext, windows.Addr(), UDPPortNetBIOS); got != UDPSilent {
+			t.Errorf("windows open NetBIOS = %v, want silent", got)
+		}
+		if got := net.RespondUDP(now, ext, windows.Addr(), UDPPortGame); got != UDPUnreachable {
+			t.Errorf("windows closed port = %v, want unreachable", got)
+		}
+	}
+	// Plain live host answers ICMP unreachable on closed UDP ports when up.
+	if plain.UpAt(now) {
+		if got := net.RespondUDP(now, ext, plain.Addr(), UDPPortGame); got != UDPUnreachable {
+			t.Errorf("plain closed port = %v", got)
+		}
+	}
+}
+
+func TestDynamicsSessions(t *testing.T) {
+	cfg := testConfig()
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(cfg.Start)
+	NewDynamics(net, eng)
+
+	// Run three days; PPP and VPN hosts should attach and detach, and the
+	// address table must stay consistent throughout.
+	attachedSeen := 0
+	check := eng.Every(cfg.Start.Add(time.Hour), time.Hour, func(now time.Time) {
+		for _, h := range net.Hosts() {
+			if h.Attached() {
+				got, ok := net.HostAt(h.Addr())
+				if !ok || got != h {
+					t.Fatalf("address table inconsistent for host %d", h.ID)
+				}
+				if h.Class == ClassPPP || h.Class == ClassVPN {
+					attachedSeen++
+				}
+			}
+		}
+	})
+	eng.RunUntil(cfg.Start.Add(72 * time.Hour))
+	check.Stop()
+	if attachedSeen == 0 {
+		t.Error("no PPP/VPN sessions over three days")
+	}
+}
+
+func TestDynamicsBirths(t *testing.T) {
+	cfg := testConfig()
+	cfg.StaticServerBirthsPerDay = 24
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(net.Hosts())
+	eng := sim.New(cfg.Start)
+	NewDynamics(net, eng)
+	eng.RunUntil(cfg.Start.Add(48 * time.Hour))
+	births := 0
+	for _, h := range net.Hosts()[before:] {
+		if !h.Born.IsZero() {
+			births++
+		}
+	}
+	if births < 20 || births > 80 {
+		t.Errorf("births over 2 days at 24/day = %d", births)
+	}
+}
+
+func TestDHCPChurnMovesAddresses(t *testing.T) {
+	cfg := testConfig()
+	cfg.DHCPWeeklyChurn = 1.0 // every DHCP host churns
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := map[int]netaddr.V4{}
+	for _, h := range net.Hosts() {
+		if h.Class == ClassDHCP && h.Attached() {
+			initial[h.ID] = h.Addr()
+		}
+	}
+	eng := sim.New(cfg.Start)
+	NewDynamics(net, eng)
+	eng.RunUntil(cfg.Start.Add(8 * 24 * time.Hour))
+	moved := 0
+	for _, h := range net.Hosts() {
+		if a, ok := initial[h.ID]; ok && h.Attached() && h.Addr() != a {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no DHCP host changed address after a week of full churn")
+	}
+}
+
+func TestHostUpAtRespectsBirthDeath(t *testing.T) {
+	h := &Host{AlwaysUp: true}
+	now := time.Date(2006, 9, 19, 12, 0, 0, 0, time.UTC)
+	h.Born = now.Add(time.Hour)
+	if h.UpAt(now) {
+		t.Error("host up before birth")
+	}
+	h.Born = time.Time{}
+	h.Dies = now
+	if h.UpAt(now) {
+		t.Error("host up after death")
+	}
+}
+
+func TestFetchRootCategories(t *testing.T) {
+	net, err := NewNetwork(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := net.Config().Start
+	found := map[ContentCategory]bool{}
+	for _, h := range net.Hosts() {
+		if !h.Attached() || !h.UpAt(now) {
+			continue
+		}
+		if body, ok := net.FetchRoot(now, h.Addr()); ok {
+			if body == "" {
+				t.Fatal("empty body on successful fetch")
+			}
+			svc := h.ServiceOn(packet.ProtoTCP, PortHTTP)
+			if svc == nil {
+				svc = h.ServiceOn(packet.ProtoTCP, PortHTTPS)
+			}
+			if svc == nil {
+				t.Fatalf("fetch succeeded for non-web host %d", h.ID)
+			}
+			found[svc.Content] = true
+		}
+	}
+	if len(found) < 3 {
+		t.Errorf("only %d content categories produced", len(found))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := testConfig()
+	bad.PopularServers = bad.StaticServers + 1
+	if bad.Validate() == nil {
+		t.Error("PopularServers > StaticServers accepted")
+	}
+	bad2 := testConfig()
+	bad2.StaticLiveHosts = bad2.StaticAddrs
+	bad2.StaticServers = 10
+	if bad2.Validate() == nil {
+		t.Error("overfull static space accepted")
+	}
+	bad3 := testConfig()
+	bad3.VPNHosts = bad3.VPNAddrs + 1
+	if bad3.Validate() == nil {
+		t.Error("VPN overcommit accepted")
+	}
+}
+
+func TestServiceMixShape(t *testing.T) {
+	net, err := NewNetwork(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint16]int{}
+	servers := 0
+	for _, h := range net.Hosts() {
+		if h.Class != ClassStatic || !h.HasTCPService() {
+			continue
+		}
+		servers++
+		for _, s := range h.Services {
+			if s.Proto == packet.ProtoTCP {
+				counts[s.Port]++
+			}
+		}
+	}
+	if servers == 0 {
+		t.Fatal("no static servers")
+	}
+	// Web must dominate; MySQL must be rare (Table 6 proportions).
+	if counts[PortHTTP] <= counts[PortSSH] || counts[PortHTTP] <= counts[PortFTP] {
+		t.Errorf("web not dominant: %v", counts)
+	}
+	if counts[PortMySQL] >= counts[PortSSH] {
+		t.Errorf("mysql not rare: %v", counts)
+	}
+	// Most MySQL servers must block external sources.
+	blocked := 0
+	total := 0
+	for _, h := range net.Hosts() {
+		for _, s := range h.Services {
+			if s.Port == PortMySQL && s.Proto == packet.ProtoTCP {
+				total++
+				if s.BlockExternal {
+					blocked++
+				}
+			}
+		}
+	}
+	if total > 0 && float64(blocked)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d mysql block external", blocked, total)
+	}
+}
+
+func TestAddressClassString(t *testing.T) {
+	want := map[AddressClass]string{
+		ClassStatic: "static", ClassDHCP: "dhcp", ClassWireless: "wireless",
+		ClassPPP: "ppp", ClassVPN: "vpn",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("String(%d) = %q", c, c.String())
+		}
+	}
+	if ClassStatic.Transient() || !ClassPPP.Transient() {
+		t.Error("Transient() wrong")
+	}
+}
+
+func BenchmarkNewNetwork(b *testing.B) {
+	cfg := DefaultSemesterConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewNetwork(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkActiveServices(b *testing.B) {
+	net, err := NewNetwork(DefaultSemesterConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := net.Config().Start
+	var buf []ServiceInstance
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = net.ActiveServices(now, buf[:0])
+	}
+}

@@ -1,0 +1,396 @@
+package campus
+
+import (
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/stats"
+)
+
+// Config describes a campus population. The default constructors encode the
+// calibration that reproduces the paper's published aggregates; experiments
+// derive variants (winter break, all-ports /24, UDP) from them.
+type Config struct {
+	// Seed feeds the root RNG. Every random decision in the model derives
+	// from it, making runs bit-for-bit reproducible.
+	Seed uint64
+
+	// Start is the beginning of the observation window (DTCP1-18d starts
+	// 2006-09-19 10:00 local time).
+	Start time.Time
+
+	// CampusBase is the first address of the campus space; blocks are laid
+	// out consecutively from it.
+	CampusBase netaddr.V4
+
+	// StaticAddrs, DHCPAddrs, WirelessAddrs, PPPAddrs, VPNAddrs size the
+	// address blocks. The paper's space: 16,130 total = 13,826 static +
+	// 1,024 DHCP (/22 residence halls) + 512 wireless (/23) + 512 PPP
+	// (/23) + 256 VPN (/24).
+	StaticAddrs, DHCPAddrs, WirelessAddrs, PPPAddrs, VPNAddrs int
+
+	// StaticSubnets splits the static space into this many subnets (the
+	// paper monitors 38 subnets total; 34 of them static).
+	StaticSubnets int
+
+	// --- static population ---
+
+	// StaticLiveHosts is the number of live, non-server static hosts
+	// (they answer probes with RSTs; with the servers below, roughly 60%
+	// of probed addresses respond in some way, per Section 3.3).
+	StaticLiveHosts int
+
+	// StaticServers is the number of static hosts running at least one
+	// selected service at the start of the window.
+	StaticServers int
+
+	// PopularServers is the count of continuously busy servers carrying
+	// almost all incoming traffic (the "active server" row of Table 4).
+	PopularServers int
+
+	// StealthFirewalled is the number of static servers whose service
+	// ports silently drop unsolicited probe SYNs (internal and external)
+	// while accepting their own clients — the "possible firewall" rows of
+	// Tables 3/4. They still RST on non-service ports.
+	StealthFirewalled int
+
+	// ServerDeaths is how many (non-popular) static servers stop serving
+	// early in the window.
+	ServerDeaths int
+
+	// StaticServerBirthsPerDay is the arrival rate of brand-new static
+	// servers during the window.
+	StaticServerBirthsPerDay float64
+
+	// --- service mix (probabilities per server host; a host re-draws
+	// until it has at least one service) ---
+
+	PWeb, PSSH, PFTP, PMySQL, PHTTPS float64
+
+	// MySQLBlockExternal is the fraction of MySQL instances that drop
+	// SYNs arriving from outside campus (Section 4.4.3 finds most MySQL
+	// servers unreachable externally, hiding them from both passive
+	// monitoring and external scans while internal probes still see them).
+	MySQLBlockExternal float64
+
+	// --- traffic ---
+
+	// FlowsPerDay is the campus-wide mean of incoming external client
+	// flows on a semester weekday (diurnally modulated).
+	FlowsPerDay float64
+
+	// PopularFlowShare is the fraction of all flows destined to the
+	// popular server set (Figure 1: 99% of flows hit servers passive
+	// monitoring finds within minutes).
+	PopularFlowShare float64
+
+	// PopularZipfS is the Zipf exponent splitting the popular share
+	// among the popular servers.
+	PopularZipfS float64
+
+	// RareRateLoPerDay and RareRateHiPerDay bound the log-uniform
+	// client-flow rate of non-popular services, in flows/day. The spread
+	// across orders of magnitude produces the paper's long discovery
+	// tail (Section 4.2.1).
+	RareRateLoPerDay, RareRateHiPerDay float64
+
+	// ClientPool is the number of distinct external client addresses.
+	ClientPool int
+
+	// AcademicClientFrac is the fraction of clients routed via the
+	// Internet2 peering (Section 5.2: I2's acceptable-use policy limits
+	// its client mix).
+	AcademicClientFrac float64
+
+	// RareClientMean is the mean (Poisson, plus one) of distinct clients
+	// a rare service has.
+	RareClientMean float64
+
+	// Diurnal modulates flow arrivals and transient sessions by hour of
+	// day.
+	Diurnal stats.DiurnalProfile
+
+	// --- transient pools ---
+
+	// DHCPHosts is the resident population behind the DHCP blocks; leases
+	// are semester-sticky for most (the paper: residence halls keep one
+	// IP per student for a semester or more).
+	DHCPHosts int
+	// DHCPServerFrac is the fraction of DHCP hosts running a service.
+	DHCPServerFrac float64
+	// DHCPWeeklyChurn is the fraction of DHCP hosts that re-lease to a
+	// new random address each week.
+	DHCPWeeklyChurn float64
+
+	// PPPHosts is the dial-up population; each session draws a fresh
+	// address from the PPP pool.
+	PPPHosts int
+	// PPPServerFrac is the fraction of PPP hosts running a service.
+	PPPServerFrac float64
+	// PPPSessionsPerDay is each PPP host's mean session count per day.
+	PPPSessionsPerDay float64
+	// PPPSessionMean is the mean session duration.
+	PPPSessionMean time.Duration
+
+	// VPNHosts is the VPN user population. VPN hosts are dual-homed: the
+	// services they run respond to probes of their VPN address while a
+	// session is up, but clients essentially never use the VPN address
+	// (Section 4.4.2's VPN anomaly).
+	VPNHosts int
+	// VPNServerFrac is the fraction of VPN hosts whose services are
+	// probe-visible via the VPN address.
+	VPNServerFrac float64
+	// VPNSessionsPerDay and VPNSessionMean shape VPN sessions (working
+	// hours, a few hours long).
+	VPNSessionsPerDay float64
+	VPNSessionMean    time.Duration
+	// VPNClientRatePerDay is the (nearly zero) external client flow rate
+	// to a VPN-hosted service.
+	VPNClientRatePerDay float64
+
+	// WirelessHosts is the wireless population. They run no services and
+	// the paper could not probe the wireless block at all.
+	WirelessHosts int
+
+	// --- transient service traffic ---
+
+	// TransientRateLoPerDay/HiPerDay bound the log-uniform external
+	// client rate of DHCP-hosted services (mostly accidental default
+	// installs, rarely used from outside).
+	TransientRateLoPerDay, TransientRateHiPerDay float64
+
+	// PPPRateLo/HiPerDay bound the while-online client rate of
+	// PPP-hosted services; dial-up users actively use their boxes during
+	// sessions, which is why passive discovery beats active on the PPP
+	// block (Figure 5).
+	PPPRateLoPerDay, PPPRateHiPerDay float64
+
+	// --- external scanners ---
+
+	// BigScans schedules full-space external scans (potentially
+	// malicious; Section 4.3 shows they dominate passive completeness).
+	BigScans []ScanConfig
+	// SmallScannersPerDay is the Poisson arrival rate of partial-space
+	// external scanners.
+	SmallScannersPerDay float64
+	// SmallScanMinAddrs/MaxAddrs bound the footprint of small scanners.
+	SmallScanMinAddrs, SmallScanMaxAddrs int
+	// ScanRatePerSec is addresses probed per second by external scanners.
+	ScanRatePerSec float64
+
+	// --- web content (Table 5) ---
+
+	// Content weights for static web servers by popularity class; see
+	// content.go for how categories attach to server types.
+	ContentWeights ContentWeights
+
+	// --- UDP population (dataset DUDP) ---
+
+	UDP UDPConfig
+}
+
+// ScanConfig is one scheduled external scan of the campus space.
+type ScanConfig struct {
+	// StartOffset is when the scan begins, relative to Config.Start.
+	StartOffset time.Duration
+	// Port is the single TCP port the scanner sweeps.
+	Port uint16
+	// Coverage is the fraction of the space scanned (1.0 = full walk).
+	Coverage float64
+}
+
+// ContentWeights gives relative frequencies for generated root-page
+// categories of non-popular static web servers.
+type ContentWeights struct {
+	Custom, Default, Minimal, Config, Database, Restricted float64
+}
+
+// UDPConfig sizes the UDP service population of dataset DUDP.
+type UDPConfig struct {
+	// DNSServers run a resolver on udp/53; DNSGenericReply of them
+	// answer a malformed generic probe with a UDP reply, the rest stay
+	// silent. DNSExternalFrac of them serve external queries (visible
+	// passively).
+	DNSServers       int
+	DNSGenericReply  int
+	DNSExternalFrac  float64
+	DNSQueriesPerDay float64
+	// WindowsHosts have udp/137 (NetBIOS) open. NetBIOSGenericReply of
+	// them answer a generic probe. NetBIOS traffic does not cross the
+	// border except for NetBIOSLeaks hosts.
+	WindowsHosts        int
+	NetBIOSGenericReply int
+	NetBIOSLeaks        int
+	// GameServers listen on udp/27015 with external players.
+	GameServers       int
+	GamePacketsPerDay float64
+	// SilentAliveFrac is the fraction of live non-Windows hosts that
+	// drop UDP probes without ICMP (host firewalls), producing the
+	// paper's large "possibly open" counts.
+	SilentAliveFrac float64
+}
+
+// DefaultSemesterConfig returns the population calibrated to DTCP1
+// (semester datasets). The comments cite the paper figure each value is
+// calibrated against.
+func DefaultSemesterConfig() Config {
+	return Config{
+		Seed:       0x5EED5D15C,
+		Start:      time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC),
+		CampusBase: netaddr.MustParseV4("128.125.0.0"),
+
+		// 16,130 probed addresses (Table 1).
+		StaticAddrs:   13826,
+		DHCPAddrs:     1024,
+		WirelessAddrs: 512,
+		PPPAddrs:      512,
+		VPNAddrs:      256,
+		StaticSubnets: 34,
+
+		// ~6,450 of 16,130 addresses respond to probes (Section 3.3).
+		StaticLiveHosts: 3600,
+		// Table 4 static rows sum to ~1,850 server addresses.
+		StaticServers: 1612,
+		// Table 4: 37 "active server" addresses carry nearly all load.
+		PopularServers: 37,
+		// Table 4: 35 possible-firewall addresses over 18 days.
+		StealthFirewalled: 35,
+		// Table 4: handful of early server deaths.
+		ServerDeaths: 9,
+		// Table 4 "birth" rows: ~230 static births over 18 days.
+		StaticServerBirthsPerDay: 15,
+
+		// Table 6 union counts: Web 2,120 / SSH 925 / FTP 815 / MySQL 164
+		// over 2,960 server addresses.
+		PWeb: 0.68, PSSH: 0.30, PFTP: 0.27, PMySQL: 0.055, PHTTPS: 0.10,
+		MySQLBlockExternal: 0.80,
+
+		FlowsPerDay:      60000,
+		PopularFlowShare: 0.99, // Figure 1
+		PopularZipfS:     1.0,
+		// Log-uniform rare rates: ~15% of rare servers overheard in 12h
+		// (Table 2 col 1) and ~60% within 18 days absent scans (Fig 4).
+		RareRateLoPerDay: 0.001,
+		RareRateHiPerDay: 2.0,
+
+		ClientPool:         40000,
+		AcademicClientFrac: 0.08, // Table 8: I2 sees ~36% of servers
+		RareClientMean:     1.5,
+		Diurnal:            stats.DefaultDiurnal(),
+
+		DHCPHosts:       900,
+		DHCPServerFrac:  0.50,
+		DHCPWeeklyChurn: 0.35,
+
+		PPPHosts:          420,
+		PPPServerFrac:     0.32,
+		PPPSessionsPerDay: 0.5,
+		PPPSessionMean:    80 * time.Minute,
+
+		VPNHosts:            180,
+		VPNServerFrac:       0.55,
+		VPNSessionsPerDay:   0.9,
+		VPNSessionMean:      4 * time.Hour,
+		VPNClientRatePerDay: 0.005, // Figure 5: ~10 VPN servers passive vs ~100 active
+
+		WirelessHosts: 400,
+
+		TransientRateLoPerDay: 0.003,
+		TransientRateHiPerDay: 0.5,
+		PPPRateLoPerDay:       0.3,
+		PPPRateHiPerDay:       6.0,
+
+		// Figure 2's passive jumps at 9-20 and 9-23; Section 4.4.3's
+		// MySQL scan on 9-29.
+		// Coverage varies: real scanners rarely walk the whole space on
+		// every port, which is what leaves passive monitoring 29% short
+		// of active even after 18 days (Table 2).
+		BigScans: []ScanConfig{
+			{StartOffset: 30 * time.Hour, Port: PortHTTP, Coverage: 0.6},                  // 9/20 ~16:00
+			{StartOffset: 97 * time.Hour, Port: PortSSH, Coverage: 0.5},                   // 9/23 ~11:00
+			{StartOffset: 6*24*time.Hour + 4*time.Hour, Port: PortFTP, Coverage: 0.45},    // 9/25
+			{StartOffset: 9*24*time.Hour + 23*time.Hour, Port: PortMySQL, Coverage: 1.0},  // 9/29
+			{StartOffset: 14*24*time.Hour + 11*time.Hour, Port: PortHTTP, Coverage: 0.35}, // 10/03
+			{StartOffset: 16*24*time.Hour + 2*time.Hour, Port: PortHTTPS, Coverage: 0.25}, // 10/05
+		},
+		SmallScannersPerDay: 3.0, // ~60 detected scan sources in 18 days (Section 4.3)
+		SmallScanMinAddrs:   200,
+		SmallScanMaxAddrs:   900,
+		ScanRatePerSec:      40,
+
+		// Table 5 frequencies among static web servers.
+		ContentWeights: ContentWeights{
+			Custom: 0.12, Default: 0.34, Minimal: 0.008,
+			Config: 0.43, Database: 0.045, Restricted: 0.012,
+		},
+
+		UDP: UDPConfig{
+			DNSServers:          85,
+			DNSGenericReply:     52,
+			DNSExternalFrac:     0.38,
+			DNSQueriesPerDay:    300,
+			WindowsHosts:        4300,
+			NetBIOSGenericReply: 64,
+			NetBIOSLeaks:        4,
+			GameServers:         1,
+			GamePacketsPerDay:   500,
+			SilentAliveFrac:     0.12,
+		},
+	}
+}
+
+// BreakConfig returns the winter-break variant (dataset DTCPbreak):
+// the same plant, drastically fewer transient users, lighter traffic
+// (Section 5.5).
+func BreakConfig() Config {
+	c := DefaultSemesterConfig()
+	c.Seed = 0xB4EA4C0F
+	c.Start = time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
+	c.FlowsPerDay *= 0.55
+	c.DHCPHosts = 260
+	c.PPPHosts = 60
+	c.VPNHosts = 25
+	c.WirelessHosts = 60
+	c.StaticServerBirthsPerDay = 3
+	c.SmallScannersPerDay = 3.0
+	c.BigScans = []ScanConfig{
+		{StartOffset: 26 * time.Hour, Port: PortHTTP, Coverage: 1.0},
+		{StartOffset: 4*24*time.Hour + 7*time.Hour, Port: PortSSH, Coverage: 1.0},
+		{StartOffset: 7*24*time.Hour + 15*time.Hour, Port: PortFTP, Coverage: 0.9},
+	}
+	return c
+}
+
+// Validate sanity-checks block sizes and population counts, returning a
+// descriptive error for the first inconsistency found.
+func (c *Config) Validate() error {
+	switch {
+	case c.StaticAddrs <= 0:
+		return errConfig("StaticAddrs must be positive")
+	case c.StaticSubnets <= 0 || c.StaticSubnets > c.StaticAddrs:
+		return errConfig("StaticSubnets out of range")
+	case c.StaticLiveHosts+c.StaticServers > c.StaticAddrs:
+		return errConfig("static population exceeds static address space")
+	case c.PopularServers > c.StaticServers:
+		return errConfig("PopularServers exceeds StaticServers")
+	case c.StealthFirewalled > c.StaticServers:
+		return errConfig("StealthFirewalled exceeds StaticServers")
+	case c.DHCPHosts > 0 && c.DHCPAddrs == 0:
+		return errConfig("DHCP hosts without DHCP addresses")
+	case c.PPPHosts > 0 && c.PPPAddrs == 0:
+		return errConfig("PPP hosts without PPP addresses")
+	case c.VPNHosts > c.VPNAddrs:
+		return errConfig("VPNHosts exceeds VPN pool")
+	case c.RareRateLoPerDay <= 0 || c.RareRateHiPerDay <= c.RareRateLoPerDay:
+		return errConfig("rare rate bounds invalid")
+	case c.PopularFlowShare < 0 || c.PopularFlowShare > 1:
+		return errConfig("PopularFlowShare out of [0,1]")
+	case c.ClientPool <= 0:
+		return errConfig("ClientPool must be positive")
+	}
+	return nil
+}
+
+type errConfig string
+
+func (e errConfig) Error() string { return "campus: bad config: " + string(e) }

@@ -1,0 +1,80 @@
+package campus
+
+import (
+	"fmt"
+	"time"
+
+	"servdisc/internal/netaddr"
+)
+
+// FetchRoot simulates downloading the root web page of a discovered server,
+// as the paper's Table 5 methodology does within a day of discovery. It
+// returns the page body and true on success, or "" and false when the host
+// is gone, powered off, or not serving web content any more.
+//
+// The fetch is a full TCP connection from the monitoring machine (internal,
+// not a half-open probe), so stealth-firewalled services still refuse it:
+// the fetcher is not one of the service's own clients.
+func (n *Network) FetchRoot(now time.Time, addr netaddr.V4) (string, bool) {
+	h, ok := n.byAddr[addr]
+	if !ok || !h.UpAt(now) {
+		return "", false
+	}
+	svc := h.ServiceOn(6, PortHTTP) // packet.ProtoTCP
+	if svc == nil {
+		svc = h.ServiceOn(6, PortHTTPS)
+	}
+	if svc == nil || svc.StealthFW {
+		return "", false
+	}
+	return RenderRootPage(svc.Content, addr), true
+}
+
+// RenderRootPage produces a plausible root page for a content category.
+// The bodies intentionally include the phrases the webcat signature set
+// keys on, the same way real default/config pages carry fixed strings
+// (the paper's signature set matched e.g. 14 strings of the Apache default
+// page).
+func RenderRootPage(cat ContentCategory, addr netaddr.V4) string {
+	switch cat {
+	case ContentCustom:
+		return fmt.Sprintf(`<html><head><title>Research group %s</title></head>
+<body><h1>Welcome</h1>
+<p>Publications, software releases and project news for the lab at %s.</p>
+<ul><li>papers/</li><li>software/</li><li>people/</li></ul>
+<p>Last updated by the webmaster.</p></body></html>`, addr, addr)
+	case ContentDefault:
+		return `<html><head><title>Test Page for Apache Installation</title></head>
+<body><h1>Seeing this instead of the website you expected?</h1>
+<p>This page is here because the site administrator has changed the
+configuration of this web server. If you are the administrator of this
+website and have questions, consult the Apache HTTP Server documentation.
+The Apache Software Foundation is not responsible for this content.</p>
+<p>You may now add content to the directory /var/www/html/.</p>
+<p>Powered by Apache.</p></body></html>`
+	case ContentMinimal:
+		return `<html><body>ok</body></html>`
+	case ContentConfig:
+		return fmt.Sprintf(`<html><head><title>HP JetDirect - Device Status</title></head>
+<body><h2>Printer Status: Ready</h2>
+<table><tr><td>Model</td><td>LaserJet 4250</td></tr>
+<tr><td>IP Address</td><td>%s</td></tr>
+<tr><td>Toner Level</td><td>73%%</td></tr></table>
+<a href="/config">Device Configuration</a> | <a href="/net">Networking</a>
+</body></html>`, addr)
+	case ContentDatabase:
+		return `<html><head><title>Oracle Application Server - Database Login</title></head>
+<body><h1>iSQL*Plus</h1>
+<form action="/isqlplus/login"><p>Connect Identifier</p>
+<p>Username: <input name="user"></p><p>Password: <input type="password"></p>
+</form><p>Oracle Database 10g front-end.</p></body></html>`
+	case ContentRestricted:
+		return `<html><head><title>401 Authorization Required</title></head>
+<body><h1>Authorization Required</h1>
+<p>This server could not verify that you are authorized to access this
+document. Please log in with a valid username and password.</p>
+</body></html>`
+	default:
+		return ""
+	}
+}

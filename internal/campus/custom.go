@@ -1,0 +1,66 @@
+package campus
+
+import (
+	"fmt"
+
+	"servdisc/internal/netaddr"
+)
+
+// HostSpec describes a custom host for populations the default builders do
+// not cover (e.g. the all-ports lab subnet of dataset DTCPall).
+type HostSpec struct {
+	// Class of the address block; only ClassStatic hosts can be pinned
+	// to an address.
+	Class AddressClass
+	// Addr pins the host to a specific address (must be free and inside
+	// a block of Class); zero picks the next free static address.
+	Addr netaddr.V4
+	// AlwaysUp or day/night probabilities as in Host.
+	AlwaysUp       bool
+	UpDay, UpNight float64
+	// SilentUDP drops UDP probes to closed ports without ICMP.
+	SilentUDP bool
+	// Services to install verbatim.
+	Services []Service
+}
+
+// AddHost installs a custom host into the population. It is intended for
+// experiment setups built on an otherwise-empty config.
+func (n *Network) AddHost(spec HostSpec) (*Host, error) {
+	h := n.newHost(spec.Class)
+	h.AlwaysUp = spec.AlwaysUp
+	h.UpDay, h.UpNight = spec.UpDay, spec.UpNight
+	h.SilentUDP = spec.SilentUDP
+	h.Services = append(h.Services, spec.Services...)
+
+	addr := spec.Addr
+	if addr == 0 {
+		if len(n.staticFreeAddrs) == 0 {
+			return nil, fmt.Errorf("campus: no free static addresses")
+		}
+		addr = n.takeFreeStatic()
+	} else {
+		if _, taken := n.byAddr[addr]; taken {
+			return nil, fmt.Errorf("campus: address %s already assigned", addr)
+		}
+		if c, ok := n.plan.ClassOf(addr); !ok || c != spec.Class {
+			return nil, fmt.Errorf("campus: address %s not in a %s block", addr, spec.Class)
+		}
+		// Remove it from the free pool if present there.
+		for i, a := range n.staticFreeAddrs {
+			if a == addr {
+				n.staticFreeAddrs = append(n.staticFreeAddrs[:i], n.staticFreeAddrs[i+1:]...)
+				break
+			}
+		}
+	}
+	h.HomeAddr = addr
+	n.attach(h, addr)
+	return h, nil
+}
+
+// RandomClients draws k addresses from the external client pool, for
+// callers assembling custom service populations.
+func (n *Network) RandomClients(k int) []netaddr.V4 {
+	return n.pickClients(k)
+}

@@ -1,0 +1,151 @@
+package campus
+
+import (
+	"time"
+
+	"servdisc/internal/sim"
+	"servdisc/internal/stats"
+)
+
+// Dynamics drives the population's evolution on a simulation engine:
+// transient-host sessions (PPP dialups, VPN logins, DHCP lease churn) and
+// static server births. Client traffic and external scanners live in
+// internal/traffic; Dynamics owns only who-is-where.
+type Dynamics struct {
+	net *Network
+	eng *sim.Engine
+	rng *stats.RNG
+}
+
+// NewDynamics wires the population to an engine and schedules the initial
+// events. The engine's clock must equal the network config's Start.
+func NewDynamics(net *Network, eng *sim.Engine) *Dynamics {
+	d := &Dynamics{
+		net: net,
+		eng: eng,
+		rng: stats.NewRNG(net.cfg.Seed).Derive("dynamics"),
+	}
+	d.scheduleSessions()
+	d.scheduleDHCPChurn()
+	d.scheduleBirths()
+	return d
+}
+
+// scheduleSessions starts the per-host session processes for PPP and VPN
+// populations.
+func (d *Dynamics) scheduleSessions() {
+	for _, h := range d.net.hosts {
+		switch h.Class {
+		case ClassPPP:
+			d.scheduleNextSession(h, d.net.cfg.PPPSessionsPerDay, d.net.cfg.PPPSessionMean)
+		case ClassVPN:
+			d.scheduleNextSession(h, d.net.cfg.VPNSessionsPerDay, d.net.cfg.VPNSessionMean)
+		case ClassWireless:
+			// Wireless hosts associate too, but run no services; sessions
+			// exist so the pool occupancy looks right.
+			d.scheduleNextSession(h, 1.2, 3*time.Hour)
+		}
+	}
+}
+
+// scheduleNextSession draws the next session start for a host. Session
+// arrivals follow an exponential clock modulated by the diurnal profile
+// (thinning): draws landing in dead hours are skipped forward.
+func (d *Dynamics) scheduleNextSession(h *Host, perDay float64, mean time.Duration) {
+	if perDay <= 0 {
+		return
+	}
+	gap := d.rng.Exp(24 / perDay) // hours
+	at := d.eng.Now().Add(time.Duration(gap * float64(time.Hour)))
+	d.eng.At(at, func(now time.Time) {
+		prof := d.net.cfg.Diurnal
+		hours := now.Sub(d.net.cfg.Start).Hours() + float64(d.net.cfg.Start.Hour())
+		if d.rng.Float64() < prof.At(hours)/1.3 { // accept, 1.3 = profile max
+			d.startSession(h, now, mean)
+		}
+		d.scheduleNextSession(h, perDay, mean)
+	})
+}
+
+func (d *Dynamics) startSession(h *Host, now time.Time, mean time.Duration) {
+	if h.Attached() {
+		return // already online
+	}
+	// Sticky endpoints (VPN) reconnect at their reserved address; the
+	// rest draw from the class pool and return the address afterwards.
+	sticky := h.HomeAddr != 0
+	a := h.HomeAddr
+	if !sticky {
+		var ok bool
+		a, ok = d.net.allocAddr(h.Class)
+		if !ok {
+			return // pool exhausted
+		}
+	}
+	d.net.attach(h, a)
+	dur := time.Duration(d.rng.Exp(float64(mean)))
+	if dur < time.Minute {
+		dur = time.Minute
+	}
+	d.eng.After(dur, func(time.Time) {
+		d.net.detach(h)
+		if !sticky {
+			d.net.releaseAddr(h.Class, a)
+		}
+	})
+}
+
+// scheduleDHCPChurn makes the configured fraction of DHCP hosts re-lease
+// to a fresh address once a week (the remainder keep semester-sticky
+// leases, per Section 4.4.2's residence-hall allocation policy).
+func (d *Dynamics) scheduleDHCPChurn() {
+	churn := d.net.cfg.DHCPWeeklyChurn
+	if churn <= 0 {
+		return
+	}
+	for _, h := range d.net.hosts {
+		if h.Class != ClassDHCP || !d.rng.Bool(churn) {
+			continue
+		}
+		h := h
+		d.eng.Every(d.net.cfg.Start.Add(time.Duration(d.rng.Float64()*float64(7*24*time.Hour))),
+			7*24*time.Hour, func(now time.Time) {
+				if !h.Attached() {
+					return
+				}
+				// Allocate the replacement before releasing the old lease;
+				// the free list is LIFO, so the reverse order would hand
+				// the host its own address back.
+				a, ok := d.net.allocAddr(ClassDHCP)
+				if !ok {
+					return
+				}
+				old := h.Addr()
+				d.net.detach(h)
+				d.net.releaseAddr(ClassDHCP, old)
+				d.net.attach(h, a)
+			})
+	}
+}
+
+// scheduleBirths creates brand-new static servers at the configured rate.
+func (d *Dynamics) scheduleBirths() {
+	rate := d.net.cfg.StaticServerBirthsPerDay
+	if rate <= 0 {
+		return
+	}
+	var next func(now time.Time)
+	next = func(now time.Time) {
+		if len(d.net.staticFreeAddrs) == 0 {
+			return
+		}
+		h := d.net.newHost(ClassStatic)
+		h.AlwaysUp = true
+		h.Born = now
+		h.HomeAddr = d.net.takeFreeStatic()
+		d.net.assignServices(h, false)
+		d.net.attach(h, h.HomeAddr)
+		d.eng.After(time.Duration(d.rng.Exp(24/rate)*float64(time.Hour)), next)
+	}
+	d.eng.After(time.Duration(d.rng.Exp(24/rate)*float64(time.Hour)), next)
+}

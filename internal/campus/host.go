@@ -1,0 +1,156 @@
+package campus
+
+import (
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// Service is one network service on a host.
+type Service struct {
+	// Port and Proto identify the listening socket.
+	Port  uint16
+	Proto packet.IPProtocol
+
+	// RatePerDay is the mean external client flow arrival rate while the
+	// host is online. Popular services instead take a share of the
+	// campus-wide popular flow mass.
+	RatePerDay float64
+
+	// Popular marks the continuously busy servers; PopularWeight is the
+	// service's share of Config.PopularFlowShare.
+	Popular       bool
+	PopularWeight float64
+
+	// BlockExternal drops SYNs from off-campus sources: external clients
+	// and external scans never reach it, internal probes do (the MySQL
+	// pattern of Section 4.4.3).
+	BlockExternal bool
+
+	// StealthFW drops all unsolicited probes to this port — internal
+	// half-open scans and external scanners alike — while still serving
+	// its own clients (the "possible firewall" rows of Tables 3/4).
+	StealthFW bool
+
+	// GenericUDPReply marks UDP services that answer a malformed generic
+	// probe (some DNS and NetBIOS implementations, Section 4.5).
+	GenericUDPReply bool
+
+	// LocalOnly marks services whose traffic never crosses the border
+	// (NetBIOS, epmap); passive monitoring at the peering cannot see
+	// them regardless of activity.
+	LocalOnly bool
+
+	// Clients are the dedicated external client addresses of a rare
+	// service; empty for popular services, which draw from the whole
+	// client pool.
+	Clients []netaddr.V4
+
+	// Content categorizes the root page when Port is a web port.
+	Content ContentCategory
+}
+
+// Host is one machine (or VPN/PPP endpoint) in the campus population.
+type Host struct {
+	// ID indexes the host in the network's host table.
+	ID int
+	// Class determines address behaviour.
+	Class AddressClass
+	// HomeAddr is the permanent address of static hosts and the sticky
+	// lease of stable DHCP hosts; zero for session-addressed hosts.
+	HomeAddr netaddr.V4
+	// Services lists the listening services (empty for live-only hosts).
+	Services []Service
+
+	// Born is when the host first exists; the zero time means "since
+	// before the window".
+	Born time.Time
+	// Dies is when the host permanently stops responding; the zero time
+	// means "never".
+	Dies time.Time
+
+	// AlwaysUp hosts answer whenever probed (servers). Others use the
+	// day/night probabilities below, evaluated per hour slot.
+	AlwaysUp bool
+	// UpDay and UpNight are the probabilities a non-AlwaysUp host is
+	// powered on during a daytime (08-20) or nighttime hour.
+	UpDay, UpNight float64
+
+	// SilentUDP hosts drop UDP probes to closed ports without emitting
+	// ICMP port-unreachable (host firewalls, Windows default policy).
+	SilentUDP bool
+
+	// upSalt decorrelates the per-hour liveness hash between hosts.
+	upSalt uint64
+
+	// attachedAddr is the current dynamic address of a transient host
+	// (zero when offline). Static hosts keep it equal to HomeAddr.
+	attachedAddr netaddr.V4
+}
+
+// ServiceOn returns the service listening on (proto, port), or nil.
+func (h *Host) ServiceOn(proto packet.IPProtocol, port uint16) *Service {
+	for i := range h.Services {
+		s := &h.Services[i]
+		if s.Port == port && s.Proto == proto {
+			return s
+		}
+	}
+	return nil
+}
+
+// HasTCPService reports whether the host serves any TCP port at all.
+func (h *Host) HasTCPService() bool {
+	for i := range h.Services {
+		if h.Services[i].Proto == packet.ProtoTCP {
+			return true
+		}
+	}
+	return false
+}
+
+// Attached reports whether the host currently holds an address.
+func (h *Host) Attached() bool { return h.attachedAddr != 0 }
+
+// Addr returns the host's current address (zero when offline).
+func (h *Host) Addr() netaddr.V4 { return h.attachedAddr }
+
+// existsAt reports whether the host has been born and not yet died.
+func (h *Host) existsAt(t time.Time) bool {
+	if !h.Born.IsZero() && t.Before(h.Born) {
+		return false
+	}
+	if !h.Dies.IsZero() && !t.Before(h.Dies) {
+		return false
+	}
+	return true
+}
+
+// UpAt reports whether the host answers the network at time t. Transient
+// hosts must additionally be attached, which the caller checks via the
+// address table; this method models power state only.
+func (h *Host) UpAt(t time.Time) bool {
+	if !h.existsAt(t) {
+		return false
+	}
+	if h.AlwaysUp {
+		return true
+	}
+	p := h.UpNight
+	if hr := t.Hour(); hr >= 8 && hr < 20 {
+		p = h.UpDay
+	}
+	slot := uint64(t.Unix() / 3600)
+	return hashUnit(h.upSalt, slot) < p
+}
+
+// hashUnit maps (salt, x) to a uniform float in [0,1) deterministically,
+// via a splitmix64 round.
+func hashUnit(salt, x uint64) float64 {
+	z := salt ^ (x * 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,151 @@
+package campus
+
+import (
+	"fmt"
+
+	"servdisc/internal/netaddr"
+)
+
+// Block is one allocated chunk of the campus address plan.
+type Block struct {
+	// Name is a human-readable label ("static-07", "dhcp", "vpn").
+	Name string
+	// Class drives allocation and transience behaviour.
+	Class AddressClass
+	// Range is the half-open address span of the block.
+	Range netaddr.Range
+}
+
+// Plan is the campus address layout: an ordered list of blocks laid out
+// consecutively from the campus base address.
+type Plan struct {
+	blocks []Block
+	// classIndex locates the first block of each class for fast lookup.
+	total int
+	base  netaddr.V4
+}
+
+// BuildPlan lays out the address space described by the config. Static
+// space is split into cfg.StaticSubnets consecutive subnets followed by the
+// DHCP, wireless, PPP and VPN pools, mirroring the paper's 38-subnet space.
+func BuildPlan(cfg *Config) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{base: cfg.CampusBase}
+	next := cfg.CampusBase
+
+	addBlock := func(name string, class AddressClass, size int) {
+		if size == 0 {
+			return
+		}
+		r := netaddr.Range{Lo: next, Hi: next + netaddr.V4(size)}
+		p.blocks = append(p.blocks, Block{Name: name, Class: class, Range: r})
+		next += netaddr.V4(size)
+		p.total += size
+	}
+
+	// Spread static space across subnets, front-loading the remainder so
+	// sizes differ by at most one.
+	per := cfg.StaticAddrs / cfg.StaticSubnets
+	rem := cfg.StaticAddrs % cfg.StaticSubnets
+	for i := 0; i < cfg.StaticSubnets; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		addBlock(fmt.Sprintf("static-%02d", i), ClassStatic, size)
+	}
+	addBlock("dhcp", ClassDHCP, cfg.DHCPAddrs)
+	addBlock("wireless", ClassWireless, cfg.WirelessAddrs)
+	addBlock("ppp", ClassPPP, cfg.PPPAddrs)
+	addBlock("vpn", ClassVPN, cfg.VPNAddrs)
+	return p, nil
+}
+
+// Blocks returns the plan's blocks in address order.
+func (p *Plan) Blocks() []Block { return p.blocks }
+
+// Total returns the number of addresses in the plan.
+func (p *Plan) Total() int { return p.total }
+
+// Base returns the first campus address.
+func (p *Plan) Base() netaddr.V4 { return p.base }
+
+// Contains reports whether a is inside the campus space.
+func (p *Plan) Contains(a netaddr.V4) bool {
+	return a >= p.base && a < p.base+netaddr.V4(p.total)
+}
+
+// ClassOf returns the address class of a campus address, and ok=false for
+// addresses outside the plan.
+func (p *Plan) ClassOf(a netaddr.V4) (AddressClass, bool) {
+	for _, b := range p.blocks {
+		if b.Range.Contains(a) {
+			return b.Class, true
+		}
+	}
+	return 0, false
+}
+
+// ClassRange returns the contiguous range covering all blocks of the given
+// class (the transient pools are each a single block; static spans many).
+func (p *Plan) ClassRange(c AddressClass) (netaddr.Range, bool) {
+	var lo, hi netaddr.V4
+	found := false
+	for _, b := range p.blocks {
+		if b.Class != c {
+			continue
+		}
+		if !found || b.Range.Lo < lo {
+			lo = b.Range.Lo
+		}
+		if !found || b.Range.Hi > hi {
+			hi = b.Range.Hi
+		}
+		found = true
+	}
+	return netaddr.Range{Lo: lo, Hi: hi}, found
+}
+
+// Addresses returns every address of the given classes in order. With no
+// classes it returns the full space.
+func (p *Plan) Addresses(classes ...AddressClass) []netaddr.V4 {
+	want := func(c AddressClass) bool {
+		if len(classes) == 0 {
+			return true
+		}
+		for _, x := range classes {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	var out []netaddr.V4
+	for _, b := range p.blocks {
+		if !want(b.Class) {
+			continue
+		}
+		for i := 0; i < b.Range.Size(); i++ {
+			out = append(out, b.Range.At(i))
+		}
+	}
+	return out
+}
+
+// ProbeTargets returns the space an internal scan sweeps: everything except
+// the wireless block, which the paper's operators could not probe
+// (Section 4.4.2).
+func (p *Plan) ProbeTargets() []netaddr.V4 {
+	var out []netaddr.V4
+	for _, b := range p.blocks {
+		if b.Class == ClassWireless {
+			continue
+		}
+		for i := 0; i < b.Range.Size(); i++ {
+			out = append(out, b.Range.At(i))
+		}
+	}
+	return out
+}

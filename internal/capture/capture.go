@@ -1,0 +1,189 @@
+// Package capture implements the passive-monitoring side of the system:
+// taps on peering links, packet filters, fixed-duration sampling, and
+// multi-link composition. It reproduces the paper's LANDER-style collection
+// (Section 3.2): capture TCP SYN / SYN-ACK / RST packets plus all UDP
+// traffic at the monitored peerings.
+//
+// A Monitor receives every border packet from the traffic generator (or a
+// replayed pcap trace), assigns it to a peering link, and forwards it
+// through each monitored link's tap — filter first, then sampler — to the
+// tap's sink (typically a core.PassiveDiscoverer, or a trace recorder).
+package capture
+
+import (
+	"fmt"
+
+	"servdisc/internal/filter"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// PaperFilter is the collection filter of the paper's infrastructure:
+// TCP connection-control packets and all UDP.
+const PaperFilter = "syn or synack or rst or udp"
+
+// Sink consumes packets that pass a tap.
+type Sink interface {
+	HandlePacket(p *packet.Packet)
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(p *packet.Packet)
+
+// HandlePacket implements Sink.
+func (f SinkFunc) HandlePacket(p *packet.Packet) { f(p) }
+
+// LinkID identifies a peering link.
+type LinkID uint8
+
+// The university's three peerings (Section 5.2).
+const (
+	LinkCommercial1 LinkID = iota
+	LinkCommercial2
+	LinkInternet2
+	numLinks
+)
+
+// String names the link as in Table 8.
+func (l LinkID) String() string {
+	switch l {
+	case LinkCommercial1:
+		return "Commercial 1"
+	case LinkCommercial2:
+		return "Commercial 2"
+	case LinkInternet2:
+		return "Internet2"
+	default:
+		return fmt.Sprintf("link(%d)", uint8(l))
+	}
+}
+
+// Assigner routes each border packet to the peering it would traverse:
+// Internet2 carries traffic of academic peers (a fixed address set); the
+// rest hashes 2:1 across the commercial links, approximating the paper's
+// observation that any single commercial link sees most servers.
+type Assigner struct {
+	campus   netaddr.Prefix
+	academic map[netaddr.V4]struct{}
+}
+
+// NewAssigner builds an assigner. campus is the monitored address space;
+// academic lists external addresses routed via Internet2.
+func NewAssigner(campus netaddr.Prefix, academic []netaddr.V4) *Assigner {
+	a := &Assigner{campus: campus, academic: make(map[netaddr.V4]struct{}, len(academic))}
+	for _, x := range academic {
+		a.academic[x] = struct{}{}
+	}
+	return a
+}
+
+// externalEndpoint picks the off-campus side of the packet, defaulting to
+// the source when neither side is on campus.
+func (a *Assigner) externalEndpoint(p *packet.Packet) netaddr.V4 {
+	if !a.campus.Contains(p.IPv4.Src) {
+		return p.IPv4.Src
+	}
+	return p.IPv4.Dst
+}
+
+// Route returns the link the packet traverses.
+func (a *Assigner) Route(p *packet.Packet) LinkID {
+	ext := a.externalEndpoint(p)
+	if _, ok := a.academic[ext]; ok {
+		return LinkInternet2
+	}
+	// Deterministic 2:1 split across the commercial peerings.
+	h := uint32(ext)
+	h ^= h >> 16
+	h *= 0x45D9F3B
+	h ^= h >> 13
+	if h%3 < 2 {
+		return LinkCommercial1
+	}
+	return LinkCommercial2
+}
+
+// Tap is one monitored link: a filter, an optional sampler, and a sink.
+type Tap struct {
+	Link    LinkID
+	filter  *filter.Filter
+	sampler Sampler
+	sink    Sink
+
+	// Stats observed by the tap.
+	Seen, Matched, Delivered int
+}
+
+// NewTap builds a tap. filterExpr may be empty (capture everything);
+// sampler may be nil (continuous capture).
+func NewTap(link LinkID, filterExpr string, sampler Sampler, sink Sink) (*Tap, error) {
+	f, err := filter.Compile(filterExpr)
+	if err != nil {
+		return nil, err
+	}
+	return &Tap{Link: link, filter: f, sampler: sampler, sink: sink}, nil
+}
+
+// HandlePacket runs the packet through filter and sampler.
+func (t *Tap) HandlePacket(p *packet.Packet) {
+	t.Seen++
+	if !t.filter.Match(p) {
+		return
+	}
+	t.Matched++
+	if t.sampler != nil && !t.sampler.Keep(p) {
+		return
+	}
+	t.Delivered++
+	if t.sink != nil {
+		t.sink.HandlePacket(p)
+	}
+}
+
+// Monitor composes the assigner with per-link taps. Unmonitored links drop
+// their traffic — exactly how the paper's study misses Internet2 flows in
+// the semester datasets.
+type Monitor struct {
+	assigner *Assigner
+	taps     [numLinks]*Tap
+	mirrors  []Sink
+	// Dropped counts packets on unmonitored links.
+	Dropped int
+}
+
+// AddMirror registers a sink that receives every packet arriving on any
+// monitored link, before tap filtering. Mirrors let several analysis
+// pipelines (e.g. the sampling study's reduced captures) share one
+// simulation while seeing exactly the traffic the monitor covers.
+func (m *Monitor) AddMirror(s Sink) { m.mirrors = append(m.mirrors, s) }
+
+// NewMonitor builds a monitor over the given taps.
+func NewMonitor(assigner *Assigner, taps ...*Tap) *Monitor {
+	m := &Monitor{assigner: assigner}
+	for _, t := range taps {
+		m.taps[t.Link] = t
+	}
+	return m
+}
+
+// Tap returns the tap on a link, if monitored.
+func (m *Monitor) Tap(l LinkID) (*Tap, bool) {
+	if l >= numLinks || m.taps[l] == nil {
+		return nil, false
+	}
+	return m.taps[l], true
+}
+
+// HandlePacket implements the traffic.Sink contract.
+func (m *Monitor) HandlePacket(p *packet.Packet) {
+	link := m.assigner.Route(p)
+	tap := m.taps[link]
+	if tap == nil {
+		m.Dropped++
+		return
+	}
+	tap.HandlePacket(p)
+	for _, s := range m.mirrors {
+		s.HandlePacket(p)
+	}
+}

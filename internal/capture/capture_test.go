@@ -1,0 +1,233 @@
+package capture
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/trace"
+)
+
+var (
+	campusPfx = netaddr.MustParsePrefix("128.125.0.0/16")
+	server    = netaddr.MustParseV4("128.125.7.9")
+	client    = netaddr.MustParseV4("64.1.2.3")
+	academic  = netaddr.MustParseV4("192.12.0.5")
+	tRef      = time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+	bld       = packet.NewBuilder(0)
+)
+
+func synAckTo(dst netaddr.V4, at time.Time) *packet.Packet {
+	return bld.SynAck(at, packet.Endpoint{Addr: server, Port: 80}, packet.Endpoint{Addr: dst, Port: 40000}, 1, 2)
+}
+
+func TestAssignerRouting(t *testing.T) {
+	a := NewAssigner(campusPfx, []netaddr.V4{academic})
+	if got := a.Route(synAckTo(academic, tRef)); got != LinkInternet2 {
+		t.Errorf("academic peer routed to %v", got)
+	}
+	// Commercial routing is deterministic per external address.
+	l1 := a.Route(synAckTo(client, tRef))
+	l2 := a.Route(synAckTo(client, tRef.Add(time.Hour)))
+	if l1 != l2 {
+		t.Error("routing not deterministic")
+	}
+	if l1 == LinkInternet2 {
+		t.Error("non-academic peer on Internet2")
+	}
+	// The split should use both commercial links across many clients.
+	counts := map[LinkID]int{}
+	for i := 0; i < 3000; i++ {
+		p := synAckTo(client+netaddr.V4(i*7), tRef)
+		counts[a.Route(p)]++
+	}
+	if counts[LinkCommercial1] == 0 || counts[LinkCommercial2] == 0 {
+		t.Fatalf("commercial split = %v", counts)
+	}
+	ratio := float64(counts[LinkCommercial1]) / float64(counts[LinkCommercial2])
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("C1:C2 ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestTapFilterAndCounts(t *testing.T) {
+	var got []*packet.Packet
+	tap, err := NewTap(LinkCommercial1, PaperFilter, nil, SinkFunc(func(p *packet.Packet) {
+		got = append(got, p)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SYN-ACK passes; a bare ACK does not.
+	tap.HandlePacket(synAckTo(client, tRef))
+	ack := bld.TCPPacket(tRef, packet.Endpoint{Addr: server, Port: 80},
+		packet.Endpoint{Addr: client, Port: 40000}, packet.FlagACK, 1, 2, nil)
+	tap.HandlePacket(ack)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+	if tap.Seen != 2 || tap.Matched != 1 || tap.Delivered != 1 {
+		t.Errorf("counts = %d/%d/%d", tap.Seen, tap.Matched, tap.Delivered)
+	}
+}
+
+func TestMonitorDropsUnmonitoredLink(t *testing.T) {
+	a := NewAssigner(campusPfx, []netaddr.V4{academic})
+	delivered := 0
+	tapC1, err := NewTap(LinkCommercial1, "", nil, SinkFunc(func(*packet.Packet) { delivered++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(a, tapC1)
+	m.HandlePacket(synAckTo(academic, tRef)) // I2: unmonitored
+	if m.Dropped != 1 || delivered != 0 {
+		t.Errorf("dropped=%d delivered=%d", m.Dropped, delivered)
+	}
+	// Find a client that routes to C1.
+	for i := 0; i < 100; i++ {
+		c := client + netaddr.V4(i)
+		if a.Route(synAckTo(c, tRef)) == LinkCommercial1 {
+			m.HandlePacket(synAckTo(c, tRef))
+			break
+		}
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d", delivered)
+	}
+}
+
+func TestFixedWindowSampler(t *testing.T) {
+	s := NewFixedWindowSampler(tRef, 10*time.Minute)
+	cases := []struct {
+		off  time.Duration
+		want bool
+	}{
+		{0, true},
+		{9*time.Minute + 59*time.Second, true},
+		{10 * time.Minute, false},
+		{59 * time.Minute, false},
+		{time.Hour, true},
+		{time.Hour + 15*time.Minute, false},
+		{25*time.Hour + 5*time.Minute, true},
+	}
+	for _, c := range cases {
+		p := synAckTo(client, tRef.Add(c.off))
+		if got := s.Keep(p); got != c.want {
+			t.Errorf("Keep(+%v) = %v, want %v", c.off, got, c.want)
+		}
+	}
+}
+
+func TestFixedWindowFullCoverage(t *testing.T) {
+	s := NewFixedWindowSampler(tRef, time.Hour)
+	for off := time.Duration(0); off < 2*time.Hour; off += 7 * time.Minute {
+		if !s.Keep(synAckTo(client, tRef.Add(off))) {
+			t.Fatalf("full-window sampler dropped +%v", off)
+		}
+	}
+}
+
+func TestProbabilisticSampler(t *testing.T) {
+	s := &ProbabilisticSampler{P: 0.3}
+	kept := 0
+	const total = 20000
+	for i := 0; i < total; i++ {
+		p := synAckTo(client+netaddr.V4(i), tRef.Add(time.Duration(i)*time.Millisecond))
+		if s.Keep(p) {
+			kept++
+		}
+	}
+	frac := float64(kept) / total
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("keep fraction = %.3f", frac)
+	}
+	// Determinism: identical packet, identical decision.
+	p := synAckTo(client, tRef)
+	if s.Keep(p) != s.Keep(p) {
+		t.Error("sampler not deterministic")
+	}
+	if !(&ProbabilisticSampler{P: 1}).Keep(p) {
+		t.Error("P=1 dropped")
+	}
+	if (&ProbabilisticSampler{P: 0}).Keep(p) {
+		t.Error("P=0 kept")
+	}
+}
+
+func TestCountingSampler(t *testing.T) {
+	cs := &CountingSampler{Inner: NewFixedWindowSampler(tRef, 30*time.Minute)}
+	cs.Keep(synAckTo(client, tRef))
+	cs.Keep(synAckTo(client, tRef.Add(45*time.Minute)))
+	if cs.Kept != 1 || cs.Dropped != 1 {
+		t.Errorf("kept=%d dropped=%d", cs.Kept, cs.Dropped)
+	}
+	all := &CountingSampler{}
+	if !all.Keep(synAckTo(client, tRef)) {
+		t.Error("nil inner should keep")
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, trace.LinkTypeRaw, 128)
+	rec := NewRecorder(w)
+	for i := 0; i < 10; i++ {
+		rec.HandlePacket(synAckTo(client+netaddr.V4(i), tRef.Add(time.Duration(i)*time.Second)))
+	}
+	if rec.Err() != nil || rec.Written != 10 {
+		t.Fatalf("written=%d err=%v", rec.Written, rec.Err())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed []*packet.Packet
+	n, err := Replay(r, SinkFunc(func(p *packet.Packet) { replayed = append(replayed, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || len(replayed) != 10 {
+		t.Fatalf("replayed %d packets", n)
+	}
+	for i, p := range replayed {
+		if p.IPv4.Src != server || !p.TCP.Flags.Has(packet.FlagSYN|packet.FlagACK) {
+			t.Errorf("packet %d corrupted in round trip", i)
+		}
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := 0, 0
+	tee := Tee{
+		SinkFunc(func(*packet.Packet) { a++ }),
+		SinkFunc(func(*packet.Packet) { b++ }),
+	}
+	tee.HandlePacket(synAckTo(client, tRef))
+	if a != 1 || b != 1 {
+		t.Errorf("tee delivered %d/%d", a, b)
+	}
+}
+
+func TestNewTapBadFilter(t *testing.T) {
+	if _, err := NewTap(LinkCommercial1, "bogus expr ((", nil, nil); err == nil {
+		t.Error("bad filter accepted")
+	}
+}
+
+func BenchmarkMonitorHandlePacket(b *testing.B) {
+	a := NewAssigner(campusPfx, nil)
+	tap1, _ := NewTap(LinkCommercial1, PaperFilter, nil, SinkFunc(func(*packet.Packet) {}))
+	tap2, _ := NewTap(LinkCommercial2, PaperFilter, nil, SinkFunc(func(*packet.Packet) {}))
+	m := NewMonitor(a, tap1, tap2)
+	p := synAckTo(client, tRef)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.HandlePacket(p)
+	}
+}

@@ -1,0 +1,81 @@
+package capture
+
+import (
+	"errors"
+	"io"
+
+	"servdisc/internal/packet"
+	"servdisc/internal/trace"
+)
+
+// Recorder is a Sink that archives packets to a pcap stream, so a simulated
+// (or live) capture can be replayed later through the same analysis
+// pipeline. Marshal errors are impossible for synthesized packets; write
+// errors are retained and surfaced by Err.
+type Recorder struct {
+	w   *trace.Writer
+	err error
+	// Written counts successfully archived packets.
+	Written int
+}
+
+// NewRecorder wraps a pcap writer.
+func NewRecorder(w *trace.Writer) *Recorder {
+	return &Recorder{w: w}
+}
+
+// HandlePacket implements Sink.
+func (r *Recorder) HandlePacket(p *packet.Packet) {
+	if r.err != nil {
+		return
+	}
+	if err := r.w.WritePacket(p.Timestamp, p.Marshal()); err != nil {
+		r.err = err
+		return
+	}
+	r.Written++
+}
+
+// Err reports the first write failure, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Tee fans a packet stream out to several sinks.
+type Tee []Sink
+
+// HandlePacket implements Sink.
+func (t Tee) HandlePacket(p *packet.Packet) {
+	for _, s := range t {
+		s.HandlePacket(p)
+	}
+}
+
+// Replay streams a pcap reader into a sink, decoding each record with the
+// appropriate link offset. It returns the number of packets delivered and
+// the first decode or read error that is not clean EOF.
+func Replay(r *trace.Reader, sink Sink) (int, error) {
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		var p *packet.Packet
+		var derr error
+		if r.LinkType() == trace.LinkTypeEthernet {
+			p, derr = packet.Decode(rec.Data, rec.Time)
+		} else {
+			p, derr = packet.DecodeIP(rec.Data, rec.Time)
+		}
+		if derr != nil {
+			// Skip undecodable records (truncated by snaplen); the
+			// header-only capture keeps whole control packets, so this
+			// only drops payload-bearing frames cut mid-header.
+			continue
+		}
+		sink.HandlePacket(p)
+		n++
+	}
+}

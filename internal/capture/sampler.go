@@ -1,0 +1,100 @@
+package capture
+
+import (
+	"time"
+
+	"servdisc/internal/packet"
+)
+
+// Sampler decides which filtered packets a tap keeps. Implementations model
+// the reduced-capture regimes of Section 5.3.
+type Sampler interface {
+	// Keep reports whether the packet enters the capture.
+	Keep(p *packet.Packet) bool
+}
+
+// FixedWindowSampler keeps only packets whose timestamp falls within the
+// first Window of every Period — the paper's "sample the first N minutes of
+// each hour" strategy (Figure 8 uses 2, 5, 10 and 30 minutes of each hour).
+type FixedWindowSampler struct {
+	// Period is the cycle length (an hour in the paper).
+	Period time.Duration
+	// Window is the portion captured at the start of each period.
+	Window time.Duration
+	// Origin anchors period boundaries; the dataset start time.
+	Origin time.Time
+}
+
+// NewFixedWindowSampler builds an hourly sampler keeping the first window
+// of each hour from origin.
+func NewFixedWindowSampler(origin time.Time, window time.Duration) *FixedWindowSampler {
+	return &FixedWindowSampler{Period: time.Hour, Window: window, Origin: origin}
+}
+
+// Keep implements Sampler.
+func (s *FixedWindowSampler) Keep(p *packet.Packet) bool {
+	if s.Window >= s.Period {
+		return true
+	}
+	off := p.Timestamp.Sub(s.Origin) % s.Period
+	if off < 0 {
+		off += s.Period
+	}
+	return off < s.Window
+}
+
+// ProbabilisticSampler keeps each packet independently with probability P,
+// the hardware-friendly alternative Section 5.3 mentions as future work.
+// Sampling decisions derive from packet content, not an RNG stream, so
+// replaying a trace keeps the same packets.
+type ProbabilisticSampler struct {
+	// P is the keep probability in [0, 1].
+	P float64
+}
+
+// Keep implements Sampler. The decision hashes flow identity and timestamp
+// so it is deterministic per packet.
+func (s *ProbabilisticSampler) Keep(p *packet.Packet) bool {
+	if s.P >= 1 {
+		return true
+	}
+	if s.P <= 0 {
+		return false
+	}
+	h := uint64(p.IPv4.Src)<<32 | uint64(p.IPv4.Dst)
+	h ^= uint64(p.Timestamp.UnixNano())
+	if p.Has(packet.LayerTypeTCP) {
+		h ^= uint64(p.TCP.SrcPort)<<48 | uint64(p.TCP.DstPort)<<32 | uint64(p.TCP.Seq)
+	} else if p.Has(packet.LayerTypeUDP) {
+		h ^= uint64(p.UDP.SrcPort)<<48 | uint64(p.UDP.DstPort)<<32
+	}
+	// splitmix64 finalizer.
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11)/(1<<53) < s.P
+}
+
+// CountingSampler wraps another sampler and tallies keep/drop decisions;
+// nil inner means keep-all.
+type CountingSampler struct {
+	Inner         Sampler
+	Kept, Dropped int
+}
+
+// Keep implements Sampler.
+func (s *CountingSampler) Keep(p *packet.Packet) bool {
+	keep := s.Inner == nil || s.Inner.Keep(p)
+	if keep {
+		s.Kept++
+	} else {
+		s.Dropped++
+	}
+	return keep
+}
+
+var (
+	_ Sampler = (*FixedWindowSampler)(nil)
+	_ Sampler = (*ProbabilisticSampler)(nil)
+	_ Sampler = (*CountingSampler)(nil)
+)

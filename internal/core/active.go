@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/probe"
+)
+
+// ScanMeta summarizes one completed sweep.
+type ScanMeta struct {
+	ID                int
+	Started, Finished time.Time
+}
+
+// AddrScanOutcome is one address's aggregate result in one sweep.
+type AddrScanOutcome struct {
+	ScanID int
+	Time   time.Time
+	// Open lists ports that answered SYN-ACK in this sweep.
+	Open []uint16
+	// Closed and Filtered count RST and silent ports.
+	Closed, Filtered int
+}
+
+// ActiveDiscoverer accumulates probe sweep reports into an inventory plus
+// a per-address outcome history used by the firewall heuristics and the
+// probe-subset analyses (Figure 7).
+type ActiveDiscoverer struct {
+	ports []uint16
+
+	firstOpen map[ServiceKey]time.Time
+	scans     []ScanMeta
+	perAddr   map[netaddr.V4][]AddrScanOutcome
+
+	// respondedEver tracks addresses that ever answered anything (RST or
+	// SYN-ACK) — the live-host estimate of Section 3.3.
+	respondedEver *netaddr.Set
+
+	// udp keeps the generic-UDP sweep outcomes per address and port.
+	udp map[netaddr.V4]map[uint16]probe.UDPState
+}
+
+// NewActiveDiscoverer builds a discoverer. ports documents the sweep's TCP
+// port set (informational; reports carry their own ports).
+func NewActiveDiscoverer(ports []uint16) *ActiveDiscoverer {
+	return &ActiveDiscoverer{
+		ports:         append([]uint16(nil), ports...),
+		firstOpen:     make(map[ServiceKey]time.Time),
+		perAddr:       make(map[netaddr.V4][]AddrScanOutcome),
+		respondedEver: netaddr.NewSet(),
+		udp:           make(map[netaddr.V4]map[uint16]probe.UDPState),
+	}
+}
+
+// Ports returns the configured TCP port list.
+func (d *ActiveDiscoverer) Ports() []uint16 { return d.ports }
+
+// AddReport ingests one sweep, in either full or compact form.
+func (d *ActiveDiscoverer) AddReport(rep *probe.ScanReport) {
+	meta := ScanMeta{ID: rep.ID, Started: rep.Started, Finished: rep.Finished}
+	d.scans = append(d.scans, meta)
+	sort.Slice(d.scans, func(i, j int) bool { return d.scans[i].Started.Before(d.scans[j].Started) })
+
+	cur := make(map[netaddr.V4]*AddrScanOutcome)
+	for _, res := range rep.TCP {
+		out := cur[res.Addr]
+		if out == nil {
+			out = &AddrScanOutcome{ScanID: rep.ID, Time: res.Time}
+			cur[res.Addr] = out
+		}
+		switch res.State {
+		case probe.StateOpen:
+			out.Open = append(out.Open, res.Port)
+			d.recordOpen(res.Addr, res.Port, res.Time)
+		case probe.StateClosed:
+			out.Closed++
+			d.respondedEver.Add(res.Addr)
+		default:
+			out.Filtered++
+		}
+	}
+	// Deterministic insertion order for the outcome history.
+	addrs := make([]netaddr.V4, 0, len(cur))
+	for a := range cur {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		d.perAddr[a] = append(d.perAddr[a], *cur[a])
+	}
+
+	for _, sum := range rep.Summaries {
+		out := AddrScanOutcome{
+			ScanID: rep.ID, Time: sum.Time,
+			Open:   append([]uint16(nil), sum.Open...),
+			Closed: sum.Closed, Filtered: sum.Filtered,
+		}
+		d.perAddr[sum.Addr] = append(d.perAddr[sum.Addr], out)
+		if sum.Closed > 0 {
+			d.respondedEver.Add(sum.Addr)
+		}
+		for _, port := range sum.Open {
+			d.recordOpen(sum.Addr, port, sum.Time)
+		}
+	}
+
+	for _, res := range rep.UDP {
+		m := d.udp[res.Addr]
+		if m == nil {
+			m = make(map[uint16]probe.UDPState)
+			d.udp[res.Addr] = m
+		}
+		// Keep the most definitive outcome across retries: open beats
+		// closed beats silence.
+		prev, seen := m[res.Port]
+		if !seen || betterUDP(res.State, prev) {
+			m[res.Port] = res.State
+		}
+		if res.State != probe.UDPNoResponse {
+			d.respondedEver.Add(res.Addr)
+		}
+	}
+}
+
+func (d *ActiveDiscoverer) recordOpen(addr netaddr.V4, port uint16, t time.Time) {
+	d.respondedEver.Add(addr)
+	key := ServiceKey{Addr: addr, Proto: packet.ProtoTCP, Port: port}
+	if _, seen := d.firstOpen[key]; !seen {
+		d.firstOpen[key] = t
+	}
+}
+
+func betterUDP(a, b probe.UDPState) bool {
+	rank := func(s probe.UDPState) int {
+		switch s {
+		case probe.UDPOpen:
+			return 2
+		case probe.UDPClosed:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return rank(a) > rank(b)
+}
+
+// Scans returns sweep metadata in start order.
+func (d *ActiveDiscoverer) Scans() []ScanMeta { return d.scans }
+
+// FirstOpen returns when a service first answered a probe.
+func (d *ActiveDiscoverer) FirstOpen(key ServiceKey) (time.Time, bool) {
+	t, ok := d.firstOpen[key]
+	return t, ok
+}
+
+// Services returns the first-open inventory map (owned by the discoverer).
+func (d *ActiveDiscoverer) Services() map[ServiceKey]time.Time { return d.firstOpen }
+
+// RespondedEver returns addresses that ever answered probes at all.
+func (d *ActiveDiscoverer) RespondedEver() *netaddr.Set { return d.respondedEver }
+
+// AddrFirstOpen rolls the inventory up to addresses, optionally restricted
+// to services passing keep.
+func (d *ActiveDiscoverer) AddrFirstOpen(keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
+	out := make(map[netaddr.V4]time.Time)
+	for k, t := range d.firstOpen {
+		if keep != nil && !keep(k) {
+			continue
+		}
+		if cur, ok := out[k.Addr]; !ok || t.Before(cur) {
+			out[k.Addr] = t
+		}
+	}
+	return out
+}
+
+// AddrFirstOpenForScans rolls up first-open times considering only the
+// given sweeps — the probe-subset machinery behind the time-of-day study
+// (Section 5.1). keep filters services as elsewhere.
+func (d *ActiveDiscoverer) AddrFirstOpenForScans(scanIDs map[int]bool, keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
+	out := make(map[netaddr.V4]time.Time)
+	for addr, outs := range d.perAddr {
+		for _, o := range outs {
+			if !scanIDs[o.ScanID] || len(o.Open) == 0 {
+				continue
+			}
+			match := keep == nil
+			if !match {
+				for _, port := range o.Open {
+					if keep(ServiceKey{Addr: addr, Proto: packet.ProtoTCP, Port: port}) {
+						match = true
+						break
+					}
+				}
+			}
+			if !match {
+				continue
+			}
+			if cur, ok := out[addr]; !ok || o.Time.Before(cur) {
+				out[addr] = o.Time
+			}
+		}
+	}
+	return out
+}
+
+// Outcomes returns the per-scan outcome history of an address.
+func (d *ActiveDiscoverer) Outcomes(addr netaddr.V4) []AddrScanOutcome {
+	return d.perAddr[addr]
+}
+
+// UDPOutcome returns the recorded generic-UDP sweep state for (addr, port).
+func (d *ActiveDiscoverer) UDPOutcome(addr netaddr.V4, port uint16) (probe.UDPState, bool) {
+	m, ok := d.udp[addr]
+	if !ok {
+		return 0, false
+	}
+	s, ok := m[port]
+	return s, ok
+}
+
+// UDPAddrs returns every address probed over UDP with at least one recorded
+// outcome, sorted.
+func (d *ActiveDiscoverer) UDPAddrs() []netaddr.V4 {
+	out := make([]netaddr.V4, 0, len(d.udp))
+	for a := range d.udp {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MixedResponse reports whether the address, in a single sweep, returned
+// RST on at least one port while staying silent on another — the paper's
+// first firewall confirmation signal (Section 4.2.4).
+func (d *ActiveDiscoverer) MixedResponse(addr netaddr.V4) bool {
+	for _, out := range d.perAddr[addr] {
+		if out.Closed > 0 && out.Filtered > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+// Package core implements the paper's primary contribution: passive and
+// active service discovery and the analysis that compares them.
+//
+// The passive side (PassiveDiscoverer) consumes border packets from a
+// capture tap and accumulates evidence: a campus host sourcing a SYN-ACK is
+// running a TCP service; a campus host sourcing UDP from a well-known port
+// is running a UDP service (Section 3.2). It simultaneously tracks external
+// sources well enough to detect address-space scans by the paper's rule —
+// 100+ unique destinations with 100+ RST responses within a 12-hour window
+// (Section 4.3) — and to recompute discovery as if scan traffic were absent.
+//
+// The active side (ActiveDiscoverer) consumes probe sweep reports and keeps
+// the full per-address, per-scan outcome matrix, enabling the firewall
+// confirmation heuristics of Section 4.2.4 and the time-of-day analyses of
+// Section 5.1.
+//
+// Analysis (analysis.go) joins the two into the tables and figures of the
+// evaluation: completeness matrices, weighted and unweighted discovery
+// curves, and the address categorizations of Tables 3 and 4.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// ServiceKey identifies one discoverable service: an address, transport
+// protocol, and port.
+type ServiceKey struct {
+	Addr  netaddr.V4
+	Proto packet.IPProtocol
+	Port  uint16
+}
+
+// String renders "addr:port/proto".
+func (k ServiceKey) String() string {
+	return fmt.Sprintf("%s:%d/%s", k.Addr, k.Port, k.Proto)
+}
+
+// PeerContact is the first contact from one distinct peer to a service.
+type PeerContact struct {
+	Peer netaddr.V4
+	Time time.Time
+}
+
+// PassiveRecord accumulates everything passive monitoring learns about one
+// service.
+type PassiveRecord struct {
+	// FirstSeen is when the first positive evidence arrived.
+	FirstSeen time.Time
+	// Flows counts completed connection evidence (SYN-ACKs for TCP,
+	// server-sourced datagrams for UDP) — the flow weight of Figure 1.
+	Flows int
+	// clients holds distinct peer addresses — the client weight.
+	clients map[netaddr.V4]struct{}
+	// firstPeers stores the first contact from each of the first
+	// maxFirstPeers distinct peers, enough to recompute first-discovery
+	// with any subset of peers (e.g. scanners) removed.
+	firstPeers []PeerContact
+}
+
+// maxFirstPeers bounds per-service peer history. The scan-removal analysis
+// only needs the first non-scanner peer; there are at most a few dozen
+// scanner sources in any dataset, so 128 distinct peers always include a
+// non-scanner if one ever contacted the service.
+const maxFirstPeers = 128
+
+// Clients returns the number of distinct peers observed.
+func (r *PassiveRecord) Clients() int { return len(r.clients) }
+
+// FirstPeers exposes the bounded peer history (owned by the record).
+func (r *PassiveRecord) FirstPeers() []PeerContact { return r.firstPeers }
+
+// FirstSeenExcluding returns the earliest contact from a peer not in the
+// excluded set, and ok=false if every stored peer is excluded.
+func (r *PassiveRecord) FirstSeenExcluding(excluded map[netaddr.V4]bool) (time.Time, bool) {
+	for _, pc := range r.firstPeers {
+		if !excluded[pc.Peer] {
+			return pc.Time, true
+		}
+	}
+	return time.Time{}, false
+}
+
+func (r *PassiveRecord) observe(t time.Time, peer netaddr.V4) {
+	if r.clients == nil {
+		r.clients = make(map[netaddr.V4]struct{})
+		r.FirstSeen = t
+	}
+	r.Flows++
+	if _, seen := r.clients[peer]; !seen {
+		r.clients[peer] = struct{}{}
+		if len(r.firstPeers) < maxFirstPeers {
+			r.firstPeers = append(r.firstPeers, PeerContact{Peer: peer, Time: t})
+		}
+	}
+}

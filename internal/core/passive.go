@@ -1,0 +1,218 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// PassiveDiscoverer builds a service inventory from observed border
+// traffic. It implements the capture.Sink contract and is driven entirely
+// by HandlePacket; all accessors may be used at any point during or after
+// collection.
+type PassiveDiscoverer struct {
+	campus netaddr.Prefix
+	// udpPorts are the well-known UDP service ports considered evidence
+	// when a campus host sources traffic from them.
+	udpPorts map[uint16]bool
+
+	services map[ServiceKey]*PassiveRecord
+
+	// addrTimes records thinned per-address activity timestamps for the
+	// firewall-confirmation heuristic ("activity observed during an
+	// active scan", Section 4.2.4 method 2).
+	addrTimes map[netaddr.V4][]time.Time
+
+	// scan tracking state (scandetect.go).
+	track *scanTracker
+
+	// Packets counts everything handled.
+	Packets int
+}
+
+// NewPassiveDiscoverer builds a discoverer for the given campus space.
+// udpPorts lists the well-known UDP service ports of interest (may be nil
+// for TCP-only studies).
+func NewPassiveDiscoverer(campus netaddr.Prefix, udpPorts []uint16) *PassiveDiscoverer {
+	d := &PassiveDiscoverer{
+		campus:    campus,
+		udpPorts:  make(map[uint16]bool, len(udpPorts)),
+		services:  make(map[ServiceKey]*PassiveRecord),
+		addrTimes: make(map[netaddr.V4][]time.Time),
+		track:     newScanTracker(),
+	}
+	for _, p := range udpPorts {
+		d.udpPorts[p] = true
+	}
+	return d
+}
+
+// HandlePacket implements capture.Sink.
+func (d *PassiveDiscoverer) HandlePacket(p *packet.Packet) {
+	d.Packets++
+	switch {
+	case p.Has(packet.LayerTypeTCP):
+		d.handleTCP(p)
+	case p.Has(packet.LayerTypeUDP):
+		d.handleUDP(p)
+	}
+}
+
+func (d *PassiveDiscoverer) handleTCP(p *packet.Packet) {
+	srcIn := d.campus.Contains(p.IPv4.Src)
+	dstIn := d.campus.Contains(p.IPv4.Dst)
+	fl := p.TCP.Flags
+	switch {
+	case fl.Has(packet.FlagSYN | packet.FlagACK):
+		// A campus host accepting a connection is a server
+		// (Section 3.2: "any host sending a SYN-ACK is running a
+		// service").
+		if srcIn {
+			key := ServiceKey{Addr: p.IPv4.Src, Proto: packet.ProtoTCP, Port: p.TCP.SrcPort}
+			d.observe(key, p.Timestamp, p.IPv4.Dst)
+		}
+	case fl.Has(packet.FlagSYN):
+		// Inbound connection attempts feed the scan detector.
+		if dstIn && !srcIn {
+			d.track.recordSyn(p.Timestamp, p.IPv4.Src, p.IPv4.Dst)
+		}
+	case fl.Has(packet.FlagRST):
+		// RSTs leaving campus confirm "live host, no service" to the
+		// external source — the detector's second signal.
+		if srcIn && !dstIn {
+			d.track.recordRst(p.Timestamp, p.IPv4.Dst, p.IPv4.Src)
+		}
+	}
+}
+
+func (d *PassiveDiscoverer) handleUDP(p *packet.Packet) {
+	// A campus host sourcing traffic from a well-known UDP port is
+	// offering that service (Section 3.2).
+	if d.campus.Contains(p.IPv4.Src) && d.udpPorts[p.UDP.SrcPort] {
+		key := ServiceKey{Addr: p.IPv4.Src, Proto: packet.ProtoUDP, Port: p.UDP.SrcPort}
+		d.observe(key, p.Timestamp, p.IPv4.Dst)
+	}
+}
+
+func (d *PassiveDiscoverer) observe(key ServiceKey, t time.Time, peer netaddr.V4) {
+	rec := d.services[key]
+	if rec == nil {
+		rec = &PassiveRecord{}
+		d.services[key] = rec
+	}
+	rec.observe(t, peer)
+
+	// Thinned per-address activity trail (>=1-minute spacing).
+	times := d.addrTimes[key.Addr]
+	if len(times) == 0 || t.Sub(times[len(times)-1]) >= time.Minute {
+		d.addrTimes[key.Addr] = append(times, t)
+	}
+}
+
+// Services returns the live inventory map (owned by the discoverer).
+func (d *PassiveDiscoverer) Services() map[ServiceKey]*PassiveRecord { return d.services }
+
+// Record returns the record for one service, if present.
+func (d *PassiveDiscoverer) Record(key ServiceKey) (*PassiveRecord, bool) {
+	r, ok := d.services[key]
+	return r, ok
+}
+
+// Keys returns all discovered services, sorted for deterministic output.
+func (d *PassiveDiscoverer) Keys() []ServiceKey {
+	keys := make([]ServiceKey, 0, len(d.services))
+	for k := range d.services {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.Proto != b.Proto {
+			return a.Proto < b.Proto
+		}
+		return a.Port < b.Port
+	})
+	return keys
+}
+
+// AddrFirstSeen rolls the inventory up to addresses: the earliest positive
+// evidence per address, optionally restricted to services passing keep.
+func (d *PassiveDiscoverer) AddrFirstSeen(keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
+	out := make(map[netaddr.V4]time.Time)
+	for k, rec := range d.services {
+		if keep != nil && !keep(k) {
+			continue
+		}
+		if cur, ok := out[k.Addr]; !ok || rec.FirstSeen.Before(cur) {
+			out[k.Addr] = rec.FirstSeen
+		}
+	}
+	return out
+}
+
+// AddrWeights sums flow and client weights per address across services.
+func (d *PassiveDiscoverer) AddrWeights() (flows, clients map[netaddr.V4]int) {
+	flows = make(map[netaddr.V4]int)
+	clients = make(map[netaddr.V4]int)
+	for k, rec := range d.services {
+		flows[k.Addr] += rec.Flows
+		clients[k.Addr] += rec.Clients()
+	}
+	return flows, clients
+}
+
+// LastActivity returns the most recent recorded activity time for the
+// address, ok=false if it was never seen.
+func (d *PassiveDiscoverer) LastActivity(addr netaddr.V4) (time.Time, bool) {
+	ts := d.addrTimes[addr]
+	if len(ts) == 0 {
+		return time.Time{}, false
+	}
+	return ts[len(ts)-1], true
+}
+
+// ActiveDuring reports whether the address showed any passive activity
+// within [from, to] — the paper's second firewall confirmation signal.
+func (d *PassiveDiscoverer) ActiveDuring(addr netaddr.V4, from, to time.Time) bool {
+	times := d.addrTimes[addr]
+	i := sort.Search(len(times), func(i int) bool { return !times[i].Before(from) })
+	return i < len(times) && !times[i].After(to)
+}
+
+// DetectScanners runs the scan detector over everything observed so far
+// (see scandetect.go for the rule).
+func (d *PassiveDiscoverer) DetectScanners() []ScannerInfo { return d.track.detect() }
+
+// ScannerSet returns detected scanner sources as a membership map, the
+// form the scan-removal analysis consumes.
+func (d *PassiveDiscoverer) ScannerSet() map[netaddr.V4]bool {
+	out := make(map[netaddr.V4]bool)
+	for _, s := range d.track.detect() {
+		out[s.Source] = true
+	}
+	return out
+}
+
+// AddrFirstSeenExcluding recomputes per-address first discovery with the
+// given peers' traffic removed (Figure 4). Addresses whose every stored
+// contact came from excluded peers drop out entirely.
+func (d *PassiveDiscoverer) AddrFirstSeenExcluding(excluded map[netaddr.V4]bool, keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
+	out := make(map[netaddr.V4]time.Time)
+	for k, rec := range d.services {
+		if keep != nil && !keep(k) {
+			continue
+		}
+		t, ok := rec.FirstSeenExcluding(excluded)
+		if !ok {
+			continue
+		}
+		if cur, seen := out[k.Addr]; !seen || t.Before(cur) {
+			out[k.Addr] = t
+		}
+	}
+	return out
+}

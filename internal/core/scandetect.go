@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"servdisc/internal/netaddr"
+)
+
+// Scan-detection thresholds, straight from Section 4.3: "we eliminate any
+// host which attempts to open TCP connections to 100 or more unique IP
+// addresses on our network within 12 hours and receives TCP RST responses
+// from at least 100 of these contacted hosts."
+const (
+	ScanDetectWindow  = 12 * time.Hour
+	ScanDetectMinDsts = 100
+	ScanDetectMinRsts = 100
+)
+
+// ScannerInfo describes one detected external scanner.
+type ScannerInfo struct {
+	// Source is the scanning address.
+	Source netaddr.V4
+	// Window is the start of the 12-hour bucket in which the thresholds
+	// were first crossed.
+	Window time.Time
+	// UniqueDsts and RstDsts are the peak per-window tallies.
+	UniqueDsts, RstDsts int
+}
+
+// scanTracker accumulates per-external-source contact statistics in
+// tumbling 12-hour windows. Tumbling (rather than sliding) windows match
+// the offline bucketing an operator would run over a trace; a scan split
+// across a boundary at worst doubles its detection latency, never escapes.
+type scanTracker struct {
+	sources map[netaddr.V4]*scanSource
+	origin  time.Time
+	started bool
+}
+
+type scanSource struct {
+	windows map[int64]*scanWindow
+}
+
+type scanWindow struct {
+	dsts    map[netaddr.V4]struct{}
+	rstDsts map[netaddr.V4]struct{}
+}
+
+func newScanTracker() *scanTracker {
+	return &scanTracker{sources: make(map[netaddr.V4]*scanSource)}
+}
+
+func (t *scanTracker) windowIndex(at time.Time) int64 {
+	if !t.started {
+		t.origin = at
+		t.started = true
+	}
+	return int64(at.Sub(t.origin) / ScanDetectWindow)
+}
+
+func (t *scanTracker) window(src netaddr.V4, at time.Time) *scanWindow {
+	s := t.sources[src]
+	if s == nil {
+		s = &scanSource{windows: make(map[int64]*scanWindow)}
+		t.sources[src] = s
+	}
+	idx := t.windowIndex(at)
+	w := s.windows[idx]
+	if w == nil {
+		w = &scanWindow{
+			dsts:    make(map[netaddr.V4]struct{}),
+			rstDsts: make(map[netaddr.V4]struct{}),
+		}
+		s.windows[idx] = w
+	}
+	return w
+}
+
+// recordSyn notes an inbound connection attempt src → dst.
+func (t *scanTracker) recordSyn(at time.Time, src, dst netaddr.V4) {
+	w := t.window(src, at)
+	w.dsts[dst] = struct{}{}
+}
+
+// recordRst notes a campus RST returned to the external peer.
+func (t *scanTracker) recordRst(at time.Time, peer, from netaddr.V4) {
+	w := t.window(peer, at)
+	w.rstDsts[from] = struct{}{}
+}
+
+// detect applies the thresholds and returns scanners sorted by source.
+func (t *scanTracker) detect() []ScannerInfo {
+	var out []ScannerInfo
+	for src, s := range t.sources {
+		best := ScannerInfo{Source: src}
+		hit := false
+		for idx, w := range s.windows {
+			if len(w.dsts) >= ScanDetectMinDsts && len(w.rstDsts) >= ScanDetectMinRsts {
+				if !hit || len(w.dsts) > best.UniqueDsts {
+					best.UniqueDsts = len(w.dsts)
+					best.RstDsts = len(w.rstDsts)
+					best.Window = t.origin.Add(time.Duration(idx) * ScanDetectWindow)
+				}
+				hit = true
+			}
+		}
+		if hit {
+			out = append(out, best)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import "sync"
+
+// Suite lazily builds and caches the datasets the experiments share, so
+// running every table and figure (or every benchmark) simulates each
+// campaign exactly once.
+type Suite struct {
+	mu sync.Mutex
+
+	sem18 *Dataset
+	sem90 *Dataset
+	brk   *Dataset
+	lab   *Dataset
+	udp   *Dataset
+}
+
+var (
+	// Shared is the process-wide suite used by cmd/repro and the root
+	// benchmarks.
+	Shared = &Suite{}
+)
+
+func (s *Suite) get(slot **Dataset, build func() (*Dataset, error)) (*Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if *slot != nil {
+		return *slot, nil
+	}
+	ds, err := build()
+	if err != nil {
+		return nil, err
+	}
+	*slot = ds
+	return ds, nil
+}
+
+// Semester18d returns the cached DTCP1-18d dataset.
+func (s *Suite) Semester18d() (*Dataset, error) { return s.get(&s.sem18, Semester18d) }
+
+// Semester90d returns the cached DTCP1-90d dataset.
+func (s *Suite) Semester90d() (*Dataset, error) { return s.get(&s.sem90, Semester90d) }
+
+// Break11d returns the cached DTCPbreak dataset.
+func (s *Suite) Break11d() (*Dataset, error) { return s.get(&s.brk, Break11d) }
+
+// Lab10d returns the cached DTCPall dataset.
+func (s *Suite) Lab10d() (*Dataset, error) { return s.get(&s.lab, Lab10d) }
+
+// UDP1d returns the cached DUDP dataset.
+func (s *Suite) UDP1d() (*Dataset, error) { return s.get(&s.udp, UDP1d) }

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/capture"
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/report"
+	"servdisc/internal/stats"
+	"servdisc/internal/webcat"
+)
+
+// Table1 reproduces the dataset inventory.
+func Table1() *report.Table {
+	t := report.NewTable("Table 1: datasets",
+		"name", "start", "passive", "active scans", "services", "addresses")
+	t.AddRow("DTCP1-12h", "2006-09-19", "12 hours", "once", "TCP/selected", 16130)
+	t.AddRow("DTCP1-18d", "2006-09-19", "18 days", "every 12 hrs (35)", "TCP/selected", 16130)
+	t.AddRow("DTCP1-90d", "2006-08-10", "90 days", "bracketing pair", "TCP/selected", 16130)
+	t.AddRow("DTCP1-18d-trans", "2006-09-19", "18 days", "every 12 hrs", "TCP/selected", 2304)
+	t.AddRow("DTCPbreak", "2006-12-16", "11 days", "every 12 hrs (22)", "TCP/selected", 16130)
+	t.AddRow("DTCPall", "2006-08-26", "10 days", "once (all ports)", "TCP/all", 256)
+	t.AddRow("DUDP", "2006-10-18", "1 day", "once (generic UDP)", "UDP/selected", 16130)
+	return t
+}
+
+// Table2 reproduces the completeness matrix at 3%/6%/50%/100% of the
+// dataset (12h/25h/205h/410h of passive observation; 1/2/17/35 sweeps).
+func Table2(ds *Dataset) *report.Table {
+	an := ds.Analysis()
+	t := report.NewTable("Table 2: completeness of active and passive methods (DTCP1-18d)",
+		"quantity", "3% (12h/1)", "6% (25h/2)", "50% (205h/17)", "100% (410h/35)")
+	cuts := []struct {
+		hours float64
+		scans int
+	}{{12, 1}, {25, 2}, {205, 17}, {410, 35}}
+	rows := make([]core.CompletenessRow, len(cuts))
+	for i, c := range cuts {
+		rows[i] = an.Completeness(ds.Start.Add(time.Duration(c.hours*float64(time.Hour))), c.scans)
+	}
+	cell := func(v func(core.CompletenessRow) int) []any {
+		out := make([]any, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprintf("%d (%s)", v(r), stats.Percent(v(r), r.Union))
+		}
+		return out
+	}
+	t.AddRow(append([]any{"Total servers found (union)"}, cell(func(r core.CompletenessRow) int { return r.Union })...)...)
+	t.AddRow(append([]any{"Passive AND Active"}, cell(func(r core.CompletenessRow) int { return r.Both })...)...)
+	t.AddRow(append([]any{"Active only"}, cell(func(r core.CompletenessRow) int { return r.ActiveOnly })...)...)
+	t.AddRow(append([]any{"Passive only"}, cell(func(r core.CompletenessRow) int { return r.PassiveOnly })...)...)
+	t.AddRow(append([]any{"Active"}, cell(func(r core.CompletenessRow) int { return r.Active })...)...)
+	t.AddRow(append([]any{"Passive"}, cell(func(r core.CompletenessRow) int { return r.Passive })...)...)
+	return t
+}
+
+// Table3 reproduces the 12-hour categorization of all probed addresses.
+func Table3(ds *Dataset) *report.Table {
+	an := ds.Analysis()
+	tab := an.Categorize12h(ds.Start.Add(12*time.Hour), ds.Net.Plan().ProbeTargets())
+	t := report.NewTable("Table 3: categorization of addresses in DTCP1-12h",
+		"passive", "active", "categorization", "count")
+	t.AddRow("yes", "yes", "active server address", tab.ActiveServer)
+	t.AddRow("no", "yes", "idle server address", tab.IdleServer)
+	t.AddRow("yes", "no", "firewalled address or birth", tab.FirewallOrBirth)
+	t.AddRow("no", "no", "non-server address", tab.NonServer)
+	return t
+}
+
+// Table4 reproduces the longitudinal categorization.
+func Table4(ds *Dataset) *report.Table {
+	an := ds.Analysis()
+	rows := an.CategorizeLongitudinal(ds.Start.Add(12*time.Hour),
+		ds.Net.Plan().ProbeTargets(), ds.IsTransient)
+	t := report.NewTable("Table 4: traits and categorization of addresses (DTCP1-18d)",
+		"p-12h", "a-12h", "p-rest", "a-rest", "transient", "categorization", "count")
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range rows {
+		t.AddRow(yn(r.Trait.Passive12h), yn(r.Trait.Active12h),
+			yn(r.Trait.PassiveRest), yn(r.Trait.ActiveRest),
+			yn(r.Trait.Transient), r.Trait.Label(), r.Count)
+	}
+	return t
+}
+
+// Table5 reproduces the web-content categorization cross-tabulated with
+// discovery method.
+func Table5(ds *Dataset) *report.Table {
+	an := ds.Analysis()
+	passive := an.PassiveAddrs()
+	active := an.ActiveAddrs()
+
+	type tally struct{ union, both, activeOnly, passiveOnly int }
+	byCat := map[webcat.Category]*tally{}
+	for addr, cat := range ds.WebContent {
+		tl := byCat[cat]
+		if tl == nil {
+			tl = &tally{}
+			byCat[cat] = tl
+		}
+		_, p := passive[addr]
+		_, a := active[addr]
+		tl.union++
+		switch {
+		case p && a:
+			tl.both++
+		case a:
+			tl.activeOnly++
+		case p:
+			tl.passiveOnly++
+		}
+	}
+	t := report.NewTable("Table 5: content served by detected web servers (DTCP1-18d)",
+		"page type", "total", "both", "active only", "passive only")
+	order := []webcat.Category{
+		webcat.Custom, webcat.Default, webcat.Minimal,
+		webcat.Config, webcat.Database, webcat.Restricted, webcat.NoResponse,
+	}
+	for _, cat := range order {
+		tl := byCat[cat]
+		if tl == nil {
+			tl = &tally{}
+		}
+		t.AddRow(cat.String(), tl.union, tl.both, tl.activeOnly, tl.passiveOnly)
+	}
+	return t
+}
+
+// Table6 reproduces per-service discovery for Web, FTP, SSH and MySQL.
+func Table6(ds *Dataset) *report.Table {
+	t := report.NewTable("Table 6: server discovery by service type (DTCP1-18d)",
+		"service", "union", "both", "active only", "passive only", "active", "passive")
+	for _, port := range []uint16{campus.PortHTTP, campus.PortFTP, campus.PortSSH, campus.PortMySQL} {
+		an := ds.AnalysisFor(port)
+		row := an.Completeness(ds.End, 0)
+		t.AddRow(campus.ServiceName(port),
+			row.Union, row.Both, row.ActiveOnly, row.PassiveOnly,
+			fmt.Sprintf("%d (%s)", row.Active, stats.Percent(row.Active, row.Union)),
+			fmt.Sprintf("%d (%s)", row.Passive, stats.Percent(row.Passive, row.Union)))
+	}
+	return t
+}
+
+// Table7 reproduces the UDP service discovery summary.
+func Table7(ds *Dataset) *report.Table {
+	an := ds.AllPortsAnalysis()
+	table := an.UDPSummary(campus.SelectedUDPPorts, ds.Net.Plan().ProbeTargets())
+	t := report.NewTable("Table 7: UDP services discovered (DUDP)",
+		"quantity", "All", "Web(80)", "DNS(53)", "NetBIOS(137)", "Gaming(27015)")
+	perPort := func(v func(core.UDPPortSummary) int) []any {
+		out := []any{}
+		total := 0
+		for _, ps := range table.Ports {
+			total += v(ps)
+		}
+		_ = total
+		for _, ps := range table.Ports {
+			out = append(out, v(ps))
+		}
+		return out
+	}
+	pass := []any{table.PassiveTotal}
+	pass = append(pass, perPort(func(p core.UDPPortSummary) int { return p.Passive })...)
+	t.AddRow(append([]any{"Passive"}, pass...)...)
+	open := []any{table.ActiveDefinitelyOpenTotal}
+	open = append(open, perPort(func(p core.UDPPortSummary) int { return p.DefinitelyOpen })...)
+	t.AddRow(append([]any{"definitely open (UDP response)"}, open...)...)
+	poss := []any{"-"}
+	poss = append(poss, perPort(func(p core.UDPPortSummary) int { return p.PossiblyOpen })...)
+	t.AddRow(append([]any{"possibly open"}, poss...)...)
+	t.AddRow("no response from any probed port", table.NoResponseAnyPort, "-", "-", "-", "-")
+	closed := []any{"-"}
+	closed = append(closed, perPort(func(p core.UDPPortSummary) int { return p.DefinitelyClosed })...)
+	t.AddRow(append([]any{"definitely closed (ICMP response)"}, closed...)...)
+	return t
+}
+
+// Table8 reproduces the per-peering-link breakdown for a dataset whose
+// monitor covered the given links.
+func Table8(ds *Dataset, caption string) *report.Table {
+	selected := make(map[uint16]bool)
+	for _, p := range campus.SelectedTCPPorts {
+		selected[p] = true
+	}
+	keep := func(k core.ServiceKey) bool {
+		return k.Proto == packet.ProtoTCP && selected[k.Port]
+	}
+
+	// Per-link server sets.
+	links := []capture.LinkID{}
+	perLink := map[capture.LinkID]*netaddr.Set{}
+	all := netaddr.NewSet()
+	for link, pd := range ds.PerLink {
+		set := netaddr.NewSet()
+		for addr := range pd.AddrFirstSeen(keep) {
+			set.Add(addr)
+			all.Add(addr)
+		}
+		perLink[link] = set
+		links = append(links, link)
+	}
+	// Deterministic ordering.
+	for i := 1; i < len(links); i++ {
+		for j := i; j > 0 && links[j] < links[j-1]; j-- {
+			links[j], links[j-1] = links[j-1], links[j]
+		}
+	}
+
+	t := report.NewTable(caption, "link", "servers found", "exclusive")
+	for _, link := range links {
+		set := perLink[link]
+		exclusive := 0
+		for _, addr := range set.Sorted() {
+			solo := true
+			for other, os := range perLink {
+				if other != link && os.Contains(addr) {
+					solo = false
+					break
+				}
+			}
+			if solo {
+				exclusive++
+			}
+		}
+		t.AddRow(link.String(),
+			fmt.Sprintf("%d (%s)", set.Len(), stats.Percent(set.Len(), all.Len())),
+			fmt.Sprintf("%d (%s)", exclusive, stats.Percent(exclusive, all.Len())))
+	}
+	t.AddRow("all", all.Len(), "-")
+	return t
+}

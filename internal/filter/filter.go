@@ -1,0 +1,440 @@
+// Package filter implements a small tcpdump-style capture filter language
+// used to configure passive monitoring taps. The subset covers what the
+// paper's collection infrastructure needed — protocol, TCP flag, host, net
+// and port predicates with boolean combinators:
+//
+//	tcp and (syn or rst)
+//	synack and dst net 128.125.0.0/16
+//	udp and port 53 or icmp
+//	not src host 10.0.0.1 and portrange 6000-6063
+//
+// Grammar (precedence: not > and > or, parentheses group):
+//
+//	expr      = orExpr
+//	orExpr    = andExpr { "or" andExpr }
+//	andExpr   = unary { "and" unary }
+//	unary     = "not" unary | "(" expr ")" | predicate
+//	predicate = "tcp" | "udp" | "icmp"
+//	          | "syn" | "synack" | "ack" | "rst" | "fin"
+//	          | [ "src" | "dst" ] "host" IPv4
+//	          | [ "src" | "dst" ] "net" CIDR
+//	          | [ "src" | "dst" ] "port" NUM
+//	          | [ "src" | "dst" ] "portrange" NUM "-" NUM
+//
+// Flag predicates imply "tcp". Without a src/dst qualifier, host/net/port
+// predicates match either direction, as in tcpdump.
+package filter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// Filter is a compiled filter program.
+type Filter struct {
+	src  string
+	prog func(*packet.Packet) bool
+}
+
+// MustCompile compiles expr and panics on error; for tests and constants.
+func MustCompile(expr string) *Filter {
+	f, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Compile parses and compiles a filter expression. The empty expression
+// (or one that is entirely whitespace) matches every packet.
+func Compile(expr string) (*Filter, error) {
+	trimmed := strings.TrimSpace(expr)
+	if trimmed == "" {
+		return &Filter{src: "", prog: func(*packet.Packet) bool { return true }}, nil
+	}
+	toks, err := lex(trimmed)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	node, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("filter: unexpected %q after expression", p.peek().text)
+	}
+	return &Filter{src: trimmed, prog: node.compile()}, nil
+}
+
+// Match reports whether the packet satisfies the filter.
+func (f *Filter) Match(p *packet.Packet) bool { return f.prog(p) }
+
+// String returns the source expression.
+func (f *Filter) String() string { return f.src }
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tokWord tokKind = iota
+	tokNumber
+	tokLParen
+	tokRParen
+	tokDash
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokDash, "-"})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && (isWordChar(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case isWordChar(c):
+			j := i
+			for j < len(s) && isWordChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokWord, strings.ToLower(s[i:j])}) //nolint
+			i = j
+		default:
+			return nil, fmt.Errorf("filter: unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '.' || c == '/' || c == '_'
+}
+
+// --- parser / AST ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+
+// accept consumes the next token if it is the given word.
+func (p *parser) accept(word string) bool {
+	if t := p.peek(); t.kind == tokWord && t.text == word {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+type node interface {
+	compile() func(*packet.Packet) bool
+}
+
+type andNode struct{ l, r node }
+type orNode struct{ l, r node }
+type notNode struct{ n node }
+
+func (n andNode) compile() func(*packet.Packet) bool {
+	l, r := n.l.compile(), n.r.compile()
+	return func(p *packet.Packet) bool { return l(p) && r(p) }
+}
+
+func (n orNode) compile() func(*packet.Packet) bool {
+	l, r := n.l.compile(), n.r.compile()
+	return func(p *packet.Packet) bool { return l(p) || r(p) }
+}
+
+func (n notNode) compile() func(*packet.Packet) bool {
+	inner := n.n.compile()
+	return func(p *packet.Packet) bool { return !inner(p) }
+}
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orNode{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = andNode{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.accept("not") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{inner}, nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("filter: missing ')' before %q", p.peek().text)
+		}
+		p.next()
+		return inner, nil
+	}
+	return p.parsePredicate()
+}
+
+// direction qualifier for host/net/port predicates.
+type dir uint8
+
+const (
+	dirEither dir = iota
+	dirSrc
+	dirDst
+)
+
+func (p *parser) parsePredicate() (node, error) {
+	t := p.peek()
+	if t.kind != tokWord {
+		return nil, fmt.Errorf("filter: expected predicate, found %q", t.text)
+	}
+	switch t.text {
+	case "tcp":
+		p.next()
+		return protoNode{packet.LayerTypeTCP}, nil
+	case "udp":
+		p.next()
+		return protoNode{packet.LayerTypeUDP}, nil
+	case "icmp":
+		p.next()
+		return protoNode{packet.LayerTypeICMPv4}, nil
+	case "syn":
+		p.next()
+		// Plain SYN (connection request): SYN set, ACK clear.
+		return flagNode{set: packet.FlagSYN, clear: packet.FlagACK}, nil
+	case "synack":
+		p.next()
+		return flagNode{set: packet.FlagSYN | packet.FlagACK}, nil
+	case "ack":
+		p.next()
+		return flagNode{set: packet.FlagACK}, nil
+	case "rst":
+		p.next()
+		return flagNode{set: packet.FlagRST}, nil
+	case "fin":
+		p.next()
+		return flagNode{set: packet.FlagFIN}, nil
+	case "src", "dst", "host", "net", "port", "portrange":
+		return p.parseDirectional()
+	default:
+		return nil, fmt.Errorf("filter: unknown keyword %q", t.text)
+	}
+}
+
+func (p *parser) parseDirectional() (node, error) {
+	d := dirEither
+	if p.accept("src") {
+		d = dirSrc
+	} else if p.accept("dst") {
+		d = dirDst
+	}
+	t := p.next()
+	if t.kind != tokWord {
+		return nil, fmt.Errorf("filter: expected host/net/port after direction, found %q", t.text)
+	}
+	switch t.text {
+	case "host":
+		arg := p.next()
+		addr, err := netaddr.ParseV4(arg.text)
+		if err != nil {
+			return nil, fmt.Errorf("filter: host: %v", err)
+		}
+		return hostNode{d: d, addr: addr}, nil
+	case "net":
+		arg := p.next()
+		pfx, err := netaddr.ParsePrefix(arg.text)
+		if err != nil {
+			return nil, fmt.Errorf("filter: net: %v", err)
+		}
+		return netNode{d: d, pfx: pfx}, nil
+	case "port":
+		n, err := p.parsePortNum()
+		if err != nil {
+			return nil, err
+		}
+		return portNode{d: d, lo: n, hi: n}, nil
+	case "portrange":
+		lo, err := p.parsePortNum()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokDash {
+			return nil, fmt.Errorf("filter: portrange needs lo-hi, found %q", p.peek().text)
+		}
+		p.next()
+		hi, err := p.parsePortNum()
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("filter: inverted portrange %d-%d", lo, hi)
+		}
+		return portNode{d: d, lo: lo, hi: hi}, nil
+	default:
+		return nil, fmt.Errorf("filter: expected host/net/port after direction, found %q", t.text)
+	}
+}
+
+func (p *parser) parsePortNum() (uint16, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("filter: expected port number, found %q", t.text)
+	}
+	n, err := strconv.ParseUint(t.text, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("filter: bad port %q", t.text)
+	}
+	return uint16(n), nil
+}
+
+// --- leaf nodes ---
+
+type protoNode struct{ lt packet.LayerType }
+
+func (n protoNode) compile() func(*packet.Packet) bool {
+	lt := n.lt
+	return func(p *packet.Packet) bool { return p.Has(lt) }
+}
+
+type flagNode struct{ set, clear packet.TCPFlags }
+
+func (n flagNode) compile() func(*packet.Packet) bool {
+	set, clear := n.set, n.clear
+	return func(p *packet.Packet) bool {
+		return p.Has(packet.LayerTypeTCP) && p.TCP.Flags.Has(set) && p.TCP.Flags&clear == 0
+	}
+}
+
+type hostNode struct {
+	d    dir
+	addr netaddr.V4
+}
+
+func (n hostNode) compile() func(*packet.Packet) bool {
+	d, addr := n.d, n.addr
+	return func(p *packet.Packet) bool {
+		if !p.Has(packet.LayerTypeIPv4) {
+			return false
+		}
+		switch d {
+		case dirSrc:
+			return p.IPv4.Src == addr
+		case dirDst:
+			return p.IPv4.Dst == addr
+		default:
+			return p.IPv4.Src == addr || p.IPv4.Dst == addr
+		}
+	}
+}
+
+type netNode struct {
+	d   dir
+	pfx netaddr.Prefix
+}
+
+func (n netNode) compile() func(*packet.Packet) bool {
+	d, pfx := n.d, n.pfx
+	return func(p *packet.Packet) bool {
+		if !p.Has(packet.LayerTypeIPv4) {
+			return false
+		}
+		switch d {
+		case dirSrc:
+			return pfx.Contains(p.IPv4.Src)
+		case dirDst:
+			return pfx.Contains(p.IPv4.Dst)
+		default:
+			return pfx.Contains(p.IPv4.Src) || pfx.Contains(p.IPv4.Dst)
+		}
+	}
+}
+
+type portNode struct {
+	d      dir
+	lo, hi uint16
+}
+
+func (n portNode) compile() func(*packet.Packet) bool {
+	d, lo, hi := n.d, n.lo, n.hi
+	in := func(v uint16) bool { return v >= lo && v <= hi }
+	return func(p *packet.Packet) bool {
+		var src, dst uint16
+		switch {
+		case p.Has(packet.LayerTypeTCP):
+			src, dst = p.TCP.SrcPort, p.TCP.DstPort
+		case p.Has(packet.LayerTypeUDP):
+			src, dst = p.UDP.SrcPort, p.UDP.DstPort
+		default:
+			return false
+		}
+		switch d {
+		case dirSrc:
+			return in(src)
+		case dirDst:
+			return in(dst)
+		default:
+			return in(src) || in(dst)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package filter
+
+import (
+	"testing"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+var (
+	campus = netaddr.MustParseV4("128.125.7.9")
+	remote = netaddr.MustParseV4("66.35.250.150")
+	tRef   = time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+	bld    = packet.NewBuilder(0)
+)
+
+func syn() *packet.Packet {
+	return bld.Syn(tRef, packet.Endpoint{Addr: remote, Port: 40001}, packet.Endpoint{Addr: campus, Port: 80}, 1)
+}
+
+func synack() *packet.Packet {
+	return bld.SynAck(tRef, packet.Endpoint{Addr: campus, Port: 80}, packet.Endpoint{Addr: remote, Port: 40001}, 7, 2)
+}
+
+func rst() *packet.Packet {
+	return bld.Rst(tRef, packet.Endpoint{Addr: campus, Port: 81}, packet.Endpoint{Addr: remote, Port: 40001}, 0)
+}
+
+func udp() *packet.Packet {
+	return bld.UDPPacket(tRef, packet.Endpoint{Addr: campus, Port: 53}, packet.Endpoint{Addr: remote, Port: 9999}, []byte("x"))
+}
+
+func icmp() *packet.Packet {
+	return bld.PortUnreachable(tRef, campus, bld.UDPPacket(tRef, packet.Endpoint{Addr: remote, Port: 1}, packet.Endpoint{Addr: campus, Port: 2}, nil))
+}
+
+func TestFilterMatrix(t *testing.T) {
+	pkts := map[string]*packet.Packet{
+		"syn":    syn(),
+		"synack": synack(),
+		"rst":    rst(),
+		"udp":    udp(),
+		"icmp":   icmp(),
+	}
+	cases := []struct {
+		expr string
+		want map[string]bool
+	}{
+		{"tcp", map[string]bool{"syn": true, "synack": true, "rst": true}},
+		{"udp", map[string]bool{"udp": true}},
+		{"icmp", map[string]bool{"icmp": true}},
+		{"syn", map[string]bool{"syn": true}}, // plain SYN excludes SYN|ACK
+		{"synack", map[string]bool{"synack": true}},
+		{"rst", map[string]bool{"rst": true}},
+		{"ack", map[string]bool{"synack": true, "rst": true}},
+		{"syn or synack or rst", map[string]bool{"syn": true, "synack": true, "rst": true}},
+		// The paper's passive-collection filter: TCP control + all UDP.
+		{"syn or synack or rst or udp", map[string]bool{"syn": true, "synack": true, "rst": true, "udp": true}},
+		{"host 128.125.7.9", map[string]bool{"syn": true, "synack": true, "rst": true, "udp": true, "icmp": true}},
+		{"src host 128.125.7.9", map[string]bool{"synack": true, "rst": true, "udp": true, "icmp": true}},
+		{"dst host 128.125.7.9", map[string]bool{"syn": true}},
+		{"net 128.125.0.0/16", map[string]bool{"syn": true, "synack": true, "rst": true, "udp": true, "icmp": true}},
+		{"src net 66.0.0.0/8", map[string]bool{"syn": true}},
+		{"not tcp", map[string]bool{"udp": true, "icmp": true}},
+		{"port 80", map[string]bool{"syn": true, "synack": true}},
+		{"dst port 80", map[string]bool{"syn": true}},
+		{"src port 80", map[string]bool{"synack": true}},
+		{"port 53", map[string]bool{"udp": true}},
+		{"portrange 80-90", map[string]bool{"syn": true, "synack": true, "rst": true}},
+		{"tcp and dst net 128.125.0.0/16 and syn", map[string]bool{"syn": true}},
+		{"(syn or rst) and src host 66.35.250.150", map[string]bool{"syn": true}},
+		{"", map[string]bool{"syn": true, "synack": true, "rst": true, "udp": true, "icmp": true}},
+	}
+	for _, c := range cases {
+		f, err := Compile(c.expr)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", c.expr, err)
+			continue
+		}
+		for name, pkt := range pkts {
+			if got := f.Match(pkt); got != c.want[name] {
+				t.Errorf("%q.Match(%s) = %v, want %v", c.expr, name, got, c.want[name])
+			}
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// "a or b and c" must parse as "a or (b and c)".
+	f := MustCompile("udp or tcp and port 80")
+	if !f.Match(udp()) {
+		t.Error("udp branch failed")
+	}
+	if !f.Match(syn()) {
+		t.Error("tcp and port 80 branch failed")
+	}
+	if f.Match(rst()) { // tcp but port 81
+		t.Error("rst should not match")
+	}
+	// Parens override.
+	f2 := MustCompile("(udp or tcp) and port 80")
+	if f2.Match(udp()) { // udp port 53
+		t.Error("parenthesized and should bind over or result")
+	}
+}
+
+func TestNotBindsTightly(t *testing.T) {
+	f := MustCompile("not udp and port 80")
+	if !f.Match(syn()) {
+		t.Error("not udp and port 80 should match TCP port 80")
+	}
+	if f.Match(udp()) {
+		t.Error("udp should not match")
+	}
+	f2 := MustCompile("not not tcp")
+	if !f2.Match(syn()) {
+		t.Error("double negation broken")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"bogus",
+		"tcp and",
+		"and tcp",
+		"(tcp",
+		"tcp)",
+		"host 999.1.1.1",
+		"net 10.0.0.0",
+		"port abc",
+		"port 70000",
+		"portrange 10",
+		"portrange 90-80",
+		"src",
+		"tcp or or udp",
+		"host",
+		"@",
+	}
+	for _, expr := range bad {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestStringReturnsSource(t *testing.T) {
+	const expr = "tcp and syn"
+	if got := MustCompile(expr).String(); got != expr {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	f, err := Compile("TCP AND SYN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Match(syn()) {
+		t.Error("uppercase keywords should work")
+	}
+}
+
+func BenchmarkMatchPaperFilter(b *testing.B) {
+	f := MustCompile("syn or synack or rst or udp")
+	pkt := synack()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !f.Match(pkt) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("tcp and (syn or rst) and dst net 128.125.0.0/16"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"servdisc/internal/netaddr"
+)
+
+// be is the network byte order used by every header field.
+var be = binary.BigEndian
+
+// EtherType values this system understands.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+const ethHeaderLen = 14
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+// LayerType implements Layer.
+func (Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// AppendTo implements Layer.
+func (e *Ethernet) AppendTo(dst []byte) []byte {
+	dst = append(dst, e.Dst[:]...)
+	dst = append(dst, e.Src[:]...)
+	return be.AppendUint16(dst, e.EtherType)
+}
+
+// DecodeFrom parses the header and returns the remaining bytes.
+func (e *Ethernet) DecodeFrom(data []byte) ([]byte, error) {
+	if len(data) < ethHeaderLen {
+		return nil, fmt.Errorf("%w: ethernet header (%d bytes)", ErrTruncated, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = be.Uint16(data[12:14])
+	return data[ethHeaderLen:], nil
+}
+
+// IPProtocol is the IPv4 protocol number.
+type IPProtocol uint8
+
+// Protocol numbers used by the system.
+const (
+	ProtoICMP IPProtocol = 1
+	ProtoTCP  IPProtocol = 6
+	ProtoUDP  IPProtocol = 17
+)
+
+// String names the protocol.
+func (p IPProtocol) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+const ipv4HeaderLen = 20
+
+// IPv4 is an IPv4 header without options (IHL=5), which is all this system
+// generates; decoding skips any options present in foreign traces.
+type IPv4 struct {
+	TOS         uint8
+	TotalLength uint16
+	ID          uint16
+	Flags       uint8 // 3 bits: reserved, DF, MF
+	FragOffset  uint16
+	TTL         uint8
+	Protocol    IPProtocol
+	Checksum    uint16
+	Src, Dst    netaddr.V4
+}
+
+// IPv4 flag bits.
+const (
+	IPv4DontFragment  = 0x2
+	IPv4MoreFragments = 0x1
+)
+
+// LayerType implements Layer.
+func (IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// AppendTo implements Layer.
+func (ip *IPv4) AppendTo(dst []byte) []byte {
+	dst = append(dst, 0x45, ip.TOS) // version 4, IHL 5
+	dst = be.AppendUint16(dst, ip.TotalLength)
+	dst = be.AppendUint16(dst, ip.ID)
+	dst = be.AppendUint16(dst, uint16(ip.Flags)<<13|ip.FragOffset&0x1FFF)
+	dst = append(dst, ip.TTL, uint8(ip.Protocol))
+	dst = be.AppendUint16(dst, ip.Checksum)
+	dst = ip.Src.AppendTo(dst)
+	dst = ip.Dst.AppendTo(dst)
+	return dst
+}
+
+// setChecksum recomputes the header checksum in place.
+func (ip *IPv4) setChecksum() {
+	ip.Checksum = 0
+	hdr := ip.AppendTo(make([]byte, 0, ipv4HeaderLen))
+	ip.Checksum = Checksum(hdr)
+}
+
+// DecodeFrom parses the header and returns the payload bytes (bounded by
+// TotalLength when the buffer carries trailing padding).
+func (ip *IPv4) DecodeFrom(data []byte) ([]byte, error) {
+	if len(data) < ipv4HeaderLen {
+		return nil, fmt.Errorf("%w: IPv4 header (%d bytes)", ErrTruncated, len(data))
+	}
+	if v := data[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl < ipv4HeaderLen {
+		return nil, fmt.Errorf("%w: IHL %d", ErrBadHeader, ihl)
+	}
+	if len(data) < ihl {
+		return nil, fmt.Errorf("%w: IPv4 options", ErrTruncated)
+	}
+	ip.TOS = data[1]
+	ip.TotalLength = be.Uint16(data[2:4])
+	ip.ID = be.Uint16(data[4:6])
+	ff := be.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1FFF
+	ip.TTL = data[8]
+	ip.Protocol = IPProtocol(data[9])
+	ip.Checksum = be.Uint16(data[10:12])
+	ip.Src, _ = netaddr.FromSlice(data[12:16])
+	ip.Dst, _ = netaddr.FromSlice(data[16:20])
+
+	end := int(ip.TotalLength)
+	if end == 0 || end > len(data) { // tolerate TSO-style zero or short capture
+		end = len(data)
+	}
+	if end < ihl {
+		return nil, fmt.Errorf("%w: total length %d < IHL", ErrBadHeader, ip.TotalLength)
+	}
+	return data[ihl:end], nil
+}
+
+// Verify reports whether the stored header checksum is consistent.
+func (ip *IPv4) Verify() bool {
+	want := ip.Checksum
+	ip.setChecksum()
+	got := ip.Checksum
+	ip.Checksum = want
+	return got == want
+}
+
+// TCPFlags is the TCP flag byte (we only model the low 8 bits; ECN bits in
+// the data-offset byte are not used by the discovery logic).
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// Has reports whether all bits in mask are set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// String renders set flags in nmap-style order ("SYN|ACK").
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagRST, "RST"},
+		{FlagFIN, "FIN"}, {FlagPSH, "PSH"}, {FlagURG, "URG"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+const tcpHeaderLen = 20
+
+// TCP is a TCP header without options (data offset 5). The discovery system
+// never needs options; decoding skips them in foreign traces.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            TCPFlags
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+}
+
+// LayerType implements Layer.
+func (TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// AppendTo implements Layer.
+func (t *TCP) AppendTo(dst []byte) []byte {
+	dst = be.AppendUint16(dst, t.SrcPort)
+	dst = be.AppendUint16(dst, t.DstPort)
+	dst = be.AppendUint32(dst, t.Seq)
+	dst = be.AppendUint32(dst, t.Ack)
+	dst = append(dst, 5<<4, uint8(t.Flags)) // data offset 5, no reserved bits
+	dst = be.AppendUint16(dst, t.Window)
+	dst = be.AppendUint16(dst, t.Checksum)
+	dst = be.AppendUint16(dst, t.Urgent)
+	return dst
+}
+
+func (t *TCP) setChecksum(ip *IPv4, payload []byte) {
+	t.Checksum = 0
+	seg := t.AppendTo(make([]byte, 0, tcpHeaderLen))
+	acc := pseudoHeaderSum(ip.Src, ip.Dst, ProtoTCP, len(seg)+len(payload))
+	acc = onesSum(acc, seg)
+	acc = onesSum(acc, payload)
+	t.Checksum = fold(acc)
+}
+
+// DecodeFrom parses the header and returns the payload.
+func (t *TCP) DecodeFrom(data []byte) ([]byte, error) {
+	if len(data) < tcpHeaderLen {
+		return nil, fmt.Errorf("%w: TCP header (%d bytes)", ErrTruncated, len(data))
+	}
+	t.SrcPort = be.Uint16(data[0:2])
+	t.DstPort = be.Uint16(data[2:4])
+	t.Seq = be.Uint32(data[4:8])
+	t.Ack = be.Uint32(data[8:12])
+	off := int(data[12]>>4) * 4
+	if off < tcpHeaderLen {
+		return nil, fmt.Errorf("%w: TCP data offset %d", ErrBadHeader, off)
+	}
+	if len(data) < off {
+		return nil, fmt.Errorf("%w: TCP options", ErrTruncated)
+	}
+	t.Flags = TCPFlags(data[13])
+	t.Window = be.Uint16(data[14:16])
+	t.Checksum = be.Uint16(data[16:18])
+	t.Urgent = be.Uint16(data[18:20])
+	return data[off:], nil
+}
+
+// Verify checks the transport checksum against the pseudo-header.
+func (t *TCP) Verify(ip *IPv4, payload []byte) bool {
+	want := t.Checksum
+	t.setChecksum(ip, payload)
+	got := t.Checksum
+	t.Checksum = want
+	return got == want
+}
+
+const udpHeaderLen = 8
+
+// UDP is a UDP header (RFC 768).
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// LayerType implements Layer.
+func (UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// AppendTo implements Layer.
+func (u *UDP) AppendTo(dst []byte) []byte {
+	dst = be.AppendUint16(dst, u.SrcPort)
+	dst = be.AppendUint16(dst, u.DstPort)
+	dst = be.AppendUint16(dst, u.Length)
+	dst = be.AppendUint16(dst, u.Checksum)
+	return dst
+}
+
+func (u *UDP) setChecksum(ip *IPv4, payload []byte) {
+	u.Checksum = 0
+	hdr := u.AppendTo(make([]byte, 0, udpHeaderLen))
+	acc := pseudoHeaderSum(ip.Src, ip.Dst, ProtoUDP, len(hdr)+len(payload))
+	acc = onesSum(acc, hdr)
+	acc = onesSum(acc, payload)
+	c := fold(acc)
+	if c == 0 {
+		c = 0xFFFF // RFC 768: transmitted all-ones when computed zero
+	}
+	u.Checksum = c
+}
+
+// DecodeFrom parses the header and returns the payload bounded by Length.
+func (u *UDP) DecodeFrom(data []byte) ([]byte, error) {
+	if len(data) < udpHeaderLen {
+		return nil, fmt.Errorf("%w: UDP header (%d bytes)", ErrTruncated, len(data))
+	}
+	u.SrcPort = be.Uint16(data[0:2])
+	u.DstPort = be.Uint16(data[2:4])
+	u.Length = be.Uint16(data[4:6])
+	u.Checksum = be.Uint16(data[6:8])
+	end := int(u.Length)
+	if end < udpHeaderLen || end > len(data) {
+		end = len(data)
+	}
+	return data[udpHeaderLen:end], nil
+}
+
+// ICMPv4 types and codes used by the system.
+const (
+	ICMPEchoReply          uint8 = 0
+	ICMPDestUnreachable    uint8 = 3
+	ICMPEchoRequest        uint8 = 8
+	ICMPCodePortUnreach    uint8 = 3
+	ICMPCodeHostUnreach    uint8 = 1
+	ICMPCodeAdminProhibite uint8 = 13
+)
+
+const icmpHeaderLen = 8
+
+// ICMPv4 is an ICMP header; for destination-unreachable messages the
+// payload carries the original IP header + 8 bytes, which Decode leaves in
+// Packet.Payload.
+type ICMPv4 struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	// Rest holds the type-specific 4 bytes (identifier/sequence for echo,
+	// unused/MTU for unreachable).
+	Rest [4]byte
+}
+
+// LayerType implements Layer.
+func (ICMPv4) LayerType() LayerType { return LayerTypeICMPv4 }
+
+// AppendTo implements Layer.
+func (ic *ICMPv4) AppendTo(dst []byte) []byte {
+	dst = append(dst, ic.Type, ic.Code)
+	dst = be.AppendUint16(dst, ic.Checksum)
+	return append(dst, ic.Rest[:]...)
+}
+
+func (ic *ICMPv4) setChecksum(payload []byte) {
+	ic.Checksum = 0
+	hdr := ic.AppendTo(make([]byte, 0, icmpHeaderLen))
+	acc := onesSum(0, hdr)
+	acc = onesSum(acc, payload)
+	ic.Checksum = fold(acc)
+}
+
+// DecodeFrom parses the header and returns the remaining bytes.
+func (ic *ICMPv4) DecodeFrom(data []byte) ([]byte, error) {
+	if len(data) < icmpHeaderLen {
+		return nil, fmt.Errorf("%w: ICMP header (%d bytes)", ErrTruncated, len(data))
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = be.Uint16(data[2:4])
+	copy(ic.Rest[:], data[4:8])
+	return data[icmpHeaderLen:], nil
+}
+
+// IsPortUnreachable reports whether this is a destination-unreachable /
+// port-unreachable message — the definitive "no UDP service here" signal
+// the paper's UDP methodology relies on (Section 4.5).
+func (ic *ICMPv4) IsPortUnreachable() bool {
+	return ic.Type == ICMPDestUnreachable && ic.Code == ICMPCodePortUnreach
+}

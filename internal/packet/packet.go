@@ -1,0 +1,244 @@
+// Package packet implements the wire-format packet model used by the
+// capture, trace, and probing subsystems: Ethernet II, IPv4, TCP, UDP and
+// ICMPv4 encode/decode with real RFC header layouts and checksums.
+//
+// The API follows the layered-decoding idioms popularized by gopacket
+// (LayerType, Layer, Flow/Endpoint), scaled down to the protocols this
+// system needs and implemented on the standard library alone. Decoding is
+// allocation-conscious: a Packet decodes all layers into pre-declared
+// structs in one pass, and DecodeLayers-style partial decoding is available
+// through the individual layers' DecodeFrom methods.
+package packet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"servdisc/internal/netaddr"
+)
+
+// LayerType identifies a protocol layer within a packet.
+type LayerType uint8
+
+// Known layer types.
+const (
+	LayerTypeNone LayerType = iota
+	LayerTypeEthernet
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeICMPv4
+	LayerTypePayload
+)
+
+// String names the layer type.
+func (lt LayerType) String() string {
+	switch lt {
+	case LayerTypeNone:
+		return "None"
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeICMPv4:
+		return "ICMPv4"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return fmt.Sprintf("LayerType(%d)", uint8(lt))
+	}
+}
+
+// Layer is one decoded protocol layer.
+type Layer interface {
+	// LayerType identifies the layer.
+	LayerType() LayerType
+	// AppendTo serializes the layer's header (and for leaf layers, its
+	// payload) onto dst and returns the extended slice.
+	AppendTo(dst []byte) []byte
+}
+
+// Decode errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: not IPv4")
+	ErrBadChecksum = errors.New("packet: bad checksum")
+	ErrBadHeader   = errors.New("packet: malformed header")
+)
+
+// Packet is a fully decoded packet plus capture metadata. The layer fields
+// are valid according to which LayerTypes appear in Layers.
+type Packet struct {
+	// Timestamp is when the packet was captured or synthesized.
+	Timestamp time.Time
+	// Ethernet is present when decoding started at the link layer.
+	Ethernet Ethernet
+	// IPv4 is present for all packets this system generates.
+	IPv4 IPv4
+	// Exactly one of TCP, UDP, ICMPv4 is present for transport.
+	TCP    TCP
+	UDP    UDP
+	ICMPv4 ICMPv4
+	// Payload is the undedecoded application bytes, if any.
+	Payload []byte
+	// Layers lists the decoded layer types in order.
+	Layers []LayerType
+}
+
+// Has reports whether the packet contains the given layer.
+func (p *Packet) Has(lt LayerType) bool {
+	for _, l := range p.Layers {
+		if l == lt {
+			return true
+		}
+	}
+	return false
+}
+
+// Decode parses a full frame starting at the Ethernet layer.
+func Decode(data []byte, ts time.Time) (*Packet, error) {
+	p := &Packet{Timestamp: ts}
+	rest, err := p.Ethernet.DecodeFrom(data)
+	if err != nil {
+		return nil, err
+	}
+	p.Layers = append(p.Layers, LayerTypeEthernet)
+	if p.Ethernet.EtherType != EtherTypeIPv4 {
+		p.Payload = rest
+		if len(rest) > 0 {
+			p.Layers = append(p.Layers, LayerTypePayload)
+		}
+		return p, nil
+	}
+	return p, p.decodeIP(rest)
+}
+
+// DecodeIP parses a frame that starts directly at the IPv4 header (the
+// simulator's native form; link headers carry no information there).
+func DecodeIP(data []byte, ts time.Time) (*Packet, error) {
+	p := &Packet{Timestamp: ts}
+	return p, p.decodeIP(data)
+}
+
+func (p *Packet) decodeIP(data []byte) error {
+	rest, err := p.IPv4.DecodeFrom(data)
+	if err != nil {
+		return err
+	}
+	p.Layers = append(p.Layers, LayerTypeIPv4)
+	switch p.IPv4.Protocol {
+	case ProtoTCP:
+		rest, err = p.TCP.DecodeFrom(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, LayerTypeTCP)
+	case ProtoUDP:
+		rest, err = p.UDP.DecodeFrom(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, LayerTypeUDP)
+	case ProtoICMP:
+		rest, err = p.ICMPv4.DecodeFrom(rest)
+		if err != nil {
+			return err
+		}
+		p.Layers = append(p.Layers, LayerTypeICMPv4)
+	}
+	p.Payload = rest
+	if len(rest) > 0 {
+		p.Layers = append(p.Layers, LayerTypePayload)
+	}
+	return nil
+}
+
+// Marshal serializes the packet's present layers. Length and checksum
+// fields are recomputed so callers may mutate headers freely between
+// decode and re-encode.
+func (p *Packet) Marshal() []byte {
+	// Serialize transport + payload first so the IP total length is known.
+	var transport []byte
+	switch {
+	case p.Has(LayerTypeTCP):
+		p.TCP.setChecksum(&p.IPv4, p.Payload)
+		transport = p.TCP.AppendTo(nil)
+	case p.Has(LayerTypeUDP):
+		p.UDP.Length = uint16(udpHeaderLen + len(p.Payload))
+		p.UDP.setChecksum(&p.IPv4, p.Payload)
+		transport = p.UDP.AppendTo(nil)
+	case p.Has(LayerTypeICMPv4):
+		p.ICMPv4.setChecksum(p.Payload)
+		transport = p.ICMPv4.AppendTo(nil)
+	}
+	body := append(transport, p.Payload...)
+
+	var out []byte
+	if p.Has(LayerTypeIPv4) {
+		p.IPv4.TotalLength = uint16(ipv4HeaderLen + len(body))
+		p.IPv4.setChecksum()
+		out = p.IPv4.AppendTo(nil)
+		out = append(out, body...)
+	} else {
+		out = body
+	}
+	if p.Has(LayerTypeEthernet) {
+		frame := p.Ethernet.AppendTo(nil)
+		out = append(frame, out...)
+	}
+	return out
+}
+
+// Flow returns the transport 4-tuple flow of the packet, and ok=false when
+// the packet has no TCP/UDP layer.
+func (p *Packet) Flow() (Flow, bool) {
+	switch {
+	case p.Has(LayerTypeTCP):
+		return Flow{
+			Src: Endpoint{Addr: p.IPv4.Src, Port: p.TCP.SrcPort},
+			Dst: Endpoint{Addr: p.IPv4.Dst, Port: p.TCP.DstPort},
+		}, true
+	case p.Has(LayerTypeUDP):
+		return Flow{
+			Src: Endpoint{Addr: p.IPv4.Src, Port: p.UDP.SrcPort},
+			Dst: Endpoint{Addr: p.IPv4.Dst, Port: p.UDP.DstPort},
+		}, true
+	}
+	return Flow{}, false
+}
+
+// Endpoint is one side of a transport conversation.
+type Endpoint struct {
+	Addr netaddr.V4
+	Port uint16
+}
+
+// String renders "addr:port".
+func (e Endpoint) String() string {
+	return fmt.Sprintf("%s:%d", e.Addr, e.Port)
+}
+
+// Flow is a directed transport-layer conversation.
+type Flow struct {
+	Src, Dst Endpoint
+}
+
+// Reverse returns the flow with src and dst swapped.
+func (f Flow) Reverse() Flow { return Flow{Src: f.Dst, Dst: f.Src} }
+
+// String renders "src->dst".
+func (f Flow) String() string { return f.Src.String() + "->" + f.Dst.String() }
+
+// Canonical returns the flow ordered so that the numerically smaller
+// endpoint comes first, suitable for keying bidirectional state.
+func (f Flow) Canonical() Flow {
+	if f.Src.Addr > f.Dst.Addr || (f.Src.Addr == f.Dst.Addr && f.Src.Port > f.Dst.Port) {
+		return f.Reverse()
+	}
+	return f
+}

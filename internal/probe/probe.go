@@ -1,0 +1,199 @@
+// Package probe implements active service discovery: an Nmap-style scan
+// engine that sweeps address/port targets and classifies each response.
+// Two backends are provided — a simulator backend speaking to the campus
+// model (half-open semantics, exactly what the paper's operators ran), and
+// a real-network backend using the standard library's dialer (full connect
+// scan; half-open requires raw sockets, and the discovery semantics are
+// identical: SYN-ACK ⇒ open, RST ⇒ closed, silence ⇒ filtered).
+package probe
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/netaddr"
+)
+
+// TCPState classifies a TCP probe response, mirroring Section 2.1.
+type TCPState uint8
+
+// TCP probe outcomes.
+const (
+	// StateOpen: SYN-ACK received, a server accepted.
+	StateOpen TCPState = iota
+	// StateClosed: RST received, live host with no service.
+	StateClosed
+	// StateFiltered: no response — dead address or a firewall drop.
+	StateFiltered
+)
+
+// String names the state in nmap vocabulary.
+func (s TCPState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateClosed:
+		return "closed"
+	case StateFiltered:
+		return "filtered"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// UDPState classifies a generic UDP probe response (Section 4.5).
+type UDPState uint8
+
+// UDP probe outcomes.
+const (
+	// UDPOpen: a UDP payload came back.
+	UDPOpen UDPState = iota
+	// UDPClosed: ICMP port unreachable — definitely no service.
+	UDPClosed
+	// UDPNoResponse: silence — open-but-mute service, firewall, or dead
+	// host; disambiguated only by responses on other ports.
+	UDPNoResponse
+)
+
+// String names the state.
+func (s UDPState) String() string {
+	switch s {
+	case UDPOpen:
+		return "open"
+	case UDPClosed:
+		return "closed"
+	case UDPNoResponse:
+		return "no-response"
+	default:
+		return fmt.Sprintf("udpstate(%d)", uint8(s))
+	}
+}
+
+// TCPResult is one TCP probe observation.
+type TCPResult struct {
+	Time  time.Time
+	Addr  netaddr.V4
+	Port  uint16
+	State TCPState
+}
+
+// UDPResult is one UDP probe observation.
+type UDPResult struct {
+	Time  time.Time
+	Addr  netaddr.V4
+	Port  uint16
+	State UDPState
+}
+
+// Backend performs individual probes. Implementations must be safe for the
+// scan engine's call pattern (sequential in sim mode, concurrent in real
+// mode).
+type Backend interface {
+	ProbeTCP(now time.Time, addr netaddr.V4, port uint16) TCPState
+	ProbeUDP(now time.Time, addr netaddr.V4, port uint16) UDPState
+}
+
+// SimBackend probes the campus model from an internal vantage point, so
+// probes and responses never cross the monitored border — matching the
+// paper's setup where internal scans were invisible to passive collection.
+type SimBackend struct {
+	Net *campus.Network
+	// Source is the internal scanner address (defaults to the campus base
+	// address).
+	Source netaddr.V4
+}
+
+// ProbeTCP implements Backend with half-open semantics.
+func (b *SimBackend) ProbeTCP(now time.Time, addr netaddr.V4, port uint16) TCPState {
+	src := b.Source
+	if src == 0 {
+		src = b.Net.Plan().Base()
+	}
+	switch b.Net.RespondTCP(now, src, addr, port, true) {
+	case campus.TCPSynAck:
+		return StateOpen
+	case campus.TCPRst:
+		return StateClosed
+	default:
+		return StateFiltered
+	}
+}
+
+// ProbeUDP implements Backend with generic-probe semantics.
+func (b *SimBackend) ProbeUDP(now time.Time, addr netaddr.V4, port uint16) UDPState {
+	src := b.Source
+	if src == 0 {
+		src = b.Net.Plan().Base()
+	}
+	switch b.Net.RespondUDP(now, src, addr, port) {
+	case campus.UDPReply:
+		return UDPOpen
+	case campus.UDPUnreachable:
+		return UDPClosed
+	default:
+		return UDPNoResponse
+	}
+}
+
+// NetBackend probes real networks with the standard library. TCP uses a
+// connect scan; UDP sends an empty datagram and waits briefly for a reply.
+// Without raw sockets the backend cannot see ICMP port-unreachable
+// directly, but the kernel surfaces it as a connection-refused error on
+// the UDP socket on most platforms, which is reported as UDPClosed.
+type NetBackend struct {
+	// Timeout bounds each probe (default 2s).
+	Timeout time.Duration
+	// Dialer allows tests to inject a local dialer.
+	Dialer net.Dialer
+}
+
+func (b *NetBackend) timeout() time.Duration {
+	if b.Timeout <= 0 {
+		return 2 * time.Second
+	}
+	return b.Timeout
+}
+
+// ProbeTCP implements Backend via a full connect.
+func (b *NetBackend) ProbeTCP(_ time.Time, addr netaddr.V4, port uint16) TCPState {
+	ctx, cancel := context.WithTimeout(context.Background(), b.timeout())
+	defer cancel()
+	conn, err := b.Dialer.DialContext(ctx, "tcp", fmt.Sprintf("%s:%d", addr, port))
+	if err == nil {
+		conn.Close()
+		return StateOpen
+	}
+	if ctx.Err() != nil {
+		return StateFiltered
+	}
+	// Connection refused ⇒ RST ⇒ closed; anything else (unreachable,
+	// timeout inside dial) counts as filtered.
+	if opErr, ok := err.(*net.OpError); ok && opErr.Timeout() {
+		return StateFiltered
+	}
+	return StateClosed
+}
+
+// ProbeUDP implements Backend with a generic empty datagram.
+func (b *NetBackend) ProbeUDP(_ time.Time, addr netaddr.V4, port uint16) UDPState {
+	conn, err := net.DialTimeout("udp", fmt.Sprintf("%s:%d", addr, port), b.timeout())
+	if err != nil {
+		return UDPNoResponse
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(b.timeout())
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write([]byte{0}); err != nil {
+		return UDPClosed // refused immediately (ICMP already received)
+	}
+	buf := make([]byte, 512)
+	if _, err := conn.Read(buf); err == nil {
+		return UDPOpen
+	} else if opErr, ok := err.(*net.OpError); ok && !opErr.Timeout() {
+		return UDPClosed // ECONNREFUSED surfaced on read
+	}
+	return UDPNoResponse
+}

@@ -1,0 +1,288 @@
+package probe
+
+import (
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/sim"
+)
+
+func testConfig() campus.Config {
+	c := campus.DefaultSemesterConfig()
+	c.StaticAddrs = 2048
+	c.DHCPAddrs = 256
+	c.WirelessAddrs = 128
+	c.PPPAddrs = 128
+	c.VPNAddrs = 64
+	c.StaticSubnets = 8
+	c.StaticLiveHosts = 500
+	c.StaticServers = 300
+	c.PopularServers = 8
+	c.StealthFirewalled = 6
+	c.ServerDeaths = 0
+	c.DHCPHosts = 120
+	c.PPPHosts = 50
+	c.VPNHosts = 30
+	c.WirelessHosts = 40
+	c.ClientPool = 2000
+	c.UDP.DNSServers = 12
+	c.UDP.DNSGenericReply = 7
+	c.UDP.WindowsHosts = 150
+	c.UDP.NetBIOSGenericReply = 5
+	c.UDP.NetBIOSLeaks = 2
+	return c
+}
+
+func TestSimBackendStates(t *testing.T) {
+	net, err := campus.NewNetwork(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &SimBackend{Net: net}
+	now := net.Config().Start
+
+	open, closed, filtered := 0, 0, 0
+	for _, a := range net.Plan().ProbeTargets() {
+		switch b.ProbeTCP(now, a, campus.PortHTTP) {
+		case StateOpen:
+			open++
+		case StateClosed:
+			closed++
+		case StateFiltered:
+			filtered++
+		}
+	}
+	if open == 0 || closed == 0 || filtered == 0 {
+		t.Fatalf("state mix degenerate: open=%d closed=%d filtered=%d", open, closed, filtered)
+	}
+	// Dark space dominates filtered; live hosts without web dominate closed.
+	if filtered < 500 {
+		t.Errorf("filtered = %d, expected dark space", filtered)
+	}
+}
+
+func TestSimBackendUDP(t *testing.T) {
+	net, err := campus.NewNetwork(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &SimBackend{Net: net}
+	now := net.Config().Start
+	var open, closed, silent int
+	for _, a := range net.Plan().ProbeTargets() {
+		switch b.ProbeUDP(now, a, campus.UDPPortDNS) {
+		case UDPOpen:
+			open++
+		case UDPClosed:
+			closed++
+		case UDPNoResponse:
+			silent++
+		}
+	}
+	if open == 0 {
+		t.Error("no generic-reply DNS servers found")
+	}
+	if closed == 0 {
+		t.Error("no ICMP port-unreachable responses")
+	}
+	if silent == 0 {
+		t.Error("no silent addresses")
+	}
+}
+
+func TestSimScannerSweep(t *testing.T) {
+	cfg := testConfig()
+	net, err := campus.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(cfg.Start)
+	sc := NewSimScanner(&SimBackend{Net: net}, eng, ScanConfig{
+		Targets:  net.Plan().ProbeTargets(),
+		TCPPorts: campus.SelectedTCPPorts,
+		Rate:     15,
+		Shards:   2,
+	})
+	var rep *ScanReport
+	sc.Schedule(cfg.Start, func(r *ScanReport) { rep = r })
+	eng.RunUntil(cfg.Start.Add(24 * time.Hour))
+	if rep == nil {
+		t.Fatal("sweep did not complete")
+	}
+	wantProbes := len(net.Plan().ProbeTargets()) * len(campus.SelectedTCPPorts)
+	if len(rep.TCP) != wantProbes {
+		t.Errorf("probes = %d, want %d", len(rep.TCP), wantProbes)
+	}
+	// Sweep duration: probes / (rate × shards) seconds.
+	wantDur := time.Duration(float64(wantProbes) / 30 * float64(time.Second))
+	got := rep.Finished.Sub(rep.Started)
+	if got < wantDur-2*time.Second || got > wantDur+2*time.Second {
+		t.Errorf("sweep took %v, want ~%v", got, wantDur)
+	}
+	if rep.OpenAddrs().Len() == 0 {
+		t.Error("sweep found no servers")
+	}
+}
+
+func TestSimScannerFindsAlwaysUpServers(t *testing.T) {
+	cfg := testConfig()
+	net, err := campus.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(cfg.Start)
+	sc := NewSimScanner(&SimBackend{Net: net}, eng, ScanConfig{
+		Targets:  net.Plan().ProbeTargets(),
+		TCPPorts: campus.SelectedTCPPorts,
+		Rate:     100,
+	})
+	var rep *ScanReport
+	sc.Schedule(cfg.Start, func(r *ScanReport) { rep = r })
+	eng.RunUntil(cfg.Start.Add(12 * time.Hour))
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	found := rep.OpenAddrs()
+
+	missed := 0
+	total := 0
+	for _, h := range net.Hosts() {
+		if h.Class != campus.ClassStatic || !h.AlwaysUp || !h.Attached() {
+			continue
+		}
+		visible := false
+		for _, s := range h.Services {
+			if s.Proto == 6 && !s.StealthFW {
+				visible = true
+			}
+		}
+		if !visible {
+			continue
+		}
+		total++
+		if !found.Contains(h.Addr()) {
+			missed++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no probe-visible servers")
+	}
+	if missed > 0 {
+		t.Errorf("scan missed %d/%d always-up probe-visible servers", missed, total)
+	}
+}
+
+func TestScheduleEvery(t *testing.T) {
+	cfg := testConfig()
+	net, err := campus.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(cfg.Start)
+	sc := NewSimScanner(&SimBackend{Net: net}, eng, ScanConfig{
+		Targets:  net.Plan().ProbeTargets()[:200],
+		TCPPorts: []uint16{campus.PortHTTP},
+		Rate:     100,
+	})
+	var reports []*ScanReport
+	sc.ScheduleEvery(cfg.Start, 12*time.Hour, 4, func(r *ScanReport) {
+		reports = append(reports, r)
+	})
+	eng.RunUntil(cfg.Start.Add(72 * time.Hour))
+	if len(reports) != 4 {
+		t.Fatalf("got %d sweeps, want 4", len(reports))
+	}
+	for i, r := range reports {
+		if r.ID != i {
+			t.Errorf("report %d has ID %d", i, r.ID)
+		}
+	}
+	gap := reports[1].Started.Sub(reports[0].Started)
+	if gap != 12*time.Hour {
+		t.Errorf("sweep gap = %v", gap)
+	}
+}
+
+func TestNetBackendAgainstLocalListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip("cannot listen on loopback:", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	_, portStr, _ := net.SplitHostPort(ln.Addr().String())
+	port64, _ := strconv.ParseUint(portStr, 10, 16)
+	port := uint16(port64)
+
+	b := &NetBackend{Timeout: 2 * time.Second}
+	lo := netaddr.MustParseV4("127.0.0.1")
+	if got := b.ProbeTCP(time.Now(), lo, port); got != StateOpen {
+		t.Errorf("listening port = %v, want open", got)
+	}
+	// A port with (very likely) nothing on it: the listener's port ^ 1 is
+	// not guaranteed free, so probe a second allocated-then-closed port.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip(err)
+	}
+	_, p2Str, _ := net.SplitHostPort(ln2.Addr().String())
+	p264, _ := strconv.ParseUint(p2Str, 10, 16)
+	ln2.Close()
+	if got := b.ProbeTCP(time.Now(), lo, uint16(p264)); got != StateClosed {
+		t.Errorf("closed port = %v, want closed", got)
+	}
+}
+
+func TestNetBackendUDPClosedPort(t *testing.T) {
+	// Grab a UDP port then release it; loopback refusals surface as ICMP.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skip(err)
+	}
+	_, portStr, _ := net.SplitHostPort(pc.LocalAddr().String())
+	p64, _ := strconv.ParseUint(portStr, 10, 16)
+	pc.Close()
+
+	b := &NetBackend{Timeout: time.Second}
+	got := b.ProbeUDP(time.Now(), netaddr.MustParseV4("127.0.0.1"), uint16(p64))
+	// Either closed (ICMP surfaced) or no-response (platform swallowed it).
+	if got == UDPOpen {
+		t.Errorf("closed UDP port reported open")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateOpen.String() != "open" || StateClosed.String() != "closed" || StateFiltered.String() != "filtered" {
+		t.Error("TCP state names wrong")
+	}
+	if UDPOpen.String() != "open" || UDPClosed.String() != "closed" || UDPNoResponse.String() != "no-response" {
+		t.Error("UDP state names wrong")
+	}
+}
+
+func BenchmarkSimProbeTCP(b *testing.B) {
+	net, err := campus.NewNetwork(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend := &SimBackend{Net: net}
+	now := net.Config().Start
+	targets := net.Plan().ProbeTargets()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		backend.ProbeTCP(now, targets[i%len(targets)], campus.PortHTTP)
+	}
+}

@@ -1,0 +1,183 @@
+// Package sim provides the discrete-event simulation engine underneath the
+// campus model: a virtual clock, an event scheduler, and periodic-process
+// helpers.
+//
+// The engine is deliberately single-threaded — events execute in strict
+// timestamp order (ties broken by scheduling order), which combined with
+// the deterministic RNG in internal/stats makes every experiment exactly
+// reproducible. Sweeping 18 simulated days of campus traffic executes in
+// well under a second of wall time, so there is nothing to win from
+// parallelism and a great deal of reproducibility to lose.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now time.Time)
+
+type scheduled struct {
+	at  time.Time
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  Event
+	idx int
+	// canceled events stay in the heap but are skipped on pop.
+	canceled bool
+}
+
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	s := x.(*scheduled)
+	s.idx = len(*q)
+	*q = append(*q, s)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return s
+}
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct{ s *scheduled }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.s != nil {
+		h.s.canceled = true
+	}
+}
+
+// Engine is the event loop. The zero value is unusable; construct with New.
+type Engine struct {
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	// processed counts executed (non-canceled) events, exposed for tests
+	// and progress reporting.
+	processed uint64
+}
+
+// New returns an engine whose clock starts at the given time.
+func New(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Processed returns how many events have executed.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns how many events are queued (including canceled ones not
+// yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at the absolute time at. Scheduling in the past (before
+// the current virtual time) panics: it indicates a model bug that would
+// otherwise silently reorder causality.
+func (e *Engine) At(at time.Time, fn Event) Handle {
+	if at.Before(e.now) {
+		panic("sim: scheduling event in the past")
+	}
+	s := &scheduled{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, s)
+	return Handle{s: s}
+}
+
+// After schedules fn at now+d.
+func (e *Engine) After(d time.Duration, fn Event) Handle {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Every schedules fn at start and then every interval thereafter, until the
+// returned handle is canceled. fn observes the firing time.
+func (e *Engine) Every(start time.Time, interval time.Duration, fn Event) *Ticker {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.handle = e.At(start, t.fire)
+	return t
+}
+
+// Ticker repeats an event at a fixed interval.
+type Ticker struct {
+	engine   *Engine
+	interval time.Duration
+	fn       Event
+	handle   Handle
+	stopped  bool
+}
+
+func (t *Ticker) fire(now time.Time) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if !t.stopped {
+		t.handle = t.engine.At(now.Add(t.interval), t.fire)
+	}
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is after the deadline. The clock lands on the deadline afterwards,
+// so subsequent After() calls measure from the end of the run.
+func (e *Engine) RunUntil(deadline time.Time) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at.After(deadline) {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		next.fn(e.now)
+	}
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+}
+
+// Run executes every queued event (including ones scheduled while running)
+// until the queue drains. Use RunUntil for open-ended processes like
+// tickers, which would otherwise run forever.
+func (e *Engine) Run() {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*scheduled)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		next.fn(e.now)
+	}
+}

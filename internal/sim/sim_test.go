@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(t0)
+	var order []int
+	e.After(3*time.Second, func(time.Time) { order = append(order, 3) })
+	e.After(1*time.Second, func(time.Time) { order = append(order, 1) })
+	e.After(2*time.Second, func(time.Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := New(t0)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(t0.Add(time.Second), func(time.Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New(t0)
+	var seen time.Time
+	e.After(5*time.Minute, func(now time.Time) { seen = now })
+	e.Run()
+	if !seen.Equal(t0.Add(5 * time.Minute)) {
+		t.Errorf("event time = %v", seen)
+	}
+	if !e.Now().Equal(t0.Add(5 * time.Minute)) {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(t0)
+	e.After(time.Hour, func(time.Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	e.At(t0, func(time.Time) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New(t0)
+	fired := false
+	h := e.After(time.Second, func(time.Time) { fired = true })
+	h.Cancel()
+	h.Cancel() // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if e.Processed() != 0 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New(t0)
+	count := 0
+	var chain func(now time.Time)
+	chain = func(now time.Time) {
+		count++
+		if count < 5 {
+			e.After(time.Second, chain)
+		}
+	}
+	e.After(time.Second, chain)
+	e.Run()
+	if count != 5 {
+		t.Errorf("count = %d", count)
+	}
+	if !e.Now().Equal(t0.Add(5 * time.Second)) {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	e := New(t0)
+	var fired []time.Time
+	tick := e.Every(t0.Add(time.Hour), time.Hour, func(now time.Time) {
+		fired = append(fired, now)
+	})
+	deadline := t0.Add(3*time.Hour + 30*time.Minute)
+	e.RunUntil(deadline)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d times", len(fired))
+	}
+	if !e.Now().Equal(deadline) {
+		t.Errorf("Now = %v, want deadline", e.Now())
+	}
+	tick.Stop()
+	e.RunUntil(t0.Add(10 * time.Hour))
+	if len(fired) != 3 {
+		t.Errorf("ticker fired after Stop: %d", len(fired))
+	}
+}
+
+func TestTickerInterval(t *testing.T) {
+	e := New(t0)
+	var times []time.Time
+	e.Every(t0, 12*time.Hour, func(now time.Time) { times = append(times, now) })
+	e.RunUntil(t0.Add(48 * time.Hour))
+	if len(times) != 5 { // t0, +12h, +24h, +36h, +48h
+		t.Fatalf("fired %d times: %v", len(times), times)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i].Sub(times[i-1]) != 12*time.Hour {
+			t.Errorf("interval %d = %v", i, times[i].Sub(times[i-1]))
+		}
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	e := New(t0)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(t0, time.Second, func(now time.Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New(t0)
+	e.After(time.Second, func(time.Time) {})
+	e.After(2*time.Second, func(time.Time) {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Errorf("Pending after Run = %d", e.Pending())
+	}
+}
+
+func TestEveryPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive interval")
+		}
+	}()
+	New(t0).Every(t0, 0, func(time.Time) {})
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New(t0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Millisecond, func(time.Time) {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRanksInRange(t *testing.T) {
+	z := NewZipf(NewRNG(1), 1.0, 100)
+	for i := 0; i < 10000; i++ {
+		r := z.Rank()
+		if r < 1 || r > 100 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestZipfHeavyTail(t *testing.T) {
+	// With s=1.0 over 1000 ranks, rank 1 should receive ~13% of mass and the
+	// top 10 ranks roughly 40%.
+	z := NewZipf(NewRNG(2), 1.0, 1000)
+	const trials = 200000
+	top1, top10 := 0, 0
+	for i := 0; i < trials; i++ {
+		r := z.Rank()
+		if r == 1 {
+			top1++
+		}
+		if r <= 10 {
+			top10++
+		}
+	}
+	p1 := float64(top1) / trials
+	p10 := float64(top10) / trials
+	if p1 < 0.10 || p1 > 0.17 {
+		t.Errorf("P(rank 1) = %v", p1)
+	}
+	if p10 < 0.35 || p10 > 0.45 {
+		t.Errorf("P(rank<=10) = %v", p10)
+	}
+}
+
+func TestZipfWeightMatchesSampling(t *testing.T) {
+	z := NewZipf(NewRNG(3), 1.2, 50)
+	var total float64
+	for k := 1; k <= 50; k++ {
+		total += z.Weight(k)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("weights sum to %v", total)
+	}
+	if z.Weight(0) != 0 || z.Weight(51) != 0 {
+		t.Error("out-of-range Weight should be 0")
+	}
+	if z.Weight(1) <= z.Weight(2) {
+		t.Error("weights not decreasing")
+	}
+}
+
+func TestZipfWeightsHelper(t *testing.T) {
+	w := ZipfWeights(1.0, 10)
+	if len(w) != 10 {
+		t.Fatalf("len = %d", len(w))
+	}
+	var sum float64
+	for i, v := range w {
+		sum += v
+		if i > 0 && v >= w[i-1] {
+			t.Error("weights not strictly decreasing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(NewRNG(1), 1, 0) },
+		func() { NewZipf(NewRNG(1), 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	p := NewPareto(NewRNG(5), 1.2, 10, 1000)
+	for i := 0; i < 10000; i++ {
+		v := p.Sample()
+		if v < 10-1e-9 || v > 1000+1e-9 {
+			t.Fatalf("Pareto sample %v out of bounds", v)
+		}
+	}
+}
+
+func TestParetoSkew(t *testing.T) {
+	p := NewPareto(NewRNG(6), 1.5, 1, 10000)
+	const trials = 100000
+	below := 0
+	for i := 0; i < trials; i++ {
+		if p.Sample() < 10 {
+			below++
+		}
+	}
+	// Heavy-tailed: the vast majority of samples sit near the low bound.
+	if frac := float64(below) / trials; frac < 0.9 {
+		t.Errorf("only %v of samples below 10", frac)
+	}
+}
+
+func TestDiurnalProfile(t *testing.T) {
+	p := DefaultDiurnal()
+	if p.At(12) <= p.At(3) {
+		t.Error("midday should exceed 3am")
+	}
+	// Interpolation: value at 12.5 between buckets 12 and 13.
+	v := p.At(12.5)
+	lo, hi := math.Min(p[12], p[13]), math.Max(p[12], p[13])
+	if v < lo-1e-9 || v > hi+1e-9 {
+		t.Errorf("At(12.5) = %v outside [%v,%v]", v, lo, hi)
+	}
+	// Wrap-around and negative hours.
+	if p.At(36) != p.At(12) {
+		t.Error("At should wrap at 24h")
+	}
+	if math.Abs(p.At(-12)-p.At(12)) > 1e-9 {
+		t.Error("negative hours should wrap")
+	}
+}
+
+func TestFlatDiurnal(t *testing.T) {
+	p := FlatDiurnal()
+	for h := 0.0; h < 24; h += 0.5 {
+		if p.At(h) != 1 {
+			t.Fatalf("flat profile At(%v) = %v", h, p.At(h))
+		}
+	}
+	if p.Mean() != 1 {
+		t.Errorf("Mean = %v", p.Mean())
+	}
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	z := NewZipf(NewRNG(1), 1.0, 3000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = z.Rank()
+	}
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := NewRNG(7)
+	x := root.Derive("traffic")
+	y := root.Derive("scanner")
+	x2 := NewRNG(7).Derive("traffic")
+	for i := 0; i < 100; i++ {
+		if x.Uint64() != x2.Uint64() {
+			t.Fatal("same-name derivation not reproducible")
+		}
+	}
+	// Different names should give (overwhelmingly) different streams.
+	z := NewRNG(7).Derive("traffic")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if y.Uint64() == z.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams correlated: %d/100 equal", same)
+	}
+}
+
+func TestDeriveDoesNotConsumeParent(t *testing.T) {
+	a := NewRNG(5)
+	b := NewRNG(5)
+	a.Derive("x")
+	a.Derive("y")
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Derive consumed parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := NewRNG(13)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", got)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(17)
+	const mean, trials = 5.0, 200000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	got := sum / trials
+	if math.Abs(got-mean) > 0.1 {
+		t.Errorf("Exp mean = %v, want %v", got, mean)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(19)
+	for _, mean := range []float64{0.5, 3, 20, 100} {
+		const trials = 50000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / trials
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(23)
+	const trials = 200000
+	var sum, sq float64
+	for i := 0; i < trials; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / trials
+	variance := sq/trials - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Errorf("Norm variance = %v", variance)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(29)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm invalid at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(31)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("Pick chose zero-weight element %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("Pick ratio = %v, want 3", ratio)
+	}
+}
+
+func TestPickPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with zero weights did not panic")
+		}
+	}()
+	NewRNG(1).Pick([]float64{0, 0})
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkPoisson(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(8)
+	}
+}

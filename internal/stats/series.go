@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Point is one sample of a time series: a timestamp and a value.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is an append-mostly time series with helpers for the cumulative
+// discovery curves the paper plots. Points need not arrive in order; Sort
+// (or any accessor that requires order) normalizes.
+type Series struct {
+	Name   string
+	pts    []Point
+	sorted bool
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{Name: name, sorted: true}
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Time, v float64) {
+	if n := len(s.pts); s.sorted && n > 0 && s.pts[n-1].T.After(t) {
+		s.sorted = false
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.pts) }
+
+// Sort orders samples by time (stable for equal timestamps).
+func (s *Series) Sort() {
+	if !s.sorted {
+		sort.SliceStable(s.pts, func(i, j int) bool { return s.pts[i].T.Before(s.pts[j].T) })
+		s.sorted = true
+	}
+}
+
+// Points returns the ordered samples. The returned slice is owned by the
+// series; callers must not mutate it.
+func (s *Series) Points() []Point {
+	s.Sort()
+	return s.pts
+}
+
+// At returns the value in effect at time t (the most recent sample at or
+// before t), or 0 if t precedes the first sample. This treats the series as
+// a step function, which matches cumulative-count semantics.
+func (s *Series) At(t time.Time) float64 {
+	s.Sort()
+	i := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T.After(t) })
+	if i == 0 {
+		return 0
+	}
+	return s.pts[i-1].V
+}
+
+// Last returns the final value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	s.Sort()
+	if len(s.pts) == 0 {
+		return 0
+	}
+	return s.pts[len(s.pts)-1].V
+}
+
+// FirstReaching returns the earliest time the series value is >= v, and
+// ok=false if it never reaches it. Used for "time to find 99% of
+// flow-weighted servers" style questions (Figure 1).
+func (s *Series) FirstReaching(v float64) (time.Time, bool) {
+	s.Sort()
+	for _, p := range s.pts {
+		if p.V >= v {
+			return p.T, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Scale returns a copy with every value multiplied by f (e.g. to convert
+// counts to percent-of-union).
+func (s *Series) Scale(f float64) *Series {
+	out := NewSeries(s.Name)
+	for _, p := range s.Points() {
+		out.Add(p.T, p.V*f)
+	}
+	return out
+}
+
+// Resample returns the series sampled at fixed steps across [from, to],
+// carrying values forward. Handy for aligning several discovery curves on
+// one time base before printing a figure.
+func (s *Series) Resample(from, to time.Time, step time.Duration) *Series {
+	if step <= 0 {
+		panic("stats: Resample with non-positive step")
+	}
+	out := NewSeries(s.Name)
+	for t := from; !t.After(to); t = t.Add(step) {
+		out.Add(t, s.At(t))
+	}
+	return out
+}
+
+// Counter accumulates integer counts keyed by string, with deterministic
+// ordered output. It backs the summary tables.
+type Counter struct {
+	m map[string]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{m: make(map[string]int)} }
+
+// Inc adds delta to key.
+func (c *Counter) Inc(key string, delta int) { c.m[key] += delta }
+
+// Get returns the count for key (0 if absent).
+func (c *Counter) Get(key string) int { return c.m[key] }
+
+// Keys returns all keys in sorted order.
+func (c *Counter) Keys() []string {
+	ks := make([]string, 0, len(c.m))
+	for k := range c.m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Total sums all counts.
+func (c *Counter) Total() int {
+	t := 0
+	for _, v := range c.m {
+		t += v
+	}
+	return t
+}
+
+// Percent formats v as a percentage of total in the paper's style:
+// two significant digits ("19%", "2.3%", "0.39%").
+func Percent(v, total int) string {
+	if total == 0 {
+		return "n/a"
+	}
+	p := 100 * float64(v) / float64(total)
+	switch {
+	case p >= 10:
+		return fmt.Sprintf("%.0f%%", p)
+	case p >= 1:
+		return fmt.Sprintf("%.1f%%", p)
+	default:
+		return fmt.Sprintf("%.2f%%", p)
+	}
+}

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+var tRef = time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+
+func testPackets(t *testing.T, n int) [][]byte {
+	t.Helper()
+	b := packet.NewBuilder(0)
+	src := netaddr.MustParseV4("128.125.1.1")
+	dst := netaddr.MustParseV4("66.35.250.150")
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		p := b.Syn(tRef.Add(time.Duration(i)*time.Second),
+			packet.Endpoint{Addr: src, Port: uint16(40000 + i)},
+			packet.Endpoint{Addr: dst, Port: 80}, uint32(i))
+		out = append(out, p.Marshal())
+	}
+	return out
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	pkts := testPackets(t, 5)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRaw, 0)
+	for i, d := range pkts {
+		if err := w.WritePacket(tRef.Add(time.Duration(i)*time.Second), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, rec := range recs {
+		if !rec.Time.Equal(tRef.Add(time.Duration(i) * time.Second)) {
+			t.Errorf("rec %d time = %v", i, rec.Time)
+		}
+		if rec.OrigLen != len(pkts[i]) {
+			t.Errorf("rec %d origlen = %d, want %d", i, rec.OrigLen, len(pkts[i]))
+		}
+		// 40-byte SYN fits under the default 64-byte snap length.
+		if rec.Truncated {
+			t.Errorf("rec %d unexpectedly truncated", i)
+		}
+		if !bytes.Equal(rec.Data, pkts[i]) {
+			t.Errorf("rec %d data mismatch", i)
+		}
+		// Decoded packet must parse.
+		if _, err := packet.DecodeIP(rec.Data, rec.Time); err != nil {
+			t.Errorf("rec %d decode: %v", i, err)
+		}
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRaw, 32)
+	data := bytes.Repeat([]byte{0xAA}, 100)
+	if err := w.WritePacket(tRef, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 32 || rec.OrigLen != 100 || !rec.Truncated {
+		t.Errorf("rec = %d bytes, orig %d, truncated %v", len(rec.Data), rec.OrigLen, rec.Truncated)
+	}
+}
+
+func TestEmptyTraceIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet, 0)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next on empty = %v, want EOF", err)
+	}
+}
+
+func TestReadSwappedByteOrder(t *testing.T) {
+	// Hand-build a little-endian pcap (as written on x86 by classic tools).
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	hdr := make([]byte, 24)
+	le.PutUint32(hdr[0:4], 0xA1B2C3D4)
+	le.PutUint16(hdr[4:6], 2)
+	le.PutUint16(hdr[6:8], 4)
+	le.PutUint32(hdr[16:20], 65535)
+	le.PutUint32(hdr[20:24], uint32(LinkTypeRaw))
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	le.PutUint32(rec[0:4], uint32(tRef.Unix()))
+	le.PutUint32(rec[4:8], 123456)
+	le.PutUint32(rec[8:12], 3)
+	le.PutUint32(rec[12:16], 3)
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time.Unix() != tRef.Unix() || len(got.Data) != 3 {
+		t.Errorf("swapped read = %+v", got)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewReader(bytes.Repeat([]byte{0x42}, 24))
+	if _, err := NewReader(buf); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedFileHeader(t *testing.T) {
+	buf := bytes.NewReader([]byte{0xA1, 0xB2})
+	if _, err := NewReader(buf); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncatedRecordBody(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRaw, 0)
+	if err := w.WritePacket(tRef, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop two bytes off the final record body.
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptCapLen(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRaw, 64)
+	if err := w.WritePacket(tRef, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// caplen field (offset 24+8) claims more than snaplen.
+	binary.BigEndian.PutUint32(raw[32:36], 9999)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadAllStopsAtError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeRaw, 0)
+	for i := 0; i < 3; i++ {
+		if err := w.WritePacket(tRef, []byte{byte(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err == nil {
+		t.Fatal("expected error from truncated tail")
+	}
+	if len(recs) != 2 {
+		t.Errorf("got %d complete records before error", len(recs))
+	}
+}
+
+func BenchmarkWritePacket(b *testing.B) {
+	data := bytes.Repeat([]byte{0xAB}, 40)
+	w := NewWriter(io.Discard, LinkTypeRaw, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WritePacket(tRef, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package traffic generates the border traffic the passive monitor
+// observes: external client flows to campus services (heavy-tailed
+// popularity, diurnal modulation), UDP service traffic, and external
+// scanners sweeping the address space — the "unexpected ally" of passive
+// discovery the paper analyzes in Section 4.3.
+//
+// The generator runs on the simulation engine and emits synthesized
+// packets, in timestamp order, to one or more Sinks (capture taps). Only
+// traffic that crosses the campus border is emitted: internal-only
+// services (NetBIOS, most MySQL) produce nothing here, which is exactly
+// why passive monitoring misses them.
+package traffic
+
+import (
+	"time"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/sim"
+	"servdisc/internal/stats"
+)
+
+// Sink receives border packets in time order.
+type Sink interface {
+	HandlePacket(p *packet.Packet)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(p *packet.Packet)
+
+// HandlePacket implements Sink.
+func (f SinkFunc) HandlePacket(p *packet.Packet) { f(p) }
+
+// Generator drives workload creation for one campus network.
+type Generator struct {
+	net   *campus.Network
+	eng   *sim.Engine
+	rng   *stats.RNG
+	bld   *packet.Builder
+	sinks []Sink
+
+	// reusable scratch for hourly enumeration.
+	scratch []campus.ServiceInstance
+
+	// stats, exposed for tests and reporting.
+	FlowsEmitted  int
+	ScansLaunched int
+}
+
+// NewGenerator wires a generator to the network and engine and schedules
+// the traffic processes (hourly flow generation, configured big scans,
+// Poisson small-scanner arrivals).
+func NewGenerator(net *campus.Network, eng *sim.Engine, sinks ...Sink) *Generator {
+	g := &Generator{
+		net:   net,
+		eng:   eng,
+		rng:   stats.NewRNG(net.Config().Seed).Derive("traffic"),
+		bld:   packet.NewBuilder(0),
+		sinks: sinks,
+	}
+	cfg := net.Config()
+	eng.Every(cfg.Start, time.Hour, g.generateHour)
+	for i, sc := range cfg.BigScans {
+		sc := sc
+		src := g.scannerAddr(i)
+		eng.At(cfg.Start.Add(sc.StartOffset), func(now time.Time) {
+			g.launchScan(now, src, sc.Port, sc.Coverage, 0)
+		})
+	}
+	if cfg.SmallScannersPerDay > 0 {
+		g.scheduleNextSmallScan()
+	}
+	return g
+}
+
+func (g *Generator) emit(p *packet.Packet) {
+	for _, s := range g.sinks {
+		s.HandlePacket(p)
+	}
+}
+
+// scannerAddr synthesizes a distinct external source for scanner i.
+func (g *Generator) scannerAddr(i int) netaddr.V4 {
+	return netaddr.MustParseV4("211.0.0.0") + netaddr.V4(i*257+1)
+}
+
+// generateHour draws this hour's flow arrivals for every active service and
+// schedules each handshake at its arrival instant.
+func (g *Generator) generateHour(now time.Time) {
+	cfg := g.net.Config()
+	hours := now.Sub(cfg.Start).Hours() + float64(cfg.Start.Hour())
+	mod := cfg.Diurnal.At(hours) / cfg.Diurnal.Mean()
+
+	g.scratch = g.net.ActiveServices(now, g.scratch[:0])
+	for _, inst := range g.scratch {
+		svc := inst.Svc
+		if svc.LocalOnly || (svc.BlockExternal && svc.Proto == packet.ProtoTCP) {
+			continue // never crosses the border
+		}
+		var mean float64
+		if svc.Popular {
+			mean = cfg.FlowsPerDay / 24 * cfg.PopularFlowShare * svc.PopularWeight * mod
+		} else {
+			mean = svc.RatePerDay / 24 * mod
+		}
+		n := g.rng.Poisson(mean)
+		for i := 0; i < n; i++ {
+			g.scheduleFlow(now, inst, time.Duration(g.rng.Float64()*float64(time.Hour)))
+		}
+	}
+}
+
+// scheduleFlow arranges one client flow to a service instance. The target
+// address is resolved again at fire time: transient hosts may have moved or
+// gone offline, in which case only the client's SYN crosses the wire.
+func (g *Generator) scheduleFlow(base time.Time, inst campus.ServiceInstance, after time.Duration) {
+	svc := inst.Svc
+	dstAddr := inst.Addr
+	client := g.pickClient(svc)
+	g.eng.At(base.Add(after), func(now time.Time) {
+		g.FlowsEmitted++
+		if svc.Proto == packet.ProtoUDP {
+			g.emitUDPExchange(now, client, dstAddr, svc.Port)
+			return
+		}
+		g.emitTCPHandshake(now, client, dstAddr, svc.Port, false)
+	})
+}
+
+func (g *Generator) pickClient(svc *campus.Service) netaddr.V4 {
+	if len(svc.Clients) > 0 {
+		return svc.Clients[g.rng.Intn(len(svc.Clients))]
+	}
+	clients := g.net.Clients()
+	return clients[g.rng.Intn(len(clients))]
+}
+
+// emitTCPHandshake synthesizes the client SYN and whatever the campus
+// answers (SYN-ACK, RST, or silence).
+func (g *Generator) emitTCPHandshake(now time.Time, src, dst netaddr.V4, port uint16, isProbe bool) {
+	sport := uint16(32768 + g.rng.Intn(28000))
+	seq := uint32(g.rng.Uint64())
+	cli := packet.Endpoint{Addr: src, Port: sport}
+	srv := packet.Endpoint{Addr: dst, Port: port}
+	g.emit(g.bld.Syn(now, cli, srv, seq))
+	switch g.net.RespondTCP(now, src, dst, port, isProbe) {
+	case campus.TCPSynAck:
+		g.emit(g.bld.SynAck(now.Add(500*time.Microsecond), srv, cli, uint32(g.rng.Uint64()), seq+1))
+	case campus.TCPRst:
+		g.emit(g.bld.Rst(now.Add(500*time.Microsecond), srv, cli, seq+1))
+	}
+}
+
+// emitUDPExchange synthesizes a UDP request and, for services that answer
+// externally, the reply sourced from the well-known port — the evidence
+// passive UDP discovery keys on.
+func (g *Generator) emitUDPExchange(now time.Time, src, dst netaddr.V4, port uint16) {
+	sport := uint16(32768 + g.rng.Intn(28000))
+	cli := packet.Endpoint{Addr: src, Port: sport}
+	srv := packet.Endpoint{Addr: dst, Port: port}
+	g.emit(g.bld.UDPPacket(now, cli, srv, []byte("request")))
+	if h, ok := g.net.HostAt(dst); ok && h.UpAt(now) {
+		if svc := h.ServiceOn(packet.ProtoUDP, port); svc != nil && !svc.LocalOnly {
+			g.emit(g.bld.UDPPacket(now.Add(500*time.Microsecond), srv, cli, []byte("reply")))
+		}
+	}
+}
+
+// scheduleNextSmallScan arms the Poisson arrival of partial-space scanners.
+func (g *Generator) scheduleNextSmallScan() {
+	cfg := g.net.Config()
+	gap := g.rng.Exp(24 / cfg.SmallScannersPerDay)
+	g.eng.After(time.Duration(gap*float64(time.Hour)), func(now time.Time) {
+		port := g.pickScanPort()
+		span := cfg.SmallScanMinAddrs
+		if cfg.SmallScanMaxAddrs > span {
+			span += g.rng.Intn(cfg.SmallScanMaxAddrs - span)
+		}
+		total := g.net.Plan().Total()
+		startOff := 0
+		if total > span {
+			startOff = g.rng.Intn(total - span)
+		}
+		src := g.scannerAddr(100 + g.ScansLaunched)
+		g.launchScanWindow(now, src, port, startOff, span)
+		g.scheduleNextSmallScan()
+	})
+}
+
+// pickScanPort mirrors what 2006-era scanners hunted: mostly web and ssh,
+// sometimes ftp or mysql.
+func (g *Generator) pickScanPort() uint16 {
+	ports := []uint16{campus.PortHTTP, campus.PortHTTP, campus.PortSSH, campus.PortSSH,
+		campus.PortFTP, campus.PortMySQL, campus.PortHTTPS}
+	return ports[g.rng.Intn(len(ports))]
+}
+
+// launchScan sweeps coverage×space from a given external source.
+func (g *Generator) launchScan(now time.Time, src netaddr.V4, port uint16, coverage float64, startOff int) {
+	total := int(float64(g.net.Plan().Total()) * coverage)
+	g.launchScanWindow(now, src, port, startOff, total)
+}
+
+// launchScanWindow walks span consecutive addresses starting at offset
+// startOff, pacing at the configured rate in one-second bursts.
+func (g *Generator) launchScanWindow(now time.Time, src netaddr.V4, port uint16, startOff, span int) {
+	g.ScansLaunched++
+	cfg := g.net.Config()
+	rate := int(cfg.ScanRatePerSec)
+	if rate <= 0 {
+		rate = 40
+	}
+	base := g.net.Plan().Base()
+	end := startOff + span
+	if max := g.net.Plan().Total(); end > max {
+		end = max
+	}
+	var burst func(now time.Time)
+	off := startOff
+	burst = func(now time.Time) {
+		for i := 0; i < rate && off < end; i++ {
+			dst := base + netaddr.V4(off)
+			off++
+			g.emitTCPHandshake(now.Add(time.Duration(i)*time.Millisecond), src, dst, port, true)
+		}
+		if off < end {
+			g.eng.After(time.Second, burst)
+		}
+	}
+	burst(now)
+}

@@ -1,0 +1,289 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/packet"
+	"servdisc/internal/sim"
+)
+
+func testConfig() campus.Config {
+	c := campus.DefaultSemesterConfig()
+	c.StaticAddrs = 2048
+	c.DHCPAddrs = 256
+	c.WirelessAddrs = 128
+	c.PPPAddrs = 128
+	c.VPNAddrs = 64
+	c.StaticSubnets = 8
+	c.StaticLiveHosts = 500
+	c.StaticServers = 300
+	c.PopularServers = 8
+	c.StealthFirewalled = 6
+	c.ServerDeaths = 2
+	c.DHCPHosts = 120
+	c.PPPHosts = 50
+	c.VPNHosts = 30
+	c.WirelessHosts = 40
+	c.ClientPool = 2000
+	c.FlowsPerDay = 20000
+	c.UDP.DNSServers = 12
+	c.UDP.DNSGenericReply = 7
+	c.UDP.WindowsHosts = 150
+	c.UDP.NetBIOSGenericReply = 5
+	c.UDP.NetBIOSLeaks = 2
+	c.BigScans = []campus.ScanConfig{
+		{StartOffset: 6 * time.Hour, Port: campus.PortHTTP, Coverage: 1.0},
+	}
+	c.SmallScannersPerDay = 2
+	c.SmallScanMinAddrs = 100
+	c.SmallScanMaxAddrs = 500
+	return c
+}
+
+type collector struct {
+	pkts []*packet.Packet
+}
+
+func (c *collector) HandlePacket(p *packet.Packet) { c.pkts = append(c.pkts, p) }
+
+func runDay(t *testing.T, cfg campus.Config, hours int) (*campus.Network, *Generator, *collector) {
+	t.Helper()
+	net, err := campus.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(cfg.Start)
+	campus.NewDynamics(net, eng)
+	col := &collector{}
+	gen := NewGenerator(net, eng, col)
+	eng.RunUntil(cfg.Start.Add(time.Duration(hours) * time.Hour))
+	return net, gen, col
+}
+
+func TestTrafficFlowsGenerated(t *testing.T) {
+	_, gen, col := runDay(t, testConfig(), 12)
+	if gen.FlowsEmitted < 5000 {
+		t.Errorf("only %d flows in 12h at 20k/day", gen.FlowsEmitted)
+	}
+	if len(col.pkts) < 2*gen.FlowsEmitted {
+		t.Errorf("%d packets for %d flows: handshakes missing", len(col.pkts), gen.FlowsEmitted)
+	}
+}
+
+func TestPacketsInTimeOrder(t *testing.T) {
+	_, _, col := runDay(t, testConfig(), 8)
+	for i := 1; i < len(col.pkts); i++ {
+		if col.pkts[i].Timestamp.Before(col.pkts[i-1].Timestamp.Add(-time.Millisecond * 20)) {
+			t.Fatalf("packet %d out of order: %v after %v", i,
+				col.pkts[i].Timestamp, col.pkts[i-1].Timestamp)
+		}
+	}
+}
+
+func TestPopularServersDominate(t *testing.T) {
+	net, _, col := runDay(t, testConfig(), 12)
+	popular := map[uint32]bool{}
+	for _, h := range net.Hosts() {
+		for _, s := range h.Services {
+			if s.Popular {
+				popular[uint32(h.Addr())] = true
+			}
+		}
+	}
+	popFlows, allFlows := 0, 0
+	for _, p := range col.pkts {
+		if p.Has(packet.LayerTypeTCP) && p.TCP.Flags.Has(packet.FlagSYN|packet.FlagACK) {
+			allFlows++
+			if popular[uint32(p.IPv4.Src)] {
+				popFlows++
+			}
+		}
+	}
+	if allFlows == 0 {
+		t.Fatal("no completed handshakes")
+	}
+	if frac := float64(popFlows) / float64(allFlows); frac < 0.9 {
+		t.Errorf("popular share of SYN-ACKs = %.2f, want > 0.9", frac)
+	}
+}
+
+// quietConfig removes all client traffic so only scan traffic remains.
+func quietConfig() campus.Config {
+	cfg := testConfig()
+	cfg.SmallScannersPerDay = 0
+	cfg.FlowsPerDay = 0
+	cfg.RareRateLoPerDay = 1e-9
+	cfg.RareRateHiPerDay = 2e-9
+	cfg.TransientRateLoPerDay = 1e-9
+	cfg.PPPRateLoPerDay = 1e-9
+	cfg.PPPRateHiPerDay = 2e-9
+	cfg.TransientRateHiPerDay = 2e-9
+	cfg.UDP.DNSQueriesPerDay = 0
+	cfg.UDP.GamePacketsPerDay = 0
+	return cfg
+}
+
+func TestBigScanEmitsSweep(t *testing.T) {
+	cfg := quietConfig()
+	net, gen, col := runDay(t, cfg, 10)
+	if gen.ScansLaunched != 1 {
+		t.Fatalf("ScansLaunched = %d", gen.ScansLaunched)
+	}
+	// Scanner traffic is identified by its source/destination in 211/8;
+	// residual client flows (stealth hosts' own clients, VPN users) are
+	// legitimate background and excluded.
+	scannerNet := func(a uint32) bool { return a>>24 == 211 }
+	syns, synacks, rsts := 0, 0, 0
+	for _, p := range col.pkts {
+		if !p.Has(packet.LayerTypeTCP) {
+			continue
+		}
+		switch {
+		case p.TCP.Flags.Has(packet.FlagSYN | packet.FlagACK):
+			if scannerNet(uint32(p.IPv4.Dst)) {
+				synacks++
+			}
+		case p.TCP.Flags.Has(packet.FlagSYN):
+			if scannerNet(uint32(p.IPv4.Src)) {
+				syns++
+				if p.TCP.DstPort != campus.PortHTTP {
+					t.Fatalf("scan SYN to port %d", p.TCP.DstPort)
+				}
+			}
+		case p.TCP.Flags.Has(packet.FlagRST):
+			if scannerNet(uint32(p.IPv4.Dst)) {
+				rsts++
+			}
+		}
+	}
+	if syns != net.Plan().Total() {
+		t.Errorf("scan SYNs = %d, want %d", syns, net.Plan().Total())
+	}
+	if synacks == 0 {
+		t.Error("scan revealed no servers")
+	}
+	if rsts < 100 {
+		t.Errorf("scan drew only %d RSTs; detector needs >=100", rsts)
+	}
+}
+
+func TestScanRevealsIdleServers(t *testing.T) {
+	// An idle web server (rate ~0) must appear in traffic only via the scan.
+	cfg := quietConfig()
+	cfg.SmallScannersPerDay = 0
+	net, _, col := runDay(t, cfg, 10)
+
+	webServers := map[uint32]bool{}
+	for _, h := range net.Hosts() {
+		if h.Class != campus.ClassStatic || !h.Attached() {
+			continue
+		}
+		if s := h.ServiceOn(packet.ProtoTCP, campus.PortHTTP); s != nil && !s.StealthFW && h.AlwaysUp {
+			webServers[uint32(h.Addr())] = true
+		}
+	}
+	seen := map[uint32]bool{}
+	for _, p := range col.pkts {
+		if p.Has(packet.LayerTypeTCP) && p.TCP.Flags.Has(packet.FlagSYN|packet.FlagACK) && p.TCP.SrcPort == campus.PortHTTP {
+			seen[uint32(p.IPv4.Src)] = true
+		}
+	}
+	found := 0
+	for a := range webServers {
+		if seen[a] {
+			found++
+		}
+	}
+	if len(webServers) == 0 {
+		t.Fatal("no web servers in population")
+	}
+	if frac := float64(found) / float64(len(webServers)); frac < 0.95 {
+		t.Errorf("scan revealed %.2f of idle web servers, want ~all", frac)
+	}
+}
+
+func TestStealthServersInvisibleToScan(t *testing.T) {
+	cfg := quietConfig()
+	net, _, col := runDay(t, cfg, 10)
+
+	stealth := map[uint32]uint16{}
+	for _, h := range net.Hosts() {
+		for _, s := range h.Services {
+			if s.StealthFW && h.Attached() {
+				stealth[uint32(h.Addr())] = s.Port
+			}
+		}
+	}
+	if len(stealth) == 0 {
+		t.Skip("no stealth hosts in this draw")
+	}
+	// Scanner sources live in 211/8; stealth client flows (their own
+	// authorized clients in 64/8) are legitimate and excluded here.
+	scannerNet := func(a uint32) bool { return a>>24 == 211 }
+	for _, p := range col.pkts {
+		if p.Has(packet.LayerTypeTCP) && p.TCP.Flags.Has(packet.FlagSYN|packet.FlagACK) && scannerNet(uint32(p.IPv4.Dst)) {
+			if port, ok := stealth[uint32(p.IPv4.Src)]; ok && p.TCP.SrcPort == port {
+				t.Fatalf("stealth server %v answered the scan", p.IPv4.Src)
+			}
+		}
+	}
+}
+
+func TestUDPTrafficVisible(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlowsPerDay = 0
+	cfg.BigScans = nil
+	cfg.SmallScannersPerDay = 0
+	_, _, col := runDay(t, cfg, 24)
+	fromDNS := 0
+	for _, p := range col.pkts {
+		if p.Has(packet.LayerTypeUDP) && p.UDP.SrcPort == campus.UDPPortDNS {
+			fromDNS++
+		}
+	}
+	if fromDNS == 0 {
+		t.Error("no DNS replies crossed the border in 24h")
+	}
+}
+
+func TestLocalOnlyServicesNeverEmit(t *testing.T) {
+	cfg := testConfig()
+	cfg.UDP.NetBIOSLeaks = 0 // all NetBIOS strictly local
+	_, _, col := runDay(t, cfg, 24)
+	for _, p := range col.pkts {
+		if p.Has(packet.LayerTypeUDP) && p.UDP.SrcPort == campus.UDPPortNetBIOS {
+			t.Fatal("local-only NetBIOS traffic crossed the border")
+		}
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	_, g1, c1 := runDay(t, testConfig(), 6)
+	_, g2, c2 := runDay(t, testConfig(), 6)
+	if g1.FlowsEmitted != g2.FlowsEmitted || len(c1.pkts) != len(c2.pkts) {
+		t.Fatalf("runs differ: %d/%d flows, %d/%d packets",
+			g1.FlowsEmitted, g2.FlowsEmitted, len(c1.pkts), len(c2.pkts))
+	}
+	for i := range c1.pkts {
+		a, b := c1.pkts[i], c2.pkts[i]
+		if !a.Timestamp.Equal(b.Timestamp) || a.IPv4.Src != b.IPv4.Src || a.IPv4.Dst != b.IPv4.Dst {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func BenchmarkGenerateDay(b *testing.B) {
+	cfg := testConfig()
+	for i := 0; i < b.N; i++ {
+		net, err := campus.NewNetwork(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.New(cfg.Start)
+		campus.NewDynamics(net, eng)
+		NewGenerator(net, eng, SinkFunc(func(*packet.Packet) {}))
+		eng.RunUntil(cfg.Start.Add(24 * time.Hour))
+	}
+}

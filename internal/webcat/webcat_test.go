@@ -1,0 +1,110 @@
+package webcat
+
+import (
+	"strings"
+	"testing"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/netaddr"
+)
+
+func TestCategorizeGeneratedPages(t *testing.T) {
+	// The categorizer must recover the category of every page the campus
+	// content generator produces.
+	c := DefaultCategorizer()
+	addr := netaddr.MustParseV4("128.125.7.9")
+	cases := []struct {
+		gen  campus.ContentCategory
+		want Category
+	}{
+		{campus.ContentCustom, Custom},
+		{campus.ContentDefault, Default},
+		{campus.ContentMinimal, Minimal},
+		{campus.ContentConfig, Config},
+		{campus.ContentDatabase, Database},
+		{campus.ContentRestricted, Restricted},
+	}
+	for _, tc := range cases {
+		body := campus.RenderRootPage(tc.gen, addr)
+		if got := c.Categorize(body); got != tc.want {
+			t.Errorf("Categorize(%v page) = %v, want %v", tc.gen, got, tc.want)
+		}
+	}
+}
+
+func TestCategorizeRealWorldSnippets(t *testing.T) {
+	c := DefaultCategorizer()
+	cases := []struct {
+		body string
+		want Category
+	}{
+		{"<html><body><h1>It works!</h1></body></html>", Default},
+		{"<title>Under Construction</title>", Default},
+		{"<h2>Printer Status: Ready</h2> JetDirect", Config},
+		{"<title>phpMyAdmin 2.6</title> Welcome to phpMyAdmin", Database},
+		{"401 Authorization Required", Restricted},
+		{"ok", Minimal},
+		{strings.Repeat("research results and data ", 20), Custom},
+	}
+	for _, tc := range cases {
+		if got := c.Categorize(tc.body); got != tc.want {
+			t.Errorf("Categorize(%.40q) = %v, want %v", tc.body, got, tc.want)
+		}
+	}
+}
+
+func TestMinMatchesThreshold(t *testing.T) {
+	sigs := []Signature{{
+		Name: "strict", Category: Config, MinMatches: 3,
+		Strings: []string{"alpha", "beta", "gamma", "delta"},
+	}}
+	c := NewCategorizer(sigs)
+	long := strings.Repeat("x", 200)
+	if got := c.Categorize("alpha beta " + long); got == Config {
+		t.Error("2 of 3 indicators should not match")
+	}
+	if got := c.Categorize("alpha beta gamma " + long); got != Config {
+		t.Errorf("3 of 3 = %v", got)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	c := DefaultCategorizer()
+	if got := c.Categorize("JETDIRECT printer status"); got != Config {
+		t.Errorf("uppercase body = %v", got)
+	}
+}
+
+func TestBestMatchWins(t *testing.T) {
+	// A page with one restricted indicator and four config indicators
+	// should categorize as config.
+	c := DefaultCategorizer()
+	body := "Device Status Firmware Version System Uptime SNMP password " +
+		strings.Repeat("pad ", 50)
+	if got := c.Categorize(body); got != Config {
+		t.Errorf("multi-signature page = %v", got)
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	names := map[Category]string{
+		Custom: "Custom content", Default: "Default content",
+		Minimal: "Minimal content", Config: "Config/status pages",
+		Database: "Database interface", Restricted: "Restricted content",
+		NoResponse: "No response",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q", c, c.String())
+		}
+	}
+}
+
+func BenchmarkCategorize(b *testing.B) {
+	c := DefaultCategorizer()
+	body := campus.RenderRootPage(campus.ContentConfig, netaddr.MustParseV4("128.125.1.1"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Categorize(body)
+	}
+}
