@@ -12,11 +12,23 @@ package servdisc
 // or a single artifact with e.g. -bench=BenchmarkTable2.
 
 import (
+	"context"
 	"io"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
+	"servdisc/internal/campus"
+	"servdisc/internal/capture"
+	"servdisc/internal/core"
 	"servdisc/internal/experiments"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
 	"servdisc/internal/report"
+	"servdisc/internal/sim"
+	"servdisc/internal/traffic"
 )
 
 func sem18(b *testing.B) *experiments.Dataset {
@@ -183,6 +195,148 @@ func BenchmarkFigure12(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchFigure(b, func() *report.Figure { return experiments.Figure12(ds) })
+}
+
+// Ingest benches: the same border stream pushed through the three ingest
+// paths — the legacy per-packet adapter, batched flow, and the sharded
+// discoverer with concurrent workers. Each reports packets/sec so the
+// batching and sharding wins are measured, not asserted.
+
+var (
+	ingestOnce   sync.Once
+	ingestCorpus []packet.Packet
+	ingestPfx    netaddr.Prefix
+)
+
+// ingestStream simulates two days of a mid-sized campus and captures the
+// monitored, paper-filtered border stream as one in-memory corpus.
+func ingestStream(b *testing.B) ([]packet.Packet, netaddr.Prefix) {
+	b.Helper()
+	ingestOnce.Do(func() {
+		cfg := campus.DefaultSemesterConfig()
+		cfg.FlowsPerDay = 100000
+		// Flow-dominated mix: with the address-space scans left in, the
+		// scan detector's per-scanner map growth dominates every variant
+		// equally and the dispatch-path difference disappears into it.
+		cfg.BigScans = nil
+		cfg.SmallScannersPerDay = 0
+		net, err := campus.NewNetwork(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.New(cfg.Start)
+		campus.NewDynamics(net, eng)
+		pfx, err := netaddr.NewPrefix(net.Plan().Base(), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ingestPfx = pfx
+		collect := pipeline.BatchFunc(func(batch []packet.Packet) {
+			ingestCorpus = append(ingestCorpus, batch...)
+		})
+		tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, collect)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, collect)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := capture.NewMonitor(capture.NewAssigner(pfx, net.AcademicClients()), tap1, tap2)
+		traffic.NewGenerator(net, eng, mon)
+		eng.RunUntil(cfg.Start.Add(48 * time.Hour))
+	})
+	return ingestCorpus, ingestPfx
+}
+
+// benchBatchSize is the batch granularity of the ingest benchmarks.
+const benchBatchSize = pipeline.DefaultBatchSize
+
+func reportPacketsPerSec(b *testing.B, pkts int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(pkts*b.N)/s, "pkts/s")
+	}
+}
+
+// resetIngestTimer stabilizes the heap so earlier benchmarks' garbage does
+// not tax later ones, then starts the clock.
+func resetIngestTimer(b *testing.B) {
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+}
+
+// ingestChain wires the standard monitor → tap → sink assembly over both
+// commercial links.
+func ingestChain(b *testing.B, pfx netaddr.Prefix, sink pipeline.BatchSink) *capture.Monitor {
+	b.Helper()
+	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return capture.NewMonitor(capture.NewAssigner(pfx, nil), tap1, tap2)
+}
+
+// BenchmarkIngestPerPacket is the legacy arrival model: every border
+// packet enters the monitor chain as its own HandlePacket call.
+func BenchmarkIngestPerPacket(b *testing.B) {
+	pkts, pfx := ingestStream(b)
+	resetIngestTimer(b)
+	for i := 0; i < b.N; i++ {
+		disc := core.NewPassiveDiscoverer(pfx, campus.SelectedUDPPorts)
+		mon := ingestChain(b, pfx, disc)
+		for j := range pkts {
+			mon.HandlePacket(&pkts[j])
+		}
+	}
+	reportPacketsPerSec(b, len(pkts))
+}
+
+// BenchmarkIngestBatched pushes the same stream through the same chain in
+// DefaultBatchSize batches, still single-threaded.
+func BenchmarkIngestBatched(b *testing.B) {
+	pkts, pfx := ingestStream(b)
+	resetIngestTimer(b)
+	for i := 0; i < b.N; i++ {
+		disc := core.NewPassiveDiscoverer(pfx, campus.SelectedUDPPorts)
+		mon := ingestChain(b, pfx, disc)
+		for off := 0; off < len(pkts); off += benchBatchSize {
+			end := off + benchBatchSize
+			if end > len(pkts) {
+				end = len(pkts)
+			}
+			mon.HandleBatch(pkts[off:end])
+		}
+	}
+	reportPacketsPerSec(b, len(pkts))
+}
+
+// BenchmarkIngestSharded feeds the batched chain into the 8-shard
+// discoverer with concurrent workers, including the final merge. The win
+// over Batched scales with cores (on a single-core host the extra queue
+// hop makes it a wash); equivalence of the result is tested, not assumed.
+func BenchmarkIngestSharded(b *testing.B) {
+	pkts, pfx := ingestStream(b)
+	resetIngestTimer(b)
+	for i := 0; i < b.N; i++ {
+		sp := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
+		sp.Run(context.Background())
+		mon := ingestChain(b, pfx, sp)
+		for off := 0; off < len(pkts); off += benchBatchSize {
+			end := off + benchBatchSize
+			if end > len(pkts) {
+				end = len(pkts)
+			}
+			mon.HandleBatch(pkts[off:end])
+		}
+		sp.Close()
+		_ = sp.Merge()
+	}
+	reportPacketsPerSec(b, len(pkts))
 }
 
 // Ablation benches (DESIGN.md §4): the same pipeline with a design choice

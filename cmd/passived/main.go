@@ -1,25 +1,26 @@
 // Command passived runs the passive service-discovery pipeline over a pcap
 // trace (e.g. one produced by cmd/campussim, or a real header trace) and
-// prints the resulting inventory; with -http it also serves the live
-// inventory and detected scanners as JSON.
+// prints the resulting inventory; with -http it also serves the inventory
+// and detected scanners as JSON. Replay ingests through the sharded
+// discovery pipeline (servdisc.Discover), so multi-core machines chew
+// through large traces at full speed with results identical to a
+// single-threaded run.
 //
 //	passived -trace campus.pcap -net 128.125.0.0/16
-//	passived -trace campus.pcap -net 128.125.0.0/16 -http :8080
+//	passived -trace campus.pcap -net 128.125.0.0/16 -shards 8 -http :8080
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"time"
 
-	"servdisc/internal/campus"
-	"servdisc/internal/capture"
-	"servdisc/internal/core"
-	"servdisc/internal/netaddr"
-	"servdisc/internal/trace"
+	"servdisc"
 )
 
 func main() {
@@ -27,40 +28,35 @@ func main() {
 	netFlag := flag.String("net", "128.125.0.0/16", "monitored campus prefix")
 	httpAddr := flag.String("http", "", "serve inventory as JSON on this address")
 	top := flag.Int("top", 20, "show the N busiest services")
+	shards := flag.Int("shards", 0, "discoverer shards (0 = hardware default)")
 	flag.Parse()
 
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "passived: -trace is required")
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *netFlag, *httpAddr, *top); err != nil {
+	if err := run(*tracePath, *netFlag, *httpAddr, *top, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "passived:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, netFlag, httpAddr string, top int) error {
-	pfx, err := netaddr.ParsePrefix(netFlag)
-	if err != nil {
-		return err
-	}
+func run(tracePath, netFlag, httpAddr string, top, shards int) error {
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
-	if err != nil {
-		return err
-	}
 
-	disc := core.NewPassiveDiscoverer(pfx, campus.SelectedUDPPorts)
-	n, err := capture.Replay(r, disc)
+	inv, err := servdisc.Discover(context.Background(), f, servdisc.Config{
+		Campus: netFlag,
+		Shards: shards,
+	})
 	if err != nil {
 		return fmt.Errorf("replay: %w", err)
 	}
 	fmt.Printf("replayed %d packets; %d services on %d addresses; %d scanners detected\n",
-		n, len(disc.Services()), len(disc.AddrFirstSeen(nil)), len(disc.DetectScanners()))
+		inv.Packets(), inv.Len(), len(inv.AddrFirstSeen(nil)), len(inv.Scanners()))
 
 	type row struct {
 		Key     string    `json:"service"`
@@ -69,21 +65,15 @@ func run(tracePath, netFlag, httpAddr string, top int) error {
 		Clients int       `json:"clients"`
 	}
 	var rows []row
-	for _, key := range disc.Keys() {
-		rec, _ := disc.Record(key)
+	for _, key := range inv.Keys() {
+		rec, _ := inv.Record(key)
 		rows = append(rows, row{
 			Key: key.String(), First: rec.FirstSeen,
 			Flows: rec.Flows, Clients: rec.Clients(),
 		})
 	}
 	// Show the busiest services first.
-	for i := 0; i < len(rows); i++ {
-		for j := i + 1; j < len(rows); j++ {
-			if rows[j].Flows > rows[i].Flows {
-				rows[i], rows[j] = rows[j], rows[i]
-			}
-		}
-	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Flows > rows[j].Flows })
 	limit := top
 	if limit > len(rows) {
 		limit = len(rows)
@@ -103,7 +93,7 @@ func run(tracePath, netFlag, httpAddr string, top int) error {
 	})
 	mux.HandleFunc("/scanners", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(disc.DetectScanners())
+		_ = json.NewEncoder(w).Encode(inv.Scanners())
 	})
 	fmt.Printf("\nserving inventory on %s (/services, /scanners)\n", httpAddr)
 	return http.ListenAndServe(httpAddr, mux)

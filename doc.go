@@ -5,7 +5,15 @@
 // them, and a calibrated campus-network simulator standing in for the
 // paper's USC testbed.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for
-// paper-vs-measured results, and bench_test.go in this directory for the
-// harness that regenerates every table and figure of the evaluation.
+// The root package is a thin facade (servdisc.go): NewPipeline assembles
+// the batched, sharded passive-monitoring pipeline and Discover replays a
+// pcap trace through it. The moving parts live under internal/ —
+// internal/pipeline defines the batch-ingest contract, internal/capture
+// the taps and link monitor, internal/core the discoverers and analysis.
+//
+// See DESIGN.md for the system architecture (including the streaming
+// ingest pipeline and shard-then-merge determinism), cmd/repro for the
+// driver that regenerates the paper's tables and figures, and
+// bench_test.go in this directory for the benchmark harness wrapping each
+// of those artifacts.
 package servdisc

@@ -1,6 +1,8 @@
 // Quickstart: simulate a small campus for one day, run passive monitoring
 // and one active sweep side by side, and compare what each method found —
-// the paper's core experiment in fifty lines.
+// the paper's core experiment in fifty lines. The passive side is the
+// servdisc facade's standard pipeline: link assigner → filtered taps →
+// sharded discoverer.
 package main
 
 import (
@@ -8,8 +10,8 @@ import (
 	"log"
 	"time"
 
+	"servdisc"
 	"servdisc/internal/campus"
-	"servdisc/internal/capture"
 	"servdisc/internal/core"
 	"servdisc/internal/netaddr"
 	"servdisc/internal/probe"
@@ -34,22 +36,20 @@ func main() {
 	eng := sim.New(cfg.Start)
 	campus.NewDynamics(net, eng)
 
-	// Passive side: a tap with the paper's filter feeding a discoverer.
+	// Passive side: the facade pipeline with the paper's filter on both
+	// commercial links.
 	campusPfx, err := netaddr.NewPrefix(net.Plan().Base(), 16)
 	if err != nil {
 		log.Fatal(err)
 	}
-	passive := core.NewPassiveDiscoverer(campusPfx, campus.SelectedUDPPorts)
-	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, passive)
+	pl, err := servdisc.NewPipeline(servdisc.Config{
+		Campus:   campusPfx.String(),
+		Academic: net.AcademicClients(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, passive)
-	if err != nil {
-		log.Fatal(err)
-	}
-	monitor := capture.NewMonitor(capture.NewAssigner(campusPfx, net.AcademicClients()), tap1, tap2)
-	traffic.NewGenerator(net, eng, monitor)
+	traffic.NewGenerator(net, eng, pl)
 
 	// Active side: one half-open sweep of the five selected ports.
 	active := core.NewActiveDiscoverer(campus.SelectedTCPPorts)
@@ -66,7 +66,7 @@ func main() {
 	// Run one simulated day.
 	eng.RunUntil(cfg.Start.Add(24 * time.Hour))
 
-	an := &core.Analysis{Passive: passive, Active: active}
+	an := &core.Analysis{Passive: pl.Passive(), Active: active}
 	row := an.Completeness(cfg.Start.Add(24*time.Hour), 1)
 	fmt.Printf("union of both methods:  %4d server addresses\n", row.Union)
 	fmt.Printf("found by active sweep:  %4d (%d only by active)\n", row.Active, row.ActiveOnly)

@@ -9,6 +9,7 @@ import (
 	"log"
 	"time"
 
+	"servdisc"
 	"servdisc/internal/campus"
 	"servdisc/internal/capture"
 	"servdisc/internal/core"
@@ -36,25 +37,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	assigner := capture.NewAssigner(campusPfx, net.AcademicClients())
 
-	// One continuous pipeline plus one per sampling window, all fed by
-	// the same monitor so they observe identical traffic.
+	// One continuous pipeline (the facade's standard assembly) plus one
+	// reduced capture per sampling window, mirrored off the same monitor
+	// so every variant observes identical traffic.
+	pl, err := servdisc.NewPipeline(servdisc.Config{
+		Campus:   campusPfx.String(),
+		UDPPorts: []uint16{},
+		Academic: net.AcademicClients(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	windows := []time.Duration{
 		2 * time.Minute, 5 * time.Minute, 10 * time.Minute, 30 * time.Minute,
 	}
 	discoverers := map[string]*core.PassiveDiscoverer{}
-	full := core.NewPassiveDiscoverer(campusPfx, nil)
-	discoverers["continuous"] = full
-	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, full)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, full)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mon := capture.NewMonitor(assigner, tap1, tap2)
 	for _, w := range windows {
 		pd := core.NewPassiveDiscoverer(campusPfx, nil)
 		discoverers[fmt.Sprintf("%v/hour", w)] = pd
@@ -63,13 +61,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		mon.AddMirror(tap)
+		pl.Monitor().AddMirror(tap)
 	}
-	traffic.NewGenerator(net, eng, mon)
+	traffic.NewGenerator(net, eng, pl)
 
 	eng.RunUntil(cfg.Start.Add(5 * 24 * time.Hour))
 
-	base := len(full.AddrFirstSeen(nil))
+	base := len(pl.Passive().AddrFirstSeen(nil))
 	fmt.Printf("continuous monitoring over 5 days found %d server addresses\n\n", base)
 	fmt.Printf("%-14s %10s %10s\n", "capture", "servers", "of full")
 	for _, w := range windows {

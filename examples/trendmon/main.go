@@ -10,8 +10,8 @@ import (
 	"log"
 	"time"
 
+	"servdisc"
 	"servdisc/internal/campus"
-	"servdisc/internal/capture"
 	"servdisc/internal/core"
 	"servdisc/internal/netaddr"
 	"servdisc/internal/sim"
@@ -37,22 +37,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	passive := core.NewPassiveDiscoverer(campusPfx, nil)
-	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, passive)
+	pl, err := servdisc.NewPipeline(servdisc.Config{
+		Campus:   campusPfx.String(),
+		UDPPorts: []uint16{},
+		Academic: net.AcademicClients(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, passive)
-	if err != nil {
-		log.Fatal(err)
-	}
-	traffic.NewGenerator(net, eng,
-		capture.NewMonitor(capture.NewAssigner(campusPfx, net.AcademicClients()), tap1, tap2))
+	traffic.NewGenerator(net, eng, pl)
 
 	end := cfg.Start.Add(12 * time.Hour)
 	eng.RunUntil(end)
 
-	an := &core.Analysis{Passive: passive, Active: core.NewActiveDiscoverer(nil)}
+	an := &core.Analysis{Passive: pl.Passive(), Active: core.NewActiveDiscoverer(nil)}
 	first := an.PassiveAddrs()
 
 	for _, kind := range []core.WeightKind{core.WeightFlows, core.WeightClients, core.WeightNone} {

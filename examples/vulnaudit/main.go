@@ -10,8 +10,8 @@ import (
 	"log"
 	"time"
 
+	"servdisc"
 	"servdisc/internal/campus"
-	"servdisc/internal/capture"
 	"servdisc/internal/core"
 	"servdisc/internal/netaddr"
 	"servdisc/internal/packet"
@@ -40,17 +40,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	passive := core.NewPassiveDiscoverer(campusPfx, nil)
-	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, passive)
+	pl, err := servdisc.NewPipeline(servdisc.Config{
+		Campus:   campusPfx.String(),
+		UDPPorts: []uint16{},
+		Academic: net.AcademicClients(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, passive)
-	if err != nil {
-		log.Fatal(err)
-	}
-	traffic.NewGenerator(net, eng,
-		capture.NewMonitor(capture.NewAssigner(campusPfx, net.AcademicClients()), tap1, tap2))
+	traffic.NewGenerator(net, eng, pl)
 
 	// Day 1-3: passive monitoring runs as part of normal operation.
 	eng.RunUntil(cfg.Start.Add(72 * time.Hour))
@@ -75,7 +73,7 @@ func main() {
 	keepSSH := func(k core.ServiceKey) bool {
 		return k.Proto == packet.ProtoTCP && k.Port == campus.PortSSH
 	}
-	an := &core.Analysis{Passive: passive, Active: active, Keep: keepSSH}
+	an := &core.Analysis{Passive: pl.Passive(), Active: active, Keep: keepSSH}
 
 	probed := an.ActiveAddrs()
 	heard := an.PassiveAddrs()

@@ -1,0 +1,3 @@
+module servdisc
+
+go 1.24

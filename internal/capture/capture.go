@@ -4,25 +4,32 @@
 // (Section 3.2): capture TCP SYN / SYN-ACK / RST packets plus all UDP
 // traffic at the monitored peerings.
 //
-// A Monitor receives every border packet from the traffic generator (or a
-// replayed pcap trace), assigns it to a peering link, and forwards it
-// through each monitored link's tap — filter first, then sampler — to the
-// tap's sink (typically a core.PassiveDiscoverer, or a trace recorder).
+// A Monitor receives border traffic in batches (the pipeline.BatchSink
+// contract) from the traffic generator or a replayed pcap trace, assigns
+// each packet to a peering link, and forwards per-link sub-batches through
+// each monitored link's tap — filter first, then sampler — to the tap's
+// sink (typically a core discoverer, or a trace recorder). Tap and Monitor
+// counters are backed by the pipeline's atomic stage counters, so a stats
+// endpoint may read them while another goroutine ingests.
 package capture
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"servdisc/internal/filter"
 	"servdisc/internal/netaddr"
 	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
 )
 
 // PaperFilter is the collection filter of the paper's infrastructure:
 // TCP connection-control packets and all UDP.
 const PaperFilter = "syn or synack or rst or udp"
 
-// Sink consumes packets that pass a tap.
+// Sink is the legacy per-packet consumer contract, kept for single-packet
+// consumers; batch flow uses pipeline.BatchSink. Bridge one into batch
+// flow with pipeline.Adapt.
 type Sink interface {
 	HandlePacket(p *packet.Packet)
 }
@@ -32,6 +39,9 @@ type SinkFunc func(p *packet.Packet)
 
 // HandlePacket implements Sink.
 func (f SinkFunc) HandlePacket(p *packet.Packet) { f(p) }
+
+// BatchSink is the batched consumer contract (alias of the pipeline's).
+type BatchSink = pipeline.BatchSink
 
 // LinkID identifies a peering link.
 type LinkID uint8
@@ -103,20 +113,29 @@ func (a *Assigner) Route(p *packet.Packet) LinkID {
 	return LinkCommercial2
 }
 
-// Tap is one monitored link: a filter, an optional sampler, and a sink.
+// Tap is one monitored link: a filter, an optional sampler, and a batch
+// sink. A tap is fed by one goroutine at a time (its monitor's), but its
+// counters may be read concurrently.
 type Tap struct {
 	Link    LinkID
 	filter  *filter.Filter
 	sampler Sampler
-	sink    Sink
+	sink    pipeline.BatchSink
 
-	// Stats observed by the tap.
-	Seen, Matched, Delivered int
+	// counters: In = seen, Out = delivered; matched counts filter passes
+	// before sampling.
+	counters pipeline.StageCounters
+	matched  atomic.Int64
+
+	// scratch holds the kept sub-batch between filter and delivery;
+	// single is the reusable one-packet buffer of the legacy path.
+	scratch []packet.Packet
+	single  []packet.Packet
 }
 
 // NewTap builds a tap. filterExpr may be empty (capture everything);
 // sampler may be nil (continuous capture).
-func NewTap(link LinkID, filterExpr string, sampler Sampler, sink Sink) (*Tap, error) {
+func NewTap(link LinkID, filterExpr string, sampler Sampler, sink pipeline.BatchSink) (*Tap, error) {
 	f, err := filter.Compile(filterExpr)
 	if err != nil {
 		return nil, err
@@ -124,20 +143,76 @@ func NewTap(link LinkID, filterExpr string, sampler Sampler, sink Sink) (*Tap, e
 	return &Tap{Link: link, filter: f, sampler: sampler, sink: sink}, nil
 }
 
-// HandlePacket runs the packet through filter and sampler.
+// Seen returns how many packets arrived at the tap.
+func (t *Tap) Seen() int { return t.counters.In() }
+
+// Matched returns how many packets passed the tap's filter.
+func (t *Tap) Matched() int { return int(t.matched.Load()) }
+
+// Delivered returns how many packets reached the tap's sink.
+func (t *Tap) Delivered() int { return t.counters.Out() }
+
+// Counters exposes the tap's stage counters (In = seen, Out = delivered,
+// Dropped = filtered or sampled out).
+func (t *Tap) Counters() *pipeline.StageCounters { return &t.counters }
+
+// HandleBatch implements pipeline.BatchSink: filter and sample the batch,
+// delivering the kept packets downstream as one sub-batch. When every
+// packet is kept — the common case for a pre-filtered trace replay — the
+// input slice is forwarded as-is, with no copying.
+func (t *Tap) HandleBatch(batch []packet.Packet) {
+	t.counters.AddIn(len(batch))
+	// Fast path: scan for the first rejection; the kept prefix aliases
+	// the input.
+	i := 0
+	for ; i < len(batch); i++ {
+		p := &batch[i]
+		if !t.filter.Match(p) || (t.sampler != nil && !t.sampler.Keep(p)) {
+			break
+		}
+	}
+	if i == len(batch) {
+		t.matched.Add(int64(i))
+		t.counters.AddOut(i)
+		if i > 0 && t.sink != nil {
+			t.sink.HandleBatch(batch)
+		}
+		return
+	}
+
+	// Slow path: compact the keepers into the tap's scratch, starting
+	// from the all-kept prefix. The packet that broke the scan still
+	// counts as matched if only the sampler rejected it.
+	kept := append(t.scratch[:0], batch[:i]...)
+	matched := i
+	if t.filter.Match(&batch[i]) {
+		matched++
+	}
+	for i++; i < len(batch); i++ {
+		p := &batch[i]
+		if !t.filter.Match(p) {
+			continue
+		}
+		matched++
+		if t.sampler != nil && !t.sampler.Keep(p) {
+			continue
+		}
+		kept = append(kept, *p)
+	}
+	t.scratch = kept[:0]
+	t.matched.Add(int64(matched))
+	t.counters.AddOut(len(kept))
+	t.counters.AddDropped(len(batch) - len(kept))
+	if len(kept) > 0 && t.sink != nil {
+		t.sink.HandleBatch(kept)
+	}
+}
+
+// HandlePacket runs a single packet through the tap — the legacy
+// per-packet path, equivalent to a one-packet batch.
 func (t *Tap) HandlePacket(p *packet.Packet) {
-	t.Seen++
-	if !t.filter.Match(p) {
-		return
-	}
-	t.Matched++
-	if t.sampler != nil && !t.sampler.Keep(p) {
-		return
-	}
-	t.Delivered++
-	if t.sink != nil {
-		t.sink.HandlePacket(p)
-	}
+	t.single = append(t.single[:0], *p)
+	t.HandleBatch(t.single)
 }
 
 // Monitor composes the assigner with per-link taps. Unmonitored links drop
@@ -146,16 +221,24 @@ func (t *Tap) HandlePacket(p *packet.Packet) {
 type Monitor struct {
 	assigner *Assigner
 	taps     [numLinks]*Tap
-	mirrors  []Sink
-	// Dropped counts packets on unmonitored links.
-	Dropped int
+	mirrors  []pipeline.BatchSink
+
+	// counters: In = packets offered, Out = packets on monitored links,
+	// Dropped = packets on unmonitored links.
+	counters pipeline.StageCounters
+
+	// monitored collects the packets that had a tap, in arrival order,
+	// for the mirrors (only populated when mirrors are registered);
+	// single is the reusable one-packet buffer of the legacy path.
+	monitored []packet.Packet
+	single    []packet.Packet
 }
 
 // AddMirror registers a sink that receives every packet arriving on any
 // monitored link, before tap filtering. Mirrors let several analysis
 // pipelines (e.g. the sampling study's reduced captures) share one
 // simulation while seeing exactly the traffic the monitor covers.
-func (m *Monitor) AddMirror(s Sink) { m.mirrors = append(m.mirrors, s) }
+func (m *Monitor) AddMirror(s pipeline.BatchSink) { m.mirrors = append(m.mirrors, s) }
 
 // NewMonitor builds a monitor over the given taps.
 func NewMonitor(assigner *Assigner, taps ...*Tap) *Monitor {
@@ -174,16 +257,69 @@ func (m *Monitor) Tap(l LinkID) (*Tap, bool) {
 	return m.taps[l], true
 }
 
-// HandlePacket implements the traffic.Sink contract.
-func (m *Monitor) HandlePacket(p *packet.Packet) {
-	link := m.assigner.Route(p)
-	tap := m.taps[link]
-	if tap == nil {
-		m.Dropped++
-		return
+// Dropped returns how many packets arrived on unmonitored links.
+func (m *Monitor) Dropped() int { return m.counters.Dropped() }
+
+// Counters exposes the monitor's stage counters.
+func (m *Monitor) Counters() *pipeline.StageCounters { return &m.counters }
+
+// HandleBatch implements pipeline.BatchSink: slice the batch into
+// maximal runs of consecutive same-link packets and deliver each run to
+// its tap as a sub-slice (no copying), then mirror the monitored traffic.
+// Delivering runs in arrival order — rather than one fully-partitioned
+// sub-batch per link — keeps the global packet order intact for sinks
+// shared by several taps (the experiments' merged discoverer), so batched
+// ingest observes exactly what per-packet ingest would.
+func (m *Monitor) HandleBatch(batch []packet.Packet) {
+	m.counters.AddIn(len(batch))
+	mirror := len(m.mirrors) > 0
+	if mirror {
+		m.monitored = m.monitored[:0]
 	}
-	tap.HandlePacket(p)
-	for _, s := range m.mirrors {
-		s.HandlePacket(p)
+	dropped := 0
+	runStart, runLink, haveRun := 0, LinkID(0), false
+	for i := range batch {
+		link := m.assigner.Route(&batch[i])
+		if m.taps[link] == nil {
+			if haveRun {
+				m.taps[runLink].HandleBatch(batch[runStart:i])
+				haveRun = false
+			}
+			dropped++
+			continue
+		}
+		if mirror {
+			m.monitored = append(m.monitored, batch[i])
+		}
+		switch {
+		case !haveRun:
+			runStart, runLink, haveRun = i, link, true
+		case link != runLink:
+			m.taps[runLink].HandleBatch(batch[runStart:i])
+			runStart, runLink = i, link
+		}
+	}
+	if haveRun {
+		m.taps[runLink].HandleBatch(batch[runStart:])
+	}
+	m.counters.AddDropped(dropped)
+	m.counters.AddOut(len(batch) - dropped)
+	if len(m.monitored) > 0 {
+		for _, s := range m.mirrors {
+			s.HandleBatch(m.monitored)
+		}
 	}
 }
+
+// HandlePacket implements the legacy per-packet Sink contract.
+func (m *Monitor) HandlePacket(p *packet.Packet) {
+	m.single = append(m.single[:0], *p)
+	m.HandleBatch(m.single)
+}
+
+var (
+	_ pipeline.BatchSink = (*Tap)(nil)
+	_ pipeline.BatchSink = (*Monitor)(nil)
+	_ Sink               = (*Tap)(nil)
+	_ Sink               = (*Monitor)(nil)
+)

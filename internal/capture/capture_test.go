@@ -2,11 +2,13 @@ package capture
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
 	"servdisc/internal/netaddr"
 	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
 	"servdisc/internal/trace"
 )
 
@@ -21,6 +23,15 @@ var (
 
 func synAckTo(dst netaddr.V4, at time.Time) *packet.Packet {
 	return bld.SynAck(at, packet.Endpoint{Addr: server, Port: 80}, packet.Endpoint{Addr: dst, Port: 40000}, 1, 2)
+}
+
+// collectSink gathers delivered packets for assertions.
+type collectSink struct {
+	pkts []packet.Packet
+}
+
+func (c *collectSink) HandleBatch(batch []packet.Packet) {
+	c.pkts = append(c.pkts, batch...)
 }
 
 func TestAssignerRouting(t *testing.T) {
@@ -53,10 +64,8 @@ func TestAssignerRouting(t *testing.T) {
 }
 
 func TestTapFilterAndCounts(t *testing.T) {
-	var got []*packet.Packet
-	tap, err := NewTap(LinkCommercial1, PaperFilter, nil, SinkFunc(func(p *packet.Packet) {
-		got = append(got, p)
-	}))
+	sink := &collectSink{}
+	tap, err := NewTap(LinkCommercial1, PaperFilter, nil, sink)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,25 +74,75 @@ func TestTapFilterAndCounts(t *testing.T) {
 	ack := bld.TCPPacket(tRef, packet.Endpoint{Addr: server, Port: 80},
 		packet.Endpoint{Addr: client, Port: 40000}, packet.FlagACK, 1, 2, nil)
 	tap.HandlePacket(ack)
-	if len(got) != 1 {
-		t.Fatalf("delivered %d packets", len(got))
+	if len(sink.pkts) != 1 {
+		t.Fatalf("delivered %d packets", len(sink.pkts))
 	}
-	if tap.Seen != 2 || tap.Matched != 1 || tap.Delivered != 1 {
-		t.Errorf("counts = %d/%d/%d", tap.Seen, tap.Matched, tap.Delivered)
+	if tap.Seen() != 2 || tap.Matched() != 1 || tap.Delivered() != 1 {
+		t.Errorf("counts = %d/%d/%d", tap.Seen(), tap.Matched(), tap.Delivered())
+	}
+	if c := tap.Counters(); c.Dropped() != 1 {
+		t.Errorf("dropped = %d", c.Dropped())
+	}
+}
+
+func TestTapHandleBatchMatchesPerPacket(t *testing.T) {
+	mkBatch := func() []packet.Packet {
+		var batch []packet.Packet
+		for i := 0; i < 40; i++ {
+			p := synAckTo(client+netaddr.V4(i), tRef.Add(time.Duration(i)*time.Second))
+			if i%4 == 3 { // every fourth packet is a non-matching ACK
+				p = bld.TCPPacket(p.Timestamp, packet.Endpoint{Addr: server, Port: 80},
+					packet.Endpoint{Addr: client, Port: 40000}, packet.FlagACK, 1, 2, nil)
+			}
+			batch = append(batch, *p)
+		}
+		return batch
+	}
+
+	batchSink := &collectSink{}
+	batchTap, err := NewTap(LinkCommercial1, PaperFilter, NewFixedWindowSampler(tRef, 30*time.Minute), batchSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTap.HandleBatch(mkBatch())
+
+	pktSink := &collectSink{}
+	pktTap, err := NewTap(LinkCommercial1, PaperFilter, NewFixedWindowSampler(tRef, 30*time.Minute), pktSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := mkBatch()
+	for i := range batch {
+		pktTap.HandlePacket(&batch[i])
+	}
+
+	if len(batchSink.pkts) != len(pktSink.pkts) {
+		t.Fatalf("batch path delivered %d, per-packet path %d", len(batchSink.pkts), len(pktSink.pkts))
+	}
+	for i := range batchSink.pkts {
+		if batchSink.pkts[i].IPv4.Dst != pktSink.pkts[i].IPv4.Dst {
+			t.Fatalf("packet %d differs between paths", i)
+		}
+	}
+	if batchTap.Seen() != pktTap.Seen() || batchTap.Matched() != pktTap.Matched() ||
+		batchTap.Delivered() != pktTap.Delivered() {
+		t.Errorf("counter mismatch: batch %d/%d/%d vs per-packet %d/%d/%d",
+			batchTap.Seen(), batchTap.Matched(), batchTap.Delivered(),
+			pktTap.Seen(), pktTap.Matched(), pktTap.Delivered())
 	}
 }
 
 func TestMonitorDropsUnmonitoredLink(t *testing.T) {
 	a := NewAssigner(campusPfx, []netaddr.V4{academic})
 	delivered := 0
-	tapC1, err := NewTap(LinkCommercial1, "", nil, SinkFunc(func(*packet.Packet) { delivered++ }))
+	tapC1, err := NewTap(LinkCommercial1, "", nil, pipeline.BatchFunc(func(b []packet.Packet) { delivered += len(b) }))
 	if err != nil {
 		t.Fatal(err)
 	}
 	m := NewMonitor(a, tapC1)
 	m.HandlePacket(synAckTo(academic, tRef)) // I2: unmonitored
-	if m.Dropped != 1 || delivered != 0 {
-		t.Errorf("dropped=%d delivered=%d", m.Dropped, delivered)
+	if m.Dropped() != 1 || delivered != 0 {
+		t.Errorf("dropped=%d delivered=%d", m.Dropped(), delivered)
 	}
 	// Find a client that routes to C1.
 	for i := 0; i < 100; i++ {
@@ -95,6 +154,117 @@ func TestMonitorDropsUnmonitoredLink(t *testing.T) {
 	}
 	if delivered != 1 {
 		t.Errorf("delivered = %d", delivered)
+	}
+}
+
+func TestMonitorBatchRoutingAndMirrors(t *testing.T) {
+	a := NewAssigner(campusPfx, []netaddr.V4{academic})
+	c1, c2, mirror := &collectSink{}, &collectSink{}, &collectSink{}
+	tap1, err := NewTap(LinkCommercial1, "", nil, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap2, err := NewTap(LinkCommercial2, "", nil, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(a, tap1, tap2)
+	m.AddMirror(mirror)
+
+	var batch []packet.Packet
+	batch = append(batch, *synAckTo(academic, tRef)) // dropped: unmonitored I2
+	for i := 0; i < 30; i++ {
+		batch = append(batch, *synAckTo(client+netaddr.V4(i*7), tRef.Add(time.Duration(i)*time.Second)))
+	}
+	m.HandleBatch(batch)
+
+	if m.Dropped() != 1 {
+		t.Errorf("dropped = %d", m.Dropped())
+	}
+	if got := len(c1.pkts) + len(c2.pkts); got != 30 {
+		t.Errorf("taps saw %d packets, want 30", got)
+	}
+	if len(mirror.pkts) != 30 {
+		t.Errorf("mirror saw %d packets, want 30 (monitored only)", len(mirror.pkts))
+	}
+	// Mirror preserves arrival order of the monitored sub-batch.
+	for i := 1; i < len(mirror.pkts); i++ {
+		if mirror.pkts[i].Timestamp.Before(mirror.pkts[i-1].Timestamp) {
+			t.Fatal("mirror reordered packets")
+		}
+	}
+}
+
+func TestMonitorSharedSinkPreservesOrder(t *testing.T) {
+	// When one sink is behind several taps (the experiments' merged
+	// discoverer), batched delivery must preserve global arrival order
+	// even for batches interleaving links — otherwise FirstSeen and the
+	// activity trail diverge from a per-packet run.
+	a := NewAssigner(campusPfx, nil)
+	shared := &collectSink{}
+	tap1, err := NewTap(LinkCommercial1, "", nil, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap2, err := NewTap(LinkCommercial2, "", nil, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(a, tap1, tap2)
+
+	// Find clients on different links, then interleave them.
+	var c1, c2 netaddr.V4
+	for i := 0; i < 200 && (c1 == 0 || c2 == 0); i++ {
+		c := client + netaddr.V4(i)
+		if a.Route(synAckTo(c, tRef)) == LinkCommercial1 {
+			if c1 == 0 {
+				c1 = c
+			}
+		} else if c2 == 0 {
+			c2 = c
+		}
+	}
+	if c1 == 0 || c2 == 0 {
+		t.Fatal("could not find clients on both links")
+	}
+	var batch []packet.Packet
+	for i := 0; i < 20; i++ {
+		dst := c1
+		if i%2 == 1 {
+			dst = c2
+		}
+		batch = append(batch, *synAckTo(dst, tRef.Add(time.Duration(i)*time.Second)))
+	}
+	m.HandleBatch(batch)
+	if len(shared.pkts) != 20 {
+		t.Fatalf("shared sink got %d packets", len(shared.pkts))
+	}
+	for i := range shared.pkts {
+		if !shared.pkts[i].Timestamp.Equal(batch[i].Timestamp) {
+			t.Fatalf("packet %d out of order: %v", i, shared.pkts[i].Timestamp)
+		}
+	}
+}
+
+func TestReplayBatchedCancel(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, trace.LinkTypeRaw, 128)
+	rec := NewRecorder(w)
+	for i := 0; i < 10; i++ {
+		rec.HandlePacket(synAckTo(client+netaddr.V4(i), tRef.Add(time.Duration(i)*time.Second)))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := ReplayBatched(ctx, r, &collectSink{}, 4)
+	if err == nil || n != 0 {
+		t.Fatalf("cancelled replay delivered %d packets, err=%v", n, err)
 	}
 }
 
@@ -173,9 +343,11 @@ func TestRecorderRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := trace.NewWriter(&buf, trace.LinkTypeRaw, 128)
 	rec := NewRecorder(w)
+	var batch []packet.Packet
 	for i := 0; i < 10; i++ {
-		rec.HandlePacket(synAckTo(client+netaddr.V4(i), tRef.Add(time.Duration(i)*time.Second)))
+		batch = append(batch, *synAckTo(client+netaddr.V4(i), tRef.Add(time.Duration(i)*time.Second)))
 	}
+	rec.HandleBatch(batch)
 	if rec.Err() != nil || rec.Written != 10 {
 		t.Fatalf("written=%d err=%v", rec.Written, rec.Err())
 	}
@@ -187,28 +359,54 @@ func TestRecorderRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var replayed []*packet.Packet
-	n, err := Replay(r, SinkFunc(func(p *packet.Packet) { replayed = append(replayed, p) }))
+	replayed := &collectSink{}
+	n, err := ReplayBatched(context.Background(), r, replayed, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 10 || len(replayed) != 10 {
+	if n != 10 || len(replayed.pkts) != 10 {
 		t.Fatalf("replayed %d packets", n)
 	}
-	for i, p := range replayed {
+	for i := range replayed.pkts {
+		p := &replayed.pkts[i]
 		if p.IPv4.Src != server || !p.TCP.Flags.Has(packet.FlagSYN|packet.FlagACK) {
 			t.Errorf("packet %d corrupted in round trip", i)
 		}
 	}
 }
 
+func TestReplayLegacySink(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, trace.LinkTypeRaw, 128)
+	rec := NewRecorder(w)
+	for i := 0; i < 5; i++ {
+		rec.HandlePacket(synAckTo(client+netaddr.V4(i), tRef.Add(time.Duration(i)*time.Second)))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed []*packet.Packet
+	n, err := Replay(r, SinkFunc(func(p *packet.Packet) { replayed = append(replayed, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || len(replayed) != 5 {
+		t.Fatalf("replayed %d packets", n)
+	}
+}
+
 func TestTee(t *testing.T) {
 	a, b := 0, 0
 	tee := Tee{
-		SinkFunc(func(*packet.Packet) { a++ }),
-		SinkFunc(func(*packet.Packet) { b++ }),
+		pipeline.BatchFunc(func(batch []packet.Packet) { a += len(batch) }),
+		pipeline.BatchFunc(func(batch []packet.Packet) { b += len(batch) }),
 	}
-	tee.HandlePacket(synAckTo(client, tRef))
+	one := [1]packet.Packet{*synAckTo(client, tRef)}
+	tee.HandleBatch(one[:])
 	if a != 1 || b != 1 {
 		t.Errorf("tee delivered %d/%d", a, b)
 	}
@@ -222,12 +420,30 @@ func TestNewTapBadFilter(t *testing.T) {
 
 func BenchmarkMonitorHandlePacket(b *testing.B) {
 	a := NewAssigner(campusPfx, nil)
-	tap1, _ := NewTap(LinkCommercial1, PaperFilter, nil, SinkFunc(func(*packet.Packet) {}))
-	tap2, _ := NewTap(LinkCommercial2, PaperFilter, nil, SinkFunc(func(*packet.Packet) {}))
+	sink := pipeline.BatchFunc(func([]packet.Packet) {})
+	tap1, _ := NewTap(LinkCommercial1, PaperFilter, nil, sink)
+	tap2, _ := NewTap(LinkCommercial2, PaperFilter, nil, sink)
 	m := NewMonitor(a, tap1, tap2)
 	p := synAckTo(client, tRef)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.HandlePacket(p)
+	}
+}
+
+func BenchmarkMonitorHandleBatch(b *testing.B) {
+	a := NewAssigner(campusPfx, nil)
+	sink := pipeline.BatchFunc(func([]packet.Packet) {})
+	tap1, _ := NewTap(LinkCommercial1, PaperFilter, nil, sink)
+	tap2, _ := NewTap(LinkCommercial2, PaperFilter, nil, sink)
+	m := NewMonitor(a, tap1, tap2)
+	batch := make([]packet.Packet, 0, 256)
+	for i := 0; i < 256; i++ {
+		batch = append(batch, *synAckTo(client+netaddr.V4(i), tRef))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.HandleBatch(batch)
 	}
 }

@@ -1,17 +1,19 @@
 package capture
 
 import (
+	"context"
 	"errors"
 	"io"
 
 	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
 	"servdisc/internal/trace"
 )
 
-// Recorder is a Sink that archives packets to a pcap stream, so a simulated
-// (or live) capture can be replayed later through the same analysis
-// pipeline. Marshal errors are impossible for synthesized packets; write
-// errors are retained and surfaced by Err.
+// Recorder archives packets to a pcap stream, so a simulated (or live)
+// capture can be replayed later through the same analysis pipeline.
+// Marshal errors are impossible for synthesized packets; write errors are
+// retained and surfaced by Err.
 type Recorder struct {
 	w   *trace.Writer
 	err error
@@ -24,39 +26,61 @@ func NewRecorder(w *trace.Writer) *Recorder {
 	return &Recorder{w: w}
 }
 
-// HandlePacket implements Sink.
-func (r *Recorder) HandlePacket(p *packet.Packet) {
+// HandleBatch implements pipeline.BatchSink.
+func (r *Recorder) HandleBatch(batch []packet.Packet) {
 	if r.err != nil {
 		return
 	}
-	if err := r.w.WritePacket(p.Timestamp, p.Marshal()); err != nil {
-		r.err = err
-		return
+	for i := range batch {
+		p := &batch[i]
+		if err := r.w.WritePacket(p.Timestamp, p.Marshal()); err != nil {
+			r.err = err
+			return
+		}
+		r.Written++
 	}
-	r.Written++
+}
+
+// HandlePacket implements the legacy per-packet Sink contract.
+func (r *Recorder) HandlePacket(p *packet.Packet) {
+	one := [1]packet.Packet{*p}
+	r.HandleBatch(one[:])
 }
 
 // Err reports the first write failure, if any.
 func (r *Recorder) Err() error { return r.err }
 
-// Tee fans a packet stream out to several sinks.
-type Tee []Sink
+// Tee fans a batch out to several sinks (alias of pipeline.Fanout, kept
+// under the name capture code has always used).
+type Tee = pipeline.Fanout
 
-// HandlePacket implements Sink.
-func (t Tee) HandlePacket(p *packet.Packet) {
-	for _, s := range t {
-		s.HandlePacket(p)
+// ReplayBatched streams a pcap reader into a batch sink, decoding each
+// record with the appropriate link offset and delivering batches of up to
+// batchSize packets (pipeline.DefaultBatchSize if batchSize <= 0). It
+// returns the number of packets delivered and the first decode or read
+// error that is not clean EOF. Cancelling ctx stops the replay at the
+// next batch boundary and returns the context's error; packets delivered
+// up to that point form an exact prefix of the trace.
+func ReplayBatched(ctx context.Context, r *trace.Reader, sink pipeline.BatchSink, batchSize int) (int, error) {
+	if batchSize <= 0 {
+		batchSize = pipeline.DefaultBatchSize
 	}
-}
-
-// Replay streams a pcap reader into a sink, decoding each record with the
-// appropriate link offset. It returns the number of packets delivered and
-// the first decode or read error that is not clean EOF.
-func Replay(r *trace.Reader, sink Sink) (int, error) {
+	batch := make([]packet.Packet, 0, batchSize)
 	n := 0
+	flush := func() {
+		if len(batch) > 0 {
+			sink.HandleBatch(batch)
+			n += len(batch)
+			batch = batch[:0]
+		}
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
 		rec, err := r.Next()
 		if err != nil {
+			flush()
 			if errors.Is(err, io.EOF) {
 				return n, nil
 			}
@@ -75,7 +99,20 @@ func Replay(r *trace.Reader, sink Sink) (int, error) {
 			// only drops payload-bearing frames cut mid-header.
 			continue
 		}
-		sink.HandlePacket(p)
-		n++
+		batch = append(batch, *p)
+		if len(batch) >= batchSize {
+			flush()
+		}
 	}
 }
+
+// Replay streams a pcap reader into a legacy per-packet sink. New code
+// should use ReplayBatched.
+func Replay(r *trace.Reader, sink Sink) (int, error) {
+	return ReplayBatched(context.Background(), r, pipeline.Adapt(sink), 0)
+}
+
+var (
+	_ pipeline.BatchSink = (*Recorder)(nil)
+	_ Sink               = (*Recorder)(nil)
+)

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"time"
+
+	"servdisc/internal/netaddr"
+)
+
+// Inventory is a frozen, read-only view of a passive discovery run: the
+// service records, detected scanners, and roll-up queries, with keys and
+// scanner lists precomputed in deterministic order. An Inventory never
+// mutates after construction, so it is safe to share across goroutines —
+// the form live-query endpoints and the servdisc facade hand out.
+type Inventory struct {
+	d        *PassiveDiscoverer
+	keys     []ServiceKey
+	scanners []ScannerInfo
+}
+
+// NewInventory freezes the discoverer's current state. The discoverer must
+// not ingest further traffic afterwards (Snapshot on ShardedPassive and
+// the servdisc facade enforce this by construction).
+func NewInventory(d *PassiveDiscoverer) *Inventory {
+	return &Inventory{d: d, keys: d.Keys(), scanners: d.DetectScanners()}
+}
+
+// Snapshot freezes a plain discoverer into a read-only inventory, the
+// single-threaded counterpart of ShardedPassive.Snapshot.
+func (d *PassiveDiscoverer) Snapshot() *Inventory { return NewInventory(d) }
+
+// Len returns the number of discovered services.
+func (v *Inventory) Len() int { return len(v.keys) }
+
+// Packets returns how many packets the underlying run consumed.
+func (v *Inventory) Packets() int { return v.d.Packets }
+
+// Keys returns all discovered services in deterministic (addr, proto,
+// port) order. The slice is owned by the inventory: do not modify.
+func (v *Inventory) Keys() []ServiceKey { return v.keys }
+
+// Record returns the record for one service, if present. Treat the record
+// as read-only.
+func (v *Inventory) Record(key ServiceKey) (*PassiveRecord, bool) { return v.d.Record(key) }
+
+// Scanners returns the detected scanners, sorted by source address.
+func (v *Inventory) Scanners() []ScannerInfo { return v.scanners }
+
+// ScannerSet returns detected scanner sources as a membership map (a
+// fresh map per call; the caller may modify it).
+func (v *Inventory) ScannerSet() map[netaddr.V4]bool {
+	out := make(map[netaddr.V4]bool, len(v.scanners))
+	for _, s := range v.scanners {
+		out[s.Source] = true
+	}
+	return out
+}
+
+// AddrFirstSeen rolls the inventory up to addresses: earliest positive
+// evidence per address, optionally restricted to services passing keep.
+func (v *Inventory) AddrFirstSeen(keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
+	return v.d.AddrFirstSeen(keep)
+}
+
+// AddrFirstSeenExcluding recomputes per-address first discovery with the
+// given peers' traffic removed (Figure 4).
+func (v *Inventory) AddrFirstSeenExcluding(excluded map[netaddr.V4]bool, keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
+	return v.d.AddrFirstSeenExcluding(excluded, keep)
+}
+
+// AddrWeights sums flow and client weights per address across services.
+func (v *Inventory) AddrWeights() (flows, clients map[netaddr.V4]int) {
+	return v.d.AddrWeights()
+}
+
+// ActiveDuring reports whether the address showed any passive activity
+// within [from, to].
+func (v *Inventory) ActiveDuring(addr netaddr.V4, from, to time.Time) bool {
+	return v.d.ActiveDuring(addr, from, to)
+}
+
+// LastActivity returns the most recent recorded activity time for the
+// address, ok=false if it was never seen.
+func (v *Inventory) LastActivity(addr netaddr.V4) (time.Time, bool) {
+	return v.d.LastActivity(addr)
+}

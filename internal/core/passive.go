@@ -49,7 +49,7 @@ func NewPassiveDiscoverer(campus netaddr.Prefix, udpPorts []uint16) *PassiveDisc
 	return d
 }
 
-// HandlePacket implements capture.Sink.
+// HandlePacket implements the legacy per-packet capture.Sink contract.
 func (d *PassiveDiscoverer) HandlePacket(p *packet.Packet) {
 	d.Packets++
 	switch {
@@ -59,6 +59,19 @@ func (d *PassiveDiscoverer) HandlePacket(p *packet.Packet) {
 		d.handleUDP(p)
 	}
 }
+
+// HandleBatch implements pipeline.BatchSink. The discoverer is single-
+// writer: feed it from one goroutine (or shard it with ShardedPassive).
+func (d *PassiveDiscoverer) HandleBatch(batch []packet.Packet) {
+	for i := range batch {
+		d.HandlePacket(&batch[i])
+	}
+}
+
+// seedScanOrigin pins the scan detector's window origin, so sharded
+// ingestion buckets every shard's windows identically to a single-threaded
+// run (see ShardedPassive). A no-op once the tracker has started.
+func (d *PassiveDiscoverer) seedScanOrigin(t time.Time) { d.track.seed(t) }
 
 func (d *PassiveDiscoverer) handleTCP(p *packet.Packet) {
 	srcIn := d.campus.Contains(p.IPv4.Src)

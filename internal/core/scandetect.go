@@ -51,6 +51,17 @@ func newScanTracker() *scanTracker {
 	return &scanTracker{sources: make(map[netaddr.V4]*scanSource)}
 }
 
+// seed pins the window origin if the tracker has not started yet. Sharded
+// ingestion seeds every shard's tracker with the timestamp of the first
+// scan-relevant packet in the stream, exactly the origin a single tracker
+// would have picked lazily.
+func (t *scanTracker) seed(at time.Time) {
+	if !t.started {
+		t.origin = at
+		t.started = true
+	}
+}
+
 func (t *scanTracker) windowIndex(at time.Time) int64 {
 	if !t.started {
 		t.origin = at

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
+)
+
+// ShardedPassive partitions passive discovery across N worker-owned
+// PassiveDiscoverer shards, so ingest scales with cores while the merged
+// result stays byte-for-byte identical to a single-threaded run.
+//
+// Every packet the discoverer cares about touches state keyed by exactly
+// one address — the "owner":
+//
+//   - a SYN-ACK (or a server-sourced UDP datagram) updates the service
+//     record of its campus source;
+//   - an inbound SYN updates the scan tracker of its external source;
+//   - an outbound RST updates the scan tracker of its external destination.
+//
+// Routing each packet to hash(owner) therefore confines all mutable state
+// for any address to a single shard: shard maps are disjoint by
+// construction and Merge is a plain union, no conflict resolution needed.
+// The one piece of cross-shard state — the scan detector's tumbling-window
+// origin, which a lone discoverer picks lazily from the first scan-relevant
+// packet — is seeded identically into every shard by the dispatcher
+// (shard-then-merge determinism).
+//
+// Lifecycle mirrors the pipeline runner: before Run, HandleBatch processes
+// sub-batches inline on the caller's goroutine (deterministic, zero
+// goroutines); after Run(ctx), sub-batches go to per-shard queues drained
+// by worker goroutines that own their shard exclusively. Flush waits for
+// the queues to drain; Close shuts the workers down. Merge and Snapshot
+// flush first, so they always observe everything ingested before the call.
+type ShardedPassive struct {
+	campus netaddr.Prefix
+	shards []*PassiveDiscoverer
+
+	// scratch holds per-shard sub-batches during partitioning.
+	scratch [][]packet.Packet
+
+	// originSeeded flips once the first scan-relevant packet fixes every
+	// shard's detection-window origin.
+	originSeeded bool
+
+	mu       sync.RWMutex
+	running  bool
+	closed   bool
+	ctx      context.Context
+	queues   []chan []packet.Packet
+	workers  sync.WaitGroup
+	inflight sync.WaitGroup
+
+	// counters: In = packets offered, Out = packets dispatched to shards.
+	counters pipeline.StageCounters
+}
+
+// NewShardedPassive builds a discoverer sharded n ways (n < 1 is treated
+// as 1). campus and udpPorts are as in NewPassiveDiscoverer.
+func NewShardedPassive(campus netaddr.Prefix, udpPorts []uint16, n int) *ShardedPassive {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedPassive{
+		campus:  campus,
+		shards:  make([]*PassiveDiscoverer, n),
+		scratch: make([][]packet.Packet, n),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewPassiveDiscoverer(campus, udpPorts)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *ShardedPassive) NumShards() int { return len(s.shards) }
+
+// Counters exposes ingest counters (safe for concurrent readers).
+func (s *ShardedPassive) Counters() *pipeline.StageCounters { return &s.counters }
+
+// ownerAddr returns the address whose state the packet would mutate; for
+// packets the discoverer ignores it falls back to the source, which keeps
+// routing deterministic without affecting results.
+func (s *ShardedPassive) ownerAddr(p *packet.Packet) netaddr.V4 {
+	// Mirrors the case order of PassiveDiscoverer.handleTCP exactly.
+	if p.Has(packet.LayerTypeTCP) {
+		fl := p.TCP.Flags
+		switch {
+		case fl.Has(packet.FlagSYN | packet.FlagACK):
+			return p.IPv4.Src // service record of the campus source
+		case fl.Has(packet.FlagSYN):
+			return p.IPv4.Src // scan state of the external source
+		case fl.Has(packet.FlagRST):
+			return p.IPv4.Dst // scan state of the external destination
+		}
+	}
+	return p.IPv4.Src // UDP service records key on the source too
+}
+
+// scanRelevant mirrors PassiveDiscoverer.handleTCP's tracker-touching
+// cases: the first such packet in the stream fixes the detection-window
+// origin.
+func (s *ShardedPassive) scanRelevant(p *packet.Packet) bool {
+	if !p.Has(packet.LayerTypeTCP) {
+		return false
+	}
+	fl := p.TCP.Flags
+	srcIn := s.campus.Contains(p.IPv4.Src)
+	dstIn := s.campus.Contains(p.IPv4.Dst)
+	switch {
+	case fl.Has(packet.FlagSYN | packet.FlagACK):
+		return false
+	case fl.Has(packet.FlagSYN):
+		return dstIn && !srcIn
+	case fl.Has(packet.FlagRST):
+		return srcIn && !dstIn
+	}
+	return false
+}
+
+// shardOf hashes the owner address to a shard.
+func (s *ShardedPassive) shardOf(addr netaddr.V4) int {
+	h := uint32(addr)
+	h ^= h >> 16
+	h *= 0x7FEB352D
+	h ^= h >> 15
+	h *= 0x846CA68B
+	h ^= h >> 16
+	return int(h % uint32(len(s.shards)))
+}
+
+// seedOrigins pins every shard's scan-window origin to t.
+func (s *ShardedPassive) seedOrigins(t time.Time) {
+	for _, d := range s.shards {
+		d.seedScanOrigin(t)
+	}
+	s.originSeeded = true
+}
+
+// HandleBatch implements pipeline.BatchSink. Partitioning runs on the
+// caller's goroutine; shard processing runs inline (before Run) or on the
+// shard's worker (after Run). A single producer at a time.
+func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
+	if len(batch) == 0 {
+		return
+	}
+	s.counters.AddIn(len(batch))
+	for i := range s.scratch {
+		s.scratch[i] = s.scratch[i][:0]
+	}
+	for i := range batch {
+		p := &batch[i]
+		if !s.originSeeded && s.scanRelevant(p) {
+			s.seedOrigins(p.Timestamp)
+		}
+		idx := s.shardOf(s.ownerAddr(p))
+		s.scratch[idx] = append(s.scratch[idx], *p)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.counters.AddDropped(len(batch))
+		return
+	}
+	for idx, sub := range s.scratch {
+		if len(sub) == 0 {
+			continue
+		}
+		s.counters.AddOut(len(sub))
+		if !s.running {
+			s.shards[idx].HandleBatch(sub)
+			continue
+		}
+		cp := make([]packet.Packet, len(sub))
+		copy(cp, sub)
+		s.inflight.Add(1)
+		s.queues[idx] <- cp
+	}
+}
+
+// HandlePacket implements the legacy per-packet Sink contract.
+func (s *ShardedPassive) HandlePacket(p *packet.Packet) {
+	one := [1]packet.Packet{*p}
+	s.HandleBatch(one[:])
+}
+
+// Run starts one worker goroutine per shard. The context is an abort
+// lever, not a graceful stop: after cancellation, queued sub-batches are
+// drained without being applied (so Flush and Close never deadlock), and
+// because each worker observes cancellation independently the shard state
+// no longer corresponds to any prefix of the input — treat the run as
+// abandoned and discard its results. For a clean shutdown, stop producing
+// and call Close. No-op when already running or closed.
+func (s *ShardedPassive) Run(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running || s.closed {
+		return
+	}
+	s.running = true
+	s.ctx = ctx
+	s.queues = make([]chan []packet.Packet, len(s.shards))
+	for i := range s.shards {
+		q := make(chan []packet.Packet, 64)
+		s.queues[i] = q
+		d := s.shards[i]
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for sub := range q {
+				if s.ctx.Err() == nil {
+					d.HandleBatch(sub)
+				}
+				s.inflight.Done()
+			}
+		}()
+	}
+}
+
+// Flush blocks until every sub-batch enqueued before the call has been
+// applied to its shard. Synchronous mode: no-op.
+func (s *ShardedPassive) Flush() { s.inflight.Wait() }
+
+// Close flushes and stops the workers; idempotent. After Close the
+// discoverer is read-only: further HandleBatch calls are dropped.
+func (s *ShardedPassive) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	running, queues := s.running, s.queues
+	s.mu.Unlock()
+	if running {
+		for _, q := range queues {
+			close(q)
+		}
+		s.workers.Wait()
+	}
+}
+
+// Merge unions the shards into a single PassiveDiscoverer equivalent to
+// one that consumed the whole stream sequentially. Shard state is keyed by
+// owner address, so the union has no conflicts. The merged discoverer
+// shares record structures with the shards — treat it as a view and do not
+// feed more traffic into either side; for a stable result, use Snapshot.
+// Merge flushes pending work first (callers should stop producing before
+// merging).
+func (s *ShardedPassive) Merge() *PassiveDiscoverer {
+	s.Flush()
+	m := NewPassiveDiscoverer(s.campus, nil)
+	m.udpPorts = s.shards[0].udpPorts
+	for _, d := range s.shards {
+		m.Packets += d.Packets
+		for k, rec := range d.services {
+			m.services[k] = rec
+		}
+		for a, ts := range d.addrTimes {
+			m.addrTimes[a] = ts
+		}
+		if d.track.started && !m.track.started {
+			m.track.seed(d.track.origin)
+		}
+		for src, src2 := range d.track.sources {
+			m.track.sources[src] = src2
+		}
+	}
+	return m
+}
+
+// Snapshot flushes, merges, and freezes the inventory into a read-only
+// form safe to hand across goroutines.
+func (s *ShardedPassive) Snapshot() *Inventory {
+	return NewInventory(s.Merge())
+}
+
+var (
+	_ pipeline.BatchSink = (*ShardedPassive)(nil)
+)

@@ -5,10 +5,13 @@
 // discovery the paper analyzes in Section 4.3.
 //
 // The generator runs on the simulation engine and emits synthesized
-// packets, in timestamp order, to one or more Sinks (capture taps). Only
-// traffic that crosses the campus border is emitted: internal-only
-// services (NetBIOS, most MySQL) produce nothing here, which is exactly
-// why passive monitoring misses them.
+// packets, in timestamp order, to one or more pipeline.BatchSinks (capture
+// monitors, recorders). Packets produced by one simulation event — a
+// handshake, a scan burst — are delivered together as one batch at the end
+// of that event, so batch boundaries never reorder traffic relative to
+// other simulated processes. Only traffic that crosses the campus border
+// is emitted: internal-only services (NetBIOS, most MySQL) produce nothing
+// here, which is exactly why passive monitoring misses them.
 package traffic
 
 import (
@@ -17,20 +20,10 @@ import (
 	"servdisc/internal/campus"
 	"servdisc/internal/netaddr"
 	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
 	"servdisc/internal/sim"
 	"servdisc/internal/stats"
 )
-
-// Sink receives border packets in time order.
-type Sink interface {
-	HandlePacket(p *packet.Packet)
-}
-
-// SinkFunc adapts a function to the Sink interface.
-type SinkFunc func(p *packet.Packet)
-
-// HandlePacket implements Sink.
-func (f SinkFunc) HandlePacket(p *packet.Packet) { f(p) }
 
 // Generator drives workload creation for one campus network.
 type Generator struct {
@@ -38,7 +31,11 @@ type Generator struct {
 	eng   *sim.Engine
 	rng   *stats.RNG
 	bld   *packet.Builder
-	sinks []Sink
+	sinks []pipeline.BatchSink
+
+	// batch accumulates the current event's packets; flushed at the end of
+	// each emitting event. The slice is reused: sinks must not retain it.
+	batch []packet.Packet
 
 	// reusable scratch for hourly enumeration.
 	scratch []campus.ServiceInstance
@@ -51,7 +48,7 @@ type Generator struct {
 // NewGenerator wires a generator to the network and engine and schedules
 // the traffic processes (hourly flow generation, configured big scans,
 // Poisson small-scanner arrivals).
-func NewGenerator(net *campus.Network, eng *sim.Engine, sinks ...Sink) *Generator {
+func NewGenerator(net *campus.Network, eng *sim.Engine, sinks ...pipeline.BatchSink) *Generator {
 	g := &Generator{
 		net:   net,
 		eng:   eng,
@@ -74,10 +71,20 @@ func NewGenerator(net *campus.Network, eng *sim.Engine, sinks ...Sink) *Generato
 	return g
 }
 
+// emit queues one packet on the current event's batch.
 func (g *Generator) emit(p *packet.Packet) {
-	for _, s := range g.sinks {
-		s.HandlePacket(p)
+	g.batch = append(g.batch, *p)
+}
+
+// flush delivers the current event's batch to every sink and resets it.
+func (g *Generator) flush() {
+	if len(g.batch) == 0 {
+		return
 	}
+	for _, s := range g.sinks {
+		s.HandleBatch(g.batch)
+	}
+	g.batch = g.batch[:0]
 }
 
 // scannerAddr synthesizes a distinct external source for scanner i.
@@ -122,9 +129,10 @@ func (g *Generator) scheduleFlow(base time.Time, inst campus.ServiceInstance, af
 		g.FlowsEmitted++
 		if svc.Proto == packet.ProtoUDP {
 			g.emitUDPExchange(now, client, dstAddr, svc.Port)
-			return
+		} else {
+			g.emitTCPHandshake(now, client, dstAddr, svc.Port, false)
 		}
-		g.emitTCPHandshake(now, client, dstAddr, svc.Port, false)
+		g.flush()
 	})
 }
 
@@ -224,6 +232,8 @@ func (g *Generator) launchScanWindow(now time.Time, src netaddr.V4, port uint16,
 			off++
 			g.emitTCPHandshake(now.Add(time.Duration(i)*time.Millisecond), src, dst, port, true)
 		}
+		// One scan burst is one batch: the natural unit of batched ingest.
+		g.flush()
 		if off < end {
 			g.eng.After(time.Second, burst)
 		}

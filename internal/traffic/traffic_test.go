@@ -6,6 +6,7 @@ import (
 
 	"servdisc/internal/campus"
 	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
 	"servdisc/internal/sim"
 )
 
@@ -46,7 +47,13 @@ type collector struct {
 	pkts []*packet.Packet
 }
 
-func (c *collector) HandlePacket(p *packet.Packet) { c.pkts = append(c.pkts, p) }
+// HandleBatch copies the batch: the generator reuses its buffer.
+func (c *collector) HandleBatch(batch []packet.Packet) {
+	for i := range batch {
+		p := batch[i]
+		c.pkts = append(c.pkts, &p)
+	}
+}
 
 func runDay(t *testing.T, cfg campus.Config, hours int) (*campus.Network, *Generator, *collector) {
 	t.Helper()
@@ -283,7 +290,7 @@ func BenchmarkGenerateDay(b *testing.B) {
 		}
 		eng := sim.New(cfg.Start)
 		campus.NewDynamics(net, eng)
-		NewGenerator(net, eng, SinkFunc(func(*packet.Packet) {}))
+		NewGenerator(net, eng, pipeline.BatchFunc(func([]packet.Packet) {}))
 		eng.RunUntil(cfg.Start.Add(24 * time.Hour))
 	}
 }

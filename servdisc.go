@@ -1,0 +1,185 @@
+package servdisc
+
+// This file is the public facade over the internal wiring: NewPipeline
+// assembles the standard passive-monitoring pipeline (link assigner →
+// per-link taps → sharded discoverer), and Discover replays a pcap trace
+// through it. cmd/ and examples/ build on these instead of assembling
+// internal packages by hand. See doc.go for the package overview and
+// DESIGN.md for the architecture.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/capture"
+	"servdisc/internal/core"
+	"servdisc/internal/filter"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
+	"servdisc/internal/trace"
+)
+
+// Re-exported result types, so facade users consume inventories without
+// importing internal packages directly.
+type (
+	// Inventory is a frozen, read-only discovery result.
+	Inventory = core.Inventory
+	// ServiceKey identifies one discovered service (addr, proto, port).
+	ServiceKey = core.ServiceKey
+	// PassiveRecord is the per-service evidence accumulated passively.
+	PassiveRecord = core.PassiveRecord
+	// ScannerInfo describes one detected external scanner.
+	ScannerInfo = core.ScannerInfo
+)
+
+// Config shapes a discovery pipeline.
+type Config struct {
+	// Campus is the monitored address space in CIDR form (required),
+	// e.g. "128.125.0.0/16".
+	Campus string
+	// UDPPorts lists the well-known UDP service ports considered server
+	// evidence. Defaults to the paper's selected UDP services.
+	UDPPorts []uint16
+	// Filter is the tap capture filter. Empty means the paper's collection
+	// filter for NewPipeline, and no filtering for Discover (a recorded
+	// trace normally went through the filter when it was captured).
+	Filter string
+	// Shards is the passive-discoverer shard count; <= 0 picks a
+	// hardware-sized default. Results are deterministic and identical for
+	// every shard count (shard-then-merge, see DESIGN.md).
+	Shards int
+	// BatchSize is the replay batch granularity for Discover
+	// (pipeline.DefaultBatchSize if <= 0).
+	BatchSize int
+	// Links lists the monitored peerings for NewPipeline. Defaults to the
+	// paper's two commercial links.
+	Links []capture.LinkID
+	// Academic lists external addresses routed via the Internet2 peering
+	// (relevant only when LinkInternet2 is monitored).
+	Academic []netaddr.V4
+}
+
+func (c Config) campusPrefix() (netaddr.Prefix, error) {
+	if c.Campus == "" {
+		return netaddr.Prefix{}, fmt.Errorf("servdisc: Config.Campus is required")
+	}
+	return netaddr.ParsePrefix(c.Campus)
+}
+
+func (c Config) udpPorts() []uint16 {
+	if c.UDPPorts == nil {
+		return campus.SelectedUDPPorts
+	}
+	return c.UDPPorts
+}
+
+func (c Config) shardCount() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	if n := runtime.GOMAXPROCS(0); n < 8 {
+		return n
+	}
+	return 8
+}
+
+// Pipeline is the standard passive-monitoring assembly: a link assigner
+// routing border packets to per-link taps (filter + optional sampler),
+// all feeding one sharded passive discoverer. Feed it batches (it
+// implements pipeline.BatchSink — hand it to traffic.NewGenerator or a
+// replay loop), then Snapshot the inventory.
+type Pipeline struct {
+	monitor *capture.Monitor
+	sharded *core.ShardedPassive
+}
+
+// NewPipeline assembles a pipeline from the config.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	pfx, err := cfg.campusPrefix()
+	if err != nil {
+		return nil, err
+	}
+	sharded := core.NewShardedPassive(pfx, cfg.udpPorts(), cfg.shardCount())
+	links := cfg.Links
+	if len(links) == 0 {
+		links = []capture.LinkID{capture.LinkCommercial1, capture.LinkCommercial2}
+	}
+	filterExpr := cfg.Filter
+	if filterExpr == "" {
+		filterExpr = capture.PaperFilter
+	}
+	taps := make([]*capture.Tap, 0, len(links))
+	for _, link := range links {
+		tap, err := capture.NewTap(link, filterExpr, nil, sharded)
+		if err != nil {
+			return nil, err
+		}
+		taps = append(taps, tap)
+	}
+	return &Pipeline{
+		monitor: capture.NewMonitor(capture.NewAssigner(pfx, cfg.Academic), taps...),
+		sharded: sharded,
+	}, nil
+}
+
+// Monitor exposes the link monitor — the pipeline's ingest point, and the
+// place to AddMirror secondary consumers (recorders, sampling studies).
+func (p *Pipeline) Monitor() *capture.Monitor { return p.monitor }
+
+// HandleBatch implements pipeline.BatchSink by feeding the monitor.
+func (p *Pipeline) HandleBatch(batch []packet.Packet) { p.monitor.HandleBatch(batch) }
+
+// Run starts the discoverer's shard workers; without it ingest runs
+// synchronously on the producer's goroutine (the deterministic mode the
+// simulator uses — results are identical either way).
+func (p *Pipeline) Run(ctx context.Context) { p.sharded.Run(ctx) }
+
+// Flush waits until everything ingested so far has reached shard state.
+func (p *Pipeline) Flush() { p.sharded.Flush() }
+
+// Close stops the shard workers (idempotent).
+func (p *Pipeline) Close() { p.sharded.Close() }
+
+// Snapshot flushes and freezes the current inventory.
+func (p *Pipeline) Snapshot() *Inventory { return p.sharded.Snapshot() }
+
+// Passive merges the shards into a single PassiveDiscoverer for the
+// analysis layer (core.Analysis). Stop feeding the pipeline first.
+func (p *Pipeline) Passive() *core.PassiveDiscoverer { return p.sharded.Merge() }
+
+// Discover replays a pcap trace through a sharded passive discoverer and
+// returns the frozen inventory. The trace is consumed in batches; with
+// cfg.Shards > 1 the shards ingest concurrently, and the result is
+// identical to a single-threaded replay. Cancelling ctx abandons the
+// replay and returns the context's error with no inventory.
+func Discover(ctx context.Context, r io.Reader, cfg Config) (*Inventory, error) {
+	pfx, err := cfg.campusPrefix()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	sharded := core.NewShardedPassive(pfx, cfg.udpPorts(), cfg.shardCount())
+	sharded.Run(ctx)
+	defer sharded.Close()
+
+	var sink pipeline.BatchSink = sharded
+	if cfg.Filter != "" {
+		f, err := filter.Compile(cfg.Filter)
+		if err != nil {
+			return nil, err
+		}
+		sink = pipeline.NewPipeline(sharded, pipeline.FilterStage("filter", f.Match))
+	}
+	if _, err := capture.ReplayBatched(ctx, tr, sink, cfg.BatchSize); err != nil {
+		return nil, err
+	}
+	sharded.Close()
+	return sharded.Snapshot(), nil
+}

@@ -1,0 +1,284 @@
+package servdisc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/capture"
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/sim"
+	"servdisc/internal/trace"
+	"servdisc/internal/traffic"
+)
+
+// buildCampus wires a network + engine for a config.
+func buildCampus(t testing.TB, cfg campus.Config) (*campus.Network, *sim.Engine, netaddr.Prefix) {
+	t.Helper()
+	net, err := campus.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(cfg.Start)
+	campus.NewDynamics(net, eng)
+	pfx, err := netaddr.NewPrefix(net.Plan().Base(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, eng, pfx
+}
+
+func smallConfig() campus.Config {
+	cfg := campus.DefaultSemesterConfig()
+	cfg.StaticAddrs, cfg.StaticSubnets = 2048, 8
+	cfg.DHCPAddrs, cfg.WirelessAddrs, cfg.PPPAddrs, cfg.VPNAddrs = 256, 128, 128, 64
+	cfg.StaticLiveHosts, cfg.StaticServers, cfg.PopularServers = 400, 200, 8
+	cfg.DHCPHosts, cfg.PPPHosts, cfg.VPNHosts, cfg.WirelessHosts = 100, 40, 30, 40
+	cfg.FlowsPerDay = 15000
+	return cfg
+}
+
+// assertInventoriesEqual requires two inventories to be byte-for-byte
+// identical: same keys, records, scanners, and roll-ups.
+func assertInventoriesEqual(t *testing.T, want, got *Inventory) {
+	t.Helper()
+	if want.Packets() != got.Packets() {
+		t.Fatalf("Packets = %d, want %d", got.Packets(), want.Packets())
+	}
+	wk, gk := want.Keys(), got.Keys()
+	if len(wk) != len(gk) {
+		t.Fatalf("%d services, want %d", len(gk), len(wk))
+	}
+	for i := range wk {
+		if wk[i] != gk[i] {
+			t.Fatalf("key %d = %v, want %v", i, gk[i], wk[i])
+		}
+		wr, _ := want.Record(wk[i])
+		gr, _ := got.Record(gk[i])
+		if !wr.FirstSeen.Equal(gr.FirstSeen) || wr.Flows != gr.Flows || wr.Clients() != gr.Clients() {
+			t.Fatalf("record %v differs: {%v %d %d} vs {%v %d %d}", wk[i],
+				gr.FirstSeen, gr.Flows, gr.Clients(), wr.FirstSeen, wr.Flows, wr.Clients())
+		}
+		wp, gp := wr.FirstPeers(), gr.FirstPeers()
+		if len(wp) != len(gp) {
+			t.Fatalf("record %v first-peer count differs", wk[i])
+		}
+		for j := range wp {
+			if wp[j] != gp[j] {
+				t.Fatalf("record %v peer %d differs", wk[i], j)
+			}
+		}
+	}
+	ws, gs := want.Scanners(), got.Scanners()
+	if len(ws) != len(gs) {
+		t.Fatalf("%d scanners, want %d", len(gs), len(ws))
+	}
+	for i := range ws {
+		if ws[i] != gs[i] {
+			t.Fatalf("scanner %d = %+v, want %+v", i, gs[i], ws[i])
+		}
+	}
+	wf := want.AddrFirstSeenExcluding(want.ScannerSet(), nil)
+	gf := got.AddrFirstSeenExcluding(got.ScannerSet(), nil)
+	if len(wf) != len(gf) {
+		t.Fatalf("AddrFirstSeenExcluding size differs: %d vs %d", len(gf), len(wf))
+	}
+	for a, wt := range wf {
+		if gt, ok := gf[a]; !ok || !gt.Equal(wt) {
+			t.Fatalf("AddrFirstSeenExcluding[%v] = %v, want %v", a, gt, wt)
+		}
+	}
+}
+
+// TestSharded18dMatchesSequential is the acceptance check for the sharded
+// ingest pipeline: over the full 18-day semester campaign, an 8-shard
+// ShardedPassive (with concurrent workers) must produce a snapshot
+// deterministically identical to the single-threaded PassiveDiscoverer
+// consuming the same monitored stream.
+func TestSharded18dMatchesSequential(t *testing.T) {
+	days := 18.0
+	cfg := campus.DefaultSemesterConfig()
+	if testing.Short() {
+		days = 2
+	}
+	net, eng, pfx := buildCampus(t, cfg)
+
+	plain := core.NewPassiveDiscoverer(pfx, campus.SelectedUDPPorts)
+	sharded := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
+	sharded.Run(context.Background())
+
+	both := capture.Tee{plain, sharded}
+	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := capture.NewMonitor(capture.NewAssigner(pfx, net.AcademicClients()), tap1, tap2)
+	traffic.NewGenerator(net, eng, mon)
+
+	eng.RunUntil(cfg.Start.Add(time.Duration(days * 24 * float64(time.Hour))))
+	sharded.Close()
+
+	want, got := plain.Snapshot(), sharded.Snapshot()
+	if want.Len() == 0 || len(want.Scanners()) == 0 {
+		t.Fatalf("degenerate campaign: %d services, %d scanners", want.Len(), len(want.Scanners()))
+	}
+	assertInventoriesEqual(t, want, got)
+	t.Logf("%d packets, %d services, %d scanners: sharded(8) == sequential", want.Packets(), want.Len(), len(want.Scanners()))
+}
+
+// recordTrace simulates a small campaign and returns it as an in-memory
+// pcap of the monitored links.
+func recordTrace(t *testing.T, days float64) (*bytes.Buffer, netaddr.Prefix) {
+	t.Helper()
+	cfg := smallConfig()
+	net, eng, pfx := buildCampus(t, cfg)
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, trace.LinkTypeRaw, 128)
+	rec := capture.NewRecorder(w)
+	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := capture.NewMonitor(capture.NewAssigner(pfx, net.AcademicClients()), tap1, tap2)
+	traffic.NewGenerator(net, eng, mon)
+	eng.RunUntil(cfg.Start.Add(time.Duration(days * 24 * float64(time.Hour))))
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, pfx
+}
+
+func TestDiscoverShardCountsAgree(t *testing.T) {
+	buf, pfx := recordTrace(t, 1.5)
+	raw := buf.Bytes()
+
+	var ref *Inventory
+	for _, shards := range []int{1, 2, 8} {
+		inv, err := Discover(context.Background(), bytes.NewReader(raw), Config{
+			Campus: pfx.String(),
+			Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.Len() == 0 {
+			t.Fatal("replay discovered nothing")
+		}
+		if ref == nil {
+			ref = inv
+			continue
+		}
+		assertInventoriesEqual(t, ref, inv)
+	}
+}
+
+func TestDiscoverWithFilter(t *testing.T) {
+	buf, pfx := recordTrace(t, 1)
+	raw := buf.Bytes()
+
+	all, err := Discover(context.Background(), bytes.NewReader(raw), Config{Campus: pfx.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpOnly, err := Discover(context.Background(), bytes.NewReader(raw), Config{
+		Campus: pfx.String(),
+		Filter: "synack",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcpOnly.Packets() >= all.Packets() {
+		t.Errorf("filter dropped nothing: %d vs %d packets", tcpOnly.Packets(), all.Packets())
+	}
+	for _, k := range tcpOnly.Keys() {
+		if k.Proto != 6 {
+			t.Fatalf("synack filter let %v through", k)
+		}
+	}
+	if len(tcpOnly.Scanners()) != 0 {
+		t.Error("synack-only stream cannot contain scan evidence")
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	if _, err := Discover(context.Background(), bytes.NewReader(nil), Config{}); err == nil {
+		t.Error("missing campus accepted")
+	}
+	if _, err := Discover(context.Background(), bytes.NewReader([]byte("not a pcap")),
+		Config{Campus: "128.125.0.0/16"}); err == nil {
+		t.Error("garbage trace accepted")
+	}
+	buf, pfx := recordTrace(t, 0.25)
+	raw := buf.Bytes()
+	if _, err := Discover(context.Background(), bytes.NewReader(raw), Config{
+		Campus: pfx.String(),
+		Filter: "bogus ((",
+	}); err == nil {
+		t.Error("bad filter accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if inv, err := Discover(ctx, bytes.NewReader(raw), Config{Campus: pfx.String()}); err == nil || inv != nil {
+		t.Error("cancelled Discover returned an inventory")
+	}
+}
+
+// TestPipelineFacadeMatchesHandWiring drives the facade pipeline and the
+// classic hand-wired assembly from identical simulations and requires the
+// same inventory from both.
+func TestPipelineFacadeMatchesHandWiring(t *testing.T) {
+	cfg := smallConfig()
+
+	// Hand-wired run.
+	net1, eng1, pfx := buildCampus(t, cfg)
+	plain := core.NewPassiveDiscoverer(pfx, campus.SelectedUDPPorts)
+	tap1, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap2, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic.NewGenerator(net1, eng1,
+		capture.NewMonitor(capture.NewAssigner(pfx, net1.AcademicClients()), tap1, tap2))
+	eng1.RunUntil(cfg.Start.Add(36 * time.Hour))
+
+	// Facade run over an identically-seeded simulation, shard workers on.
+	net2, eng2, _ := buildCampus(t, cfg)
+	pl, err := NewPipeline(Config{
+		Campus:   pfx.String(),
+		Shards:   4,
+		Academic: net2.AcademicClients(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Run(context.Background())
+	traffic.NewGenerator(net2, eng2, pl)
+	eng2.RunUntil(cfg.Start.Add(36 * time.Hour))
+	pl.Flush()
+	defer pl.Close()
+
+	assertInventoriesEqual(t, plain.Snapshot(), pl.Snapshot())
+
+	// The monitor's taps expose concurrency-safe counters.
+	tap, ok := pl.Monitor().Tap(capture.LinkCommercial1)
+	if !ok || tap.Seen() == 0 || tap.Delivered() == 0 {
+		t.Error("facade tap counters empty")
+	}
+}
