@@ -1,41 +1,86 @@
 // Command activescan performs active service discovery against real
-// networks using the library's connect-scan backend. Only scan networks
-// you are authorized to probe.
+// networks using the library's concurrent, rate-limited scan scheduler
+// (probe.Scheduler) over the connect-scan backend.
+//
+// WARNING: only scan networks you are authorized to probe. Unsolicited
+// scanning is abuse (and in many jurisdictions illegal); the default rate
+// matches the paper's deliberately gentle 15 probes/second.
 //
 //	activescan -targets 127.0.0.1/32 -ports 22,80,443
+//	activescan -targets 10.0.0.0/24 -rate 15 -every 12h -sweeps 2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
+	"servdisc/internal/core"
 	"servdisc/internal/netaddr"
 	"servdisc/internal/probe"
 )
 
 func main() {
-	targets := flag.String("targets", "", "CIDR block to scan (required)")
-	ports := flag.String("ports", "21,22,80,443,3306", "comma-separated TCP ports")
-	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout")
-	parallel := flag.Int("parallel", 32, "concurrent probes")
-	flag.Parse()
+	fs := flag.NewFlagSet("activescan", flag.ExitOnError)
+	targets := fs.String("targets", "", "CIDR block to scan (required)")
+	ports := fs.String("ports", "21,22,80,443,3306", "comma-separated TCP ports")
+	udpPorts := fs.String("udpports", "", "comma-separated UDP ports for generic probes")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-probe timeout")
+	workers := fs.Int("workers", 32, "concurrent probe workers")
+	rate := fs.Float64("rate", 15, "aggregate probes per second (<= 0: unlimited)")
+	burst := fs.Int("burst", 1, "rate-limiter burst depth")
+	sweepTimeout := fs.Duration("sweep-timeout", 0, "per-sweep deadline (0: none)")
+	every := fs.Duration("every", 0, "interval between sweep starts (0: back-to-back)")
+	sweeps := fs.Int("sweeps", 1, "number of sweeps to run")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `activescan: concurrent rate-limited active service discovery.
+
+AUTHORIZATION WARNING: probing hosts you do not own or operate without
+written permission is network abuse and may be illegal. Only scan address
+space you are authorized to scan, and keep -rate low on shared networks.
+
+Usage:
+  activescan -targets CIDR [flags]
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
 
 	if *targets == "" {
 		fmt.Fprintln(os.Stderr, "activescan: -targets is required")
+		fs.Usage()
 		os.Exit(2)
 	}
-	if err := run(*targets, *ports, *timeout, *parallel); err != nil {
+	if err := run(*targets, *ports, *udpPorts, *timeout, *workers, *rate, *burst, *sweepTimeout, *every, *sweeps); err != nil {
 		fmt.Fprintln(os.Stderr, "activescan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(targets, ports string, timeout time.Duration, parallel int) error {
+// parsePorts turns "21,22,80" into a port list (nil for the empty string).
+func parsePorts(s string) ([]uint16, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []uint16
+	for _, tok := range strings.Split(s, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad port %q", tok)
+		}
+		out = append(out, uint16(n))
+	}
+	return out, nil
+}
+
+func run(targets, ports, udpPorts string, timeout time.Duration, workers int, rate float64, burst int, sweepTimeout, every time.Duration, sweeps int) error {
 	pfx, err := netaddr.ParsePrefix(targets)
 	if err != nil {
 		return err
@@ -43,63 +88,75 @@ func run(targets, ports string, timeout time.Duration, parallel int) error {
 	if pfx.Size() > 1<<16 {
 		return fmt.Errorf("refusing to scan %d addresses; narrow the block", pfx.Size())
 	}
-	var portList []uint16
-	for _, tok := range strings.Split(ports, ",") {
-		n, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 16)
-		if err != nil {
-			return fmt.Errorf("bad port %q", tok)
-		}
-		portList = append(portList, uint16(n))
+	tcpList, err := parsePorts(ports)
+	if err != nil {
+		return err
+	}
+	udpList, err := parsePorts(udpPorts)
+	if err != nil {
+		return err
 	}
 
-	backend := &probe.NetBackend{Timeout: timeout}
-	type job struct {
-		addr netaddr.V4
-		port uint16
-	}
-	jobs := make(chan job)
-	type finding struct {
-		addr  netaddr.V4
-		port  uint16
-		state probe.TCPState
-	}
-	results := make(chan finding)
+	sched := probe.NewScheduler(&probe.NetBackend{Timeout: timeout}, probe.SchedulerConfig{
+		Targets:      pfx.Addrs(),
+		TCPPorts:     tcpList,
+		UDPPorts:     udpList,
+		Rate:         rate,
+		Burst:        burst,
+		Workers:      workers,
+		SweepTimeout: sweepTimeout,
+	})
 
-	var wg sync.WaitGroup
-	for i := 0; i < parallel; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				state := backend.ProbeTCP(time.Now(), j.addr, j.port)
-				results <- finding{addr: j.addr, port: j.port, state: state}
-			}
-		}()
-	}
-	go func() {
-		for _, a := range pfx.Addrs() {
-			for _, p := range portList {
-				jobs <- job{addr: a, port: p}
+	// Ctrl-C cancels the run; a truncated sweep still prints its partials.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	active := core.NewActiveDiscoverer(tcpList)
+	err = sched.Run(ctx, every, sweeps, probe.ReportFunc(func(rep *probe.ScanReport) {
+		active.AddReport(rep)
+		printReport(rep)
+	}))
+	// Services() covers TCP; UDP opens live in the per-port outcome table.
+	openUDP := 0
+	for _, a := range active.UDPAddrs() {
+		for _, port := range udpList {
+			if s, ok := active.UDPOutcome(a, port); ok && s == probe.UDPOpen {
+				openUDP++
 			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	}
+	fmt.Printf("\ndiscovered %d open services across %d sweeps\n",
+		len(active.Services())+openUDP, len(active.Scans()))
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("interrupted: %w", err)
+	}
+	return err
+}
 
+// printReport lists open findings and per-state totals for one sweep.
+func printReport(rep *probe.ScanReport) {
 	open, closed, filtered := 0, 0, 0
-	for f := range results {
-		switch f.state {
+	for _, r := range rep.TCP {
+		switch r.State {
 		case probe.StateOpen:
 			open++
-			fmt.Printf("%s:%d open\n", f.addr, f.port)
+			fmt.Printf("%s:%d open\n", r.Addr, r.Port)
 		case probe.StateClosed:
 			closed++
 		default:
 			filtered++
 		}
 	}
-	fmt.Printf("\nscanned %d probes: %d open, %d closed, %d filtered\n",
-		open+closed+filtered, open, closed, filtered)
-	return nil
+	for _, r := range rep.UDP {
+		if r.State == probe.UDPOpen {
+			fmt.Printf("%s:%d open/udp\n", r.Addr, r.Port)
+		}
+	}
+	note := ""
+	if rep.Truncated {
+		note = " (truncated)"
+	}
+	fmt.Printf("sweep %d%s: %d probes in %s: %d open, %d closed, %d filtered\n",
+		rep.ID, note, open+closed+filtered+len(rep.UDP),
+		rep.Finished.Sub(rep.Started).Round(time.Millisecond), open, closed, filtered)
 }

@@ -3,6 +3,7 @@
 //
 //	repro -exp all            # everything (simulates all five datasets)
 //	repro -exp table2         # one artifact
+//	repro -exp hybrid         # hybrid-engine provenance reconciliation
 //	repro -exp fig4 -csv out/ # also write figure series as CSV
 package main
 
@@ -18,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table8, fig1..fig12, all)")
+	exp := flag.String("exp", "all", "experiment id (table1..table8, fig1..fig12, hybrid, all)")
 	csvDir := flag.String("csv", "", "directory for figure CSV series (optional)")
 	flag.Parse()
 
@@ -94,6 +95,13 @@ func artifacts() []artifact {
 				return nil, err
 			}
 			return experiments.Table8(ds, "Table 8: servers per monitored link (DTCPbreak)"), nil
+		}},
+		{id: "hybrid", table: func() (*report.Table, error) {
+			ds, err := sem()
+			if err != nil {
+				return nil, err
+			}
+			return experiments.HybridTable(ds), nil
 		}},
 		{id: "fig1", fig: figOf(sem, experiments.Figure1)},
 		{id: "fig2", fig: figOf(sem, experiments.Figure2)},

@@ -5,15 +5,25 @@
 // them, and a calibrated campus-network simulator standing in for the
 // paper's USC testbed.
 //
-// The root package is a thin facade (servdisc.go): NewPipeline assembles
-// the batched, sharded passive-monitoring pipeline and Discover replays a
-// pcap trace through it. The moving parts live under internal/ —
-// internal/pipeline defines the batch-ingest contract, internal/capture
-// the taps and link monitor, internal/core the discoverers and analysis.
+// The root package is a thin facade (servdisc.go):
 //
-// See DESIGN.md for the system architecture (including the streaming
-// ingest pipeline and shard-then-merge determinism), cmd/repro for the
-// driver that regenerates the paper's tables and figures, and
-// bench_test.go in this directory for the benchmark harness wrapping each
-// of those artifacts.
+//   - NewPipeline assembles the batched, sharded passive-monitoring
+//     pipeline (link assigner → per-link taps → sharded discoverer).
+//   - NewHybrid attaches the concurrent, rate-limited active-scan
+//     scheduler to the same engine; passive batches and scan reports
+//     reconcile into one inventory with per-service provenance
+//     (passive-first vs active-first — the paper's comparison axis).
+//   - Discover replays a pcap trace through the passive pipeline.
+//
+// The moving parts live under internal/ — internal/pipeline defines the
+// batch-ingest contract, internal/capture the taps and link monitor,
+// internal/probe the scan backends, the sequential sim-time sweeper and
+// the concurrent wall-clock Scheduler, and internal/core the discoverers
+// (passive, active, and the Hybrid reconciler) plus the analysis.
+//
+// See README.md for a quickstart, DESIGN.md for the system architecture
+// (streaming ingest, shard-then-merge determinism, and the hybrid
+// engine), cmd/repro for the driver that regenerates the paper's tables
+// and figures, and bench_test.go in this directory for the benchmark
+// harness wrapping each of those artifacts.
 package servdisc

@@ -28,6 +28,13 @@ type AddrScanOutcome struct {
 // ActiveDiscoverer accumulates probe sweep reports into an inventory plus
 // a per-address outcome history used by the firewall heuristics and the
 // probe-subset analyses (Figure 7).
+//
+// Ingestion is order-independent: feeding the same set of reports in any
+// order yields identical state (first-open times keep the earliest
+// observation, sweep metadata and outcome histories are kept sorted).
+// That property is what lets Hybrid reconcile concurrently-arriving scan
+// reports deterministically. AddReport itself is single-writer; wrap with
+// Hybrid (or external locking) for concurrent producers.
 type ActiveDiscoverer struct {
 	ports []uint16
 
@@ -60,9 +67,12 @@ func (d *ActiveDiscoverer) Ports() []uint16 { return d.ports }
 
 // AddReport ingests one sweep, in either full or compact form.
 func (d *ActiveDiscoverer) AddReport(rep *probe.ScanReport) {
-	meta := ScanMeta{ID: rep.ID, Started: rep.Started, Finished: rep.Finished}
-	d.scans = append(d.scans, meta)
-	sort.Slice(d.scans, func(i, j int) bool { return d.scans[i].Started.Before(d.scans[j].Started) })
+	// Keep sweep metadata sorted by (Started, ID); as in insertOutcome,
+	// reports normally arrive in order, so this is an O(1) tail append.
+	d.scans = append(d.scans, ScanMeta{ID: rep.ID, Started: rep.Started, Finished: rep.Finished})
+	for i := len(d.scans) - 1; i > 0 && scanBefore(d.scans[i], d.scans[i-1]); i-- {
+		d.scans[i], d.scans[i-1] = d.scans[i-1], d.scans[i]
+	}
 
 	cur := make(map[netaddr.V4]*AddrScanOutcome)
 	for _, res := range rep.TCP {
@@ -82,14 +92,8 @@ func (d *ActiveDiscoverer) AddReport(rep *probe.ScanReport) {
 			out.Filtered++
 		}
 	}
-	// Deterministic insertion order for the outcome history.
-	addrs := make([]netaddr.V4, 0, len(cur))
-	for a := range cur {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		d.perAddr[a] = append(d.perAddr[a], *cur[a])
+	for a, out := range cur {
+		d.insertOutcome(a, *out)
 	}
 
 	for _, sum := range rep.Summaries {
@@ -98,7 +102,7 @@ func (d *ActiveDiscoverer) AddReport(rep *probe.ScanReport) {
 			Open:   append([]uint16(nil), sum.Open...),
 			Closed: sum.Closed, Filtered: sum.Filtered,
 		}
-		d.perAddr[sum.Addr] = append(d.perAddr[sum.Addr], out)
+		d.insertOutcome(sum.Addr, out)
 		if sum.Closed > 0 {
 			d.respondedEver.Add(sum.Addr)
 		}
@@ -128,9 +132,38 @@ func (d *ActiveDiscoverer) AddReport(rep *probe.ScanReport) {
 func (d *ActiveDiscoverer) recordOpen(addr netaddr.V4, port uint16, t time.Time) {
 	d.respondedEver.Add(addr)
 	key := ServiceKey{Addr: addr, Proto: packet.ProtoTCP, Port: port}
-	if _, seen := d.firstOpen[key]; !seen {
+	// Keep the earliest observation, not the first-ingested one, so that
+	// reports arriving out of sweep order converge on the same state.
+	if cur, seen := d.firstOpen[key]; !seen || t.Before(cur) {
 		d.firstOpen[key] = t
 	}
+}
+
+// insertOutcome appends an outcome to the address's history, keeping it
+// sorted by (Time, ScanID). Reports normally arrive in sweep order, so the
+// insertion point is almost always the end.
+func (d *ActiveDiscoverer) insertOutcome(addr netaddr.V4, out AddrScanOutcome) {
+	outs := append(d.perAddr[addr], out)
+	for i := len(outs) - 1; i > 0 && outcomeBefore(outs[i], outs[i-1]); i-- {
+		outs[i], outs[i-1] = outs[i-1], outs[i]
+	}
+	d.perAddr[addr] = outs
+}
+
+// outcomeBefore orders outcomes by time, then scan ID.
+func outcomeBefore(a, b AddrScanOutcome) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	return a.ScanID < b.ScanID
+}
+
+// scanBefore orders sweep metadata by start time, then ID.
+func scanBefore(a, b ScanMeta) bool {
+	if !a.Started.Equal(b.Started) {
+		return a.Started.Before(b.Started)
+	}
+	return a.ID < b.ID
 }
 
 func betterUDP(a, b probe.UDPState) bool {

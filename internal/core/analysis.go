@@ -39,6 +39,9 @@ type CompletenessRow struct {
 	PassiveCut time.Time
 	ScanCut    int
 
+	// Union counts servers found by either method (the ground truth the
+	// rest are measured against); Both / ActiveOnly / PassiveOnly split
+	// the union, and Active / Passive are each method's totals.
 	Union       int
 	Both        int
 	ActiveOnly  int

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/pipeline"
+	"servdisc/internal/probe"
+)
+
+// Hybrid reconciles the two discovery techniques into one engine: passive
+// border traffic flows into a ShardedPassive (as pipeline batches) while
+// active sweep reports flow into an ActiveDiscoverer (as probe.ReportSink
+// deliveries), and Snapshot merges both into a single hybrid Inventory
+// with per-service provenance.
+//
+// Determinism: the passive side is shard-then-merge deterministic (see
+// ShardedPassive) and the active side's ingestion is order-independent
+// (see ActiveDiscoverer), so the snapshot is byte-identical for any
+// interleaving of passive batches and scan reports carrying the same
+// observations — property-tested in hybrid_test.go at 1, 2 and 8 shards.
+//
+// Lifecycle mirrors the pipeline runner: before Run, both HandleBatch and
+// AddReport apply inline on the caller's goroutine; after Run(ctx),
+// batches go to the shard workers and reports to a dedicated reconciler
+// goroutine, so a live capture loop and a scan scheduler never block each
+// other. Flush waits for both sides to drain; Close stops the workers
+// (idempotent). As with ShardedPassive, the context is an abort lever, not
+// a graceful stop — cancel only to abandon the run.
+type Hybrid struct {
+	passive *ShardedPassive
+
+	// amu guards the active discoverer: the report worker (or inline
+	// AddReport callers) write under it, Snapshot reads under it.
+	amu    sync.Mutex
+	active *ActiveDiscoverer
+
+	// seenReports flips once any report is accepted, so consumers can
+	// tell a hybrid run from a passive-only one without locking.
+	seenReports atomic.Bool
+
+	// Report intake lifecycle, mirroring ShardedPassive's batch intake.
+	mu       sync.RWMutex
+	running  bool
+	closed   bool
+	ctx      context.Context
+	reports  chan *probe.ScanReport
+	worker   sync.WaitGroup
+	inflight sync.WaitGroup
+}
+
+// NewHybrid builds a hybrid engine over the campus space: a passive side
+// sharded n ways (as NewShardedPassive) watching the given well-known UDP
+// ports, and an active side expecting sweeps of the given TCP ports
+// (informational, as NewActiveDiscoverer).
+func NewHybrid(campus netaddr.Prefix, udpPorts []uint16, shards int, tcpPorts []uint16) *Hybrid {
+	return &Hybrid{
+		passive: NewShardedPassive(campus, udpPorts, shards),
+		active:  NewActiveDiscoverer(tcpPorts),
+	}
+}
+
+// Passive exposes the sharded passive side (counters, shard inspection).
+func (h *Hybrid) Passive() *ShardedPassive { return h.passive }
+
+// HandleBatch implements pipeline.BatchSink by feeding the passive side.
+func (h *Hybrid) HandleBatch(batch []packet.Packet) { h.passive.HandleBatch(batch) }
+
+// HandlePacket implements the legacy per-packet Sink contract.
+func (h *Hybrid) HandlePacket(p *packet.Packet) { h.passive.HandlePacket(p) }
+
+// AddReport implements probe.ReportSink. Before Run it applies the report
+// inline; after Run it enqueues for the reconciler goroutine. Reports
+// added after Close are dropped, matching the passive side's contract.
+func (h *Hybrid) AddReport(rep *probe.ScanReport) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.closed {
+		return
+	}
+	h.seenReports.Store(true)
+	if !h.running {
+		h.amu.Lock()
+		h.active.AddReport(rep)
+		h.amu.Unlock()
+		return
+	}
+	h.inflight.Add(1)
+	h.reports <- rep
+}
+
+// SeenReports reports whether any scan report has been accepted — whether
+// this run is genuinely hybrid or passive-only so far.
+func (h *Hybrid) SeenReports() bool { return h.seenReports.Load() }
+
+// Run starts the passive shard workers and the report reconciler. No-op
+// when already running or closed. See ShardedPassive.Run for the
+// cancellation contract: a cancelled run should be abandoned.
+func (h *Hybrid) Run(ctx context.Context) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.running || h.closed {
+		return
+	}
+	h.running = true
+	h.ctx = ctx
+	h.reports = make(chan *probe.ScanReport, 16)
+	h.worker.Add(1)
+	go func() {
+		defer h.worker.Done()
+		for rep := range h.reports {
+			if h.ctx.Err() == nil {
+				h.amu.Lock()
+				h.active.AddReport(rep)
+				h.amu.Unlock()
+			}
+			h.inflight.Done()
+		}
+	}()
+	h.passive.Run(ctx)
+}
+
+// Flush blocks until every batch and report accepted before the call has
+// been applied.
+func (h *Hybrid) Flush() {
+	h.passive.Flush()
+	h.inflight.Wait()
+}
+
+// Close flushes and stops both sides; idempotent. Afterwards the engine is
+// read-only: further batches and reports are dropped.
+func (h *Hybrid) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	running, reports := h.running, h.reports
+	h.mu.Unlock()
+	if running {
+		close(reports)
+		h.worker.Wait()
+	}
+	h.passive.Close()
+}
+
+// Active merges nothing — it exposes the live active discoverer for the
+// analysis layer. Stop feeding the engine (or Close it) before use, and do
+// not retain it across further ingestion.
+func (h *Hybrid) Active() *ActiveDiscoverer {
+	h.Flush()
+	return h.active
+}
+
+// Snapshot flushes both sides and freezes the reconciled hybrid inventory:
+// the union of passively-seen and probe-answering services, each with its
+// first-seen provenance. Stop producing before snapshotting (Close first
+// for a final result).
+func (h *Hybrid) Snapshot() *Inventory {
+	h.Flush()
+	merged := h.passive.Merge()
+	h.amu.Lock()
+	defer h.amu.Unlock()
+	return NewHybridInventory(merged, h.active)
+}
+
+var (
+	_ pipeline.BatchSink = (*Hybrid)(nil)
+	_ probe.ReportSink   = (*Hybrid)(nil)
+)

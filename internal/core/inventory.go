@@ -1,19 +1,79 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
+	"sort"
 	"time"
 
 	"servdisc/internal/netaddr"
 )
 
-// Inventory is a frozen, read-only view of a passive discovery run: the
-// service records, detected scanners, and roll-up queries, with keys and
-// scanner lists precomputed in deterministic order. An Inventory never
-// mutates after construction, so it is safe to share across goroutines —
-// the form live-query endpoints and the servdisc facade hand out.
+// Provenance classifies how a service entered a hybrid inventory: which
+// discovery technique found it, and which got there first when both did —
+// the axis of the paper's passive-vs-active comparison tables.
+type Provenance uint8
+
+// Provenance classes.
+const (
+	// PassiveOnly: seen in border traffic, never answered a probe (the
+	// paper's "passive finds servers probing misses": firewalled services,
+	// servers down at scan time, transient addresses).
+	PassiveOnly Provenance = iota
+	// ActiveOnly: answered a probe but generated no observed traffic
+	// (idle or unpopular services, Section 3.3).
+	ActiveOnly
+	// PassiveFirst: found by both, passive monitoring saw it no later
+	// than the first successful probe.
+	PassiveFirst
+	// ActiveFirst: found by both, a probe answered before any passive
+	// evidence arrived.
+	ActiveFirst
+)
+
+// String names the provenance class.
+func (p Provenance) String() string {
+	switch p {
+	case PassiveOnly:
+		return "passive-only"
+	case ActiveOnly:
+		return "active-only"
+	case PassiveFirst:
+		return "passive-first"
+	case ActiveFirst:
+		return "active-first"
+	default:
+		return fmt.Sprintf("provenance(%d)", uint8(p))
+	}
+}
+
+// keyBefore is the canonical (addr, proto, port) service ordering used for
+// every deterministic key listing.
+func keyBefore(a, b ServiceKey) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	if a.Proto != b.Proto {
+		return a.Proto < b.Proto
+	}
+	return a.Port < b.Port
+}
+
+// Inventory is a frozen, read-only view of a discovery run: the service
+// records, detected scanners, and roll-up queries, with keys and scanner
+// lists precomputed in deterministic order. An Inventory never mutates
+// after construction, so it is safe to share across goroutines — the form
+// live-query endpoints and the servdisc facade hand out.
+//
+// A passive-only inventory (NewInventory) covers what monitoring saw. A
+// hybrid inventory (NewHybridInventory, or Hybrid.Snapshot) additionally
+// folds in active sweep results: Keys becomes the union of both sides and
+// each key carries a Provenance.
 type Inventory struct {
 	d        *PassiveDiscoverer
+	active   *ActiveDiscoverer // nil for passive-only inventories
 	keys     []ServiceKey
+	prov     map[ServiceKey]Provenance
 	scanners []ScannerInfo
 }
 
@@ -24,23 +84,121 @@ func NewInventory(d *PassiveDiscoverer) *Inventory {
 	return &Inventory{d: d, keys: d.Keys(), scanners: d.DetectScanners()}
 }
 
+// NewHybridInventory freezes the union of a passive and an active run into
+// one inventory with per-service provenance. Neither discoverer may ingest
+// further input afterwards (Hybrid.Snapshot enforces this by flushing
+// first; see also NewInventory).
+func NewHybridInventory(d *PassiveDiscoverer, a *ActiveDiscoverer) *Inventory {
+	v := &Inventory{d: d, active: a, scanners: d.DetectScanners()}
+	v.prov = make(map[ServiceKey]Provenance, len(d.services)+len(a.firstOpen))
+	v.keys = make([]ServiceKey, 0, len(d.services)+len(a.firstOpen))
+	for key, rec := range d.services {
+		if at, ok := a.firstOpen[key]; ok {
+			if at.Before(rec.FirstSeen) {
+				v.prov[key] = ActiveFirst
+			} else {
+				v.prov[key] = PassiveFirst
+			}
+		} else {
+			v.prov[key] = PassiveOnly
+		}
+		v.keys = append(v.keys, key)
+	}
+	for key := range a.firstOpen {
+		if _, seen := v.prov[key]; !seen {
+			v.prov[key] = ActiveOnly
+			v.keys = append(v.keys, key)
+		}
+	}
+	sort.Slice(v.keys, func(i, j int) bool { return keyBefore(v.keys[i], v.keys[j]) })
+	return v
+}
+
 // Snapshot freezes a plain discoverer into a read-only inventory, the
 // single-threaded counterpart of ShardedPassive.Snapshot.
 func (d *PassiveDiscoverer) Snapshot() *Inventory { return NewInventory(d) }
 
-// Len returns the number of discovered services.
+// Len returns the number of discovered services (both sides in a hybrid
+// inventory).
 func (v *Inventory) Len() int { return len(v.keys) }
 
-// Packets returns how many packets the underlying run consumed.
+// Packets returns how many packets the underlying passive run consumed.
 func (v *Inventory) Packets() int { return v.d.Packets }
+
+// Hybrid reports whether the inventory carries an active side.
+func (v *Inventory) Hybrid() bool { return v.active != nil }
 
 // Keys returns all discovered services in deterministic (addr, proto,
 // port) order. The slice is owned by the inventory: do not modify.
 func (v *Inventory) Keys() []ServiceKey { return v.keys }
 
-// Record returns the record for one service, if present. Treat the record
-// as read-only.
+// Record returns the passive record for one service, if passive monitoring
+// saw it (ok is false for active-only services). Treat the record as
+// read-only.
 func (v *Inventory) Record(key ServiceKey) (*PassiveRecord, bool) { return v.d.Record(key) }
+
+// Provenance classifies one service. ok is false if the key is not in the
+// inventory. On a passive-only inventory every present key is PassiveOnly.
+func (v *Inventory) Provenance(key ServiceKey) (Provenance, bool) {
+	if v.active == nil {
+		_, ok := v.d.Record(key)
+		return PassiveOnly, ok
+	}
+	p, ok := v.prov[key]
+	return p, ok
+}
+
+// ProvenanceCounts tallies services per provenance class, indexed by the
+// Provenance constants.
+func (v *Inventory) ProvenanceCounts() [4]int {
+	var out [4]int
+	for _, key := range v.keys {
+		p, _ := v.Provenance(key)
+		out[p]++
+	}
+	return out
+}
+
+// FirstDiscovered returns the earliest discovery time for the service by
+// either technique, ok=false if the key is not in the inventory.
+func (v *Inventory) FirstDiscovered(key ServiceKey) (time.Time, bool) {
+	rec, pok := v.d.Record(key)
+	var at time.Time
+	var aok bool
+	if v.active != nil {
+		at, aok = v.active.FirstOpen(key)
+	}
+	switch {
+	case pok && aok:
+		if at.Before(rec.FirstSeen) {
+			return at, true
+		}
+		return rec.FirstSeen, true
+	case pok:
+		return rec.FirstSeen, true
+	case aok:
+		return at, true
+	}
+	return time.Time{}, false
+}
+
+// ActiveFirstOpen returns when the service first answered a probe, ok=false
+// for passive-only inventories or never-probed services.
+func (v *Inventory) ActiveFirstOpen(key ServiceKey) (time.Time, bool) {
+	if v.active == nil {
+		return time.Time{}, false
+	}
+	return v.active.FirstOpen(key)
+}
+
+// Scans returns the active side's sweep metadata in start order (nil for
+// passive-only inventories). The slice is owned by the inventory.
+func (v *Inventory) Scans() []ScanMeta {
+	if v.active == nil {
+		return nil
+	}
+	return v.active.Scans()
+}
 
 // Scanners returns the detected scanners, sorted by source address.
 func (v *Inventory) Scanners() []ScannerInfo { return v.scanners }
@@ -55,8 +213,9 @@ func (v *Inventory) ScannerSet() map[netaddr.V4]bool {
 	return out
 }
 
-// AddrFirstSeen rolls the inventory up to addresses: earliest positive
-// evidence per address, optionally restricted to services passing keep.
+// AddrFirstSeen rolls the passive inventory up to addresses: earliest
+// positive evidence per address, optionally restricted to services passing
+// keep.
 func (v *Inventory) AddrFirstSeen(keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
 	return v.d.AddrFirstSeen(keep)
 }
@@ -78,8 +237,40 @@ func (v *Inventory) ActiveDuring(addr netaddr.V4, from, to time.Time) bool {
 	return v.d.ActiveDuring(addr, from, to)
 }
 
-// LastActivity returns the most recent recorded activity time for the
-// address, ok=false if it was never seen.
+// LastActivity returns the most recent recorded passive activity time for
+// the address, ok=false if it was never seen.
 func (v *Inventory) LastActivity(addr netaddr.V4) (time.Time, bool) {
 	return v.d.LastActivity(addr)
+}
+
+// Dump renders the inventory into a canonical byte form: every service in
+// key order with its provenance, discovery times and passive weights, then
+// the scanner list and sweep metadata. Two inventories built from the same
+// observations serialize identically — the property the hybrid determinism
+// tests pin down — and the text doubles as a human-readable report for the
+// command-line tools.
+func (v *Inventory) Dump() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "services=%d packets=%d\n", len(v.keys), v.d.Packets)
+	for _, key := range v.keys {
+		p, _ := v.Provenance(key)
+		fmt.Fprintf(&b, "%s %s", key, p)
+		if rec, ok := v.d.Record(key); ok {
+			fmt.Fprintf(&b, " passive=%s flows=%d clients=%d",
+				rec.FirstSeen.UTC().Format(time.RFC3339Nano), rec.Flows, rec.Clients())
+		}
+		if at, ok := v.ActiveFirstOpen(key); ok {
+			fmt.Fprintf(&b, " active=%s", at.UTC().Format(time.RFC3339Nano))
+		}
+		b.WriteByte('\n')
+	}
+	for _, s := range v.scanners {
+		fmt.Fprintf(&b, "scanner %s window=%s dsts=%d rsts=%d\n", s.Source,
+			s.Window.UTC().Format(time.RFC3339Nano), s.UniqueDsts, s.RstDsts)
+	}
+	for _, m := range v.Scans() {
+		fmt.Fprintf(&b, "sweep %d %s..%s\n", m.ID,
+			m.Started.UTC().Format(time.RFC3339Nano), m.Finished.UTC().Format(time.RFC3339Nano))
+	}
+	return b.Bytes()
 }

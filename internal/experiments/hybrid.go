@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"servdisc/internal/campus"
+	"servdisc/internal/core"
+	"servdisc/internal/packet"
+	"servdisc/internal/report"
+	"servdisc/internal/stats"
+)
+
+// HybridTable reconciles the campaign's passive and active sides through
+// the hybrid inventory (core.NewHybridInventory) and breaks the union down
+// by first-seen provenance per selected TCP service port — the engine-level
+// restatement of the paper's passive-vs-active comparison tables: passive
+// wins the race for popular services, probing contributes the idle ones.
+func HybridTable(ds *Dataset) *report.Table {
+	inv := core.NewHybridInventory(ds.Merged, ds.Active)
+	type row struct{ union, pFirst, aFirst, pOnly, aOnly int }
+	perPort := make(map[uint16]*row, len(campus.SelectedTCPPorts))
+	for _, port := range campus.SelectedTCPPorts {
+		perPort[port] = &row{}
+	}
+	var total row
+	for _, key := range inv.Keys() {
+		if key.Proto != packet.ProtoTCP {
+			continue
+		}
+		r, ok := perPort[key.Port]
+		if !ok {
+			continue
+		}
+		p, _ := inv.Provenance(key)
+		for _, dst := range []*row{r, &total} {
+			dst.union++
+			switch p {
+			case core.PassiveFirst:
+				dst.pFirst++
+			case core.ActiveFirst:
+				dst.aFirst++
+			case core.PassiveOnly:
+				dst.pOnly++
+			case core.ActiveOnly:
+				dst.aOnly++
+			}
+		}
+	}
+
+	t := report.NewTable("Hybrid reconciliation: first-seen provenance per service port (DTCP1-18d)",
+		"port", "union", "passive-first", "active-first", "passive-only", "active-only")
+	addRow := func(label string, r *row) {
+		pct := func(n int) string { return fmt.Sprintf("%d (%s)", n, stats.Percent(n, r.union)) }
+		t.AddRow(label, r.union, pct(r.pFirst), pct(r.aFirst), pct(r.pOnly), pct(r.aOnly))
+	}
+	for _, port := range campus.SelectedTCPPorts {
+		addRow(fmt.Sprintf("%d", port), perPort[port])
+	}
+	addRow("all", &total)
+	return t
+}

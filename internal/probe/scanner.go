@@ -67,6 +67,10 @@ type ScanReport struct {
 	Summaries []AddrSummary
 	// UDP holds every UDP observation.
 	UDP []UDPResult
+	// Truncated marks a sweep cut short by cancellation or its per-sweep
+	// deadline (concurrent Scheduler only; SimScanner sweeps always run to
+	// completion in virtual time).
+	Truncated bool
 }
 
 // OpenAddrs returns the set of addresses with at least one open TCP port.

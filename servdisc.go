@@ -2,16 +2,18 @@ package servdisc
 
 // This file is the public facade over the internal wiring: NewPipeline
 // assembles the standard passive-monitoring pipeline (link assigner →
-// per-link taps → sharded discoverer), and Discover replays a pcap trace
-// through it. cmd/ and examples/ build on these instead of assembling
-// internal packages by hand. See doc.go for the package overview and
-// DESIGN.md for the architecture.
+// per-link taps → sharded discoverer), NewHybrid attaches the concurrent
+// active-scan scheduler to the same engine, and Discover replays a pcap
+// trace through it. cmd/ and examples/ build on these instead of
+// assembling internal packages by hand. See doc.go for the package
+// overview and DESIGN.md for the architecture.
 
 import (
 	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"servdisc/internal/campus"
 	"servdisc/internal/capture"
@@ -20,6 +22,7 @@ import (
 	"servdisc/internal/netaddr"
 	"servdisc/internal/packet"
 	"servdisc/internal/pipeline"
+	"servdisc/internal/probe"
 	"servdisc/internal/trace"
 )
 
@@ -34,7 +37,65 @@ type (
 	PassiveRecord = core.PassiveRecord
 	// ScannerInfo describes one detected external scanner.
 	ScannerInfo = core.ScannerInfo
+	// Provenance classifies how a hybrid inventory found a service
+	// (passive-only, active-only, passive-first, active-first).
+	Provenance = core.Provenance
+	// ScanReport is one active sweep's observations.
+	ScanReport = probe.ScanReport
 )
+
+// ScanOptions configure the active-scan side of a hybrid engine: what to
+// probe, how fast, and on what schedule. Zero values pick conservative
+// defaults; only Targets is required.
+type ScanOptions struct {
+	// Targets are the addresses to sweep, in canonical report order
+	// (required).
+	Targets []netaddr.V4
+	// TCPPorts are probed per target. Defaults to the paper's five
+	// selected TCP service ports when UDPPorts is empty.
+	TCPPorts []uint16
+	// UDPPorts are probed with generic UDP probes (optional).
+	UDPPorts []uint16
+	// Rate is the aggregate probes-per-second budget across all workers
+	// (the paper ran 12–15). <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the token-bucket depth (default 1).
+	Burst int
+	// Workers sizes the probe worker pool; <= 0 picks GOMAXPROCS.
+	Workers int
+	// Interval is the start-to-start sweep spacing for RunScans (the
+	// paper swept every 12 hours). <= 0 runs sweeps back-to-back.
+	Interval time.Duration
+	// Sweeps bounds how many sweeps RunScans launches (<= 0: until the
+	// context is cancelled).
+	Sweeps int
+	// SweepTimeout is the per-sweep deadline; an overrunning sweep is
+	// truncated and reported partial. Zero means none.
+	SweepTimeout time.Duration
+	// ProbeTimeout bounds each real-network probe (NetBackend default 2s).
+	ProbeTimeout time.Duration
+	// Backend overrides the probe backend. Nil selects the real-network
+	// connect-scan backend; inject a probe.SimBackend to scan a simulated
+	// campus.
+	Backend probe.Backend
+	// Compact aggregates TCP results into per-address summaries — required
+	// for all-ports sweeps, where full per-probe records would not fit.
+	Compact bool
+}
+
+func (o *ScanOptions) tcpPorts() []uint16 {
+	if o.TCPPorts == nil && len(o.UDPPorts) == 0 {
+		return campus.SelectedTCPPorts
+	}
+	return o.TCPPorts
+}
+
+func (o *ScanOptions) backend() probe.Backend {
+	if o.Backend != nil {
+		return o.Backend
+	}
+	return &probe.NetBackend{Timeout: o.ProbeTimeout}
+}
 
 // Config shapes a discovery pipeline.
 type Config struct {
@@ -61,6 +122,10 @@ type Config struct {
 	// Academic lists external addresses routed via the Internet2 peering
 	// (relevant only when LinkInternet2 is monitored).
 	Academic []netaddr.V4
+	// Scan configures the active-scan side. NewHybrid requires it;
+	// NewPipeline accepts it too, attaching the scheduler so scan reports
+	// reconcile into the same engine as the passive stream.
+	Scan *ScanOptions
 }
 
 func (c Config) campusPrefix() (netaddr.Prefix, error) {
@@ -87,23 +152,35 @@ func (c Config) shardCount() int {
 	return 8
 }
 
-// Pipeline is the standard passive-monitoring assembly: a link assigner
-// routing border packets to per-link taps (filter + optional sampler),
-// all feeding one sharded passive discoverer. Feed it batches (it
+// Pipeline is the standard discovery assembly: a link assigner routing
+// border packets to per-link taps (filter + optional sampler), all feeding
+// one hybrid engine whose passive side is sharded. Feed it batches (it
 // implements pipeline.BatchSink — hand it to traffic.NewGenerator or a
-// replay loop), then Snapshot the inventory.
+// replay loop), feed it scan reports (it implements probe.ReportSink), and
+// Snapshot the inventory.
 type Pipeline struct {
 	monitor *capture.Monitor
-	sharded *core.ShardedPassive
+	engine  *core.Hybrid
+	sched   *probe.Scheduler // nil unless Config.Scan was set
+	scan    *ScanOptions
 }
 
-// NewPipeline assembles a pipeline from the config.
+// NewPipeline assembles a pipeline from the config. With cfg.Scan set, the
+// concurrent scan scheduler is attached (see Hybrid for the scan-side
+// methods); without it the pipeline is passive-only.
 func NewPipeline(cfg Config) (*Pipeline, error) {
 	pfx, err := cfg.campusPrefix()
 	if err != nil {
 		return nil, err
 	}
-	sharded := core.NewShardedPassive(pfx, cfg.udpPorts(), cfg.shardCount())
+	var scanTCP []uint16
+	if cfg.Scan != nil {
+		if len(cfg.Scan.Targets) == 0 {
+			return nil, fmt.Errorf("servdisc: Config.Scan.Targets is required")
+		}
+		scanTCP = cfg.Scan.tcpPorts()
+	}
+	engine := core.NewHybrid(pfx, cfg.udpPorts(), cfg.shardCount(), scanTCP)
 	links := cfg.Links
 	if len(links) == 0 {
 		links = []capture.LinkID{capture.LinkCommercial1, capture.LinkCommercial2}
@@ -114,16 +191,30 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	}
 	taps := make([]*capture.Tap, 0, len(links))
 	for _, link := range links {
-		tap, err := capture.NewTap(link, filterExpr, nil, sharded)
+		tap, err := capture.NewTap(link, filterExpr, nil, engine)
 		if err != nil {
 			return nil, err
 		}
 		taps = append(taps, tap)
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		monitor: capture.NewMonitor(capture.NewAssigner(pfx, cfg.Academic), taps...),
-		sharded: sharded,
-	}, nil
+		engine:  engine,
+		scan:    cfg.Scan,
+	}
+	if cfg.Scan != nil {
+		p.sched = probe.NewScheduler(cfg.Scan.backend(), probe.SchedulerConfig{
+			Targets:      cfg.Scan.Targets,
+			TCPPorts:     cfg.Scan.tcpPorts(),
+			UDPPorts:     cfg.Scan.UDPPorts,
+			Rate:         cfg.Scan.Rate,
+			Burst:        cfg.Scan.Burst,
+			Workers:      cfg.Scan.Workers,
+			SweepTimeout: cfg.Scan.SweepTimeout,
+			Compact:      cfg.Scan.Compact,
+		})
+	}
+	return p, nil
 }
 
 // Monitor exposes the link monitor — the pipeline's ingest point, and the
@@ -133,23 +224,83 @@ func (p *Pipeline) Monitor() *capture.Monitor { return p.monitor }
 // HandleBatch implements pipeline.BatchSink by feeding the monitor.
 func (p *Pipeline) HandleBatch(batch []packet.Packet) { p.monitor.HandleBatch(batch) }
 
-// Run starts the discoverer's shard workers; without it ingest runs
-// synchronously on the producer's goroutine (the deterministic mode the
-// simulator uses — results are identical either way).
-func (p *Pipeline) Run(ctx context.Context) { p.sharded.Run(ctx) }
+// AddReport implements probe.ReportSink: scan reports reconcile into the
+// engine alongside the passive stream.
+func (p *Pipeline) AddReport(rep *ScanReport) { p.engine.AddReport(rep) }
 
-// Flush waits until everything ingested so far has reached shard state.
-func (p *Pipeline) Flush() { p.sharded.Flush() }
+// Run starts the engine's workers (passive shard workers plus the report
+// reconciler); without it ingest runs synchronously on the producer's
+// goroutine (the deterministic mode the simulator uses — results are
+// identical either way).
+func (p *Pipeline) Run(ctx context.Context) { p.engine.Run(ctx) }
 
-// Close stops the shard workers (idempotent).
-func (p *Pipeline) Close() { p.sharded.Close() }
+// Flush waits until everything ingested so far has reached engine state.
+func (p *Pipeline) Flush() { p.engine.Flush() }
 
-// Snapshot flushes and freezes the current inventory.
-func (p *Pipeline) Snapshot() *Inventory { return p.sharded.Snapshot() }
+// Close stops the engine's workers (idempotent).
+func (p *Pipeline) Close() { p.engine.Close() }
+
+// Snapshot flushes and freezes the current inventory: hybrid (with
+// provenance) when scan options were configured or any scan report was
+// ingested via AddReport, passive-only otherwise.
+func (p *Pipeline) Snapshot() *Inventory {
+	if p.scan == nil && !p.engine.SeenReports() {
+		p.engine.Flush()
+		return p.engine.Passive().Snapshot()
+	}
+	return p.engine.Snapshot()
+}
 
 // Passive merges the shards into a single PassiveDiscoverer for the
 // analysis layer (core.Analysis). Stop feeding the pipeline first.
-func (p *Pipeline) Passive() *core.PassiveDiscoverer { return p.sharded.Merge() }
+func (p *Pipeline) Passive() *core.PassiveDiscoverer { return p.engine.Passive().Merge() }
+
+// Active exposes the active-side discoverer for the analysis layer. Stop
+// feeding the pipeline first.
+func (p *Pipeline) Active() *core.ActiveDiscoverer { return p.engine.Active() }
+
+// Scheduler returns the attached scan scheduler, nil without Config.Scan.
+func (p *Pipeline) Scheduler() *probe.Scheduler { return p.sched }
+
+// Hybrid is a Pipeline with the active-scan side attached: the same
+// passive assembly plus a concurrent, rate-limited scan scheduler whose
+// reports reconcile into the shared engine. Construct with NewHybrid.
+type Hybrid struct {
+	*Pipeline
+}
+
+// NewHybrid assembles a hybrid discovery engine: the passive pipeline of
+// NewPipeline plus the concurrent scan scheduler, reconciled into one
+// inventory with per-service provenance. cfg.Scan is required.
+func NewHybrid(cfg Config) (*Hybrid, error) {
+	if cfg.Scan == nil {
+		return nil, fmt.Errorf("servdisc: NewHybrid requires Config.Scan")
+	}
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{Pipeline: p}, nil
+}
+
+// Scan runs one sweep and reconciles its report into the engine. It blocks
+// until the sweep completes (or is cut short by cancellation / the
+// per-sweep deadline, returning the cause alongside the partial report).
+func (h *Hybrid) Scan(ctx context.Context) (*ScanReport, error) {
+	rep, err := h.sched.Sweep(ctx)
+	if rep != nil {
+		h.engine.AddReport(rep)
+	}
+	return rep, err
+}
+
+// RunScans executes the configured sweep schedule (Scan.Interval between
+// starts, Scan.Sweeps total), reconciling every report into the engine.
+// It blocks until the schedule completes or ctx is cancelled; run it from
+// its own goroutine alongside live capture.
+func (h *Hybrid) RunScans(ctx context.Context) error {
+	return h.sched.Run(ctx, h.scan.Interval, h.scan.Sweeps, h.engine)
+}
 
 // Discover replays a pcap trace through a sharded passive discoverer and
 // returns the frozen inventory. The trace is consumed in batches; with

@@ -10,6 +10,7 @@ import (
 	"servdisc/internal/capture"
 	"servdisc/internal/core"
 	"servdisc/internal/netaddr"
+	"servdisc/internal/probe"
 	"servdisc/internal/sim"
 	"servdisc/internal/trace"
 	"servdisc/internal/traffic"
@@ -234,6 +235,85 @@ func TestDiscoverErrors(t *testing.T) {
 	cancel()
 	if inv, err := Discover(ctx, bytes.NewReader(raw), Config{Campus: pfx.String()}); err == nil || inv != nil {
 		t.Error("cancelled Discover returned an inventory")
+	}
+}
+
+// fixedTimeBackend pins the probe timestamp handed to an inner backend, so
+// a wall-clock sweep classifies the simulated campus as of a fixed moment.
+type fixedTimeBackend struct {
+	inner probe.Backend
+	at    time.Time
+}
+
+func (b fixedTimeBackend) ProbeTCP(_ time.Time, addr netaddr.V4, port uint16) probe.TCPState {
+	return b.inner.ProbeTCP(b.at, addr, port)
+}
+
+func (b fixedTimeBackend) ProbeUDP(_ time.Time, addr netaddr.V4, port uint16) probe.UDPState {
+	return b.inner.ProbeUDP(b.at, addr, port)
+}
+
+// TestHybridFacade runs the full hybrid engine end to end: simulated
+// border traffic into the passive side, a concurrent sweep of the same
+// campus into the active side, and a reconciled snapshot with provenance.
+func TestHybridFacade(t *testing.T) {
+	cfg := smallConfig()
+	net, eng, pfx := buildCampus(t, cfg)
+	h, err := NewHybrid(Config{
+		Campus:   pfx.String(),
+		Shards:   4,
+		Academic: net.AcademicClients(),
+		Scan: &ScanOptions{
+			Targets: net.Plan().ProbeTargets(),
+			Workers: 8,
+			Backend: fixedTimeBackend{inner: &probe.SimBackend{Net: net}, at: cfg.Start},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Scheduler() == nil {
+		t.Fatal("hybrid facade has no scheduler")
+	}
+	h.Run(context.Background())
+	traffic.NewGenerator(net, eng, h)
+	eng.RunUntil(cfg.Start.Add(12 * time.Hour))
+
+	rep, err := h.Scan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated || rep.OpenAddrs().Len() == 0 {
+		t.Fatalf("sweep degenerate: truncated=%v open=%d", rep.Truncated, rep.OpenAddrs().Len())
+	}
+	h.Close()
+
+	inv := h.Snapshot()
+	if !inv.Hybrid() {
+		t.Fatal("snapshot is not hybrid")
+	}
+	if len(inv.Scans()) != 1 {
+		t.Fatalf("snapshot has %d sweeps, want 1", len(inv.Scans()))
+	}
+	counts := inv.ProvenanceCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != inv.Len() || inv.Len() == 0 {
+		t.Fatalf("provenance counts %v do not cover the %d services", counts, inv.Len())
+	}
+	// Both techniques must contribute: passive-only (firewalled/popular)
+	// and active-only (idle servers) are the paper's headline classes.
+	if counts[core.PassiveOnly] == 0 || counts[core.ActiveOnly] == 0 {
+		t.Errorf("degenerate reconciliation: counts = %v", counts)
+	}
+	// NewHybrid without scan options must refuse.
+	if _, err := NewHybrid(Config{Campus: pfx.String()}); err == nil {
+		t.Error("NewHybrid accepted a config without Scan")
+	}
+	if _, err := NewPipeline(Config{Campus: pfx.String(), Scan: &ScanOptions{}}); err == nil {
+		t.Error("NewPipeline accepted scan options without targets")
 	}
 }
 
