@@ -13,9 +13,11 @@ package servdisc
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -337,6 +339,66 @@ func BenchmarkIngestSharded(b *testing.B) {
 		_ = sp.Merge()
 	}
 	reportPacketsPerSec(b, len(pkts))
+}
+
+// BenchmarkSnapshotUnderLoad measures the live engine: ingest throughput
+// through the 8-shard discoverer while a second goroutine snapshots the
+// running engine at 1, 10 and 100 Hz, plus the latency of those
+// snapshots. The point of the generation machinery is that pkts/s should
+// barely move across the Hz ladder (each snapshot freezes only shards
+// that changed, and the producer is paused only for marker insertion, not
+// for the clone/merge work).
+func BenchmarkSnapshotUnderLoad(b *testing.B) {
+	for _, hz := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("hz=%d", hz), func(b *testing.B) {
+			pkts, pfx := ingestStream(b)
+			sp := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
+			sp.Run(context.Background())
+			mon := ingestChain(b, pfx, sp)
+
+			stop := make(chan struct{})
+			var snapDone sync.WaitGroup
+			var snaps int64
+			var snapNanos int64
+			snapDone.Add(1)
+			go func() {
+				defer snapDone.Done()
+				tick := time.NewTicker(time.Second / time.Duration(hz))
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						t0 := time.Now()
+						_ = sp.Snapshot()
+						atomic.AddInt64(&snapNanos, int64(time.Since(t0)))
+						atomic.AddInt64(&snaps, 1)
+					}
+				}
+			}()
+
+			resetIngestTimer(b)
+			for i := 0; i < b.N; i++ {
+				for off := 0; off < len(pkts); off += benchBatchSize {
+					end := off + benchBatchSize
+					if end > len(pkts) {
+						end = len(pkts)
+					}
+					mon.HandleBatch(pkts[off:end])
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			snapDone.Wait()
+			sp.Close()
+			reportPacketsPerSec(b, len(pkts))
+			if n := atomic.LoadInt64(&snaps); n > 0 {
+				b.ReportMetric(float64(atomic.LoadInt64(&snapNanos))/float64(n)/1e6, "ms/snap")
+				b.ReportMetric(float64(n)/float64(b.N), "snaps/op")
+			}
+		})
+	}
 }
 
 // Ablation benches (DESIGN.md §4): the same pipeline with a design choice

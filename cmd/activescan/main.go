@@ -105,6 +105,11 @@ func run(targets, ports, udpPorts string, timeout time.Duration, workers int, ra
 		Burst:        burst,
 		Workers:      workers,
 		SweepTimeout: sweepTimeout,
+		// The scheduler's sweep observer prints each sweep the moment it
+		// completes (including deadline-truncated ones), before the report
+		// is reconciled — the command-line face of the engine's
+		// ScanCompleted events.
+		OnSweep: func(rep *probe.ScanReport, _ error) { printReport(rep) },
 	})
 
 	// Ctrl-C cancels the run; a truncated sweep still prints its partials.
@@ -112,10 +117,7 @@ func run(targets, ports, udpPorts string, timeout time.Duration, workers int, ra
 	defer stop()
 
 	active := core.NewActiveDiscoverer(tcpList)
-	err = sched.Run(ctx, every, sweeps, probe.ReportFunc(func(rep *probe.ScanReport) {
-		active.AddReport(rep)
-		printReport(rep)
-	}))
+	err = sched.Run(ctx, every, sweeps, probe.ReportFunc(active.AddReport))
 	// Services() covers TCP; UDP opens live in the per-port outcome table.
 	openUDP := 0
 	for _, a := range active.UDPAddrs() {

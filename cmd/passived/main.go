@@ -1,13 +1,16 @@
 // Command passived runs the passive service-discovery pipeline over a pcap
 // trace (e.g. one produced by cmd/campussim, or a real header trace) and
 // prints the resulting inventory; with -http it also serves the inventory
-// and detected scanners as JSON. Replay ingests through the sharded
-// discovery pipeline (servdisc.Discover), so multi-core machines chew
-// through large traces at full speed with results identical to a
-// single-threaded run.
+// and detected scanners as JSON. The replay feeds a live engine: while the
+// sharded workers chew through the trace, passived takes periodic
+// point-in-time snapshots (-snap) and streams discovery events — scanner
+// detections are logged the moment the detection threshold is crossed, not
+// at the end of the run. The HTTP endpoints always serve the latest
+// snapshot, so a long replay (or a live feed) is queryable from the first
+// second.
 //
 //	passived -trace campus.pcap -net 128.125.0.0/16
-//	passived -trace campus.pcap -net 128.125.0.0/16 -shards 8 -http :8080
+//	passived -trace campus.pcap -net 128.125.0.0/16 -shards 8 -snap 500ms -http :8080
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"servdisc"
@@ -29,51 +33,118 @@ func main() {
 	httpAddr := flag.String("http", "", "serve inventory as JSON on this address")
 	top := flag.Int("top", 20, "show the N busiest services")
 	shards := flag.Int("shards", 0, "discoverer shards (0 = hardware default)")
+	snapEvery := flag.Duration("snap", time.Second, "live snapshot interval during replay (0 = final only)")
 	flag.Parse()
 
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "passived: -trace is required")
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *netFlag, *httpAddr, *top, *shards); err != nil {
+	if err := run(*tracePath, *netFlag, *httpAddr, *top, *shards, *snapEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "passived:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, netFlag, httpAddr string, top, shards int) error {
+func run(tracePath, netFlag, httpAddr string, top, shards int, snapEvery time.Duration) error {
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	inv, err := servdisc.Discover(context.Background(), f, servdisc.Config{
+	pl, err := servdisc.NewPipeline(servdisc.Config{
 		Campus: netFlag,
 		Shards: shards,
+		// The taps are bypassed by Replay (a recorded trace was already
+		// filtered at capture time), so no link or filter setup matters
+		// here beyond the campus prefix.
 	})
 	if err != nil {
-		return fmt.Errorf("replay: %w", err)
+		return err
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pl.Run(ctx)
+
+	// Stream discovery events while the replay runs: scanner detections
+	// are worth a log line the moment they happen. The subscription is
+	// bounded — if we lag, we lose log lines, never ingest throughput.
+	sub := pl.Subscribe(4096)
+	eventsDone := make(chan struct{})
+	var discovered, upgraded atomic.Int64
+	go func() {
+		defer close(eventsDone)
+		for ev := range sub.Events() {
+			switch ev.Kind {
+			case servdisc.EventServiceDiscovered:
+				discovered.Add(1)
+			case servdisc.EventProvenanceUpgraded:
+				upgraded.Add(1)
+			case servdisc.EventScannerDetected:
+				fmt.Printf("event: %s\n", ev)
+			}
+		}
+	}()
+
+	// The latest point-in-time snapshot, shared with the HTTP handlers.
+	var latest atomic.Pointer[servdisc.Inventory]
+	latest.Store(pl.Snapshot())
+	httpErr := make(chan error, 1)
+	if httpAddr != "" {
+		go func() { httpErr <- serveHTTP(httpAddr, &latest) }()
+		fmt.Printf("serving live inventory on %s (/services, /scanners, /stats)\n", httpAddr)
+	}
+
+	// Replay on its own goroutine; snapshot on a ticker until it finishes.
+	type replayResult struct {
+		packets int
+		err     error
+	}
+	replayDone := make(chan replayResult, 1)
+	start := time.Now()
+	go func() {
+		n, err := pl.Replay(ctx, f)
+		replayDone <- replayResult{n, err}
+	}()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if snapEvery > 0 {
+		ticker = time.NewTicker(snapEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	var res replayResult
+loop:
+	for {
+		select {
+		case res = <-replayDone:
+			break loop
+		case err := <-httpErr:
+			return fmt.Errorf("http: %w", err)
+		case <-tick:
+			// Live snapshot: consistent, non-blocking for the replay.
+			inv := pl.Snapshot()
+			latest.Store(inv)
+			fmt.Printf("live: %d packets, %d services, %d scanners (%.1fs)\n",
+				inv.Packets(), inv.Len(), len(inv.Scanners()), time.Since(start).Seconds())
+		}
+	}
+	if res.err != nil {
+		return fmt.Errorf("replay: %w", res.err)
+	}
+	pl.Close() // ends the event stream; snapshots remain available
+	<-eventsDone
+
+	inv := pl.Snapshot()
+	latest.Store(inv)
 	fmt.Printf("replayed %d packets; %d services on %d addresses; %d scanners detected\n",
 		inv.Packets(), inv.Len(), len(inv.AddrFirstSeen(nil)), len(inv.Scanners()))
+	fmt.Printf("events: %d discoveries, %d upgrades, %d dropped by the log subscriber\n",
+		discovered.Load(), upgraded.Load(), sub.Dropped())
 
-	type row struct {
-		Key     string    `json:"service"`
-		First   time.Time `json:"first_seen"`
-		Flows   int       `json:"flows"`
-		Clients int       `json:"clients"`
-	}
-	var rows []row
-	for _, key := range inv.Keys() {
-		rec, _ := inv.Record(key)
-		rows = append(rows, row{
-			Key: key.String(), First: rec.FirstSeen,
-			Flows: rec.Flows, Clients: rec.Clients(),
-		})
-	}
-	// Show the busiest services first.
-	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Flows > rows[j].Flows })
+	rows := serviceRows(inv)
 	limit := top
 	if limit > len(rows) {
 		limit = len(rows)
@@ -86,15 +157,52 @@ func run(tracePath, netFlag, httpAddr string, top, shards int) error {
 	if httpAddr == "" {
 		return nil
 	}
+	fmt.Println("\nreplay finished; still serving the final inventory (^C to quit)")
+	return <-httpErr // serve until the server fails or the process is killed
+}
+
+type row struct {
+	Key     string    `json:"service"`
+	First   time.Time `json:"first_seen"`
+	Flows   int       `json:"flows"`
+	Clients int       `json:"clients"`
+}
+
+// serviceRows flattens an inventory into JSON-ready rows, busiest first.
+func serviceRows(inv *servdisc.Inventory) []row {
+	var rows []row
+	for _, key := range inv.Keys() {
+		rec, _ := inv.Record(key)
+		rows = append(rows, row{
+			Key: key.String(), First: rec.FirstSeen,
+			Flows: rec.Flows, Clients: rec.Clients(),
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Flows > rows[j].Flows })
+	return rows
+}
+
+// serveHTTP serves the latest snapshot; every request reads the freshest
+// inventory the snapshot loop has published. It blocks until the server
+// fails (including a failed listen).
+func serveHTTP(addr string, latest *atomic.Pointer[servdisc.Inventory]) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/services", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(rows)
+		_ = json.NewEncoder(w).Encode(serviceRows(latest.Load()))
 	})
 	mux.HandleFunc("/scanners", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(inv.Scanners())
+		_ = json.NewEncoder(w).Encode(latest.Load().Scanners())
 	})
-	fmt.Printf("\nserving inventory on %s (/services, /scanners)\n", httpAddr)
-	return http.ListenAndServe(httpAddr, mux)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		inv := latest.Load()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{
+			"packets":  inv.Packets(),
+			"services": inv.Len(),
+			"scanners": len(inv.Scanners()),
+		})
+	})
+	return http.ListenAndServe(addr, mux)
 }

@@ -15,6 +15,13 @@
 //     (passive-first vs active-first — the paper's comparison axis).
 //   - Discover replays a pcap trace through the passive pipeline.
 //
+// The engine is continuously queryable while it ingests: Snapshot freezes
+// a consistent point-in-time Inventory without stopping producers
+// (generation-tracked, so unchanged shards are free), Watch/Subscribe
+// stream typed discovery events (ServiceDiscovered, ProvenanceUpgraded,
+// ScannerDetected, ScanCompleted) through a bounded, drop-counting
+// fanout, and Replay streams a pcap trace into the live engine.
+//
 // The moving parts live under internal/ — internal/pipeline defines the
 // batch-ingest contract, internal/capture the taps and link monitor,
 // internal/probe the scan backends, the sequential sim-time sweeper and

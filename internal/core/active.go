@@ -48,6 +48,13 @@ type ActiveDiscoverer struct {
 
 	// udp keeps the generic-UDP sweep outcomes per address and port.
 	udp map[netaddr.V4]map[uint16]probe.UDPState
+
+	// onDiscovered, when set, fires the first time a service answers a
+	// probe, from the goroutine applying the report. onOpenEarlier fires
+	// when an out-of-order report moves a known service's first-open time
+	// earlier. Hybrid wires both into the engine's event stream.
+	onDiscovered  func(key ServiceKey, t time.Time)
+	onOpenEarlier func(key ServiceKey, t time.Time)
 }
 
 // NewActiveDiscoverer builds a discoverer. ports documents the sweep's TCP
@@ -134,8 +141,15 @@ func (d *ActiveDiscoverer) recordOpen(addr netaddr.V4, port uint16, t time.Time)
 	key := ServiceKey{Addr: addr, Proto: packet.ProtoTCP, Port: port}
 	// Keep the earliest observation, not the first-ingested one, so that
 	// reports arriving out of sweep order converge on the same state.
-	if cur, seen := d.firstOpen[key]; !seen || t.Before(cur) {
+	cur, seen := d.firstOpen[key]
+	if !seen || t.Before(cur) {
 		d.firstOpen[key] = t
+	}
+	switch {
+	case !seen && d.onDiscovered != nil:
+		d.onDiscovered(key, t)
+	case seen && t.Before(cur) && d.onOpenEarlier != nil:
+		d.onOpenEarlier(key, t)
 	}
 }
 
@@ -189,11 +203,49 @@ func (d *ActiveDiscoverer) FirstOpen(key ServiceKey) (time.Time, bool) {
 	return t, ok
 }
 
-// Services returns the first-open inventory map (owned by the discoverer).
-func (d *ActiveDiscoverer) Services() map[ServiceKey]time.Time { return d.firstOpen }
+// Services returns the first-open inventory as a fresh map the caller may
+// keep and modify freely; it does not alias the discoverer's state.
+func (d *ActiveDiscoverer) Services() map[ServiceKey]time.Time {
+	out := make(map[ServiceKey]time.Time, len(d.firstOpen))
+	for k, t := range d.firstOpen {
+		out[k] = t
+	}
+	return out
+}
 
-// RespondedEver returns addresses that ever answered probes at all.
-func (d *ActiveDiscoverer) RespondedEver() *netaddr.Set { return d.respondedEver }
+// RespondedEver returns a copy of the set of addresses that ever answered
+// probes at all; mutating it does not affect the discoverer.
+func (d *ActiveDiscoverer) RespondedEver() *netaddr.Set { return d.respondedEver.Clone() }
+
+// clone deep-copies the discoverer into a frozen form that later reports
+// into the original cannot disturb — the active side of Hybrid's live
+// snapshots. Emission hooks are not carried over.
+func (d *ActiveDiscoverer) clone() *ActiveDiscoverer {
+	c := &ActiveDiscoverer{
+		ports:         d.ports,
+		firstOpen:     make(map[ServiceKey]time.Time, len(d.firstOpen)),
+		scans:         append([]ScanMeta(nil), d.scans...),
+		perAddr:       make(map[netaddr.V4][]AddrScanOutcome, len(d.perAddr)),
+		respondedEver: d.respondedEver.Clone(),
+		udp:           make(map[netaddr.V4]map[uint16]probe.UDPState, len(d.udp)),
+	}
+	for k, t := range d.firstOpen {
+		c.firstOpen[k] = t
+	}
+	for a, outs := range d.perAddr {
+		// Outcome structs are immutable once inserted (their Open slices
+		// are never appended to afterwards), so copying the slice suffices.
+		c.perAddr[a] = append([]AddrScanOutcome(nil), outs...)
+	}
+	for a, m := range d.udp {
+		cm := make(map[uint16]probe.UDPState, len(m))
+		for p, st := range m {
+			cm[p] = st
+		}
+		c.udp[a] = cm
+	}
+	return c
+}
 
 // AddrFirstOpen rolls the inventory up to addresses, optionally restricted
 // to services passing keep.

@@ -54,8 +54,12 @@ type PassiveRecord struct {
 	// Flows counts completed connection evidence (SYN-ACKs for TCP,
 	// server-sourced datagrams for UDP) — the flow weight of Figure 1.
 	Flows int
-	// clients holds distinct peer addresses — the client weight.
+	// clients holds distinct peer addresses — the client weight. Frozen
+	// copies (cloneFrozen) drop the map and keep only nClients.
 	clients map[netaddr.V4]struct{}
+	// nClients preserves the distinct-peer count on frozen copies, whose
+	// clients map is nil.
+	nClients int
 	// firstPeers stores the first contact from each of the first
 	// maxFirstPeers distinct peers, enough to recompute first-discovery
 	// with any subset of peers (e.g. scanners) removed.
@@ -69,7 +73,26 @@ type PassiveRecord struct {
 const maxFirstPeers = 128
 
 // Clients returns the number of distinct peers observed.
-func (r *PassiveRecord) Clients() int { return len(r.clients) }
+func (r *PassiveRecord) Clients() int {
+	if r.clients == nil {
+		return r.nClients
+	}
+	return len(r.clients)
+}
+
+// cloneFrozen copies the record into a read-only form that later ingestion
+// into the original cannot disturb: the peer-identity map is reduced to
+// its count and the first-peer history is copied. Frozen records back the
+// live-snapshot machinery (ShardedPassive.Snapshot) and must never be fed
+// back into observe.
+func (r *PassiveRecord) cloneFrozen() *PassiveRecord {
+	return &PassiveRecord{
+		FirstSeen:  r.FirstSeen,
+		Flows:      r.Flows,
+		nClients:   len(r.clients),
+		firstPeers: append([]PeerContact(nil), r.firstPeers...),
+	}
+}
 
 // FirstPeers exposes the bounded peer history (owned by the record).
 func (r *PassiveRecord) FirstPeers() []PeerContact { return r.firstPeers }

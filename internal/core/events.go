@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"servdisc/internal/pipeline"
+)
+
+// EventKind classifies a discovery event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventServiceDiscovered: the first positive evidence for a service
+	// from either technique. Emitted exactly once per service; the event's
+	// Provenance says which technique got there (PassiveOnly or ActiveOnly
+	// — the classification as of the moment of discovery).
+	EventServiceDiscovered EventKind = iota
+	// EventProvenanceUpgraded: a service already discovered by one
+	// technique has now been confirmed by the other. Provenance carries
+	// the upgraded class (PassiveFirst or ActiveFirst, by comparing the
+	// two first-observation timestamps). At most once per service.
+	EventProvenanceUpgraded
+	// EventScannerDetected: an external source crossed the paper's
+	// 100-destinations/100-RSTs threshold. Emitted once per source, at the
+	// moment of crossing; Scanner carries the tallies at that moment (the
+	// final Inventory reports the peak window instead).
+	EventScannerDetected
+	// EventScanCompleted: an active sweep report was reconciled into the
+	// engine. Scan carries the sweep metadata, Truncated whether the sweep
+	// was cut short by its deadline or cancellation.
+	EventScanCompleted
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventServiceDiscovered:
+		return "service-discovered"
+	case EventProvenanceUpgraded:
+		return "provenance-upgraded"
+	case EventScannerDetected:
+		return "scanner-detected"
+	case EventScanCompleted:
+		return "scan-completed"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one entry of the typed discovery event stream: something the
+// engine learned, timestamped with the *observation* clock (trace or
+// simulation time, not wall time) and provenance-tagged. Which fields are
+// meaningful depends on Kind; unrelated fields are zero.
+//
+// Events describe live ingest order. Under concurrent ingest the technique
+// credited by a ServiceDiscovered event is the one whose evidence was
+// *applied* first, which for near-ties may differ from the frozen
+// Inventory's timestamp-based provenance; ProvenanceUpgraded events, in
+// contrast, compare observation timestamps (corrected for out-of-order
+// sweep reports that have not yet triggered the upgrade) and so agree
+// with the inventory regardless of interleaving, except when a report
+// carrying an even earlier open time is applied only after the upgrade
+// already fired.
+type Event struct {
+	// Kind selects the event type.
+	Kind EventKind
+	// Time is the observation timestamp the event is about: first evidence
+	// for discoveries and upgrades, threshold-crossing packet time for
+	// scanner detections, sweep finish time for scan completions.
+	Time time.Time
+	// Key identifies the service (service events only).
+	Key ServiceKey
+	// Provenance tags service events: the discovering technique for
+	// ServiceDiscovered, the upgraded class for ProvenanceUpgraded.
+	Provenance Provenance
+	// Scanner describes the detected scanner (EventScannerDetected only).
+	Scanner ScannerInfo
+	// Scan is the completed sweep's metadata (EventScanCompleted only).
+	Scan ScanMeta
+	// Truncated reports whether the completed sweep was cut short
+	// (EventScanCompleted only).
+	Truncated bool
+}
+
+// String renders a one-line human-readable form, the shape the commands
+// log.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventServiceDiscovered, EventProvenanceUpgraded:
+		return fmt.Sprintf("%s %s %s @%s", e.Kind, e.Key, e.Provenance,
+			e.Time.UTC().Format(time.RFC3339Nano))
+	case EventScannerDetected:
+		return fmt.Sprintf("%s %s dsts=%d rsts=%d @%s", e.Kind, e.Scanner.Source,
+			e.Scanner.UniqueDsts, e.Scanner.RstDsts, e.Time.UTC().Format(time.RFC3339Nano))
+	case EventScanCompleted:
+		trunc := ""
+		if e.Truncated {
+			trunc = " truncated"
+		}
+		return fmt.Sprintf("%s sweep=%d%s @%s", e.Kind, e.Scan.ID, trunc,
+			e.Time.UTC().Format(time.RFC3339Nano))
+	default:
+		return e.Kind.String()
+	}
+}
+
+// EventSub is a subscription to an engine's event stream (see
+// pipeline.Sub: Events yields the channel, Dropped the per-subscriber
+// drop count, Cancel unsubscribes).
+type EventSub = pipeline.Sub[Event]
+
+// eventStream reconciles raw per-source discovery signals into the typed
+// event stream. The passive shards and the active ingester each report a
+// key at most once (their own state makes re-reports impossible); the
+// stream's job is the cross-technique join — first report of a key becomes
+// ServiceDiscovered, the other technique's later report becomes
+// ProvenanceUpgraded — plus pass-through publication of scanner detections
+// and sweep completions. All methods are safe for concurrent callers (the
+// shard workers and the report reconciler all emit into one stream).
+type eventStream struct {
+	hub *pipeline.Hub[Event]
+
+	mu   sync.Mutex
+	seen map[ServiceKey]*firstSeen
+}
+
+// firstSeen records the first observation per technique for one service.
+type firstSeen struct {
+	passiveAt, activeAt   time.Time
+	hasPassive, hasActive bool
+}
+
+func newEventStream() *eventStream {
+	return &eventStream{
+		hub:  pipeline.NewHub[Event](),
+		seen: make(map[ServiceKey]*firstSeen),
+	}
+}
+
+// passiveDiscovered reports the first passive evidence for key. The
+// publish happens under es.mu (Publish never blocks), so a subscriber can
+// never see a key's ProvenanceUpgraded before its ServiceDiscovered.
+func (es *eventStream) passiveDiscovered(key ServiceKey, t time.Time) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	st := es.seen[key]
+	if st == nil {
+		es.seen[key] = &firstSeen{passiveAt: t, hasPassive: true}
+		es.hub.Publish(Event{Kind: EventServiceDiscovered, Time: t, Key: key, Provenance: PassiveOnly})
+		return
+	}
+	if st.hasPassive {
+		return
+	}
+	st.hasPassive, st.passiveAt = true, t
+	// The probe answered strictly before passive evidence: active won the
+	// race (ties go passive, as in NewHybridInventory).
+	prov := PassiveFirst
+	if st.activeAt.Before(t) {
+		prov = ActiveFirst
+	}
+	es.hub.Publish(Event{Kind: EventProvenanceUpgraded, Time: t, Key: key, Provenance: prov})
+}
+
+// activeDiscovered reports the first probe answer for key (see
+// passiveDiscovered for the ordering guarantee).
+func (es *eventStream) activeDiscovered(key ServiceKey, t time.Time) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	st := es.seen[key]
+	if st == nil {
+		es.seen[key] = &firstSeen{activeAt: t, hasActive: true}
+		es.hub.Publish(Event{Kind: EventServiceDiscovered, Time: t, Key: key, Provenance: ActiveOnly})
+		return
+	}
+	if st.hasActive {
+		return
+	}
+	st.hasActive, st.activeAt = true, t
+	prov := ActiveFirst
+	if !t.Before(st.passiveAt) {
+		prov = PassiveFirst
+	}
+	es.hub.Publish(Event{Kind: EventProvenanceUpgraded, Time: t, Key: key, Provenance: prov})
+}
+
+// activeOpenEarlier corrects the join table when a later-applied report
+// carries an earlier open time for an already-known service (sweeps may
+// reconcile out of launch order). If the upgrade has not fired yet, the
+// eventual ProvenanceUpgraded then compares the true earliest times, as
+// the frozen Inventory does; an already-published upgrade is not
+// retracted.
+func (es *eventStream) activeOpenEarlier(key ServiceKey, t time.Time) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if st := es.seen[key]; st != nil && st.hasActive && !st.hasPassive && t.Before(st.activeAt) {
+		st.activeAt = t
+	}
+}
+
+// scannerDetected publishes a threshold crossing.
+func (es *eventStream) scannerDetected(info ScannerInfo, at time.Time) {
+	es.hub.Publish(Event{Kind: EventScannerDetected, Time: at, Scanner: info})
+}
+
+// scanCompleted publishes a reconciled sweep.
+func (es *eventStream) scanCompleted(meta ScanMeta, truncated bool) {
+	es.hub.Publish(Event{Kind: EventScanCompleted, Time: meta.Finished, Scan: meta, Truncated: truncated})
+}
+
+func (es *eventStream) close() { es.hub.Close() }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/stats"
+)
+
+// drainEvents collects everything buffered in a subscription after the
+// engine has closed (the channel is closed, so the loop terminates).
+func drainEvents(sub *EventSub) []Event {
+	var out []Event
+	for ev := range sub.Events() {
+		out = append(out, ev)
+	}
+	return out
+}
+
+// eventStrings renders events one per line for comparison.
+func eventStrings(events []Event) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		out[i] = ev.String()
+	}
+	return out
+}
+
+// TestEventStreamDeterministicReplay is the determinism satellite: the
+// same campaign replayed twice — same packets, reports, and interleaving —
+// yields the same multiset of events, at every shard count; and since the
+// cross-technique join works on observation timestamps, the multiset is
+// the same across shard counts too (inline mode, where ingest order is
+// fully deterministic).
+func TestEventStreamDeterministicReplay(t *testing.T) {
+	campusPfx := netaddr.MustParsePrefix("128.125.0.0/16")
+	udpPorts := []uint16{53, 123, 137}
+	tcpPorts := []uint16{21, 22, 80, 443, 3306}
+	pkts := genTrace(3, 20000)
+	reps := genReports(6)
+
+	run := func(shards int) []string {
+		h := NewHybrid(campusPfx, udpPorts, shards, tcpPorts)
+		sub := h.Subscribe(1 << 17)
+		feedHybrid(h, pkts, reps, stats.NewRNG(77).Derive("events"))
+		h.Close()
+		if sub.Dropped() != 0 {
+			t.Fatalf("shards=%d: %d events dropped despite the huge buffer", shards, sub.Dropped())
+		}
+		lines := eventStrings(drainEvents(sub))
+		sort.Strings(lines) // multiset comparison
+		return lines
+	}
+
+	var ref []string
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			first := run(shards)
+			again := run(shards)
+			if len(first) == 0 {
+				t.Fatal("campaign produced no events")
+			}
+			if fmt.Sprint(first) != fmt.Sprint(again) {
+				t.Fatal("replaying the same campaign changed the event multiset")
+			}
+			if ref == nil {
+				ref = first
+				return
+			}
+			if fmt.Sprint(ref) != fmt.Sprint(first) {
+				t.Fatal("event multiset differs across shard counts")
+			}
+		})
+	}
+}
+
+// TestEventsExactlyOncePerService is the acceptance property: under
+// concurrent passive+active ingest, Watch-style subscribers see every
+// ServiceDiscovered exactly once per service, upgrades exactly for the
+// both-technique services, and one ScanCompleted per report.
+func TestEventsExactlyOncePerService(t *testing.T) {
+	campusPfx := netaddr.MustParsePrefix("128.125.0.0/16")
+	udpPorts := []uint16{53, 123, 137}
+	tcpPorts := []uint16{21, 22, 80, 443, 3306}
+	pkts := genTrace(3, 20000)
+	reps := genReports(6)
+
+	h := NewHybrid(campusPfx, udpPorts, 8, tcpPorts)
+	sub := h.Subscribe(1 << 17)
+	h.Run(context.Background())
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // single passive producer
+		defer wg.Done()
+		feedBatches(h, pkts, stats.NewRNG(1).Derive("batching"))
+	}()
+	go func() { // concurrent report producer
+		defer wg.Done()
+		for _, rep := range reps {
+			h.AddReport(rep)
+		}
+	}()
+	wg.Wait()
+	h.Close()
+	if sub.Dropped() != 0 {
+		t.Fatalf("%d events dropped despite the huge buffer", sub.Dropped())
+	}
+
+	inv := h.Snapshot()
+	discovered := make(map[ServiceKey]int)
+	upgraded := make(map[ServiceKey]int)
+	scanDone := 0
+	for _, ev := range drainEvents(sub) {
+		switch ev.Kind {
+		case EventServiceDiscovered:
+			discovered[ev.Key]++
+		case EventProvenanceUpgraded:
+			upgraded[ev.Key]++
+		case EventScanCompleted:
+			scanDone++
+		}
+	}
+	if scanDone != len(reps) {
+		t.Errorf("ScanCompleted events = %d, want %d", scanDone, len(reps))
+	}
+	keys := inv.Keys()
+	if len(discovered) != len(keys) {
+		t.Fatalf("discovered %d distinct services, inventory has %d", len(discovered), len(keys))
+	}
+	for _, key := range keys {
+		if n := discovered[key]; n != 1 {
+			t.Fatalf("service %v discovered %d times", key, n)
+		}
+		prov, _ := inv.Provenance(key)
+		both := prov == PassiveFirst || prov == ActiveFirst
+		if n := upgraded[key]; (both && n != 1) || (!both && n != 0) {
+			t.Fatalf("service %v (%v) upgraded %d times", key, prov, n)
+		}
+	}
+}
+
+// TestSlowSubscriberDropsNotStalls is the backpressure satellite: a
+// subscriber that never drains its one-slot buffer loses events (counted)
+// while ingest runs to completion unimpeded.
+func TestSlowSubscriberDropsNotStalls(t *testing.T) {
+	campus := netaddr.MustParsePrefix("128.125.0.0/16")
+	pkts := genTrace(6, 20000)
+
+	sp := NewShardedPassive(campus, []uint16{53}, 4)
+	slow := sp.Subscribe(1) // never drained until the end
+	sp.Run(context.Background())
+	feedBatches(sp, pkts, stats.NewRNG(2).Derive("batching"))
+	sp.Close()
+
+	if slow.Dropped() == 0 {
+		t.Fatal("one-slot subscriber dropped nothing on a multi-hundred-event campaign")
+	}
+	if got := len(drainEvents(slow)); got != 1 {
+		t.Fatalf("slow subscriber buffered %d events, want 1", got)
+	}
+	if c := sp.EventCounters(); c.Dropped() != slow.Dropped() {
+		t.Errorf("hub counted %d drops, subscriber %d", c.Dropped(), slow.Dropped())
+	}
+	// Ingest was unaffected: the snapshot covers the full stream.
+	if got := sp.Snapshot().Packets(); got != len(pkts) {
+		t.Errorf("ingest stalled: %d of %d packets", got, len(pkts))
+	}
+}
+
+// TestScannerDetectedEvents checks online scan detection against the
+// offline detector: one event per above-threshold source, none for the
+// below-threshold one, fired at crossing time.
+func TestScannerDetectedEvents(t *testing.T) {
+	campus := netaddr.MustParsePrefix("128.125.0.0/16")
+	pkts := genTrace(1, 20000)
+
+	sp := NewShardedPassive(campus, []uint16{53}, 2)
+	sub := sp.Subscribe(1 << 16)
+	sp.HandleBatch(pkts)
+	inv := sp.Snapshot()
+	sp.Close()
+
+	want := make(map[netaddr.V4]bool)
+	for _, s := range inv.Scanners() {
+		want[s.Source] = true
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate trace: no scanners detected")
+	}
+	got := make(map[netaddr.V4]int)
+	for _, ev := range drainEvents(sub) {
+		if ev.Kind != EventScannerDetected {
+			continue
+		}
+		got[ev.Scanner.Source]++
+		if ev.Scanner.UniqueDsts < ScanDetectMinDsts || ev.Scanner.RstDsts < ScanDetectMinRsts {
+			t.Errorf("scanner %v flagged below threshold: %d/%d",
+				ev.Scanner.Source, ev.Scanner.UniqueDsts, ev.Scanner.RstDsts)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("scanner %v event lacks a crossing timestamp", ev.Scanner.Source)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanner events for %d sources, detector found %d", len(got), len(want))
+	}
+	for src, n := range got {
+		if !want[src] {
+			t.Errorf("event for undetected scanner %v", src)
+		}
+		if n != 1 {
+			t.Errorf("scanner %v fired %d events", src, n)
+		}
+	}
+}

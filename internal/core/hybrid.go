@@ -30,13 +30,23 @@ import (
 // other. Flush waits for both sides to drain; Close stops the workers
 // (idempotent). As with ShardedPassive, the context is an abort lever, not
 // a graceful stop — cancel only to abandon the run.
+//
+// Snapshot is non-terminal and concurrent-safe, and the engine publishes
+// a typed event stream (Subscribe / the servdisc facade's Watch): the
+// passive shards emit ServiceDiscovered and ScannerDetected, the active
+// ingester emits ServiceDiscovered, ProvenanceUpgraded and ScanCompleted,
+// with cross-technique dedup so every service is discovered exactly once.
 type Hybrid struct {
 	passive *ShardedPassive
 
 	// amu guards the active discoverer: the report worker (or inline
-	// AddReport callers) write under it, Snapshot reads under it.
+	// AddReport callers) write under it, snapshots clone under it. agen
+	// counts applied reports; aview caches the frozen clone at that
+	// generation so snapshots of an unchanged active side are free.
 	amu    sync.Mutex
 	active *ActiveDiscoverer
+	agen   uint64
+	aview  *activeView
 
 	// seenReports flips once any report is accepted, so consumers can
 	// tell a hybrid run from a passive-only one without locking.
@@ -50,6 +60,16 @@ type Hybrid struct {
 	reports  chan *probe.ScanReport
 	worker   sync.WaitGroup
 	inflight sync.WaitGroup
+
+	// snap caches the whole Inventory across both sides' generations
+	// (see ShardedPassive).
+	snap snapCache
+}
+
+// activeView is the active side's frozen clone at one generation.
+type activeView struct {
+	gen  uint64
+	disc *ActiveDiscoverer
 }
 
 // NewHybrid builds a hybrid engine over the campus space: a passive side
@@ -57,20 +77,42 @@ type Hybrid struct {
 // ports, and an active side expecting sweeps of the given TCP ports
 // (informational, as NewActiveDiscoverer).
 func NewHybrid(campus netaddr.Prefix, udpPorts []uint16, shards int, tcpPorts []uint16) *Hybrid {
-	return &Hybrid{
+	h := &Hybrid{
 		passive: NewShardedPassive(campus, udpPorts, shards),
 		active:  NewActiveDiscoverer(tcpPorts),
 	}
+	h.active.onDiscovered = h.passive.events.activeDiscovered
+	h.active.onOpenEarlier = h.passive.events.activeOpenEarlier
+	return h
 }
 
 // Passive exposes the sharded passive side (counters, shard inspection).
 func (h *Hybrid) Passive() *ShardedPassive { return h.passive }
+
+// Subscribe attaches a bounded subscriber to the engine's discovery event
+// stream (see ShardedPassive.Subscribe for the drop contract).
+func (h *Hybrid) Subscribe(buf int) *EventSub { return h.passive.Subscribe(buf) }
+
+// EventCounters exposes the event stream's flow counters.
+func (h *Hybrid) EventCounters() *pipeline.StageCounters { return h.passive.EventCounters() }
 
 // HandleBatch implements pipeline.BatchSink by feeding the passive side.
 func (h *Hybrid) HandleBatch(batch []packet.Packet) { h.passive.HandleBatch(batch) }
 
 // HandlePacket implements the legacy per-packet Sink contract.
 func (h *Hybrid) HandlePacket(p *packet.Packet) { h.passive.HandlePacket(p) }
+
+// applyReport reconciles one report into the active side and emits the
+// sweep-completion event. Called inline (pre-Run) or from the reconciler
+// worker.
+func (h *Hybrid) applyReport(rep *probe.ScanReport) {
+	h.amu.Lock()
+	h.active.AddReport(rep)
+	h.agen++
+	h.amu.Unlock()
+	h.passive.events.scanCompleted(
+		ScanMeta{ID: rep.ID, Started: rep.Started, Finished: rep.Finished}, rep.Truncated)
+}
 
 // AddReport implements probe.ReportSink. Before Run it applies the report
 // inline; after Run it enqueues for the reconciler goroutine. Reports
@@ -83,9 +125,7 @@ func (h *Hybrid) AddReport(rep *probe.ScanReport) {
 	}
 	h.seenReports.Store(true)
 	if !h.running {
-		h.amu.Lock()
-		h.active.AddReport(rep)
-		h.amu.Unlock()
+		h.applyReport(rep)
 		return
 	}
 	h.inflight.Add(1)
@@ -113,9 +153,7 @@ func (h *Hybrid) Run(ctx context.Context) {
 		defer h.worker.Done()
 		for rep := range h.reports {
 			if h.ctx.Err() == nil {
-				h.amu.Lock()
-				h.active.AddReport(rep)
-				h.amu.Unlock()
+				h.applyReport(rep)
 			}
 			h.inflight.Done()
 		}
@@ -124,14 +162,16 @@ func (h *Hybrid) Run(ctx context.Context) {
 }
 
 // Flush blocks until every batch and report accepted before the call has
-// been applied.
+// been applied. Like ShardedPassive.Flush, it must not race with a
+// concurrent producer; Snapshot needs no Flush.
 func (h *Hybrid) Flush() {
 	h.passive.Flush()
 	h.inflight.Wait()
 }
 
 // Close flushes and stops both sides; idempotent. Afterwards the engine is
-// read-only: further batches and reports are dropped.
+// read-only: further batches and reports are dropped, Snapshot keeps
+// working, event subscribers see end-of-stream.
 func (h *Hybrid) Close() {
 	h.mu.Lock()
 	if h.closed {
@@ -148,24 +188,49 @@ func (h *Hybrid) Close() {
 	h.passive.Close()
 }
 
-// Active merges nothing — it exposes the live active discoverer for the
-// analysis layer. Stop feeding the engine (or Close it) before use, and do
-// not retain it across further ingestion.
+// Active exposes the live active discoverer for the analysis layer after
+// flushing pending reports. The returned discoverer is a live view —
+// treat it as read-only and do not retain it across further ingestion
+// (its accessor maps keep moving); for a stable, goroutine-safe result
+// use Snapshot, which can be taken at any time without stopping the
+// engine.
 func (h *Hybrid) Active() *ActiveDiscoverer {
 	h.Flush()
 	return h.active
 }
 
-// Snapshot flushes both sides and freezes the reconciled hybrid inventory:
-// the union of passively-seen and probe-answering services, each with its
-// first-seen provenance. Stop producing before snapshotting (Close first
-// for a final result).
-func (h *Hybrid) Snapshot() *Inventory {
-	h.Flush()
-	merged := h.passive.Merge()
+// activeSnapshot returns the active side's frozen clone, reusing the
+// cached view when no report has been applied since.
+func (h *Hybrid) activeSnapshot() *activeView {
 	h.amu.Lock()
 	defer h.amu.Unlock()
-	return NewHybridInventory(merged, h.active)
+	if h.aview == nil || h.aview.gen != h.agen {
+		h.aview = &activeView{gen: h.agen, disc: h.active.clone()}
+	}
+	return h.aview
+}
+
+// Snapshot freezes the reconciled hybrid inventory — the union of
+// passively-seen and probe-answering services, each with its first-seen
+// provenance — at a consistent point in time. Like
+// ShardedPassive.Snapshot it is non-terminal, concurrent-safe and cheap
+// to repeat: producers keep running, unchanged shards (and an unchanged
+// active side) reuse their frozen views, and an entirely unchanged engine
+// returns the previous Inventory. On a running engine the result is
+// byte-identical to pausing producers, flushing, and snapshotting at the
+// same ingest point.
+func (h *Hybrid) Snapshot() *Inventory {
+	views := h.passive.snapshotViews()
+	av := h.activeSnapshot()
+	// The active generation rides along as one more entry of the vector.
+	gens := append(viewGens(views), av.gen)
+	if inv := h.snap.get(gens); inv != nil {
+		return inv
+	}
+	merged, scanners := h.passive.mergeViews(views)
+	inv := newFrozenHybridInventory(merged, av.disc, scanners)
+	h.snap.put(gens, inv)
+	return inv
 }
 
 var (

@@ -278,11 +278,12 @@ func TestActiveDiscovererOrderIndependent(t *testing.T) {
 			t.Fatalf("scan meta %d differs: %+v vs %+v", i, fwd.Scans()[i], rev.Scans()[i])
 		}
 	}
-	if len(fwd.Services()) != len(rev.Services()) {
+	fwdSvc, revSvc := fwd.Services(), rev.Services()
+	if len(fwdSvc) != len(revSvc) {
 		t.Fatal("service counts differ")
 	}
-	for k, ts := range fwd.Services() {
-		if rt, ok := rev.Services()[k]; !ok || !rt.Equal(ts) {
+	for k, ts := range fwdSvc {
+		if rt, ok := revSvc[k]; !ok || !rt.Equal(ts) {
 			t.Fatalf("first-open %v differs: %v vs %v", k, ts, rt)
 		}
 	}

@@ -78,18 +78,32 @@ type Inventory struct {
 }
 
 // NewInventory freezes the discoverer's current state. The discoverer must
-// not ingest further traffic afterwards (Snapshot on ShardedPassive and
-// the servdisc facade enforce this by construction).
+// not ingest further traffic afterwards (ShardedPassive.Snapshot avoids
+// the restriction entirely by snapshotting frozen shard clones).
 func NewInventory(d *PassiveDiscoverer) *Inventory {
-	return &Inventory{d: d, keys: d.Keys(), scanners: d.DetectScanners()}
+	return newFrozenInventory(d, d.DetectScanners())
+}
+
+// newFrozenInventory wraps an already-frozen discoverer and a precomputed
+// scanner list — the constructor behind live snapshots, where detection
+// ran per shard at freeze time and the merged discoverer carries no
+// tracker state.
+func newFrozenInventory(d *PassiveDiscoverer, scanners []ScannerInfo) *Inventory {
+	return &Inventory{d: d, keys: d.Keys(), scanners: scanners}
 }
 
 // NewHybridInventory freezes the union of a passive and an active run into
 // one inventory with per-service provenance. Neither discoverer may ingest
-// further input afterwards (Hybrid.Snapshot enforces this by flushing
-// first; see also NewInventory).
+// further input afterwards (Hybrid.Snapshot avoids the restriction by
+// handing in frozen clones; see also NewInventory).
 func NewHybridInventory(d *PassiveDiscoverer, a *ActiveDiscoverer) *Inventory {
-	v := &Inventory{d: d, active: a, scanners: d.DetectScanners()}
+	return newFrozenHybridInventory(d, a, d.DetectScanners())
+}
+
+// newFrozenHybridInventory is NewHybridInventory with the scanner list
+// precomputed (the live-snapshot path).
+func newFrozenHybridInventory(d *PassiveDiscoverer, a *ActiveDiscoverer, scanners []ScannerInfo) *Inventory {
+	v := &Inventory{d: d, active: a, scanners: scanners}
 	v.prov = make(map[ServiceKey]Provenance, len(d.services)+len(a.firstOpen))
 	v.keys = make([]ServiceKey, 0, len(d.services)+len(a.firstOpen))
 	for key, rec := range d.services {

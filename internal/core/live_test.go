@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+	"servdisc/internal/stats"
+)
+
+// splitBatches slices pkts into consecutive batches of the given size.
+func splitBatches(pkts []packet.Packet, size int) [][]packet.Packet {
+	var out [][]packet.Packet
+	for off := 0; off < len(pkts); off += size {
+		end := off + size
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		out = append(out, pkts[off:end])
+	}
+	return out
+}
+
+// refPassiveDump is the legacy freeze-then-snapshot reference: a
+// single-threaded discoverer over a prefix of the stream, frozen with
+// NewInventory.
+func refPassiveDump(campus netaddr.Prefix, udpPorts []uint16, pkts []packet.Packet) []byte {
+	ref := NewPassiveDiscoverer(campus, udpPorts)
+	ref.HandleBatch(pkts)
+	return NewInventory(ref).Dump()
+}
+
+// TestLiveSnapshotMatchesFrozen is the tentpole acceptance property:
+// Snapshot on a running, un-flushed, un-closed engine must be
+// byte-identical to pausing the producer, flushing, and snapshotting at
+// the same ingest point — at shard counts 1, 2 and 8, at several cut
+// points — and the snapshot must be non-terminal: ingest continues and a
+// later snapshot reflects the full stream.
+func TestLiveSnapshotMatchesFrozen(t *testing.T) {
+	campus := netaddr.MustParsePrefix("128.125.0.0/16")
+	udpPorts := []uint16{53, 123, 137}
+	pkts := genTrace(11, 20000)
+	batches := splitBatches(pkts, 256)
+	cuts := []int{1, len(batches) / 4, len(batches) / 2, len(batches) - 1}
+
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sp := NewShardedPassive(campus, udpPorts, shards)
+			sp.Run(context.Background())
+			fed := 0
+			for _, cut := range cuts {
+				for ; fed < cut; fed++ {
+					sp.HandleBatch(batches[fed])
+				}
+				// No Flush, no Close: the workers may still be draining
+				// their queues when the snapshot marker goes in.
+				got := sp.Snapshot().Dump()
+				want := refPassiveDump(campus, udpPorts, pkts[:fed*256])
+				if !bytes.Equal(want, got) {
+					t.Fatalf("live snapshot at batch %d differs from frozen reference", cut)
+				}
+			}
+			// Non-terminal: keep feeding after the snapshots, then compare
+			// the final state against the full reference.
+			for ; fed < len(batches); fed++ {
+				sp.HandleBatch(batches[fed])
+			}
+			sp.Close()
+			if got := sp.Snapshot().Dump(); !bytes.Equal(refPassiveDump(campus, udpPorts, pkts), got) {
+				t.Fatal("post-snapshot ingest lost packets: final snapshot differs")
+			}
+		})
+	}
+}
+
+// TestLiveSnapshotConcurrentWithIngest snapshots from a second goroutine
+// while the producer keeps feeding, with no pauses at all. Every snapshot
+// must land on a whole-batch boundary of the producer's stream and match
+// the frozen reference for exactly that prefix.
+func TestLiveSnapshotConcurrentWithIngest(t *testing.T) {
+	campus := netaddr.MustParsePrefix("128.125.0.0/16")
+	udpPorts := []uint16{53, 123, 137}
+	pkts := genTrace(5, 20000)
+	const batchSize = 64
+	batches := splitBatches(pkts, batchSize)
+
+	sp := NewShardedPassive(campus, udpPorts, 4)
+	sp.Run(context.Background())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, b := range batches {
+			sp.HandleBatch(b)
+		}
+	}()
+
+	var snaps []*Inventory
+	for i := 0; i < 25; i++ {
+		snaps = append(snaps, sp.Snapshot())
+	}
+	wg.Wait()
+	sp.Close()
+
+	prev := -1
+	for _, inv := range snaps {
+		n := inv.Packets()
+		if n%batchSize != 0 && n != len(pkts) {
+			t.Fatalf("snapshot caught a torn batch: %d packets", n)
+		}
+		if n < prev {
+			t.Fatalf("snapshots went backwards: %d after %d", n, prev)
+		}
+		prev = n
+		if got := inv.Dump(); !bytes.Equal(refPassiveDump(campus, udpPorts, pkts[:n]), got) {
+			t.Fatalf("concurrent snapshot at %d packets differs from frozen reference", n)
+		}
+	}
+	if got := sp.Snapshot().Dump(); !bytes.Equal(refPassiveDump(campus, udpPorts, pkts), got) {
+		t.Fatal("final snapshot differs from full reference")
+	}
+}
+
+// TestSnapshotReusesFrozenViews pins the generation machinery: an
+// unchanged engine returns the identical Inventory, and ingest
+// invalidates it.
+func TestSnapshotReusesFrozenViews(t *testing.T) {
+	campus := netaddr.MustParsePrefix("128.125.0.0/16")
+	pkts := genTrace(9, 4000)
+	sp := NewShardedPassive(campus, []uint16{53}, 4)
+	sp.HandleBatch(pkts[:2000])
+
+	inv1 := sp.Snapshot()
+	inv2 := sp.Snapshot()
+	if inv1 != inv2 {
+		t.Error("unchanged engine rebuilt its snapshot")
+	}
+	sp.HandleBatch(pkts[2000:])
+	inv3 := sp.Snapshot()
+	if inv3 == inv1 {
+		t.Error("ingest did not invalidate the snapshot cache")
+	}
+	if inv3.Packets() != len(pkts) {
+		t.Errorf("snapshot covers %d packets, want %d", inv3.Packets(), len(pkts))
+	}
+	// The first snapshot stayed frozen while the engine moved on.
+	if inv1.Packets() != 2000 {
+		t.Errorf("old snapshot mutated: %d packets", inv1.Packets())
+	}
+}
+
+// TestHybridLiveSnapshotMatchesFrozen extends the acceptance property to
+// the hybrid engine: a mid-stream snapshot under running workers (both
+// passive batches and scan reports in flight) must equal the legacy
+// freeze-then-snapshot of the same prefix.
+func TestHybridLiveSnapshotMatchesFrozen(t *testing.T) {
+	campusPfx := netaddr.MustParsePrefix("128.125.0.0/16")
+	udpPorts := []uint16{53, 123, 137}
+	tcpPorts := []uint16{21, 22, 80, 443, 3306}
+	pkts := genTrace(4, 20000)
+	reps := genReports(6)
+	batches := splitBatches(pkts, 256)
+
+	// refDump freezes a prefix via the legacy path: inline hybrid, then
+	// NewHybridInventory over the merged passive side and the live active
+	// side.
+	refDump := func(nb, nr int) []byte {
+		ref := NewHybrid(campusPfx, udpPorts, 1, tcpPorts)
+		for _, b := range batches[:nb] {
+			ref.HandleBatch(b)
+		}
+		for _, rep := range reps[:nr] {
+			ref.AddReport(rep)
+		}
+		return NewHybridInventory(ref.passive.Merge(), ref.active).Dump()
+	}
+
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			h := NewHybrid(campusPfx, udpPorts, shards, tcpPorts)
+			h.Run(context.Background())
+			rng := stats.NewRNG(42).Derive("live-hybrid")
+			nb, nr := 0, 0
+			for nb < len(batches) || nr < len(reps) {
+				if nr < len(reps) && (nb == len(batches) || rng.Intn(len(batches)/len(reps)) == 0) {
+					h.AddReport(reps[nr])
+					nr++
+				} else {
+					h.HandleBatch(batches[nb])
+					nb++
+				}
+				if (nb+nr)%50 == 7 {
+					// Reports are applied by the reconciler goroutine:
+					// wait for it so the reference point is well-defined,
+					// but leave the batch queues un-flushed.
+					h.inflight.Wait()
+					if got := h.Snapshot().Dump(); !bytes.Equal(refDump(nb, nr), got) {
+						t.Fatalf("live hybrid snapshot at (%d batches, %d reports) differs", nb, nr)
+					}
+				}
+			}
+			h.Close()
+			if got := h.Snapshot().Dump(); !bytes.Equal(refDump(len(batches), len(reps)), got) {
+				t.Fatal("final hybrid snapshot differs from full reference")
+			}
+		})
+	}
+}

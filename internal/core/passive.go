@@ -28,6 +28,11 @@ type PassiveDiscoverer struct {
 	// scan tracking state (scandetect.go).
 	track *scanTracker
 
+	// onService, when set, is invoked for the first positive evidence of
+	// each service, from the goroutine applying the packet. ShardedPassive
+	// wires it (and the tracker's onDetect) into the engine's event stream.
+	onService func(key ServiceKey, t time.Time)
+
 	// Packets counts everything handled.
 	Packets int
 }
@@ -73,6 +78,24 @@ func (d *PassiveDiscoverer) HandleBatch(batch []packet.Packet) {
 // run (see ShardedPassive). A no-op once the tracker has started.
 func (d *PassiveDiscoverer) seedScanOrigin(t time.Time) { d.track.seed(t) }
 
+// cloneFrozen copies the discoverer's inventory-facing state — service
+// records (frozen), activity trails, and the packet count — into a
+// discoverer that later ingestion into the original cannot disturb. The
+// scan tracker is NOT cloned (detection results are captured separately at
+// freeze time); the clone exists to back read-only Inventory queries.
+func (d *PassiveDiscoverer) cloneFrozen() *PassiveDiscoverer {
+	m := NewPassiveDiscoverer(d.campus, nil)
+	m.udpPorts = d.udpPorts
+	m.Packets = d.Packets
+	for k, rec := range d.services {
+		m.services[k] = rec.cloneFrozen()
+	}
+	for a, ts := range d.addrTimes {
+		m.addrTimes[a] = append([]time.Time(nil), ts...)
+	}
+	return m
+}
+
 func (d *PassiveDiscoverer) handleTCP(p *packet.Packet) {
 	srcIn := d.campus.Contains(p.IPv4.Src)
 	dstIn := d.campus.Contains(p.IPv4.Dst)
@@ -114,6 +137,9 @@ func (d *PassiveDiscoverer) observe(key ServiceKey, t time.Time, peer netaddr.V4
 	if rec == nil {
 		rec = &PassiveRecord{}
 		d.services[key] = rec
+		if d.onService != nil {
+			d.onService(key, t)
+		}
 	}
 	rec.observe(t, peer)
 

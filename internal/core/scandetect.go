@@ -36,6 +36,14 @@ type scanTracker struct {
 	sources map[netaddr.V4]*scanSource
 	origin  time.Time
 	started bool
+
+	// onDetect, when set, fires the first time a source crosses both
+	// thresholds, with the tallies at the moment of crossing and the
+	// timestamp of the packet that tipped it. flagged remembers which
+	// sources already fired so detection is online and once-per-source
+	// (detect() below stays the offline, peak-window view).
+	onDetect func(info ScannerInfo, at time.Time)
+	flagged  map[netaddr.V4]bool
 }
 
 type scanSource struct {
@@ -70,7 +78,7 @@ func (t *scanTracker) windowIndex(at time.Time) int64 {
 	return int64(at.Sub(t.origin) / ScanDetectWindow)
 }
 
-func (t *scanTracker) window(src netaddr.V4, at time.Time) *scanWindow {
+func (t *scanTracker) window(src netaddr.V4, at time.Time) (*scanWindow, int64) {
 	s := t.sources[src]
 	if s == nil {
 		s = &scanSource{windows: make(map[int64]*scanWindow)}
@@ -85,19 +93,42 @@ func (t *scanTracker) window(src netaddr.V4, at time.Time) *scanWindow {
 		}
 		s.windows[idx] = w
 	}
-	return w
+	return w, idx
 }
 
 // recordSyn notes an inbound connection attempt src → dst.
 func (t *scanTracker) recordSyn(at time.Time, src, dst netaddr.V4) {
-	w := t.window(src, at)
+	w, idx := t.window(src, at)
 	w.dsts[dst] = struct{}{}
+	t.maybeFlag(src, w, idx, at)
 }
 
 // recordRst notes a campus RST returned to the external peer.
 func (t *scanTracker) recordRst(at time.Time, peer, from netaddr.V4) {
-	w := t.window(peer, at)
+	w, idx := t.window(peer, at)
 	w.rstDsts[from] = struct{}{}
+	t.maybeFlag(peer, w, idx, at)
+}
+
+// maybeFlag fires onDetect the first time src's current window satisfies
+// both thresholds.
+func (t *scanTracker) maybeFlag(src netaddr.V4, w *scanWindow, idx int64, at time.Time) {
+	if t.onDetect == nil || t.flagged[src] {
+		return
+	}
+	if len(w.dsts) < ScanDetectMinDsts || len(w.rstDsts) < ScanDetectMinRsts {
+		return
+	}
+	if t.flagged == nil {
+		t.flagged = make(map[netaddr.V4]bool)
+	}
+	t.flagged[src] = true
+	t.onDetect(ScannerInfo{
+		Source:     src,
+		Window:     t.origin.Add(time.Duration(idx) * ScanDetectWindow),
+		UniqueDsts: len(w.dsts),
+		RstDsts:    len(w.rstDsts),
+	}, at)
 }
 
 // detect applies the thresholds and returns scanners sorted by source.

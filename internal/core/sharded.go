@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,11 +35,16 @@ import (
 // sub-batches inline on the caller's goroutine (deterministic, zero
 // goroutines); after Run(ctx), sub-batches go to per-shard queues drained
 // by worker goroutines that own their shard exclusively. Flush waits for
-// the queues to drain; Close shuts the workers down. Merge and Snapshot
-// flush first, so they always observe everything ingested before the call.
+// the queues to drain; Close shuts the workers down.
+//
+// Snapshot is non-terminal and safe to call at any point, including while
+// workers are ingesting: it freezes a consistent point-in-time Inventory
+// without stopping the producer (see Snapshot). The engine also publishes
+// a typed event stream — Subscribe delivers ServiceDiscovered and
+// ScannerDetected events as the shards learn them.
 type ShardedPassive struct {
 	campus netaddr.Prefix
-	shards []*PassiveDiscoverer
+	shards []*passiveShard
 
 	// scratch holds per-shard sub-batches during partitioning.
 	scratch [][]packet.Packet
@@ -47,16 +53,108 @@ type ShardedPassive struct {
 	// shard's detection-window origin.
 	originSeeded bool
 
+	// events is the engine's typed discovery event stream; every shard's
+	// discovery and detection hooks publish into it.
+	events *eventStream
+
+	// dispatchMu serializes batch dispatch (partition + enqueue/apply)
+	// against snapshot-point insertion, so a snapshot never lands in the
+	// middle of one batch's scatter across the shard queues: every batch
+	// is entirely before or entirely after the snapshot point.
+	dispatchMu sync.Mutex
+
 	mu       sync.RWMutex
 	running  bool
 	closed   bool
 	ctx      context.Context
-	queues   []chan []packet.Packet
+	queues   []chan shardMsg
 	workers  sync.WaitGroup
 	inflight sync.WaitGroup
 
+	// snap caches the whole Inventory while no shard changes between
+	// snapshots.
+	snap snapCache
+
 	// counters: In = packets offered, Out = packets dispatched to shards.
 	counters pipeline.StageCounters
+}
+
+// snapCache reuses a frozen Inventory for as long as its generation
+// vector is unchanged. Safe for concurrent snapshotters.
+type snapCache struct {
+	mu   sync.Mutex
+	gens []uint64
+	inv  *Inventory
+}
+
+// get returns the cached Inventory for exactly this generation vector,
+// nil otherwise.
+func (c *snapCache) get(gens []uint64) *Inventory {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inv == nil || len(c.gens) != len(gens) {
+		return nil
+	}
+	for i := range gens {
+		if c.gens[i] != gens[i] {
+			return nil
+		}
+	}
+	return c.inv
+}
+
+func (c *snapCache) put(gens []uint64, inv *Inventory) {
+	c.mu.Lock()
+	c.gens, c.inv = gens, inv
+	c.mu.Unlock()
+}
+
+// passiveShard is one worker-owned shard: the discoverer, its mutation
+// generation, and the cached frozen view. All three are touched only by
+// the shard's owner — the worker goroutine while running, the dispatcher
+// (under dispatchMu) inline and after shutdown.
+type passiveShard struct {
+	disc *PassiveDiscoverer
+	// gen counts batches applied; a snapshot taken at the same gen can
+	// reuse the previously frozen view untouched.
+	gen  uint64
+	view *shardView
+}
+
+// shardView is one shard's frozen point-in-time state: a read-only clone
+// of the inventory-facing maps plus the shard's scanner detections as of
+// the freeze. Shard state is disjoint by owner address, so per-shard
+// detection results concatenate into exactly the merged tracker's output.
+type shardView struct {
+	gen      uint64
+	disc     *PassiveDiscoverer
+	scanners []ScannerInfo
+}
+
+// apply ingests one sub-batch and advances the generation.
+func (sh *passiveShard) apply(batch []packet.Packet) {
+	sh.disc.HandleBatch(batch)
+	sh.gen++
+}
+
+// freeze returns the shard's frozen view, cloning only if the shard
+// changed since the last freeze.
+func (sh *passiveShard) freeze() *shardView {
+	if sh.view == nil || sh.view.gen != sh.gen {
+		sh.view = &shardView{
+			gen:      sh.gen,
+			disc:     sh.disc.cloneFrozen(),
+			scanners: sh.disc.DetectScanners(),
+		}
+	}
+	return sh.view
+}
+
+// shardMsg is one entry of a shard queue: either a sub-batch to apply or a
+// snapshot marker to answer (exactly one field is set).
+type shardMsg struct {
+	batch []packet.Packet
+	snap  chan<- *shardView
 }
 
 // NewShardedPassive builds a discoverer sharded n ways (n < 1 is treated
@@ -67,11 +165,15 @@ func NewShardedPassive(campus netaddr.Prefix, udpPorts []uint16, n int) *Sharded
 	}
 	s := &ShardedPassive{
 		campus:  campus,
-		shards:  make([]*PassiveDiscoverer, n),
+		shards:  make([]*passiveShard, n),
 		scratch: make([][]packet.Packet, n),
+		events:  newEventStream(),
 	}
 	for i := range s.shards {
-		s.shards[i] = NewPassiveDiscoverer(campus, udpPorts)
+		d := NewPassiveDiscoverer(campus, udpPorts)
+		d.onService = s.events.passiveDiscovered
+		d.track.onDetect = s.events.scannerDetected
+		s.shards[i] = &passiveShard{disc: d}
 	}
 	return s
 }
@@ -81,6 +183,17 @@ func (s *ShardedPassive) NumShards() int { return len(s.shards) }
 
 // Counters exposes ingest counters (safe for concurrent readers).
 func (s *ShardedPassive) Counters() *pipeline.StageCounters { return &s.counters }
+
+// EventCounters exposes the event stream's flow counters (published /
+// delivered / dropped), safe for concurrent readers.
+func (s *ShardedPassive) EventCounters() *pipeline.StageCounters { return s.events.hub.Counters() }
+
+// Subscribe attaches a bounded subscriber to the engine's discovery event
+// stream (buffer capacity buf). Events that do not fit the buffer are
+// dropped for that subscriber and counted — a slow consumer loses events,
+// it never stalls ingest. The channel closes when the engine closes or the
+// subscription is cancelled.
+func (s *ShardedPassive) Subscribe(buf int) *EventSub { return s.events.hub.Subscribe(buf) }
 
 // ownerAddr returns the address whose state the packet would mutate; for
 // packets the discoverer ignores it falls back to the source, which keeps
@@ -135,20 +248,24 @@ func (s *ShardedPassive) shardOf(addr netaddr.V4) int {
 
 // seedOrigins pins every shard's scan-window origin to t.
 func (s *ShardedPassive) seedOrigins(t time.Time) {
-	for _, d := range s.shards {
-		d.seedScanOrigin(t)
+	for _, sh := range s.shards {
+		sh.disc.seedScanOrigin(t)
 	}
 	s.originSeeded = true
 }
 
 // HandleBatch implements pipeline.BatchSink. Partitioning runs on the
 // caller's goroutine; shard processing runs inline (before Run) or on the
-// shard's worker (after Run). A single producer at a time.
+// shard's worker (after Run). A single producer at a time; Snapshot (and
+// only Snapshot) may run concurrently with the producer.
 func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
 	if len(batch) == 0 {
 		return
 	}
 	s.counters.AddIn(len(batch))
+
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
 	for i := range s.scratch {
 		s.scratch[i] = s.scratch[i][:0]
 	}
@@ -173,13 +290,13 @@ func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
 		}
 		s.counters.AddOut(len(sub))
 		if !s.running {
-			s.shards[idx].HandleBatch(sub)
+			s.shards[idx].apply(sub)
 			continue
 		}
 		cp := make([]packet.Packet, len(sub))
 		copy(cp, sub)
 		s.inflight.Add(1)
-		s.queues[idx] <- cp
+		s.queues[idx] <- shardMsg{batch: cp}
 	}
 }
 
@@ -204,17 +321,24 @@ func (s *ShardedPassive) Run(ctx context.Context) {
 	}
 	s.running = true
 	s.ctx = ctx
-	s.queues = make([]chan []packet.Packet, len(s.shards))
+	s.queues = make([]chan shardMsg, len(s.shards))
 	for i := range s.shards {
-		q := make(chan []packet.Packet, 64)
+		q := make(chan shardMsg, 64)
 		s.queues[i] = q
-		d := s.shards[i]
+		sh := s.shards[i]
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
-			for sub := range q {
+			for msg := range q {
+				if msg.snap != nil {
+					// Snapshot marker: everything enqueued before it has
+					// been applied, so the frozen view is exactly the
+					// shard's state at the marker's dispatch point.
+					msg.snap <- sh.freeze()
+					continue
+				}
 				if s.ctx.Err() == nil {
-					d.HandleBatch(sub)
+					sh.apply(msg.batch)
 				}
 				s.inflight.Done()
 			}
@@ -223,11 +347,15 @@ func (s *ShardedPassive) Run(ctx context.Context) {
 }
 
 // Flush blocks until every sub-batch enqueued before the call has been
-// applied to its shard. Synchronous mode: no-op.
+// applied to its shard. Synchronous mode: no-op. Flush must not race with
+// a concurrent producer (Snapshot needs no Flush and has no such
+// restriction).
 func (s *ShardedPassive) Flush() { s.inflight.Wait() }
 
-// Close flushes and stops the workers; idempotent. After Close the
-// discoverer is read-only: further HandleBatch calls are dropped.
+// Close flushes and stops the workers, then closes the event stream (so
+// subscriber channels end); idempotent. After Close the discoverer is
+// read-only: further HandleBatch calls are dropped, Snapshot keeps
+// working.
 func (s *ShardedPassive) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -243,20 +371,22 @@ func (s *ShardedPassive) Close() {
 		}
 		s.workers.Wait()
 	}
+	s.events.close()
 }
 
 // Merge unions the shards into a single PassiveDiscoverer equivalent to
 // one that consumed the whole stream sequentially. Shard state is keyed by
 // owner address, so the union has no conflicts. The merged discoverer
 // shares record structures with the shards — treat it as a view and do not
-// feed more traffic into either side; for a stable result, use Snapshot.
-// Merge flushes pending work first (callers should stop producing before
-// merging).
+// feed more traffic into either side; for a stable result that tolerates
+// further ingest, use Snapshot. Merge flushes pending work first (callers
+// must stop producing before merging).
 func (s *ShardedPassive) Merge() *PassiveDiscoverer {
 	s.Flush()
 	m := NewPassiveDiscoverer(s.campus, nil)
-	m.udpPorts = s.shards[0].udpPorts
-	for _, d := range s.shards {
+	m.udpPorts = s.shards[0].disc.udpPorts
+	for _, sh := range s.shards {
+		d := sh.disc
 		m.Packets += d.Packets
 		for k, rec := range d.services {
 			m.services[k] = rec
@@ -274,10 +404,94 @@ func (s *ShardedPassive) Merge() *PassiveDiscoverer {
 	return m
 }
 
-// Snapshot flushes, merges, and freezes the inventory into a read-only
-// form safe to hand across goroutines.
+// snapshotViews captures every shard's frozen view at one consistent
+// point. While workers run, a snapshot marker is enqueued on every shard
+// queue under the dispatch lock — atomically with respect to batch
+// scatter, so the snapshot point falls exactly between two whole batches
+// of the producer's stream; each worker freezes after applying everything
+// enqueued before its marker. Inline (or after Close) the freeze happens
+// directly under the dispatch lock. Unchanged shards reuse their cached
+// frozen view instead of re-cloning.
+func (s *ShardedPassive) snapshotViews() []*shardView {
+	s.dispatchMu.Lock()
+	s.mu.RLock()
+	if s.running && !s.closed {
+		chans := make([]chan *shardView, len(s.shards))
+		for i := range s.shards {
+			ch := make(chan *shardView, 1)
+			chans[i] = ch
+			s.queues[i] <- shardMsg{snap: ch}
+		}
+		s.mu.RUnlock()
+		s.dispatchMu.Unlock()
+		views := make([]*shardView, len(chans))
+		for i, ch := range chans {
+			views[i] = <-ch
+		}
+		return views
+	}
+	s.mu.RUnlock()
+	// Inline, or shut down. If workers ever ran, wait for their exit so
+	// their final writes are visible here (Close already waits; this
+	// covers snapshots racing Close).
+	s.workers.Wait()
+	views := make([]*shardView, len(s.shards))
+	for i, sh := range s.shards {
+		views[i] = sh.freeze()
+	}
+	s.dispatchMu.Unlock()
+	return views
+}
+
+// mergeViews unions frozen shard views into one frozen discoverer plus
+// the combined scanner list (shard detections are disjoint by source, so
+// concatenation + sort reproduces the merged tracker's output).
+func (s *ShardedPassive) mergeViews(views []*shardView) (*PassiveDiscoverer, []ScannerInfo) {
+	m := NewPassiveDiscoverer(s.campus, nil)
+	m.udpPorts = s.shards[0].disc.udpPorts
+	var scanners []ScannerInfo
+	for _, v := range views {
+		m.Packets += v.disc.Packets
+		for k, rec := range v.disc.services {
+			m.services[k] = rec
+		}
+		for a, ts := range v.disc.addrTimes {
+			m.addrTimes[a] = ts
+		}
+		scanners = append(scanners, v.scanners...)
+	}
+	sort.Slice(scanners, func(i, j int) bool { return scanners[i].Source < scanners[j].Source })
+	return m, scanners
+}
+
+// viewGens extracts the generation vector of a view set.
+func viewGens(views []*shardView) []uint64 {
+	gens := make([]uint64, len(views))
+	for i, v := range views {
+		gens[i] = v.gen
+	}
+	return gens
+}
+
+// Snapshot freezes a consistent point-in-time Inventory. It is
+// non-terminal and cheap to repeat: the engine keeps ingesting during and
+// after the call, unchanged shards reuse their previously frozen views,
+// and if nothing changed at all the previous Inventory is returned as-is.
+// On a running engine the snapshot point is a batch boundary of the
+// producer's stream (everything dispatched before the call is included),
+// and the result is byte-identical to pausing the producer, flushing, and
+// snapshotting at that point. Safe to call from any goroutine at any
+// lifecycle stage.
 func (s *ShardedPassive) Snapshot() *Inventory {
-	return NewInventory(s.Merge())
+	views := s.snapshotViews()
+	gens := viewGens(views)
+	if inv := s.snap.get(gens); inv != nil {
+		return inv
+	}
+	merged, scanners := s.mergeViews(views)
+	inv := newFrozenInventory(merged, scanners)
+	s.snap.put(gens, inv)
+	return inv
 }
 
 var (

@@ -336,6 +336,18 @@ func (s *Set) Contains(a V4) bool {
 // Len returns the number of addresses in the set.
 func (s *Set) Len() int { return len(s.m) }
 
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	out := &Set{}
+	if len(s.m) > 0 {
+		out.m = make(map[V4]struct{}, len(s.m))
+		for a := range s.m {
+			out.m[a] = struct{}{}
+		}
+	}
+	return out
+}
+
 // Union returns a new set with every address in s or t.
 func (s *Set) Union(t *Set) *Set {
 	out := NewSet()

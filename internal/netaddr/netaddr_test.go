@@ -363,3 +363,20 @@ func BenchmarkParseV4(b *testing.B) {
 		}
 	}
 }
+
+func TestSetClone(t *testing.T) {
+	s := NewSet(MustParseV4("10.0.0.1"), MustParseV4("10.0.0.2"))
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Fatal("clone differs from original")
+	}
+	c.Add(MustParseV4("10.0.0.3"))
+	c.Remove(MustParseV4("10.0.0.1"))
+	if s.Len() != 2 || !s.Contains(MustParseV4("10.0.0.1")) || s.Contains(MustParseV4("10.0.0.3")) {
+		t.Error("mutating the clone reached the original")
+	}
+	var zero Set
+	if cz := zero.Clone(); cz.Len() != 0 {
+		t.Error("zero-set clone not empty")
+	}
+}

@@ -215,3 +215,116 @@ func TestCountersConcurrentReaders(t *testing.T) {
 		t.Errorf("counters = %d/%d/%d", c.In(), c.Out(), c.Dropped())
 	}
 }
+
+func TestHubFanoutAndDrops(t *testing.T) {
+	hub := NewHub[int]()
+	fast := hub.Subscribe(8)
+	slow := hub.Subscribe(2)
+	for i := 0; i < 8; i++ {
+		hub.Publish(i)
+	}
+	if d := fast.Dropped(); d != 0 {
+		t.Errorf("fast subscriber dropped %d", d)
+	}
+	if d := slow.Dropped(); d != 6 {
+		t.Errorf("slow subscriber dropped %d, want 6", d)
+	}
+	c := hub.Counters()
+	if c.In() != 8 || c.Out() != 10 || c.Dropped() != 6 {
+		t.Errorf("hub counters = %d/%d/%d, want 8/10/6", c.In(), c.Out(), c.Dropped())
+	}
+	hub.Close()
+	var got []int
+	for v := range fast.Events() {
+		got = append(got, v)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("fast subscriber saw %v", got)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("fast subscriber saw %d events, want 8", len(got))
+	}
+	// The slow subscriber keeps its first two buffered events.
+	if v, ok := <-slow.Events(); !ok || v != 0 {
+		t.Errorf("slow subscriber first event = %d/%v", v, ok)
+	}
+}
+
+func TestHubPublishNeverBlocks(t *testing.T) {
+	hub := NewHub[int]()
+	sub := hub.Subscribe(1) // never drained
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			hub.Publish(i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a full subscriber")
+	}
+	if sub.Dropped() != 9999 {
+		t.Errorf("dropped %d, want 9999", sub.Dropped())
+	}
+}
+
+func TestHubCancelAndCloseSemantics(t *testing.T) {
+	hub := NewHub[string]()
+	a := hub.Subscribe(4)
+	b := hub.Subscribe(4)
+	hub.Publish("x")
+	a.Cancel()
+	a.Cancel() // idempotent
+	hub.Publish("y")
+	if _, ok := <-a.Events(); !ok {
+		// first receive drains the buffered "x"
+		t.Error("cancelled subscriber lost its buffered event")
+	}
+	if _, ok := <-a.Events(); ok {
+		t.Error("cancelled subscriber still receiving")
+	}
+	hub.Close()
+	hub.Close() // idempotent
+	hub.Publish("z")
+	var got []string
+	for v := range b.Events() {
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("surviving subscriber saw %v, want [x y]", got)
+	}
+	// Subscribing after close yields an immediately-closed channel.
+	late := hub.Subscribe(1)
+	if _, ok := <-late.Events(); ok {
+		t.Error("late subscriber got an open channel")
+	}
+	late.Cancel() // no-op, must not panic
+}
+
+func TestHubConcurrentPublishers(t *testing.T) {
+	hub := NewHub[int]()
+	sub := hub.Subscribe(1 << 14)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				hub.Publish(i)
+			}
+		}()
+	}
+	wg.Wait()
+	hub.Close()
+	n := 0
+	for range sub.Events() {
+		n++
+	}
+	if n != 8000 || sub.Dropped() != 0 {
+		t.Errorf("received %d (dropped %d), want 8000/0", n, sub.Dropped())
+	}
+}

@@ -50,6 +50,15 @@ type SchedulerConfig struct {
 	// Compact aggregates TCP results into per-address summaries instead of
 	// recording every probe, as in ScanConfig.Compact.
 	Compact bool
+	// OnSweep, when set, observes every sweep as it completes — including
+	// truncated ones — with the report and the truncation cause (nil for a
+	// full sweep). It fires on the sweeping goroutine before Sweep returns
+	// and before Run hands the report to its sink, so an observer sees
+	// sweeps in launch order. This is the scheduler's emission point for
+	// the engine's ScanCompleted events: reports handed to a reconciling
+	// sink surface there automatically, and OnSweep covers consumers that
+	// want the scheduler's own signal (progress logs, standalone sweeps).
+	OnSweep func(rep *ScanReport, err error)
 }
 
 func (c *SchedulerConfig) workers() int {
@@ -154,11 +163,14 @@ func (s *Scheduler) Sweep(ctx context.Context) (*ScanReport, error) {
 		}
 	}
 	rep.Finished = s.clock()
-	if err := ctx.Err(); err != nil {
+	err := ctx.Err()
+	if err != nil {
 		rep.Truncated = true
-		return rep, err
 	}
-	return rep, nil
+	if s.cfg.OnSweep != nil {
+		s.cfg.OnSweep(rep, err)
+	}
+	return rep, err
 }
 
 // sweepWorker probes targets w, w+stride, ... and returns their outcomes.

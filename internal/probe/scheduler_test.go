@@ -473,3 +473,67 @@ func BenchmarkScanSweep(b *testing.B) {
 func fmt_workers() string {
 	return "concurrent-" + strconv.Itoa(runtime.NumCPU())
 }
+
+// TestSchedulerOnSweep pins the sweep observer: it fires once per sweep,
+// in launch order, before Run hands the report to its sink, and carries
+// the truncation cause for sweeps cut short.
+func TestSchedulerOnSweep(t *testing.T) {
+	var mu sync.Mutex
+	var observed []int
+	var errs []error
+	sinkSeen := 0
+	s := NewScheduler(&stubBackend{}, SchedulerConfig{
+		Targets:  addrs(4),
+		TCPPorts: []uint16{80},
+		Workers:  2,
+		OnSweep: func(rep *ScanReport, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if sinkSeen != len(observed) {
+				t.Error("sink ran before the observer")
+			}
+			observed = append(observed, rep.ID)
+			errs = append(errs, err)
+		},
+	})
+	err := s.Run(context.Background(), 0, 3, ReportFunc(func(rep *ScanReport) {
+		mu.Lock()
+		sinkSeen++
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != 3 || sinkSeen != 3 {
+		t.Fatalf("observer saw %d sweeps, sink %d, want 3/3", len(observed), sinkSeen)
+	}
+	for i, id := range observed {
+		if id != i {
+			t.Errorf("sweep %d observed out of order as %d", i, id)
+		}
+		if errs[i] != nil {
+			t.Errorf("full sweep %d reported cause %v", i, errs[i])
+		}
+	}
+
+	// A cancelled sweep still reaches the observer, with the cause.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var cancelled []error
+	s2 := NewScheduler(&stubBackend{}, SchedulerConfig{
+		Targets:  addrs(4),
+		TCPPorts: []uint16{80},
+		OnSweep: func(rep *ScanReport, err error) {
+			if !rep.Truncated {
+				t.Error("cancelled sweep not marked truncated")
+			}
+			cancelled = append(cancelled, err)
+		},
+	})
+	if _, err := s2.Sweep(ctx); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if len(cancelled) != 1 || cancelled[0] == nil {
+		t.Fatalf("observer on cancelled sweep: %v", cancelled)
+	}
+}

@@ -42,6 +42,29 @@ type (
 	Provenance = core.Provenance
 	// ScanReport is one active sweep's observations.
 	ScanReport = probe.ScanReport
+	// Event is one entry of the typed discovery event stream (see Watch).
+	Event = core.Event
+	// EventKind classifies a discovery event.
+	EventKind = core.EventKind
+	// EventSub is a bounded subscription to the event stream (see
+	// Pipeline.Subscribe): Events yields the channel, Dropped the events
+	// this subscriber missed, Cancel unsubscribes.
+	EventSub = core.EventSub
+)
+
+// Event kinds, re-exported from core: see core.EventKind for semantics.
+const (
+	// EventServiceDiscovered: first evidence for a service from either
+	// technique — exactly once per service.
+	EventServiceDiscovered = core.EventServiceDiscovered
+	// EventProvenanceUpgraded: the other technique confirmed an
+	// already-discovered service.
+	EventProvenanceUpgraded = core.EventProvenanceUpgraded
+	// EventScannerDetected: an external source crossed the scan-detection
+	// thresholds.
+	EventScannerDetected = core.EventScannerDetected
+	// EventScanCompleted: an active sweep reconciled into the engine.
+	EventScanCompleted = core.EventScanCompleted
 )
 
 // ScanOptions configure the active-scan side of a hybrid engine: what to
@@ -81,6 +104,11 @@ type ScanOptions struct {
 	// Compact aggregates TCP results into per-address summaries — required
 	// for all-ports sweeps, where full per-probe records would not fit.
 	Compact bool
+	// OnSweep, when set, observes every completed sweep on the scheduler's
+	// goroutine (see probe.SchedulerConfig.OnSweep). Sweeps also surface
+	// on the event stream as ScanCompleted once their report reconciles
+	// into the engine; OnSweep is the raw scheduler-side signal.
+	OnSweep func(rep *ScanReport, err error)
 }
 
 func (o *ScanOptions) tcpPorts() []uint16 {
@@ -159,10 +187,11 @@ func (c Config) shardCount() int {
 // replay loop), feed it scan reports (it implements probe.ReportSink), and
 // Snapshot the inventory.
 type Pipeline struct {
-	monitor *capture.Monitor
-	engine  *core.Hybrid
-	sched   *probe.Scheduler // nil unless Config.Scan was set
-	scan    *ScanOptions
+	monitor   *capture.Monitor
+	engine    *core.Hybrid
+	sched     *probe.Scheduler // nil unless Config.Scan was set
+	scan      *ScanOptions
+	batchSize int
 }
 
 // NewPipeline assembles a pipeline from the config. With cfg.Scan set, the
@@ -198,9 +227,10 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		taps = append(taps, tap)
 	}
 	p := &Pipeline{
-		monitor: capture.NewMonitor(capture.NewAssigner(pfx, cfg.Academic), taps...),
-		engine:  engine,
-		scan:    cfg.Scan,
+		monitor:   capture.NewMonitor(capture.NewAssigner(pfx, cfg.Academic), taps...),
+		engine:    engine,
+		scan:      cfg.Scan,
+		batchSize: cfg.BatchSize,
 	}
 	if cfg.Scan != nil {
 		p.sched = probe.NewScheduler(cfg.Scan.backend(), probe.SchedulerConfig{
@@ -212,6 +242,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 			Workers:      cfg.Scan.Workers,
 			SweepTimeout: cfg.Scan.SweepTimeout,
 			Compact:      cfg.Scan.Compact,
+			OnSweep:      cfg.Scan.OnSweep,
 		})
 	}
 	return p, nil
@@ -240,23 +271,76 @@ func (p *Pipeline) Flush() { p.engine.Flush() }
 // Close stops the engine's workers (idempotent).
 func (p *Pipeline) Close() { p.engine.Close() }
 
-// Snapshot flushes and freezes the current inventory: hybrid (with
+// Snapshot freezes a consistent point-in-time inventory: hybrid (with
 // provenance) when scan options were configured or any scan report was
-// ingested via AddReport, passive-only otherwise.
+// ingested via AddReport, passive-only otherwise. It is non-terminal,
+// concurrent-safe and cheap to repeat — producers keep running, unchanged
+// shards reuse their frozen views, and an unchanged engine returns the
+// previous Inventory — so a live deployment can poll it at any frequency
+// (see core.Hybrid.Snapshot for the consistency contract).
 func (p *Pipeline) Snapshot() *Inventory {
 	if p.scan == nil && !p.engine.SeenReports() {
-		p.engine.Flush()
 		return p.engine.Passive().Snapshot()
 	}
 	return p.engine.Snapshot()
 }
 
+// watchBuffer is Watch's default subscriber buffer: deep enough to absorb
+// multi-second consumer lag at realistic discovery rates.
+const watchBuffer = 1024
+
+// Watch subscribes to the engine's typed discovery event stream:
+// ServiceDiscovered (exactly once per service, across both techniques),
+// ProvenanceUpgraded, ScannerDetected and ScanCompleted, each timestamped
+// with the observation clock and provenance-tagged. The channel closes
+// when the engine closes or ctx is cancelled. Delivery is bounded and
+// lossy by design: events beyond the subscriber's buffer are dropped
+// (counted) rather than stalling ingest — use Subscribe to size the
+// buffer explicitly and read the drop count.
+func (p *Pipeline) Watch(ctx context.Context) <-chan Event {
+	sub := p.engine.Subscribe(watchBuffer)
+	if ctx != nil {
+		if done := ctx.Done(); done != nil {
+			go func() {
+				select {
+				case <-done:
+					sub.Cancel()
+				case <-sub.Done(): // engine closed first
+				}
+			}()
+		}
+	}
+	return sub.Events()
+}
+
+// Subscribe attaches a bounded subscriber (buffer capacity buf) to the
+// same event stream as Watch, returning the subscription itself so the
+// caller can inspect its drop count and cancel explicitly.
+func (p *Pipeline) Subscribe(buf int) *EventSub { return p.engine.Subscribe(buf) }
+
+// Replay streams a pcap trace into the engine in batches, bypassing the
+// link taps exactly as Discover does (a recorded trace normally went
+// through the capture filter when it was captured). It returns the packet
+// count. Unlike Discover it feeds this pipeline's live engine, so
+// Snapshot and Watch observe the replay as it happens; cancelling ctx
+// abandons the replay mid-stream.
+func (p *Pipeline) Replay(ctx context.Context, r io.Reader) (int, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	return capture.ReplayBatched(ctx, tr, p.engine, p.batchSize)
+}
+
 // Passive merges the shards into a single PassiveDiscoverer for the
-// analysis layer (core.Analysis). Stop feeding the pipeline first.
+// analysis layer (core.Analysis). The merge is a live view sharing shard
+// state: stop feeding the pipeline first (Snapshot has no such
+// restriction).
 func (p *Pipeline) Passive() *core.PassiveDiscoverer { return p.engine.Passive().Merge() }
 
-// Active exposes the active-side discoverer for the analysis layer. Stop
-// feeding the pipeline first.
+// Active exposes the active-side discoverer for the analysis layer as a
+// live read-only view; stop feeding the pipeline first (Snapshot has no
+// such restriction).
 func (p *Pipeline) Active() *core.ActiveDiscoverer { return p.engine.Active() }
 
 // Scheduler returns the attached scan scheduler, nil without Config.Scan.

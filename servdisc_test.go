@@ -362,3 +362,150 @@ func TestPipelineFacadeMatchesHandWiring(t *testing.T) {
 		t.Error("facade tap counters empty")
 	}
 }
+
+// TestFacadeLiveSnapshotAndWatch drives the facade pipeline with the
+// engine running and checks the live surface: mid-campaign snapshots are
+// consistent and non-terminal, the final snapshot matches a hand-wired
+// single-threaded run, and the event stream delivers exactly one
+// ServiceDiscovered per service in the final inventory.
+func TestFacadeLiveSnapshotAndWatch(t *testing.T) {
+	cfg := smallConfig()
+
+	// Hand-wired single-threaded reference.
+	net1, eng1, pfx := buildCampus(t, cfg)
+	plain := core.NewPassiveDiscoverer(pfx, campus.SelectedUDPPorts)
+	tapA, err := capture.NewTap(capture.LinkCommercial1, capture.PaperFilter, nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapB, err := capture.NewTap(capture.LinkCommercial2, capture.PaperFilter, nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic.NewGenerator(net1, eng1,
+		capture.NewMonitor(capture.NewAssigner(pfx, net1.AcademicClients()), tapA, tapB))
+	eng1.RunUntil(cfg.Start.Add(24 * time.Hour))
+
+	// Facade run with shard workers on and a watcher attached.
+	net2, eng2, _ := buildCampus(t, cfg)
+	pl, err := NewPipeline(Config{
+		Campus:   pfx.String(),
+		Shards:   4,
+		Academic: net2.AcademicClients(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Run(context.Background())
+	sub := pl.Subscribe(1 << 16)
+	traffic.NewGenerator(net2, eng2, pl)
+
+	// Mid-campaign live snapshots: no flush, no close, engine keeps going.
+	var mids []*Inventory
+	for _, hours := range []int{6, 12, 18} {
+		eng2.RunUntil(cfg.Start.Add(time.Duration(hours) * time.Hour))
+		mids = append(mids, pl.Snapshot())
+	}
+	eng2.RunUntil(cfg.Start.Add(24 * time.Hour))
+	final := pl.Snapshot()
+	pl.Close()
+
+	for i := 1; i < len(mids); i++ {
+		if mids[i].Len() < mids[i-1].Len() || mids[i].Packets() < mids[i-1].Packets() {
+			t.Fatal("live snapshots went backwards")
+		}
+	}
+	if final.Len() < mids[len(mids)-1].Len() {
+		t.Fatal("final snapshot smaller than a mid-campaign one")
+	}
+	assertInventoriesEqual(t, plain.Snapshot(), final)
+
+	// Event stream: exactly one discovery per final-inventory service.
+	if sub.Dropped() != 0 {
+		t.Fatalf("watcher dropped %d events", sub.Dropped())
+	}
+	seen := make(map[ServiceKey]int)
+	for ev := range sub.Events() {
+		if ev.Kind == EventServiceDiscovered {
+			seen[ev.Key]++
+		}
+	}
+	keys := final.Keys()
+	if len(seen) != len(keys) {
+		t.Fatalf("%d distinct discovery events, inventory has %d services", len(seen), len(keys))
+	}
+	for _, key := range keys {
+		if seen[key] != 1 {
+			t.Fatalf("service %v discovered %d times", key, seen[key])
+		}
+	}
+}
+
+// TestFacadeWatchContextCancel checks that cancelling the Watch context
+// ends the event channel even while the engine stays open.
+func TestFacadeWatchContextCancel(t *testing.T) {
+	pl, err := NewPipeline(Config{Campus: "128.125.0.0/16", Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := pl.Watch(ctx)
+	cancel()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("event before any traffic")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch channel not closed after context cancellation")
+	}
+}
+
+// TestPipelineReplayMatchesDiscover replays a recorded trace through a
+// live pipeline (Replay bypasses the taps, like Discover) and requires
+// the same inventory Discover produces, while snapshots taken during the
+// replay stay consistent.
+func TestPipelineReplayMatchesDiscover(t *testing.T) {
+	buf, pfx := recordTrace(t, 1)
+	raw := buf.Bytes()
+
+	want, err := Discover(context.Background(), bytes.NewReader(raw), Config{
+		Campus: pfx.String(),
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := NewPipeline(Config{Campus: pfx.String(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Run(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := pl.Replay(context.Background(), bytes.NewReader(raw))
+		done <- err
+	}()
+	// Live snapshots while the replay streams in.
+	deadline := time.After(30 * time.Second)
+	for {
+		inv := pl.Snapshot()
+		if inv.Packets() > want.Packets() {
+			t.Fatalf("live snapshot overshot: %d > %d packets", inv.Packets(), want.Packets())
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl.Close()
+			assertInventoriesEqual(t, want, pl.Snapshot())
+			return
+		case <-deadline:
+			t.Fatal("replay did not finish")
+		default:
+		}
+	}
+}
