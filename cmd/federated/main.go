@@ -1,0 +1,122 @@
+// Command federated is the multi-campus aggregation daemon: it dials N
+// site feeds published by `passived -publish` (or anything speaking the
+// internal/federate wire format), reconciles them into one global
+// inventory with per-site provenance and cross-site dedup, and serves the
+// result over HTTP.
+//
+// Each feed connection bootstraps with the site's latest frozen snapshot
+// and then streams live events; on a broken connection federated backs
+// off, redials, and resumes from a fresh snapshot — the aggregator's
+// generation cursor guarantees the overlap is never double-counted.
+//
+// Endpoints: /dump (canonical text inventory), /services (global JSON
+// rows), /sites (per-feed statistics), /healthz.
+//
+//	federated -feed east:9000 -feed west:9001 -http :8090
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"servdisc/internal/federate"
+)
+
+// feedList collects repeated -feed flags.
+type feedList []string
+
+func (f *feedList) String() string { return fmt.Sprint(*f) }
+func (f *feedList) Set(s string) error {
+	*f = append(*f, s)
+	return nil
+}
+
+func main() {
+	var feeds feedList
+	flag.Var(&feeds, "feed", "site feed address to aggregate (repeatable)")
+	httpAddr := flag.String("http", ":8090", "serve the global inventory on this address")
+	retry := flag.Duration("retry", 2*time.Second, "reconnect backoff after a feed drops")
+	logEvents := flag.Bool("log", true, "log global discoveries and scanner detections")
+	flag.Parse()
+
+	if len(feeds) == 0 {
+		fmt.Fprintln(os.Stderr, "federated: at least one -feed is required")
+		os.Exit(2)
+	}
+	if err := run(feeds, *httpAddr, *retry, *logEvents); err != nil {
+		fmt.Fprintln(os.Stderr, "federated:", err)
+		os.Exit(1)
+	}
+}
+
+func run(feeds []string, httpAddr string, retry time.Duration, logEvents bool) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	agg := federate.NewAggregator()
+
+	// The global event stream: every first-anywhere discovery, site-tagged.
+	if logEvents {
+		sub := agg.Subscribe(8192)
+		go func() {
+			for ge := range sub.Events() {
+				fmt.Printf("global: [%s] %s\n", ge.Site, ge.Event)
+			}
+		}()
+	}
+
+	for _, addr := range feeds {
+		go feedLoop(ctx, agg, addr, retry)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dump", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(agg.Dump())
+	})
+	mux.HandleFunc("/services", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(agg.Services())
+	})
+	mux.HandleFunc("/sites", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(agg.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "ok sites=%d services=%d\n", len(agg.Sites()), agg.NumServices())
+	})
+	fmt.Printf("aggregating %d feeds; serving global inventory on %s (/dump, /services, /sites)\n",
+		len(feeds), httpAddr)
+	return http.ListenAndServe(httpAddr, mux)
+}
+
+// feedLoop keeps one site feed alive: dial, consume until the connection
+// ends, back off, redial. Every reconnect re-bootstraps from the site's
+// newest snapshot; the aggregator dedups the overlap by generation.
+func feedLoop(ctx context.Context, agg *federate.Aggregator, addr string, retry time.Duration) {
+	for ctx.Err() == nil {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			fmt.Printf("feed %s: dial: %v (retrying in %s)\n", addr, err, retry)
+		} else {
+			fmt.Printf("feed %s: connected\n", addr)
+			err = agg.ReadFeed(ctx, conn)
+			conn.Close()
+			if err != nil {
+				fmt.Printf("feed %s: %v (reconnecting in %s)\n", addr, err, retry)
+			} else {
+				fmt.Printf("feed %s: stream ended (reconnecting in %s)\n", addr, retry)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(retry):
+		}
+	}
+}

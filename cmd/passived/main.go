@@ -9,8 +9,18 @@
 // snapshot, so a long replay (or a live feed) is queryable from the first
 // second.
 //
+// Event-stream consumers: /events streams the typed discovery events as
+// JSONL (one JSON event per line, SSE-friendly flushing), /metrics exposes
+// the stage counters and per-subscriber event-hub drop counts in
+// Prometheus text format.
+//
+// With -publish the engine becomes one site of a federation: its event
+// stream, tagged -site, is served on a TCP listener in the snapshot-then-
+// live wire format that cmd/federated aggregates (see internal/federate).
+//
 //	passived -trace campus.pcap -net 128.125.0.0/16
 //	passived -trace campus.pcap -net 128.125.0.0/16 -shards 8 -snap 500ms -http :8080
+//	passived -trace east.pcap -net 128.125.0.0/16 -site east -publish :9000
 package main
 
 import (
@@ -18,13 +28,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"servdisc"
+	"servdisc/internal/federate"
 )
 
 func main() {
@@ -34,19 +48,26 @@ func main() {
 	top := flag.Int("top", 20, "show the N busiest services")
 	shards := flag.Int("shards", 0, "discoverer shards (0 = hardware default)")
 	snapEvery := flag.Duration("snap", time.Second, "live snapshot interval during replay (0 = final only)")
+	publishAddr := flag.String("publish", "", "serve the federation feed (snapshot + live events) on this TCP address")
+	site := flag.String("site", "", "site identity for the federation feed (defaults to the trace name)")
 	flag.Parse()
 
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "passived: -trace is required")
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *netFlag, *httpAddr, *top, *shards, *snapEvery); err != nil {
+	if *site == "" {
+		// The trace's base name, not its path: the site identity goes out
+		// on the wire and into the aggregator's reports.
+		*site = filepath.Base(*tracePath)
+	}
+	if err := run(*tracePath, *netFlag, *httpAddr, *publishAddr, *site, *top, *shards, *snapEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "passived:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, netFlag, httpAddr string, top, shards int, snapEvery time.Duration) error {
+func run(tracePath, netFlag, httpAddr, publishAddr, site string, top, shards int, snapEvery time.Duration) error {
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
@@ -67,10 +88,13 @@ func run(tracePath, netFlag, httpAddr string, top, shards int, snapEvery time.Du
 	defer cancel()
 	pl.Run(ctx)
 
+	subs := newSubRegistry()
+
 	// Stream discovery events while the replay runs: scanner detections
 	// are worth a log line the moment they happen. The subscription is
 	// bounded — if we lag, we lose log lines, never ingest throughput.
 	sub := pl.Subscribe(4096)
+	subs.add("log", sub.Dropped)
 	eventsDone := make(chan struct{})
 	var discovered, upgraded atomic.Int64
 	go func() {
@@ -87,13 +111,29 @@ func run(tracePath, netFlag, httpAddr string, top, shards int, snapEvery time.Du
 		}
 	}()
 
+	// Federation feed: publish this engine's stream, site-tagged, to any
+	// connecting aggregator (snapshot catch-up + live events per
+	// connection). The publisher outlives the replay — late aggregators
+	// still get the final snapshot.
+	if publishAddr != "" {
+		pub := federate.NewPublisher(federate.SiteID(site), pl)
+		subs.add("publisher-pump", pub.Dropped)
+		ln, err := net.Listen("tcp", publishAddr)
+		if err != nil {
+			return fmt.Errorf("publish: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = pub.Serve(ctx, ln) }()
+		fmt.Printf("publishing federation feed for site %q on %s\n", site, publishAddr)
+	}
+
 	// The latest point-in-time snapshot, shared with the HTTP handlers.
 	var latest atomic.Pointer[servdisc.Inventory]
 	latest.Store(pl.Snapshot())
 	httpErr := make(chan error, 1)
 	if httpAddr != "" {
-		go func() { httpErr <- serveHTTP(httpAddr, &latest) }()
-		fmt.Printf("serving live inventory on %s (/services, /scanners, /stats)\n", httpAddr)
+		go func() { httpErr <- serveHTTP(httpAddr, &latest, pl, subs) }()
+		fmt.Printf("serving live inventory on %s (/services, /scanners, /stats, /events, /metrics)\n", httpAddr)
 	}
 
 	// Replay on its own goroutine; snapshot on a ticker until it finishes.
@@ -154,10 +194,13 @@ loop:
 		fmt.Printf("%-28s %-25s %8d %8d\n", r.Key, r.First.Format(time.RFC3339), r.Flows, r.Clients)
 	}
 
-	if httpAddr == "" {
+	if httpAddr == "" && publishAddr == "" {
 		return nil
 	}
 	fmt.Println("\nreplay finished; still serving the final inventory (^C to quit)")
+	if httpAddr == "" {
+		select {} // publish-only: serve snapshot catch-ups until killed
+	}
 	return <-httpErr // serve until the server fails or the process is killed
 }
 
@@ -182,10 +225,55 @@ func serviceRows(inv *servdisc.Inventory) []row {
 	return rows
 }
 
-// serveHTTP serves the latest snapshot; every request reads the freshest
-// inventory the snapshot loop has published. It blocks until the server
-// fails (including a failed listen).
-func serveHTTP(addr string, latest *atomic.Pointer[servdisc.Inventory]) error {
+// subRegistry tracks every named event-hub subscriber so /metrics can
+// report per-subscriber drop counts — the signal that a consumer's buffer
+// is undersized. Ended subscribers fold into a cumulative tally.
+type subRegistry struct {
+	mu       sync.Mutex
+	live     map[string]func() int
+	departed int64
+}
+
+func newSubRegistry() *subRegistry {
+	return &subRegistry{live: make(map[string]func() int)}
+}
+
+func (r *subRegistry) add(name string, dropped func() int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.live[name] = dropped
+}
+
+func (r *subRegistry) remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if dropped, ok := r.live[name]; ok {
+		r.departed += int64(dropped())
+		delete(r.live, name)
+	}
+}
+
+// snapshot returns the live subscriber drop counts (sorted by name) plus
+// the departed-subscriber tally.
+func (r *subRegistry) snapshot() (names []string, drops []int, departed int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.live {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		drops = append(drops, r.live[name]())
+	}
+	return names, drops, r.departed
+}
+
+// serveHTTP serves the latest snapshot plus the live event feed and
+// metrics; every request reads the freshest inventory the snapshot loop
+// has published. It blocks until the server fails (including a failed
+// listen).
+func serveHTTP(addr string, latest *atomic.Pointer[servdisc.Inventory], pl *servdisc.Pipeline, subs *subRegistry) error {
+	var eventsSeq atomic.Int64
 	mux := http.NewServeMux()
 	mux.HandleFunc("/services", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -203,6 +291,79 @@ func serveHTTP(addr string, latest *atomic.Pointer[servdisc.Inventory]) error {
 			"services": inv.Len(),
 			"scanners": len(inv.Scanners()),
 		})
+	})
+	// /events streams the typed discovery event stream as JSONL: one JSON
+	// event per line, flushed per event so curl and EventSource-style
+	// consumers see discoveries as they happen. Delivery is bounded and
+	// lossy (the drop count appears in /metrics); the stream ends when the
+	// engine closes or the client disconnects.
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		name := fmt.Sprintf("events-%d", eventsSeq.Add(1))
+		sub := pl.Subscribe(4096)
+		subs.add(name, sub.Dropped)
+		defer subs.remove(name)
+		defer sub.Cancel()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		done := r.Context().Done()
+		for {
+			select {
+			case <-done:
+				return
+			case ev, ok := <-sub.Events():
+				if !ok {
+					return
+				}
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+			}
+		}
+	})
+	// /metrics exposes the stage counters and per-subscriber hub drops in
+	// Prometheus text exposition format.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		inv := latest.Load()
+		ingest, events := pl.IngestCounters(), pl.EventCounters()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+		p("# HELP servdisc_packets_total Packets offered to the discovery engine.\n")
+		p("# TYPE servdisc_packets_total counter\n")
+		p("servdisc_packets_total %d\n", ingest.In())
+		p("# HELP servdisc_packets_dispatched_total Packets dispatched to shard workers.\n")
+		p("# TYPE servdisc_packets_dispatched_total counter\n")
+		p("servdisc_packets_dispatched_total %d\n", ingest.Out())
+		p("# HELP servdisc_packets_dropped_total Packets discarded (engine closed).\n")
+		p("# TYPE servdisc_packets_dropped_total counter\n")
+		p("servdisc_packets_dropped_total %d\n", ingest.Dropped())
+		p("# HELP servdisc_services Services in the latest snapshot.\n")
+		p("# TYPE servdisc_services gauge\n")
+		p("servdisc_services %d\n", inv.Len())
+		p("# HELP servdisc_scanners Scanners detected in the latest snapshot.\n")
+		p("# TYPE servdisc_scanners gauge\n")
+		p("servdisc_scanners %d\n", len(inv.Scanners()))
+		p("# HELP servdisc_events_published_total Events published on the discovery stream.\n")
+		p("# TYPE servdisc_events_published_total counter\n")
+		p("servdisc_events_published_total %d\n", events.In())
+		p("# HELP servdisc_events_delivered_total Per-subscriber event deliveries.\n")
+		p("# TYPE servdisc_events_delivered_total counter\n")
+		p("servdisc_events_delivered_total %d\n", events.Out())
+		p("# HELP servdisc_events_dropped_total Per-subscriber event drops (all subscribers).\n")
+		p("# TYPE servdisc_events_dropped_total counter\n")
+		p("servdisc_events_dropped_total %d\n", events.Dropped())
+		names, drops, departed := subs.snapshot()
+		p("# HELP servdisc_subscriber_dropped_total Events missed by one named subscriber.\n")
+		p("# TYPE servdisc_subscriber_dropped_total counter\n")
+		for i, name := range names {
+			p("servdisc_subscriber_dropped_total{subscriber=%q} %d\n", name, drops[i])
+		}
+		p("servdisc_subscriber_dropped_total{subscriber=\"departed\"} %d\n", departed)
 	})
 	return http.ListenAndServe(addr, mux)
 }

@@ -27,6 +27,11 @@
 // internal/probe the scan backends, the sequential sim-time sweeper and
 // the concurrent wall-clock Scheduler, and internal/core the discoverers
 // (passive, active, and the Hybrid reconciler) plus the analysis.
+// internal/federate layers multi-campus federation on top: N engines
+// publish their site-tagged event streams over a versioned wire format
+// (passived -publish), and an aggregating daemon (cmd/federated)
+// reconciles them into one global inventory with per-site provenance and
+// cross-site dedup.
 //
 // See README.md for a quickstart, DESIGN.md for the system architecture
 // (streaming ingest, shard-then-merge determinism, and the hybrid

@@ -9,10 +9,12 @@ import (
 	"servdisc/internal/probe"
 )
 
-// ScanMeta summarizes one completed sweep.
+// ScanMeta summarizes one completed sweep. The JSON tags define the
+// serialized form of the event feeds and the federation wire.
 type ScanMeta struct {
-	ID                int
-	Started, Finished time.Time
+	ID       int       `json:"id"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
 }
 
 // AddrScanOutcome is one address's aggregate result in one sweep.

@@ -28,16 +28,31 @@ import (
 )
 
 // ServiceKey identifies one discoverable service: an address, transport
-// protocol, and port.
+// protocol, and port. It serializes with the address and protocol as
+// strings (see netaddr.V4.MarshalText, packet.IPProtocol.MarshalText), the
+// form event feeds and the federation wire carry.
 type ServiceKey struct {
-	Addr  netaddr.V4
-	Proto packet.IPProtocol
-	Port  uint16
+	Addr  netaddr.V4        `json:"addr"`
+	Proto packet.IPProtocol `json:"proto"`
+	Port  uint16            `json:"port"`
 }
 
 // String renders "addr:port/proto".
 func (k ServiceKey) String() string {
 	return fmt.Sprintf("%s:%d/%s", k.Addr, k.Port, k.Proto)
+}
+
+// Before reports whether k orders before other in the canonical (addr,
+// proto, port) ordering — the one ordering behind every deterministic key
+// listing and dump, from Inventory.Keys to the federation aggregator.
+func (k ServiceKey) Before(other ServiceKey) bool {
+	if k.Addr != other.Addr {
+		return k.Addr < other.Addr
+	}
+	if k.Proto != other.Proto {
+		return k.Proto < other.Proto
+	}
+	return k.Port < other.Port
 }
 
 // PeerContact is the first contact from one distinct peer to a service.

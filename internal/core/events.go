@@ -34,20 +34,45 @@ const (
 	EventScanCompleted
 )
 
-// String names the event kind.
+// eventKindNames are the stable wire names of the event kinds. Serialized
+// feeds carry these strings, never the raw uint8, so reordering or
+// extending the constants above cannot corrupt a recorded or federated
+// stream.
+var eventKindNames = [...]string{
+	EventServiceDiscovered:  "service-discovered",
+	EventProvenanceUpgraded: "provenance-upgraded",
+	EventScannerDetected:    "scanner-detected",
+	EventScanCompleted:      "scan-completed",
+}
+
+// String names the event kind (the same stable names MarshalText uses).
 func (k EventKind) String() string {
-	switch k {
-	case EventServiceDiscovered:
-		return "service-discovered"
-	case EventProvenanceUpgraded:
-		return "provenance-upgraded"
-	case EventScannerDetected:
-		return "scanner-detected"
-	case EventScanCompleted:
-		return "scan-completed"
-	default:
-		return fmt.Sprintf("event(%d)", uint8(k))
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
 	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// MarshalText serializes the kind as its stable string name, making
+// EventKind safe to embed in JSON feeds. Unknown kinds are an error rather
+// than a silently unparseable placeholder.
+func (k EventKind) MarshalText() ([]byte, error) {
+	if int(k) < len(eventKindNames) {
+		return []byte(eventKindNames[k]), nil
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown event kind %d", uint8(k))
+}
+
+// UnmarshalText parses the names written by MarshalText.
+func (k *EventKind) UnmarshalText(text []byte) error {
+	s := string(text)
+	for i, name := range eventKindNames {
+		if s == name {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown event kind %q", s)
 }
 
 // Event is one entry of the typed discovery event stream: something the
@@ -64,25 +89,30 @@ func (k EventKind) String() string {
 // with the inventory regardless of interleaving, except when a report
 // carrying an even earlier open time is applied only after the upgrade
 // already fired.
+// The JSON tags define the serialized form the cmd/passived /events feed
+// and the federation wire codec emit; enum fields marshal as stable text
+// names (see EventKind.MarshalText, Provenance.MarshalText).
 type Event struct {
 	// Kind selects the event type.
-	Kind EventKind
+	Kind EventKind `json:"kind"`
 	// Time is the observation timestamp the event is about: first evidence
 	// for discoveries and upgrades, threshold-crossing packet time for
 	// scanner detections, sweep finish time for scan completions.
-	Time time.Time
+	Time time.Time `json:"time"`
 	// Key identifies the service (service events only).
-	Key ServiceKey
+	Key ServiceKey `json:"key,omitzero"`
 	// Provenance tags service events: the discovering technique for
 	// ServiceDiscovered, the upgraded class for ProvenanceUpgraded.
-	Provenance Provenance
+	// Omitted when zero, so non-service events don't carry a spurious
+	// "passive-only" (the absent field unmarshals back to the same zero).
+	Provenance Provenance `json:"prov,omitzero"`
 	// Scanner describes the detected scanner (EventScannerDetected only).
-	Scanner ScannerInfo
+	Scanner ScannerInfo `json:"scanner,omitzero"`
 	// Scan is the completed sweep's metadata (EventScanCompleted only).
-	Scan ScanMeta
+	Scan ScanMeta `json:"scan,omitzero"`
 	// Truncated reports whether the completed sweep was cut short
 	// (EventScanCompleted only).
-	Truncated bool
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // String renders a one-line human-readable form, the shape the commands

@@ -31,32 +31,42 @@ const (
 	ActiveFirst
 )
 
-// String names the provenance class.
-func (p Provenance) String() string {
-	switch p {
-	case PassiveOnly:
-		return "passive-only"
-	case ActiveOnly:
-		return "active-only"
-	case PassiveFirst:
-		return "passive-first"
-	case ActiveFirst:
-		return "active-first"
-	default:
-		return fmt.Sprintf("provenance(%d)", uint8(p))
-	}
+// provenanceNames are the stable wire names of the provenance classes
+// (see eventKindNames for the rationale).
+var provenanceNames = [...]string{
+	PassiveOnly:  "passive-only",
+	ActiveOnly:   "active-only",
+	PassiveFirst: "passive-first",
+	ActiveFirst:  "active-first",
 }
 
-// keyBefore is the canonical (addr, proto, port) service ordering used for
-// every deterministic key listing.
-func keyBefore(a, b ServiceKey) bool {
-	if a.Addr != b.Addr {
-		return a.Addr < b.Addr
+// String names the provenance class (the same stable names MarshalText
+// uses).
+func (p Provenance) String() string {
+	if int(p) < len(provenanceNames) {
+		return provenanceNames[p]
 	}
-	if a.Proto != b.Proto {
-		return a.Proto < b.Proto
+	return fmt.Sprintf("provenance(%d)", uint8(p))
+}
+
+// MarshalText serializes the class as its stable string name.
+func (p Provenance) MarshalText() ([]byte, error) {
+	if int(p) < len(provenanceNames) {
+		return []byte(provenanceNames[p]), nil
 	}
-	return a.Port < b.Port
+	return nil, fmt.Errorf("core: cannot marshal unknown provenance %d", uint8(p))
+}
+
+// UnmarshalText parses the names written by MarshalText.
+func (p *Provenance) UnmarshalText(text []byte) error {
+	s := string(text)
+	for i, name := range provenanceNames {
+		if s == name {
+			*p = Provenance(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown provenance %q", s)
 }
 
 // Inventory is a frozen, read-only view of a discovery run: the service
@@ -124,7 +134,7 @@ func newFrozenHybridInventory(d *PassiveDiscoverer, a *ActiveDiscoverer, scanner
 			v.keys = append(v.keys, key)
 		}
 	}
-	sort.Slice(v.keys, func(i, j int) bool { return keyBefore(v.keys[i], v.keys[j]) })
+	sort.Slice(v.keys, func(i, j int) bool { return v.keys[i].Before(v.keys[j]) })
 	return v
 }
 

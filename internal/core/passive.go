@@ -165,16 +165,7 @@ func (d *PassiveDiscoverer) Keys() []ServiceKey {
 	for k := range d.services {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Addr != b.Addr {
-			return a.Addr < b.Addr
-		}
-		if a.Proto != b.Proto {
-			return a.Proto < b.Proto
-		}
-		return a.Port < b.Port
-	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Before(keys[j]) })
 	return keys
 }
 

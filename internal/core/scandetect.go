@@ -17,15 +17,17 @@ const (
 	ScanDetectMinRsts = 100
 )
 
-// ScannerInfo describes one detected external scanner.
+// ScannerInfo describes one detected external scanner. The JSON tags
+// define the serialized form of the event feeds and the federation wire.
 type ScannerInfo struct {
 	// Source is the scanning address.
-	Source netaddr.V4
+	Source netaddr.V4 `json:"source"`
 	// Window is the start of the 12-hour bucket in which the thresholds
 	// were first crossed.
-	Window time.Time
+	Window time.Time `json:"window"`
 	// UniqueDsts and RstDsts are the peak per-window tallies.
-	UniqueDsts, RstDsts int
+	UniqueDsts int `json:"unique_dsts"`
+	RstDsts    int `json:"rst_dsts"`
 }
 
 // scanTracker accumulates per-external-source contact statistics in

@@ -1,0 +1,590 @@
+package federate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/pipeline"
+)
+
+// GlobalEvent is one entry of the aggregator's own event stream: a
+// site-attributed discovery the *global* inventory just learned.
+// ServiceDiscovered fires exactly once per service globally (the first
+// site to report it wins attribution; later sites extend the record, they
+// do not re-discover it), ScannerDetected once per scanner source.
+// Site-local refinements (provenance upgrades, sweep completions) update
+// aggregator state without re-publishing.
+type GlobalEvent struct {
+	// Site is the vantage point whose feed triggered the event.
+	Site SiteID `json:"site"`
+	// Event is the discovery, in the engine event schema. For
+	// snapshot-bootstrapped discoveries it is synthesized (the timestamp is
+	// the service's first evidence at that site).
+	Event core.Event `json:"event"`
+}
+
+// svcState is everything one site has established about one service,
+// folded from any mix of snapshot and event frames. Every field merges as
+// a semilattice join — times by minimum, weights by maximum, booleans by
+// or — so the state is identical for any arrival order of the same frames.
+type svcState struct {
+	hasPassive, hasActive bool
+	// passiveAt and activeAt are the earliest per-technique observations
+	// (zero when unknown, which the join treats as absent, not as minimal).
+	passiveAt, activeAt time.Time
+	// upgProv remembers an upgrade event's classification, the fallback
+	// when per-technique times never materialize (e.g. the discovery event
+	// preceding the upgrade was lost and no snapshot has arrived yet).
+	upgProv  core.Provenance
+	upgraded bool
+	// flows and clients are the passive weights (max over snapshots).
+	flows, clients int
+	// firstAt is the earliest evidence from any technique.
+	firstAt time.Time
+}
+
+// join folds another time observation into a min-merged field.
+func minTime(cur, t time.Time) time.Time {
+	if t.IsZero() {
+		return cur
+	}
+	if cur.IsZero() || t.Before(cur) {
+		return t
+	}
+	return cur
+}
+
+// prov derives the site-local provenance class from the merged state,
+// using the same rule as core.NewHybridInventory (ties go passive).
+func (s *svcState) prov() core.Provenance {
+	switch {
+	case s.hasPassive && s.hasActive:
+		if !s.passiveAt.IsZero() && !s.activeAt.IsZero() {
+			if s.activeAt.Before(s.passiveAt) {
+				return core.ActiveFirst
+			}
+			return core.PassiveFirst
+		}
+		if s.upgraded {
+			return s.upgProv
+		}
+		return core.PassiveFirst
+	case s.hasActive:
+		return core.ActiveOnly
+	default:
+		return core.PassiveOnly
+	}
+}
+
+// scannerState is one site's knowledge of one scanning source: the
+// dominant (lexicographically maximal) observation across crossing events
+// and snapshot peak windows, so event-derived and snapshot-derived views
+// converge on the peak.
+type scannerState struct {
+	window  time.Time
+	dsts    int
+	rstDsts int
+}
+
+func (s *scannerState) merge(info core.ScannerInfo) {
+	switch {
+	case info.UniqueDsts != s.dsts:
+		if info.UniqueDsts < s.dsts {
+			return
+		}
+	case info.RstDsts != s.rstDsts:
+		if info.RstDsts < s.rstDsts {
+			return
+		}
+	default:
+		if !info.Window.After(s.window) {
+			return
+		}
+	}
+	s.window, s.dsts, s.rstDsts = info.Window, info.UniqueDsts, info.RstDsts
+}
+
+// siteState is the per-feed bookkeeping: the dedup high-water marks and
+// the site's sweep ledger.
+type siteState struct {
+	// epoch is the publisher incarnation the cursors below belong to.
+	// Sequence numbers restart from zero when a site's publisher
+	// restarts; a frame from a different epoch resets the cursors so the
+	// new incarnation's feed is merged, not discarded as duplicates.
+	epoch uint64
+	// lastSeq is the highest event sequence applied (or covered by an
+	// applied snapshot) — the generation-dedup cursor. Events at or below
+	// it are duplicates of state the aggregator already holds.
+	lastSeq uint64
+	// snapGen is the newest applied snapshot's generation; older
+	// snapshots are strictly dominated and skipped wholesale.
+	snapGen      uint64
+	snapApplied  bool
+	events, dups uint64
+	packets      int
+	scans        map[int]core.ScanMeta
+}
+
+// SiteStats summarizes one site's feed for monitoring endpoints.
+type SiteStats struct {
+	Site SiteID `json:"site"`
+	// LastSeq is the dedup high-water mark; Events and DupEvents count
+	// applied and generation-skipped event frames.
+	LastSeq   uint64 `json:"last_seq"`
+	Events    uint64 `json:"events"`
+	DupEvents uint64 `json:"dup_events"`
+	// Services is how many services this site contributes to the global
+	// inventory; Scans its completed sweeps; Packets its passive volume.
+	Services int `json:"services"`
+	Scans    int `json:"scans"`
+	Packets  int `json:"packets"`
+}
+
+// Aggregator reconciles N site feeds into one global inventory with
+// per-site provenance and cross-site dedup: a service reported from two
+// campuses is one record listing both sites.
+//
+// Feeds attach in-process (Attach, a pipeline.Hub subscription on the
+// publisher) or over the wire (ReadFeed on a decoded stream); both paths
+// funnel into Apply, which is safe for any number of concurrent feeds.
+//
+// Convergence: every merge Apply performs is an idempotent, commutative,
+// monotone join, and frames within one site's feed carry totally-ordered
+// sequence numbers, so the final state — and the canonical Dump — is
+// byte-identical for any interleaving of the same feeds, including
+// disconnect/reconnect cycles that replay a snapshot plus overlapping
+// events. Property-tested in aggregator_test.go at 1, 2 and 4 sites
+// racing live producers.
+type Aggregator struct {
+	mu       sync.Mutex
+	sites    map[SiteID]*siteState
+	services map[core.ServiceKey]map[SiteID]*svcState
+	scanners map[netaddr.V4]map[SiteID]*scannerState
+	hub      *pipeline.Hub[GlobalEvent]
+}
+
+// NewAggregator builds an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		sites:    make(map[SiteID]*siteState),
+		services: make(map[core.ServiceKey]map[SiteID]*svcState),
+		scanners: make(map[netaddr.V4]map[SiteID]*scannerState),
+		hub:      pipeline.NewHub[GlobalEvent](),
+	}
+}
+
+// Subscribe attaches a bounded subscriber to the aggregator's global event
+// stream (see GlobalEvent; pipeline.Hub drop semantics apply).
+func (a *Aggregator) Subscribe(buf int) *pipeline.Sub[GlobalEvent] { return a.hub.Subscribe(buf) }
+
+// EventCounters exposes the global stream's flow counters.
+func (a *Aggregator) EventCounters() *pipeline.StageCounters { return a.hub.Counters() }
+
+// Close ends the global event stream. Applying further frames keeps
+// updating state; only the stream stops.
+func (a *Aggregator) Close() { a.hub.Close() }
+
+// site returns (creating if needed) the bookkeeping for one feed.
+func (a *Aggregator) site(id SiteID) *siteState {
+	st := a.sites[id]
+	if st == nil {
+		st = &siteState{scans: make(map[int]core.ScanMeta)}
+		a.sites[id] = st
+	}
+	return st
+}
+
+// svc returns the per-site state cell for one service, reporting whether
+// the key is new to the global inventory entirely.
+func (a *Aggregator) svc(site SiteID, key core.ServiceKey) (s *svcState, newGlobal bool) {
+	perSite := a.services[key]
+	if perSite == nil {
+		perSite = make(map[SiteID]*svcState)
+		a.services[key] = perSite
+		newGlobal = true
+	}
+	s = perSite[site]
+	if s == nil {
+		s = &svcState{}
+		perSite[site] = s
+	}
+	return s, newGlobal
+}
+
+// Apply folds one frame into the global state. It is the single merge
+// point for every feed path and safe for concurrent callers; frames of one
+// site must be applied in feed order (each feed goroutine naturally does).
+func (a *Aggregator) Apply(f *Frame) error {
+	if f.V != WireVersion {
+		return fmt.Errorf("federate: frame version %d, want %d", f.V, WireVersion)
+	}
+	if f.Site == "" {
+		return fmt.Errorf("federate: frame without site identity")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.site(f.Site)
+	if f.Epoch != st.epoch {
+		// A different publisher incarnation: its sequence space is fresh,
+		// so the dedup cursors restart with it. The merged inventory
+		// state is untouched — merges are idempotent, so whatever the new
+		// incarnation re-reports folds in cleanly.
+		st.epoch = f.Epoch
+		st.lastSeq, st.snapGen, st.snapApplied = 0, 0, false
+	}
+	switch f.Type {
+	case FrameHello:
+		return nil
+	case FrameEvent:
+		if f.Event == nil {
+			return fmt.Errorf("federate: event frame without event")
+		}
+		if f.Seq <= st.lastSeq {
+			st.dups++
+			return nil
+		}
+		st.lastSeq = f.Seq
+		st.events++
+		a.applyEvent(f.Site, st, f.Event)
+		return nil
+	case FrameSnapshot:
+		if f.Snapshot == nil {
+			return fmt.Errorf("federate: snapshot frame without snapshot")
+		}
+		// An older snapshot is strictly dominated by what is already
+		// merged: every time it carries is >= the applied minimum, every
+		// weight <= the applied maximum. A snapshot at the SAME generation
+		// is re-merged (idempotent, so harmless): the generation only
+		// counts sequenced events, and state mutated after a pump drop
+		// appears in later snapshots without advancing it — skipping
+		// equal generations would lose exactly that recovery path.
+		if st.snapApplied && f.Seq < st.snapGen {
+			return nil
+		}
+		st.snapApplied = true
+		st.snapGen = f.Seq
+		if f.Seq > st.lastSeq {
+			// Events at or below the snapshot's generation are reflected
+			// in it; advancing the cursor is the reconnect dedup.
+			st.lastSeq = f.Seq
+		}
+		a.applySnapshot(f.Site, st, f.Snapshot)
+		return nil
+	default:
+		return fmt.Errorf("federate: unknown frame type %q", f.Type)
+	}
+}
+
+// applyEvent merges one live event. Caller holds a.mu.
+func (a *Aggregator) applyEvent(site SiteID, st *siteState, ev *core.Event) {
+	switch ev.Kind {
+	case core.EventServiceDiscovered:
+		s, newGlobal := a.svc(site, ev.Key)
+		switch ev.Provenance {
+		case core.ActiveOnly:
+			s.hasActive = true
+			s.activeAt = minTime(s.activeAt, ev.Time)
+		default: // PassiveOnly
+			s.hasPassive = true
+			s.passiveAt = minTime(s.passiveAt, ev.Time)
+		}
+		s.firstAt = minTime(s.firstAt, ev.Time)
+		if newGlobal {
+			a.hub.Publish(GlobalEvent{Site: site, Event: *ev})
+		}
+	case core.EventProvenanceUpgraded:
+		s, newGlobal := a.svc(site, ev.Key)
+		// The upgrade's timestamp is the later technique's first
+		// observation, but WHICH technique that is cannot be decided from
+		// aggregator state without depending on what happened to be
+		// applied first (which would break Dump convergence across
+		// interleavings) — so it only feeds the technique-agnostic
+		// firstAt; the per-technique times arrive with the next snapshot.
+		s.hasPassive, s.hasActive = true, true
+		s.upgraded, s.upgProv = true, ev.Provenance
+		s.firstAt = minTime(s.firstAt, ev.Time)
+		if newGlobal {
+			// The preceding discovery frame was lost (bounded feed): the
+			// upgrade is still this key's first global appearance, so
+			// announce it — synthesized, with the best provenance known.
+			a.hub.Publish(GlobalEvent{Site: site, Event: core.Event{
+				Kind: core.EventServiceDiscovered, Time: ev.Time,
+				Key: ev.Key, Provenance: ev.Provenance,
+			}})
+		}
+	case core.EventScannerDetected:
+		a.mergeScanner(site, ev.Scanner, ev.Time)
+	case core.EventScanCompleted:
+		if _, seen := st.scans[ev.Scan.ID]; !seen {
+			st.scans[ev.Scan.ID] = ev.Scan
+		}
+	}
+}
+
+// applySnapshot merges a bootstrap snapshot. Caller holds a.mu.
+func (a *Aggregator) applySnapshot(site SiteID, st *siteState, snap *Snapshot) {
+	if snap.Packets > st.packets {
+		st.packets = snap.Packets
+	}
+	for i := range snap.Services {
+		svc := &snap.Services[i]
+		s, newGlobal := a.svc(site, svc.Key)
+		switch svc.Provenance {
+		case core.PassiveOnly:
+			s.hasPassive = true
+		case core.ActiveOnly:
+			s.hasActive = true
+		default:
+			s.hasPassive, s.hasActive = true, true
+		}
+		s.passiveAt = minTime(s.passiveAt, svc.PassiveAt)
+		s.activeAt = minTime(s.activeAt, svc.ActiveAt)
+		if svc.Flows > s.flows {
+			s.flows = svc.Flows
+		}
+		if svc.Clients > s.clients {
+			s.clients = svc.Clients
+		}
+		s.firstAt = minTime(s.firstAt, minTime(svc.PassiveAt, svc.ActiveAt))
+		if newGlobal {
+			a.hub.Publish(GlobalEvent{Site: site, Event: core.Event{
+				Kind: core.EventServiceDiscovered, Time: s.firstAt,
+				Key: svc.Key, Provenance: svc.Provenance,
+			}})
+		}
+	}
+	for _, info := range snap.Scanners {
+		a.mergeScanner(site, info, info.Window)
+	}
+	for _, meta := range snap.Scans {
+		if _, seen := st.scans[meta.ID]; !seen {
+			st.scans[meta.ID] = meta
+		}
+	}
+}
+
+// mergeScanner folds one scanner observation. Caller holds a.mu.
+func (a *Aggregator) mergeScanner(site SiteID, info core.ScannerInfo, at time.Time) {
+	perSite := a.scanners[info.Source]
+	newGlobal := false
+	if perSite == nil {
+		perSite = make(map[SiteID]*scannerState)
+		a.scanners[info.Source] = perSite
+		newGlobal = true
+	}
+	s := perSite[site]
+	if s == nil {
+		s = &scannerState{}
+		perSite[site] = s
+	}
+	s.merge(info)
+	if newGlobal {
+		a.hub.Publish(GlobalEvent{Site: site, Event: core.Event{
+			Kind: core.EventScannerDetected, Time: at, Scanner: info,
+		}})
+	}
+}
+
+// Attach subscribes the aggregator to an in-process publisher: the
+// catch-up bootstrap plus the live feed, consumed on a dedicated
+// goroutine. The returned channel closes when the feed ends (publisher or
+// engine closed). Attach again after the feed ends to apply the site's
+// final snapshot — the in-process equivalent of an aggregator reconnect.
+func (a *Aggregator) Attach(p *Publisher) <-chan struct{} {
+	bootstrap, live := p.Catchup(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range bootstrap {
+			_ = a.Apply(&bootstrap[i])
+		}
+		for f := range live.Events() {
+			_ = a.Apply(&f)
+		}
+	}()
+	return done
+}
+
+// ReadFeed decodes one wire feed until EOF (clean end: nil), a decode
+// error, or context cancellation, applying every frame. The caller owns
+// the connection and the reconnect policy; the aggregator's sequence
+// cursor makes reconnects safe.
+func (a *Aggregator) ReadFeed(ctx context.Context, r io.Reader) error {
+	dec := NewDecoder(r)
+	for {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		f, err := dec.Decode()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if err := a.Apply(f); err != nil {
+			return err
+		}
+	}
+}
+
+// Sites returns every site that has appeared on any feed, sorted.
+func (a *Aggregator) Sites() []SiteID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SiteID, 0, len(a.sites))
+	for id := range a.sites {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// perSiteServiceCounts tallies how many services each site contributes to
+// the global inventory. Caller holds a.mu.
+func (a *Aggregator) perSiteServiceCounts() map[SiteID]int {
+	perSite := make(map[SiteID]int, len(a.sites))
+	for _, sites := range a.services {
+		for id := range sites {
+			perSite[id]++
+		}
+	}
+	return perSite
+}
+
+// Stats summarizes every site's feed, sorted by site.
+func (a *Aggregator) Stats() []SiteStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	perSite := a.perSiteServiceCounts()
+	out := make([]SiteStats, 0, len(a.sites))
+	for id, st := range a.sites {
+		out = append(out, SiteStats{
+			Site: id, LastSeq: st.lastSeq, Events: st.events, DupEvents: st.dups,
+			Services: perSite[id], Scans: len(st.scans), Packets: st.packets,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// NumServices returns the global (cross-site deduplicated) service count.
+func (a *Aggregator) NumServices() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.services)
+}
+
+// SiteRecord is one site's view of a global service.
+type SiteRecord struct {
+	Site       SiteID          `json:"site"`
+	Provenance core.Provenance `json:"prov"`
+	PassiveAt  time.Time       `json:"passive_at,omitzero"`
+	ActiveAt   time.Time       `json:"active_at,omitzero"`
+	Flows      int             `json:"flows,omitempty"`
+	Clients    int             `json:"clients,omitempty"`
+}
+
+// GlobalService is one cross-site deduplicated service: the record every
+// reporting site contributes to, plus the earliest evidence anywhere.
+type GlobalService struct {
+	Key     core.ServiceKey `json:"key"`
+	FirstAt time.Time       `json:"first_at"`
+	Sites   []SiteRecord    `json:"sites"`
+}
+
+// Services returns the global inventory in deterministic order: keys
+// canonically sorted (core.ServiceKey.Before, the same ordering as
+// Inventory.Dump), each with its per-site records sorted by site.
+func (a *Aggregator) Services() []GlobalService {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.servicesLocked()
+}
+
+func (a *Aggregator) servicesLocked() []GlobalService {
+	out := make([]GlobalService, 0, len(a.services))
+	for key, sites := range a.services {
+		g := GlobalService{Key: key, Sites: make([]SiteRecord, 0, len(sites))}
+		for id, s := range sites {
+			g.Sites = append(g.Sites, SiteRecord{
+				Site: id, Provenance: s.prov(),
+				PassiveAt: s.passiveAt, ActiveAt: s.activeAt,
+				Flows: s.flows, Clients: s.clients,
+			})
+			g.FirstAt = minTime(g.FirstAt, s.firstAt)
+		}
+		sort.Slice(g.Sites, func(i, j int) bool { return g.Sites[i].Site < g.Sites[j].Site })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Before(out[j].Key) })
+	return out
+}
+
+// Dump renders the global inventory into a canonical byte form: the
+// roll-up header, every service in key order with its per-site provenance
+// and times, the deduplicated scanner list, and per-site summaries. For
+// the same set of site feeds the output is byte-identical regardless of
+// feed interleaving — the federation determinism contract, and the
+// cross-site analogue of core.Inventory.Dump.
+func (a *Aggregator) Dump() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	services := a.servicesLocked()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "sites=%d services=%d scanners=%d\n",
+		len(a.sites), len(a.services), len(a.scanners))
+	for _, g := range services {
+		fmt.Fprintf(&b, "%s sites=%d first=%s\n", g.Key, len(g.Sites),
+			g.FirstAt.UTC().Format(time.RFC3339Nano))
+		for _, sr := range g.Sites {
+			fmt.Fprintf(&b, "  %s %s", sr.Site, sr.Provenance)
+			if !sr.PassiveAt.IsZero() {
+				fmt.Fprintf(&b, " passive=%s flows=%d clients=%d",
+					sr.PassiveAt.UTC().Format(time.RFC3339Nano), sr.Flows, sr.Clients)
+			}
+			if !sr.ActiveAt.IsZero() {
+				fmt.Fprintf(&b, " active=%s", sr.ActiveAt.UTC().Format(time.RFC3339Nano))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	srcs := make([]netaddr.V4, 0, len(a.scanners))
+	for src := range a.scanners {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		perSite := a.scanners[src]
+		ids := make([]SiteID, 0, len(perSite))
+		for id := range perSite {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fmt.Fprintf(&b, "scanner %s sites=%d\n", src, len(ids))
+		for _, id := range ids {
+			s := perSite[id]
+			fmt.Fprintf(&b, "  %s window=%s dsts=%d rsts=%d\n", id,
+				s.window.UTC().Format(time.RFC3339Nano), s.dsts, s.rstDsts)
+		}
+	}
+	ids := make([]SiteID, 0, len(a.sites))
+	for id := range a.sites {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	perSiteSvcs := a.perSiteServiceCounts()
+	for _, id := range ids {
+		st := a.sites[id]
+		fmt.Fprintf(&b, "site %s services=%d scans=%d packets=%d\n",
+			id, perSiteSvcs[id], len(st.scans), st.packets)
+	}
+	return b.Bytes()
+}

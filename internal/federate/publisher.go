@@ -1,0 +1,234 @@
+package federate
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/pipeline"
+)
+
+// Engine is the slice of a discovery engine the publisher needs: a
+// non-terminal frozen snapshot and a bounded subscription to the typed
+// event stream. core.ShardedPassive, core.Hybrid and the servdisc facade
+// Pipeline all satisfy it.
+type Engine interface {
+	Snapshot() *core.Inventory
+	Subscribe(buf int) *core.EventSub
+}
+
+// pumpBuffer sizes the publisher's own engine subscription. The pump does
+// nothing but stamp a sequence number and republish, so it lags only under
+// extreme bursts; a dropped event here is invisible to current readers but
+// heals on their next catch-up snapshot.
+const pumpBuffer = 1 << 15
+
+// feedBuffer sizes each reader's frame subscription: deep enough to absorb
+// a slow network writer for several seconds at realistic discovery rates.
+const feedBuffer = 1 << 13
+
+// writeTimeout bounds each frame write on a deadline-capable connection.
+// A peer that connects and then stops reading errors out within this
+// window instead of pinning a serving goroutine until process exit; it
+// recovers its missed frames from the snapshot on its next connection.
+const writeTimeout = time.Minute
+
+// writeDeadliner is the slice of net.Conn ServeConn uses to bound writes.
+type writeDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// Publisher tags one engine's discovery stream with a SiteID and serves it
+// to any number of readers, each bootstrapped with a frozen snapshot.
+//
+// The catch-up contract: a reader always receives one FrameHello, then one
+// FrameSnapshot whose Seq is the generation g it covers, then the live
+// event frames. Every event with sequence <= g is already reflected in the
+// snapshot (the snapshot is taken after those events were applied to the
+// engine), so a reconnecting aggregator that remembers its high-water
+// sequence can skip duplicates by generation and never double-counts.
+// Events published between the snapshot freeze and the subscription are
+// delivered as well; they may overlap the snapshot's content, which the
+// aggregator's idempotent merges absorb.
+//
+// Delivery to readers is bounded and lossy (pipeline.Hub semantics): a
+// reader that cannot keep up loses frames rather than stalling the others,
+// and recovers the lost state on its next connection's snapshot.
+type Publisher struct {
+	site SiteID
+	// epoch identifies this publisher incarnation; sequence numbers are
+	// only meaningful within it (see Frame.Epoch).
+	epoch uint64
+	eng   Engine
+	hub   *pipeline.Hub[Frame]
+	sub   *core.EventSub
+	seq   atomic.Uint64
+	done  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPublisher starts publishing the engine's stream under the given site
+// identity. The publisher subscribes to the engine immediately; close the
+// engine (or Close the publisher) to end the feed.
+func NewPublisher(site SiteID, eng Engine) *Publisher {
+	p := &Publisher{
+		site:  site,
+		epoch: uint64(time.Now().UnixNano()),
+		eng:   eng,
+		hub:   pipeline.NewHub[Frame](),
+		sub:   eng.Subscribe(pumpBuffer),
+		done:  make(chan struct{}),
+	}
+	go p.pump()
+	return p
+}
+
+// Site returns the publisher's site identity.
+func (p *Publisher) Site() SiteID { return p.site }
+
+// pump sequences the engine's events into site-tagged frames. A single
+// goroutine assigns sequence numbers, so frame order on every reader's
+// subscription is the site's canonical stream order.
+func (p *Publisher) pump() {
+	defer close(p.done)
+	for ev := range p.sub.Events() {
+		ev := ev
+		n := p.seq.Add(1)
+		p.hub.Publish(Frame{V: WireVersion, Type: FrameEvent, Site: p.site, Epoch: p.epoch, Seq: n, Event: &ev})
+	}
+	p.hub.Close()
+}
+
+// Dropped returns how many engine events the publisher itself missed (its
+// pump subscription overflowed). Lost events are absent from the live feed
+// but reappear in every later snapshot.
+func (p *Publisher) Dropped() int { return p.sub.Dropped() }
+
+// FrameCounters exposes the fanout's flow counters: In counts frames
+// published, Out per-reader deliveries, Dropped per-reader drops.
+func (p *Publisher) FrameCounters() *pipeline.StageCounters { return p.hub.Counters() }
+
+// Close stops the pump and ends every reader's feed (after the hello and
+// snapshot already queued drain). The engine itself is not touched.
+// Idempotent; closing the engine has the same effect.
+func (p *Publisher) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.sub.Cancel()
+	<-p.done
+}
+
+// Catchup opens one reader's view of the feed: the hello and snapshot
+// frames to apply first, plus a live subscription to every frame after
+// the snapshot's generation. The subscription is attached before the
+// snapshot freeze, so no event falls between them. On a closed publisher
+// the subscription is already ended — the caller still gets the final
+// snapshot, which is how late or reconnecting aggregators resynchronize
+// with a finished site.
+func (p *Publisher) Catchup(buf int) (bootstrap []Frame, live *pipeline.Sub[Frame]) {
+	if buf <= 0 {
+		buf = feedBuffer
+	}
+	live = p.hub.Subscribe(buf)
+	gen := p.seq.Load()
+	snap := BuildSnapshot(p.eng.Snapshot())
+	bootstrap = []Frame{
+		{V: WireVersion, Type: FrameHello, Site: p.site, Epoch: p.epoch},
+		{V: WireVersion, Type: FrameSnapshot, Site: p.site, Epoch: p.epoch, Seq: gen, Snapshot: snap},
+	}
+	return bootstrap, live
+}
+
+// ServeConn streams the feed to one reader until the publisher closes, the
+// context is cancelled, or the write fails (a vanished reader simply
+// drops). On a deadline-capable writer (a net.Conn) every frame write is
+// bounded by writeTimeout, and context cancellation closes the
+// connection, so a stalled peer cannot pin the serving goroutine — in
+// either case it resynchronizes from the snapshot on its next connection.
+// Safe for any number of concurrent connections.
+func (p *Publisher) ServeConn(ctx context.Context, w io.Writer) error {
+	bootstrap, live := p.Catchup(0)
+	defer live.Cancel()
+	if ctx != nil {
+		if done := ctx.Done(); done != nil {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-done:
+					live.Cancel()
+					if c, ok := w.(io.Closer); ok {
+						c.Close()
+					}
+				case <-live.Done():
+				case <-stop:
+				}
+			}()
+		}
+	}
+	wd, _ := w.(writeDeadliner)
+	enc := NewEncoder(w)
+	write := func(f *Frame) error {
+		if wd != nil {
+			_ = wd.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		return enc.Encode(f)
+	}
+	for i := range bootstrap {
+		if err := write(&bootstrap[i]); err != nil {
+			return err
+		}
+	}
+	for f := range live.Events() {
+		if err := write(&f); err != nil {
+			return err
+		}
+	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Serve accepts aggregator connections on the listener, streaming the feed
+// to each on its own goroutine, until the listener closes or the context
+// is cancelled. It closes the listener on context cancellation.
+func (p *Publisher) Serve(ctx context.Context, ln net.Listener) error {
+	if ctx != nil {
+		if done := ctx.Done(); done != nil {
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-done:
+					ln.Close()
+				case <-stop:
+				}
+			}()
+		}
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = p.ServeConn(ctx, conn)
+		}()
+	}
+}

@@ -1,0 +1,67 @@
+package federate
+
+import (
+	"time"
+
+	"servdisc/internal/core"
+)
+
+// SnapshotService is one service record inside a snapshot frame: the
+// wire-portable slice of what the site's frozen Inventory knows about the
+// service. Zero times mean "that technique never saw it" (consistent with
+// the Provenance class).
+type SnapshotService struct {
+	Key core.ServiceKey `json:"key"`
+	// Provenance is the site-local classification as of the freeze.
+	Provenance core.Provenance `json:"prov"`
+	// PassiveAt is the first passive evidence (zero for active-only).
+	PassiveAt time.Time `json:"passive_at,omitzero"`
+	// ActiveAt is the first successful probe (zero for passive-only).
+	ActiveAt time.Time `json:"active_at,omitzero"`
+	// Flows and Clients are the passive weights as of the freeze.
+	Flows   int `json:"flows,omitempty"`
+	Clients int `json:"clients,omitempty"`
+}
+
+// Snapshot is the bootstrap payload of a snapshot frame: a flattened,
+// key-ordered rendering of one site's frozen core.Inventory. The carrying
+// frame's Seq records the event-stream generation the snapshot covers.
+type Snapshot struct {
+	// Services lists every discovered service in canonical (addr, proto,
+	// port) order.
+	Services []SnapshotService `json:"services"`
+	// Scanners lists detected external scanners, sorted by source.
+	Scanners []core.ScannerInfo `json:"scanners,omitempty"`
+	// Scans lists completed sweep metadata in start order.
+	Scans []core.ScanMeta `json:"scans,omitempty"`
+	// Packets is how many packets the site's passive run has consumed.
+	Packets int `json:"packets"`
+}
+
+// BuildSnapshot flattens a frozen inventory into its wire form. The
+// inventory is read-only and the result shares nothing with it, so the
+// caller may serialize the snapshot at leisure while the engine keeps
+// ingesting.
+func BuildSnapshot(inv *core.Inventory) *Snapshot {
+	keys := inv.Keys()
+	s := &Snapshot{
+		Services: make([]SnapshotService, 0, len(keys)),
+		Scanners: append([]core.ScannerInfo(nil), inv.Scanners()...),
+		Scans:    append([]core.ScanMeta(nil), inv.Scans()...),
+		Packets:  inv.Packets(),
+	}
+	for _, key := range keys {
+		prov, _ := inv.Provenance(key)
+		svc := SnapshotService{Key: key, Provenance: prov}
+		if rec, ok := inv.Record(key); ok {
+			svc.PassiveAt = rec.FirstSeen
+			svc.Flows = rec.Flows
+			svc.Clients = rec.Clients()
+		}
+		if at, ok := inv.ActiveFirstOpen(key); ok {
+			svc.ActiveAt = at
+		}
+		s.Services = append(s.Services, svc)
+	}
+	return s
+}

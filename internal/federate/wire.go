@@ -1,0 +1,206 @@
+// Package federate turns N independent discovery engines — one per campus
+// or vantage point — into one aggregating global inventory.
+//
+// Three pieces compose the subsystem:
+//
+//   - The wire codec (Encoder/Decoder): a versioned, length-prefixed JSONL
+//     framing for the typed discovery event stream (core.Event) plus a
+//     snapshot-bootstrap frame derived from the generation-tracked
+//     core.Inventory.
+//   - Publisher: tags one engine's stream with a SiteID and serves
+//     snapshot-then-live-events to any number of readers. Catch-up is the
+//     latest frozen snapshot plus every event after its generation, so a
+//     reconnecting aggregator resumes without replaying history it already
+//     has.
+//   - Aggregator: subscribes to N site feeds (in-process via pipeline.Hub
+//     subscriptions, or over the wire via ReadFeed) and reconciles them
+//     into a global inventory with per-site provenance and cross-site
+//     dedup. Every state merge is idempotent, commutative and monotone, so
+//     the aggregated Dump is byte-identical regardless of feed arrival
+//     interleaving and across disconnect/reconnect cycles — the federation
+//     analogue of the sharded engine's shard-then-merge determinism.
+//
+// See DESIGN.md §6 for the protocol walk-through.
+package federate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"servdisc/internal/core"
+)
+
+// WireVersion is the protocol version stamped into every frame. A decoder
+// rejects frames from a different major version rather than guessing.
+const WireVersion = 1
+
+// maxFrameLen bounds a single frame's JSON body. Snapshot frames grow with
+// inventory size (~100 B per service), so the cap is generous; anything
+// beyond it indicates a corrupt or hostile stream, not a real inventory.
+const maxFrameLen = 1 << 28 // 256 MiB
+
+// SiteID names one publishing vantage point (one campus, one engine).
+type SiteID string
+
+// FrameType discriminates the wire frames.
+type FrameType string
+
+// Frame types.
+const (
+	// FrameHello opens a feed: version + site identity, no payload.
+	FrameHello FrameType = "hello"
+	// FrameSnapshot bootstraps a reader: the publisher's frozen inventory
+	// as of generation Seq. Every event with sequence <= Seq is already
+	// reflected in the snapshot — the dedup rule reconnecting aggregators
+	// rely on.
+	FrameSnapshot FrameType = "snapshot"
+	// FrameEvent carries one live core.Event, tagged with its position in
+	// the site's stream.
+	FrameEvent FrameType = "event"
+)
+
+// Frame is one unit of the federation wire: a site-tagged envelope around
+// either an event or a snapshot. On the wire each frame is a single line
+// of JSON prefixed with its decimal byte length ("123 {...}\n"): the
+// prefix lets a reader allocate and skip without parsing, the line
+// framing keeps a captured feed greppable and diffable.
+type Frame struct {
+	// V is the protocol version (WireVersion).
+	V int `json:"v"`
+	// Type discriminates the payload.
+	Type FrameType `json:"type"`
+	// Site identifies the publishing engine.
+	Site SiteID `json:"site"`
+	// Epoch identifies one publisher incarnation (a fresh value per
+	// publisher process). Sequence numbers are only comparable within an
+	// epoch: an aggregator seeing a new epoch resets its dedup cursors
+	// instead of discarding the restarted site's feed as duplicates.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Seq is the event's position in the site's stream (event frames,
+	// counted from 1), or the stream position the snapshot covers
+	// (snapshot frames: every event with Seq <= this value is reflected).
+	Seq uint64 `json:"seq,omitempty"`
+	// Event is the payload of an event frame.
+	Event *core.Event `json:"event,omitempty"`
+	// Snapshot is the payload of a snapshot frame.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+// Encoder writes frames in the length-prefixed JSONL wire form. Not safe
+// for concurrent writers; each feed connection owns one encoder.
+type Encoder struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewEncoder wraps a writer (typically a net.Conn or an HTTP response).
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+// Encode writes one frame and flushes it to the underlying writer, so a
+// live feed never sits in the buffer waiting for a frame that may be
+// minutes away.
+func (e *Encoder) Encode(f *Frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("federate: encode frame: %w", err)
+	}
+	e.buf = strconv.AppendInt(e.buf[:0], int64(len(body)), 10)
+	e.buf = append(e.buf, ' ')
+	if _, err := e.w.Write(e.buf); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(body); err != nil {
+		return err
+	}
+	if err := e.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Decoder reads frames written by Encoder. Not safe for concurrent
+// readers.
+type Decoder struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewDecoder wraps a reader.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Decode reads the next frame. It returns io.EOF when the stream ends
+// cleanly at a frame boundary and io.ErrUnexpectedEOF when it ends inside
+// a frame; any other malformation (bad prefix, oversized frame, invalid
+// JSON, version mismatch) is a descriptive error.
+func (d *Decoder) Decode() (*Frame, error) {
+	n, err := d.readLen()
+	if err != nil {
+		return nil, err
+	}
+	// Grow the buffer only as bytes actually arrive: a hostile length
+	// prefix must not be able to force a quarter-gigabyte allocation for a
+	// stream that ends two bytes later.
+	need := n + 1 // body plus the trailing newline
+	buf := d.buf[:0]
+	for len(buf) < need {
+		chunk := need - len(buf)
+		if chunk > 1<<20 {
+			chunk = 1 << 20
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(d.r, buf[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	d.buf = buf
+	if buf[n] != '\n' {
+		return nil, fmt.Errorf("federate: frame missing newline terminator")
+	}
+	var f Frame
+	if err := json.Unmarshal(buf[:n], &f); err != nil {
+		return nil, fmt.Errorf("federate: decode frame: %w", err)
+	}
+	if f.V != WireVersion {
+		return nil, fmt.Errorf("federate: wire version %d, want %d", f.V, WireVersion)
+	}
+	return &f, nil
+}
+
+// readLen parses the decimal length prefix up to the separating space.
+// io.EOF before the first digit is a clean end of stream.
+func (d *Decoder) readLen() (int, error) {
+	n := 0
+	for i := 0; ; i++ {
+		c, err := d.r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if c == ' ' {
+			if i == 0 {
+				return 0, fmt.Errorf("federate: empty frame length prefix")
+			}
+			return n, nil
+		}
+		if c < '0' || c > '9' || i >= 10 {
+			return 0, fmt.Errorf("federate: malformed frame length prefix")
+		}
+		n = n*10 + int(c-'0')
+		if n > maxFrameLen {
+			return 0, fmt.Errorf("federate: frame length %d exceeds limit %d", n, maxFrameLen)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package federate
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+func testKey(addr uint32, proto uint8, port uint16) core.ServiceKey {
+	return core.ServiceKey{Addr: netaddr.V4(addr), Proto: packet.IPProtocol(proto), Port: port}
+}
+
+// sampleFrames covers every frame type and event kind once.
+func sampleFrames() []Frame {
+	base := time.Date(2006, 12, 16, 10, 0, 0, 123456789, time.UTC)
+	key := testKey(0x807D0107, 6, 443)
+	ev1 := core.Event{Kind: core.EventServiceDiscovered, Time: base, Key: key, Provenance: core.PassiveOnly}
+	ev2 := core.Event{Kind: core.EventProvenanceUpgraded, Time: base.Add(time.Hour), Key: key, Provenance: core.PassiveFirst}
+	ev3 := core.Event{Kind: core.EventScannerDetected, Time: base.Add(2 * time.Hour),
+		Scanner: core.ScannerInfo{Source: netaddr.MustParseV4("211.1.1.1"), Window: base, UniqueDsts: 150, RstDsts: 120}}
+	ev4 := core.Event{Kind: core.EventScanCompleted, Time: base.Add(3 * time.Hour),
+		Scan: core.ScanMeta{ID: 7, Started: base, Finished: base.Add(3 * time.Hour)}, Truncated: true}
+	snap := &Snapshot{
+		Services: []SnapshotService{
+			{Key: key, Provenance: core.PassiveFirst, PassiveAt: base, ActiveAt: base.Add(time.Minute), Flows: 42, Clients: 7},
+			{Key: testKey(0x807D0200, 17, 53), Provenance: core.PassiveOnly, PassiveAt: base.Add(time.Second), Flows: 3, Clients: 1},
+		},
+		Scanners: []core.ScannerInfo{{Source: netaddr.MustParseV4("211.1.1.1"), Window: base, UniqueDsts: 150, RstDsts: 120}},
+		Scans:    []core.ScanMeta{{ID: 7, Started: base, Finished: base.Add(3 * time.Hour)}},
+		Packets:  100000,
+	}
+	return []Frame{
+		{V: WireVersion, Type: FrameHello, Site: "east"},
+		{V: WireVersion, Type: FrameSnapshot, Site: "east", Seq: 12, Snapshot: snap},
+		{V: WireVersion, Type: FrameEvent, Site: "east", Seq: 13, Event: &ev1},
+		{V: WireVersion, Type: FrameEvent, Site: "east", Seq: 14, Event: &ev2},
+		{V: WireVersion, Type: FrameEvent, Site: "east", Seq: 15, Event: &ev3},
+		{V: WireVersion, Type: FrameEvent, Site: "east", Seq: 16, Event: &ev4},
+	}
+}
+
+// TestWireRoundTrip encodes a stream of every frame shape and decodes it
+// back, comparing the canonical JSON of each frame.
+func TestWireRoundTrip(t *testing.T) {
+	frames := sampleFrames()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for i := range frames {
+		if err := enc.Encode(&frames[i]); err != nil {
+			t.Fatalf("encode frame %d: %v", i, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i := range frames {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+		if !framesEqual(t, &frames[i], got) {
+			t.Errorf("frame %d did not round-trip", i)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("expected clean EOF at stream end, got %v", err)
+	}
+}
+
+// framesEqual compares two frames via their canonical JSON rendering
+// (time.Time equality through serialization, not struct identity).
+func framesEqual(t *testing.T, a, b *Frame) bool {
+	t.Helper()
+	var ba, bb bytes.Buffer
+	if err := NewEncoder(&ba).Encode(a); err != nil {
+		t.Fatalf("re-encode a: %v", err)
+	}
+	if err := NewEncoder(&bb).Encode(b); err != nil {
+		t.Fatalf("re-encode b: %v", err)
+	}
+	return bytes.Equal(ba.Bytes(), bb.Bytes())
+}
+
+// TestDecodeTruncated verifies a stream cut mid-frame reports
+// ErrUnexpectedEOF, not a clean end.
+func TestDecodeTruncated(t *testing.T) {
+	frames := sampleFrames()
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(&frames[2]); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{len(whole) / 2, len(whole) - 1, 3} {
+		dec := NewDecoder(bytes.NewReader(whole[:cut]))
+		if _, err := dec.Decode(); err != io.ErrUnexpectedEOF {
+			t.Errorf("cut at %d: got %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestDecodeRejects verifies malformed prefixes and version mismatches
+// error out instead of being silently accepted.
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad prefix":     "xx {}\n",
+		"missing prefix": " {}\n",
+		"huge frame":     "999999999999 {}\n",
+		"bad version":    `63 {"v":99,"type":"hello","site":"east","seq":0,"event":null}` + "\n",
+		"bad json":       "3 {{{\n",
+		"bad kind":       `96 {"v":1,"type":"event","site":"e","seq":1,"event":{"kind":"no-such-kind","time":"2006-01-02T15:04:05Z"}}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := NewDecoder(strings.NewReader(in)).Decode(); err == nil || err == io.EOF {
+			t.Errorf("%s: expected a decode error, got %v", name, err)
+		}
+	}
+}
+
+// TestEventKindTextStable pins the wire names of the event kinds: a feed
+// recorded today must parse forever, even if the constants are reordered.
+func TestEventKindTextStable(t *testing.T) {
+	want := map[core.EventKind]string{
+		core.EventServiceDiscovered:  "service-discovered",
+		core.EventProvenanceUpgraded: "provenance-upgraded",
+		core.EventScannerDetected:    "scanner-detected",
+		core.EventScanCompleted:      "scan-completed",
+	}
+	for kind, name := range want {
+		text, err := kind.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if string(text) != name {
+			t.Errorf("kind %d marshals to %q, want %q", kind, text, name)
+		}
+		var back core.EventKind
+		if err := back.UnmarshalText([]byte(name)); err != nil {
+			t.Fatalf("unmarshal %q: %v", name, err)
+		}
+		if back != kind {
+			t.Errorf("%q unmarshals to %d, want %d", name, back, kind)
+		}
+	}
+	if _, err := core.EventKind(99).MarshalText(); err == nil {
+		t.Error("marshaling an unknown kind should error")
+	}
+	var k core.EventKind
+	if err := k.UnmarshalText([]byte("event(3)")); err == nil {
+		t.Error("unmarshaling an unknown name should error")
+	}
+}
+
+// FuzzFrameRoundTrip builds event and snapshot frames from fuzzed
+// primitives and asserts encode→decode→encode is byte-stable.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(0), int64(1166263200), uint32(0x807D0107), uint8(6), uint16(443), uint8(0), 42, 7, uint64(13), false)
+	f.Add(uint8(1), int64(1166266800), uint32(0x807D0200), uint8(17), uint16(53), uint8(2), 3, 1, uint64(14), false)
+	f.Add(uint8(2), int64(1166270400), uint32(0xD3010101), uint8(47), uint16(0), uint8(1), 150, 120, uint64(15), true)
+	f.Add(uint8(3), int64(1166274000), uint32(0), uint8(255), uint16(65535), uint8(3), 0, 0, uint64(0), true)
+	f.Fuzz(func(t *testing.T, kind uint8, sec int64, addr uint32, proto uint8, port uint16,
+		prov uint8, n1, n2 int, seq uint64, snapshot bool) {
+		// Clamp times into the RFC 3339 representable range and enums into
+		// their valid domain — the codec's contract is for valid frames;
+		// FuzzDecoderNoPanic covers hostile bytes.
+		at := time.Unix(((sec%4e9)+4e9)%4e9, ((sec%1e9)+1e9)%1e9).UTC()
+		k := core.EventKind(kind % 4)
+		p := core.Provenance(prov % 4)
+		key := testKey(addr, proto, port)
+		fr := Frame{V: WireVersion, Site: SiteID("fuzz"), Seq: seq}
+		if snapshot {
+			fr.Type = FrameSnapshot
+			fr.Snapshot = &Snapshot{
+				Services: []SnapshotService{{Key: key, Provenance: p, PassiveAt: at, Flows: n1, Clients: n2}},
+				Scanners: []core.ScannerInfo{{Source: netaddr.V4(addr), Window: at, UniqueDsts: n1, RstDsts: n2}},
+				Scans:    []core.ScanMeta{{ID: n1, Started: at, Finished: at}},
+				Packets:  n2,
+			}
+		} else {
+			fr.Type = FrameEvent
+			ev := core.Event{Kind: k, Time: at}
+			switch k {
+			case core.EventServiceDiscovered, core.EventProvenanceUpgraded:
+				ev.Key, ev.Provenance = key, p
+			case core.EventScannerDetected:
+				ev.Scanner = core.ScannerInfo{Source: netaddr.V4(addr), Window: at, UniqueDsts: n1, RstDsts: n2}
+			case core.EventScanCompleted:
+				ev.Scan = core.ScanMeta{ID: n1, Started: at, Finished: at}
+				ev.Truncated = n2%2 == 0
+			}
+			fr.Event = &ev
+		}
+
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(&fr); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		first := append([]byte(nil), buf.Bytes()...)
+		got, err := NewDecoder(&buf).Decode()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := NewEncoder(&buf2).Encode(got); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(first, buf2.Bytes()) {
+			t.Fatalf("round trip not byte-stable:\n in: %s\nout: %s", first, buf2.Bytes())
+		}
+	})
+}
+
+// FuzzDecoderNoPanic feeds arbitrary bytes to the decoder: it must reject
+// or accept them without panicking or over-allocating.
+func FuzzDecoderNoPanic(f *testing.F) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	frames := sampleFrames()
+	for i := range frames {
+		_ = enc.Encode(&frames[i])
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("12 hello\n"))
+	f.Add([]byte("999999999999999999 {}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			if _, err := dec.Decode(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -110,6 +110,21 @@ func (a V4) String() string {
 	return string(buf)
 }
 
+// MarshalText renders the dotted-quad form, making V4 serialize as a
+// string (not a raw uint32) in JSON objects and as a map key — the form
+// the federation wire codec ships across sites.
+func (a V4) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText parses the dotted-quad form written by MarshalText.
+func (a *V4) UnmarshalText(text []byte) error {
+	v, err := ParseV4(string(text))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}
+
 // IsPrivate reports whether the address falls in RFC 1918 space.
 func (a V4) IsPrivate() bool {
 	return Prefix10.Contains(a) || Prefix172.Contains(a) || Prefix192.Contains(a)

@@ -3,6 +3,8 @@ package packet
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"servdisc/internal/netaddr"
 )
@@ -67,6 +69,38 @@ func (p IPProtocol) String() string {
 	default:
 		return fmt.Sprintf("proto(%d)", uint8(p))
 	}
+}
+
+// MarshalText renders the protocol as its String form ("tcp", "udp",
+// "icmp", or "proto(N)" for anything else), so protocol numbers serialize
+// as stable names on the federation wire rather than raw bytes.
+func (p IPProtocol) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses any form MarshalText produces.
+func (p *IPProtocol) UnmarshalText(text []byte) error {
+	switch s := string(text); s {
+	case "icmp":
+		*p = ProtoICMP
+	case "tcp":
+		*p = ProtoTCP
+	case "udp":
+		*p = ProtoUDP
+	default:
+		// Strictly "proto(N)": no trailing bytes, N a decimal uint8.
+		inner, ok := strings.CutPrefix(s, "proto(")
+		if ok {
+			inner, ok = strings.CutSuffix(inner, ")")
+		}
+		if !ok {
+			return fmt.Errorf("packet: unknown protocol %q", s)
+		}
+		n, err := strconv.ParseUint(inner, 10, 8)
+		if err != nil {
+			return fmt.Errorf("packet: unknown protocol %q", s)
+		}
+		*p = IPProtocol(n)
+	}
+	return nil
 }
 
 const ipv4HeaderLen = 20

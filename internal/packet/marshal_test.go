@@ -1,0 +1,27 @@
+package packet
+
+import "testing"
+
+// TestIPProtocolTextRoundTrip pins the stable wire names and the strict
+// fallback form: "proto(N)" must parse exactly, with no trailing bytes.
+func TestIPProtocolTextRoundTrip(t *testing.T) {
+	for _, p := range []IPProtocol{ProtoICMP, ProtoTCP, ProtoUDP, IPProtocol(47), IPProtocol(255)} {
+		text, err := p.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		var back IPProtocol
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("unmarshal %q: %v", text, err)
+		}
+		if back != p {
+			t.Errorf("%q round-tripped to %d, want %d", text, back, p)
+		}
+	}
+	for _, bad := range []string{"", "TCP", "proto(6)junk", "proto(", "proto()", "proto(999)", "proto(6", "6"} {
+		var p IPProtocol
+		if err := p.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("unmarshal %q: expected an error, got %v", bad, p)
+		}
+	}
+}

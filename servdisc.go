@@ -50,6 +50,10 @@ type (
 	// Pipeline.Subscribe): Events yields the channel, Dropped the events
 	// this subscriber missed, Cancel unsubscribes.
 	EventSub = core.EventSub
+	// StageCounters are concurrency-safe flow counters (In/Out/Dropped),
+	// the form the monitoring endpoints read (see Pipeline.IngestCounters
+	// and Pipeline.EventCounters).
+	StageCounters = pipeline.StageCounters
 )
 
 // Event kinds, re-exported from core: see core.EventKind for semantics.
@@ -317,6 +321,17 @@ func (p *Pipeline) Watch(ctx context.Context) <-chan Event {
 // same event stream as Watch, returning the subscription itself so the
 // caller can inspect its drop count and cancel explicitly.
 func (p *Pipeline) Subscribe(buf int) *EventSub { return p.engine.Subscribe(buf) }
+
+// IngestCounters exposes the engine's packet-flow counters (In = packets
+// offered, Out = packets dispatched to shards, Dropped = packets discarded
+// after Close), safe for concurrent readers — the numbers behind a
+// metrics endpoint.
+func (p *Pipeline) IngestCounters() *StageCounters { return p.engine.Passive().Counters() }
+
+// EventCounters exposes the event stream's flow counters (In = events
+// published, Out = per-subscriber deliveries, Dropped = per-subscriber
+// drops), safe for concurrent readers.
+func (p *Pipeline) EventCounters() *StageCounters { return p.engine.EventCounters() }
 
 // Replay streams a pcap trace into the engine in batches, bypassing the
 // link taps exactly as Discover does (a recorded trace normally went
