@@ -343,13 +343,14 @@ func BenchmarkIngestSharded(b *testing.B) {
 
 // BenchmarkSnapshotUnderLoad measures the live engine: ingest throughput
 // through the 8-shard discoverer while a second goroutine snapshots the
-// running engine at 1, 10 and 100 Hz, plus the latency of those
-// snapshots. The point of the generation machinery is that pkts/s should
-// barely move across the Hz ladder (each snapshot freezes only shards
-// that changed, and the producer is paused only for marker insertion, not
-// for the clone/merge work).
+// running engine at 1 to 1000 Hz, plus the latency of those snapshots.
+// The point of the copy-on-write view machinery is that pkts/s should
+// barely move across the Hz ladder: a snapshot seals only the records
+// touched since the last freeze and patches the merged inventory forward,
+// and the producer is paused only for marker insertion, never for clone
+// or merge work.
 func BenchmarkSnapshotUnderLoad(b *testing.B) {
-	for _, hz := range []int{1, 10, 100} {
+	for _, hz := range []int{1, 10, 100, 1000} {
 		b.Run(fmt.Sprintf("hz=%d", hz), func(b *testing.B) {
 			pkts, pfx := ingestStream(b)
 			sp := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
@@ -399,6 +400,48 @@ func BenchmarkSnapshotUnderLoad(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSnapshotZeroChurn measures Snapshot on an engine with nothing
+// dispatched since the previous freeze — the fast path a high-frequency
+// poller rides between bursts. The CI bench gate fails if allocs/op here
+// is not 0: a regression means every idle poll is paying for clones again.
+func BenchmarkSnapshotZeroChurn(b *testing.B) {
+	pkts, pfx := ingestStream(b)
+	sp := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
+	sp.HandleBatch(pkts)
+	if sp.Snapshot() == nil {
+		b.Fatal("nil snapshot")
+	}
+	resetIngestTimer(b)
+	for i := 0; i < b.N; i++ {
+		_ = sp.Snapshot()
+	}
+}
+
+// BenchmarkSnapshotChurn1pct measures the incremental freeze: each
+// iteration ingests ~1% of the corpus into an already-hot engine and
+// snapshots, so ns/op and allocs/op track the cost of a freeze whose
+// churn is small relative to inventory size — the case the dirty-set
+// seal machinery exists for (cost proportional to records touched, not
+// records held).
+func BenchmarkSnapshotChurn1pct(b *testing.B) {
+	pkts, pfx := ingestStream(b)
+	sp := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
+	sp.HandleBatch(pkts)
+	step := len(pkts) / 100
+	off := 0
+	resetIngestTimer(b)
+	for i := 0; i < b.N; i++ {
+		end := off + step
+		if end > len(pkts) {
+			off, end = 0, step
+		}
+		sp.HandleBatch(pkts[off:end])
+		off = end
+		_ = sp.Snapshot()
+	}
+	reportPacketsPerSec(b, step)
 }
 
 // Ablation benches (DESIGN.md §4): the same pipeline with a design choice

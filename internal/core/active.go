@@ -1,6 +1,7 @@
 package core
 
 import (
+	"maps"
 	"sort"
 	"time"
 
@@ -57,6 +58,17 @@ type ActiveDiscoverer struct {
 	// earlier. Hybrid wires both into the engine's event stream.
 	onDiscovered  func(key ServiceKey, t time.Time)
 	onOpenEarlier func(key ServiceKey, t time.Time)
+
+	// sealed marks a frozen view produced by clone: immutable, so the
+	// accessors skip their defensive copies. AddReport must never run on
+	// a sealed view.
+	sealed bool
+	// cow flips on the live discoverer once a clone shares its outcome
+	// histories and UDP maps; ownedAddr/ownedUDP list the entries already
+	// copied back since, so each is copied at most once per clone.
+	cow       bool
+	ownedAddr map[netaddr.V4]bool
+	ownedUDP  map[netaddr.V4]bool
 }
 
 // NewActiveDiscoverer builds a discoverer. ports documents the sweep's TCP
@@ -122,9 +134,19 @@ func (d *ActiveDiscoverer) AddReport(rep *probe.ScanReport) {
 
 	for _, res := range rep.UDP {
 		m := d.udp[res.Addr]
-		if m == nil {
+		switch {
+		case m == nil:
 			m = make(map[uint16]probe.UDPState)
 			d.udp[res.Addr] = m
+		case d.cow && !d.ownedUDP[res.Addr]:
+			// The per-address outcome map is shared with a frozen view:
+			// copy before the first post-clone write.
+			m = maps.Clone(m)
+			d.udp[res.Addr] = m
+			if d.ownedUDP == nil {
+				d.ownedUDP = make(map[netaddr.V4]bool)
+			}
+			d.ownedUDP[res.Addr] = true
 		}
 		// Keep the most definitive outcome across retries: open beats
 		// closed beats silence.
@@ -157,9 +179,19 @@ func (d *ActiveDiscoverer) recordOpen(addr netaddr.V4, port uint16, t time.Time)
 
 // insertOutcome appends an outcome to the address's history, keeping it
 // sorted by (Time, ScanID). Reports normally arrive in sweep order, so the
-// insertion point is almost always the end.
+// insertion point is almost always the end. A history shared with a frozen
+// view is copied before the first post-clone insert (the in-place
+// insertion sort would otherwise disturb the view's aliased array).
 func (d *ActiveDiscoverer) insertOutcome(addr netaddr.V4, out AddrScanOutcome) {
-	outs := append(d.perAddr[addr], out)
+	outs := d.perAddr[addr]
+	if d.cow && !d.ownedAddr[addr] {
+		outs = append(make([]AddrScanOutcome, 0, len(outs)+1), outs...)
+		if d.ownedAddr == nil {
+			d.ownedAddr = make(map[netaddr.V4]bool)
+		}
+		d.ownedAddr[addr] = true
+	}
+	outs = append(outs, out)
 	for i := len(outs) - 1; i > 0 && outcomeBefore(outs[i], outs[i-1]); i-- {
 		outs[i], outs[i-1] = outs[i-1], outs[i]
 	}
@@ -205,47 +237,49 @@ func (d *ActiveDiscoverer) FirstOpen(key ServiceKey) (time.Time, bool) {
 	return t, ok
 }
 
-// Services returns the first-open inventory as a fresh map the caller may
-// keep and modify freely; it does not alias the discoverer's state.
+// Services returns the first-open inventory. On a live discoverer it is a
+// fresh map the caller may keep and modify freely; a frozen view returned
+// by Hybrid's snapshot machinery hands out its own immutable map instead
+// of copying — treat that one as read-only.
 func (d *ActiveDiscoverer) Services() map[ServiceKey]time.Time {
-	out := make(map[ServiceKey]time.Time, len(d.firstOpen))
-	for k, t := range d.firstOpen {
-		out[k] = t
+	if d.sealed {
+		return d.firstOpen
 	}
-	return out
+	return maps.Clone(d.firstOpen)
 }
 
-// RespondedEver returns a copy of the set of addresses that ever answered
-// probes at all; mutating it does not affect the discoverer.
-func (d *ActiveDiscoverer) RespondedEver() *netaddr.Set { return d.respondedEver.Clone() }
+// RespondedEver returns the set of addresses that ever answered probes at
+// all; mutating it does not affect the discoverer. On a frozen view the
+// returned set shares storage copy-on-write instead of being copied — a
+// caller's first mutation pays the copy, a read-only caller pays nothing.
+func (d *ActiveDiscoverer) RespondedEver() *netaddr.Set {
+	if d.sealed {
+		return d.respondedEver.CloneShared()
+	}
+	return d.respondedEver.Clone()
+}
 
-// clone deep-copies the discoverer into a frozen form that later reports
-// into the original cannot disturb — the active side of Hybrid's live
-// snapshots. Emission hooks are not carried over.
+// clone freezes the discoverer into a sealed view that later reports into
+// the original cannot disturb — the active side of Hybrid's live
+// snapshots. Instead of deep-copying, the view shares the per-address
+// outcome histories, the UDP outcome maps and the responded set with the
+// live discoverer, which marks them copy-on-write: AddReport copies an
+// entry back the first time it touches it after the clone. Only the
+// (small) top-level tables are copied eagerly. Emission hooks are not
+// carried over.
 func (d *ActiveDiscoverer) clone() *ActiveDiscoverer {
 	c := &ActiveDiscoverer{
 		ports:         d.ports,
-		firstOpen:     make(map[ServiceKey]time.Time, len(d.firstOpen)),
+		firstOpen:     maps.Clone(d.firstOpen),
 		scans:         append([]ScanMeta(nil), d.scans...),
-		perAddr:       make(map[netaddr.V4][]AddrScanOutcome, len(d.perAddr)),
-		respondedEver: d.respondedEver.Clone(),
-		udp:           make(map[netaddr.V4]map[uint16]probe.UDPState, len(d.udp)),
+		perAddr:       maps.Clone(d.perAddr),
+		respondedEver: d.respondedEver.CloneShared(),
+		udp:           maps.Clone(d.udp),
+		sealed:        true,
 	}
-	for k, t := range d.firstOpen {
-		c.firstOpen[k] = t
-	}
-	for a, outs := range d.perAddr {
-		// Outcome structs are immutable once inserted (their Open slices
-		// are never appended to afterwards), so copying the slice suffices.
-		c.perAddr[a] = append([]AddrScanOutcome(nil), outs...)
-	}
-	for a, m := range d.udp {
-		cm := make(map[uint16]probe.UDPState, len(m))
-		for p, st := range m {
-			cm[p] = st
-		}
-		c.udp[a] = cm
-	}
+	d.cow = true
+	d.ownedAddr = nil
+	d.ownedUDP = nil
 	return c
 }
 

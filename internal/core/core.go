@@ -62,23 +62,30 @@ type PeerContact struct {
 }
 
 // PassiveRecord accumulates everything passive monitoring learns about one
-// service.
+// service. The record itself is a small flat value so that the snapshot
+// machinery's copy-on-write clones are cheap: the peer-identity set that
+// backs nClients lives in the owning discoverer's live-only side table
+// (PassiveDiscoverer.peers), never in the record, and firstPeers is
+// append-only so clones share its backing array instead of copying it.
 type PassiveRecord struct {
 	// FirstSeen is when the first positive evidence arrived.
 	FirstSeen time.Time
 	// Flows counts completed connection evidence (SYN-ACKs for TCP,
 	// server-sourced datagrams for UDP) — the flow weight of Figure 1.
 	Flows int
-	// clients holds distinct peer addresses — the client weight. Frozen
-	// copies (cloneFrozen) drop the map and keep only nClients.
-	clients map[netaddr.V4]struct{}
-	// nClients preserves the distinct-peer count on frozen copies, whose
-	// clients map is nil.
+	// nClients counts distinct peer addresses — the client weight.
 	nClients int
 	// firstPeers stores the first contact from each of the first
 	// maxFirstPeers distinct peers, enough to recompute first-discovery
-	// with any subset of peers (e.g. scanners) removed.
+	// with any subset of peers (e.g. scanners) removed. Strictly
+	// append-only: sealed copies alias the backing array.
 	firstPeers []PeerContact
+	// seal is the owning discoverer's seal count when the record was
+	// created or last copied for writing. A record whose seal is behind
+	// the discoverer's is shared with sealed snapshot views and must be
+	// cloned before the next mutation (copy-on-write; see
+	// PassiveDiscoverer.sealView).
+	seal uint64
 }
 
 // maxFirstPeers bounds per-service peer history. The scan-removal analysis
@@ -88,24 +95,22 @@ type PassiveRecord struct {
 const maxFirstPeers = 128
 
 // Clients returns the number of distinct peers observed.
-func (r *PassiveRecord) Clients() int {
-	if r.clients == nil {
-		return r.nClients
-	}
-	return len(r.clients)
-}
+func (r *PassiveRecord) Clients() int { return r.nClients }
 
-// cloneFrozen copies the record into a read-only form that later ingestion
-// into the original cannot disturb: the peer-identity map is reduced to
-// its count and the first-peer history is copied. Frozen records back the
-// live-snapshot machinery (ShardedPassive.Snapshot) and must never be fed
-// back into observe.
-func (r *PassiveRecord) cloneFrozen() *PassiveRecord {
+// cloneForWrite copies the record so the original can be retained by
+// sealed snapshot views while the copy keeps mutating — the first-write
+// half of the copy-on-write protocol. The copy is flat: firstPeers is
+// append-only, so the clone shares its backing array (the sealed
+// original's header never observes elements past its own length). The
+// clone is stamped with the current seal so later writes in the same
+// seal epoch mutate it in place.
+func (r *PassiveRecord) cloneForWrite(seal uint64) *PassiveRecord {
 	return &PassiveRecord{
 		FirstSeen:  r.FirstSeen,
 		Flows:      r.Flows,
-		nClients:   len(r.clients),
-		firstPeers: append([]PeerContact(nil), r.firstPeers...),
+		nClients:   r.nClients,
+		firstPeers: r.firstPeers,
+		seal:       seal,
 	}
 }
 
@@ -123,14 +128,13 @@ func (r *PassiveRecord) FirstSeenExcluding(excluded map[netaddr.V4]bool) (time.T
 	return time.Time{}, false
 }
 
-func (r *PassiveRecord) observe(t time.Time, peer netaddr.V4) {
-	if r.clients == nil {
-		r.clients = make(map[netaddr.V4]struct{})
-		r.FirstSeen = t
-	}
+// observe folds one piece of evidence into the record. newPeer reports
+// whether the discoverer's peer-identity side table saw this peer for the
+// first time (the dedup the record itself no longer carries).
+func (r *PassiveRecord) observe(t time.Time, peer netaddr.V4, newPeer bool) {
 	r.Flows++
-	if _, seen := r.clients[peer]; !seen {
-		r.clients[peer] = struct{}{}
+	if newPeer {
+		r.nClients++
 		if len(r.firstPeers) < maxFirstPeers {
 			r.firstPeers = append(r.firstPeers, PeerContact{Peer: peer, Time: t})
 		}

@@ -41,11 +41,12 @@ type Hybrid struct {
 
 	// amu guards the active discoverer: the report worker (or inline
 	// AddReport callers) write under it, snapshots clone under it. agen
-	// counts applied reports; aview caches the frozen clone at that
+	// counts applied reports (atomic so the snapshot fast path can read
+	// it without the lock); aview caches the frozen clone at that
 	// generation so snapshots of an unchanged active side are free.
 	amu    sync.Mutex
 	active *ActiveDiscoverer
-	agen   uint64
+	agen   atomic.Uint64
 	aview  *activeView
 
 	// seenReports flips once any report is accepted, so consumers can
@@ -108,7 +109,7 @@ func (h *Hybrid) HandlePacket(p *packet.Packet) { h.passive.HandlePacket(p) }
 func (h *Hybrid) applyReport(rep *probe.ScanReport) {
 	h.amu.Lock()
 	h.active.AddReport(rep)
-	h.agen++
+	h.agen.Add(1)
 	h.amu.Unlock()
 	h.passive.events.scanCompleted(
 		ScanMeta{ID: rep.ID, Started: rep.Started, Finished: rep.Finished}, rep.Truncated)
@@ -204,8 +205,8 @@ func (h *Hybrid) Active() *ActiveDiscoverer {
 func (h *Hybrid) activeSnapshot() *activeView {
 	h.amu.Lock()
 	defer h.amu.Unlock()
-	if h.aview == nil || h.aview.gen != h.agen {
-		h.aview = &activeView{gen: h.agen, disc: h.active.clone()}
+	if gen := h.agen.Load(); h.aview == nil || h.aview.gen != gen {
+		h.aview = &activeView{gen: gen, disc: h.active.clone()}
 	}
 	return h.aview
 }
@@ -214,22 +215,49 @@ func (h *Hybrid) activeSnapshot() *activeView {
 // passively-seen and probe-answering services, each with its first-seen
 // provenance — at a consistent point in time. Like
 // ShardedPassive.Snapshot it is non-terminal, concurrent-safe and cheap
-// to repeat: producers keep running, unchanged shards (and an unchanged
-// active side) reuse their frozen views, and an entirely unchanged engine
-// returns the previous Inventory. On a running engine the result is
+// to repeat: an entirely unchanged engine returns the previous Inventory
+// without touching the shards, and when only a few shards moved the new
+// inventory is patched forward from the previous one — provenance is
+// recomputed only for services that appeared since (a passive record's
+// first-seen time and an already-reconciled active side cannot change an
+// existing service's class). On a running engine the result is
 // byte-identical to pausing producers, flushing, and snapshotting at the
 // same ingest point.
 func (h *Hybrid) Snapshot() *Inventory {
-	views := h.passive.snapshotViews()
+	if inv := h.snap.fast(h.passive.dispatched.Load(), h.agen.Load()); inv != nil {
+		return inv
+	}
+	h.passive.snapMu.Lock()
+	defer h.passive.snapMu.Unlock()
+	views, d0 := h.passive.snapshotViews()
 	av := h.activeSnapshot()
 	// The active generation rides along as one more entry of the vector.
 	gens := append(viewGens(views), av.gen)
 	if inv := h.snap.get(gens); inv != nil {
 		return inv
 	}
-	merged, scanners := h.passive.mergeViews(views)
-	inv := newFrozenHybridInventory(merged, av.disc, scanners)
-	h.snap.put(gens, inv)
+	prevGens, prevInv := h.snap.peek()
+	var inv *Inventory
+	// The passive merge is independent of the active side, so it is
+	// delta-patched whenever the shard chains allow. The key/provenance
+	// tables patch forward only when the active side is the same frozen
+	// view the previous inventory classified against — a new report can
+	// move first-open times and so re-classify existing services, which
+	// forces a reclassification pass (but not a passive re-merge).
+	if prevInv != nil && len(prevGens) == len(views)+1 {
+		if m, scanners, newKeys, ok := h.passive.mergeViewsDelta(views, prevInv.d, prevGens[:len(prevGens)-1]); ok {
+			if prevGens[len(prevGens)-1] == av.gen {
+				inv = patchHybridInventory(prevInv, m, av.disc, scanners, newKeys)
+			} else {
+				inv = newFrozenHybridInventory(m, av.disc, scanners)
+			}
+		}
+	}
+	if inv == nil {
+		merged, scanners := h.passive.mergeViewsFull(views)
+		inv = newFrozenHybridInventory(merged, av.disc, scanners)
+	}
+	h.snap.put(gens, inv, d0, av.gen)
 	return inv
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"maps"
 	"sort"
 	"time"
 
@@ -135,6 +136,40 @@ func newFrozenHybridInventory(d *PassiveDiscoverer, a *ActiveDiscoverer, scanner
 		}
 	}
 	sort.Slice(v.keys, func(i, j int) bool { return v.keys[i].Before(v.keys[j]) })
+	return v
+}
+
+// patchHybridInventory derives a hybrid inventory from prev when only the
+// passive side moved: merged is the delta-patched passive union, a the
+// unchanged frozen active view prev was classified against, and newKeys
+// the passive services that appeared since prev (sorted). Existing
+// services keep their provenance — a record's FirstSeen is immutable and
+// the active side is the same view — so only newKeys are classified, and
+// with none of those the key and provenance tables are shared outright.
+func patchHybridInventory(prev *Inventory, merged *PassiveDiscoverer, a *ActiveDiscoverer, scanners []ScannerInfo, newKeys []ServiceKey) *Inventory {
+	v := &Inventory{d: merged, active: a, scanners: scanners}
+	if len(newKeys) == 0 {
+		v.prov, v.keys = prev.prov, prev.keys
+		return v
+	}
+	v.prov = maps.Clone(prev.prov)
+	var add []ServiceKey // newly-listed keys: new passive keys not already present as active-only
+	for _, k := range newKeys {
+		if _, seen := prev.prov[k]; !seen {
+			add = append(add, k)
+		}
+		rec := merged.services[k]
+		if at, ok := a.firstOpen[k]; ok {
+			if at.Before(rec.FirstSeen) {
+				v.prov[k] = ActiveFirst
+			} else {
+				v.prov[k] = PassiveFirst
+			}
+		} else {
+			v.prov[k] = PassiveOnly
+		}
+	}
+	v.keys = mergeSortedKeys(prev.keys, add)
 	return v
 }
 

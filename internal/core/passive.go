@@ -20,6 +20,12 @@ type PassiveDiscoverer struct {
 
 	services map[ServiceKey]*PassiveRecord
 
+	// peers holds each service's distinct-peer identity set — the dedup
+	// behind PassiveRecord.nClients. It lives here rather than in the
+	// record so sealed snapshot views never carry (or copy) it: it
+	// belongs to the live, ingesting side only.
+	peers map[ServiceKey]map[netaddr.V4]struct{}
+
 	// addrTimes records thinned per-address activity timestamps for the
 	// firewall-confirmation heuristic ("activity observed during an
 	// active scan", Section 4.2.4 method 2).
@@ -33,6 +39,19 @@ type PassiveDiscoverer struct {
 	// wires it (and the tracker's onDetect) into the engine's event stream.
 	onService func(key ServiceKey, t time.Time)
 
+	// Copy-on-write snapshot machinery (sealView). sealed is the immutable
+	// view shared with snapshot consumers: its records and activity trails
+	// alias the live maps, and each seal patches in only what the dirty
+	// sets name since the previous seal — O(churn), not O(inventory).
+	// seals counts seals; a record whose seal field is behind it is shared
+	// with the sealed layer and observe clones it before mutating. All
+	// dirty tracking is off (nil maps, zero cost) until the first seal.
+	sealed     *PassiveDiscoverer
+	seals      uint64
+	dirty      map[ServiceKey]struct{}
+	dirtyAddrs map[netaddr.V4]struct{}
+	newKeys    []ServiceKey
+
 	// Packets counts everything handled.
 	Packets int
 }
@@ -45,6 +64,7 @@ func NewPassiveDiscoverer(campus netaddr.Prefix, udpPorts []uint16) *PassiveDisc
 		campus:    campus,
 		udpPorts:  make(map[uint16]bool, len(udpPorts)),
 		services:  make(map[ServiceKey]*PassiveRecord),
+		peers:     make(map[ServiceKey]map[netaddr.V4]struct{}),
 		addrTimes: make(map[netaddr.V4][]time.Time),
 		track:     newScanTracker(),
 	}
@@ -78,22 +98,84 @@ func (d *PassiveDiscoverer) HandleBatch(batch []packet.Packet) {
 // run (see ShardedPassive). A no-op once the tracker has started.
 func (d *PassiveDiscoverer) seedScanOrigin(t time.Time) { d.track.seed(t) }
 
-// cloneFrozen copies the discoverer's inventory-facing state — service
-// records (frozen), activity trails, and the packet count — into a
-// discoverer that later ingestion into the original cannot disturb. The
-// scan tracker is NOT cloned (detection results are captured separately at
-// freeze time); the clone exists to back read-only Inventory queries.
-func (d *PassiveDiscoverer) cloneFrozen() *PassiveDiscoverer {
-	m := NewPassiveDiscoverer(d.campus, nil)
-	m.udpPorts = d.udpPorts
-	m.Packets = d.Packets
-	for k, rec := range d.services {
-		m.services[k] = rec.cloneFrozen()
+// sealDelta names what one seal changed: the record keys replaced or
+// created and the activity trails that moved since the previous seal.
+// ShardedPassive keeps a short history of these so a merged snapshot can
+// be patched from the previous one instead of rebuilt (see mergeViewsDelta).
+type sealDelta struct {
+	// gen and prevGen are the shard generations of this seal and the one
+	// before it, forming a chain a merger can walk backwards.
+	gen, prevGen uint64
+	keys         []ServiceKey
+	newKeys      []ServiceKey
+	addrs        []netaddr.V4
+	// full marks a seal whose delta was not tracked (the first seal, or a
+	// churn burst too large to be worth patching): merge must rebuild.
+	full bool
+}
+
+// sealView freezes the discoverer's inventory-facing state — service
+// records, activity trails, and the packet count — into a view that later
+// ingestion into the original cannot disturb, and reports what changed
+// since the previous seal. Unlike a deep clone, the view shares every
+// untouched record and trail with the live maps: records go copy-on-write
+// (observe clones a shared record before its first post-seal mutation) and
+// trails are append-only, so aliasing their backing arrays is safe — the
+// sealed slice header never sees elements past its length. Seal cost is
+// therefore O(records touched since the last seal), not O(inventory).
+//
+// The same *PassiveDiscoverer is returned (patched in place) on every
+// call; callers that hand it to concurrent readers must make sure those
+// reads complete before the next seal (ShardedPassive serializes seals
+// and merges under its snapshot lock). The scan tracker is NOT part of
+// the view (detection results are captured separately at freeze time).
+func (d *PassiveDiscoverer) sealView() (*PassiveDiscoverer, sealDelta) {
+	defer func() {
+		d.seals++ // every pre-seal record is now shared: next write clones
+	}()
+	if d.sealed == nil {
+		// First seal: build the view whole and switch dirty tracking on.
+		s := NewPassiveDiscoverer(d.campus, nil)
+		s.udpPorts = d.udpPorts
+		s.Packets = d.Packets
+		for k, rec := range d.services {
+			s.services[k] = rec
+		}
+		for a, ts := range d.addrTimes {
+			s.addrTimes[a] = ts
+		}
+		d.sealed = s
+		d.dirty = make(map[ServiceKey]struct{})
+		d.dirtyAddrs = make(map[netaddr.V4]struct{})
+		return s, sealDelta{full: true}
 	}
-	for a, ts := range d.addrTimes {
-		m.addrTimes[a] = append([]time.Time(nil), ts...)
+	delta := sealDelta{
+		keys:    make([]ServiceKey, 0, len(d.dirty)),
+		newKeys: d.newKeys,
+		addrs:   make([]netaddr.V4, 0, len(d.dirtyAddrs)),
 	}
-	return m
+	// A churn burst touching most of the inventory is cheaper to re-merge
+	// than to patch downstream; the seal itself still applies the delta.
+	if len(d.dirty) > len(d.services)/2 {
+		delta = sealDelta{full: true}
+	}
+	for k := range d.dirty {
+		d.sealed.services[k] = d.services[k]
+		if !delta.full {
+			delta.keys = append(delta.keys, k)
+		}
+		delete(d.dirty, k)
+	}
+	for a := range d.dirtyAddrs {
+		d.sealed.addrTimes[a] = d.addrTimes[a]
+		if !delta.full {
+			delta.addrs = append(delta.addrs, a)
+		}
+		delete(d.dirtyAddrs, a)
+	}
+	d.sealed.Packets = d.Packets
+	d.newKeys = nil
+	return d.sealed, delta
 }
 
 func (d *PassiveDiscoverer) handleTCP(p *packet.Packet) {
@@ -134,19 +216,40 @@ func (d *PassiveDiscoverer) handleUDP(p *packet.Packet) {
 
 func (d *PassiveDiscoverer) observe(key ServiceKey, t time.Time, peer netaddr.V4) {
 	rec := d.services[key]
-	if rec == nil {
-		rec = &PassiveRecord{}
+	switch {
+	case rec == nil:
+		rec = &PassiveRecord{FirstSeen: t, seal: d.seals}
 		d.services[key] = rec
+		d.peers[key] = make(map[netaddr.V4]struct{})
+		if d.sealed != nil {
+			d.dirty[key] = struct{}{}
+			d.newKeys = append(d.newKeys, key)
+		}
 		if d.onService != nil {
 			d.onService(key, t)
 		}
+	case rec.seal != d.seals:
+		// The record is shared with the sealed snapshot layer: copy on
+		// write, exactly once per seal epoch.
+		rec = rec.cloneForWrite(d.seals)
+		d.services[key] = rec
+		d.dirty[key] = struct{}{}
 	}
-	rec.observe(t, peer)
+	peers := d.peers[key]
+	_, seen := peers[peer]
+	if !seen {
+		peers[peer] = struct{}{}
+	}
+	rec.observe(t, peer, !seen)
 
-	// Thinned per-address activity trail (>=1-minute spacing).
+	// Thinned per-address activity trail (>=1-minute spacing). Appends
+	// only — sealed views alias the backing array safely.
 	times := d.addrTimes[key.Addr]
 	if len(times) == 0 || t.Sub(times[len(times)-1]) >= time.Minute {
 		d.addrTimes[key.Addr] = append(times, t)
+		if d.sealed != nil {
+			d.dirtyAddrs[key.Addr] = struct{}{}
+		}
 	}
 }
 

@@ -43,9 +43,22 @@ type scanTracker struct {
 	// thresholds, with the tallies at the moment of crossing and the
 	// timestamp of the packet that tipped it. flagged remembers which
 	// sources already fired so detection is online and once-per-source
-	// (detect() below stays the offline, peak-window view).
+	// (detect() below stays the peak-window view).
 	onDetect func(info ScannerInfo, at time.Time)
 	flagged  map[netaddr.V4]bool
+
+	// best is the peak qualifying window per source, maintained online as
+	// packets arrive so detect() never rescans every source's every
+	// window — the property that makes high-frequency snapshot freezes
+	// cheap. A window beats the incumbent on greater unique destinations,
+	// then greater RST destinations, then the earlier window (the same
+	// rule detect() applied offline; counts within one window only grow,
+	// so online and offline evaluation agree). detGen bumps on every
+	// change and cache holds the last sorted rendering.
+	best     map[netaddr.V4]ScannerInfo
+	detGen   uint64
+	cache    []ScannerInfo
+	cacheGen uint64
 }
 
 type scanSource struct {
@@ -58,7 +71,11 @@ type scanWindow struct {
 }
 
 func newScanTracker() *scanTracker {
-	return &scanTracker{sources: make(map[netaddr.V4]*scanSource)}
+	return &scanTracker{
+		sources:  make(map[netaddr.V4]*scanSource),
+		best:     make(map[netaddr.V4]ScannerInfo),
+		cacheGen: ^uint64(0),
+	}
 }
 
 // seed pins the window origin if the tracker has not started yet. Sharded
@@ -103,6 +120,7 @@ func (t *scanTracker) recordSyn(at time.Time, src, dst netaddr.V4) {
 	w, idx := t.window(src, at)
 	w.dsts[dst] = struct{}{}
 	t.maybeFlag(src, w, idx, at)
+	t.updateBest(src, w, idx)
 }
 
 // recordRst notes a campus RST returned to the external peer.
@@ -110,6 +128,35 @@ func (t *scanTracker) recordRst(at time.Time, peer, from netaddr.V4) {
 	w, idx := t.window(peer, at)
 	w.rstDsts[from] = struct{}{}
 	t.maybeFlag(peer, w, idx, at)
+	t.updateBest(peer, w, idx)
+}
+
+// updateBest folds the just-touched window into the per-source peak. Runs
+// on every tracker-relevant packet, so the comparison is a handful of
+// integer checks; it only allocates when a source first qualifies.
+func (t *scanTracker) updateBest(src netaddr.V4, w *scanWindow, idx int64) {
+	if len(w.dsts) < ScanDetectMinDsts || len(w.rstDsts) < ScanDetectMinRsts {
+		return
+	}
+	start := t.origin.Add(time.Duration(idx) * ScanDetectWindow)
+	cur, ok := t.best[src]
+	if ok && !cur.Window.Equal(start) {
+		// A different window holds the peak: replace only on strictly
+		// better tallies (earlier window wins full ties).
+		if len(w.dsts) < cur.UniqueDsts ||
+			(len(w.dsts) == cur.UniqueDsts && len(w.rstDsts) <= cur.RstDsts) {
+			return
+		}
+	} else if ok && len(w.dsts) == cur.UniqueDsts && len(w.rstDsts) == cur.RstDsts {
+		return // same window, nothing grew on the tallied axis
+	}
+	t.best[src] = ScannerInfo{
+		Source:     src,
+		Window:     start,
+		UniqueDsts: len(w.dsts),
+		RstDsts:    len(w.rstDsts),
+	}
+	t.detGen++
 }
 
 // maybeFlag fires onDetect the first time src's current window satisfies
@@ -133,26 +180,41 @@ func (t *scanTracker) maybeFlag(src netaddr.V4, w *scanWindow, idx int64, at tim
 	}, at)
 }
 
-// detect applies the thresholds and returns scanners sorted by source.
+// detect returns the detected scanners sorted by source — the peak
+// qualifying window per source, read straight from the online best map.
+// The sorted slice is cached until the next change and must be treated as
+// read-only by callers (frozen shard views alias it).
 func (t *scanTracker) detect() []ScannerInfo {
-	var out []ScannerInfo
-	for src, s := range t.sources {
-		best := ScannerInfo{Source: src}
-		hit := false
-		for idx, w := range s.windows {
-			if len(w.dsts) >= ScanDetectMinDsts && len(w.rstDsts) >= ScanDetectMinRsts {
-				if !hit || len(w.dsts) > best.UniqueDsts {
-					best.UniqueDsts = len(w.dsts)
-					best.RstDsts = len(w.rstDsts)
-					best.Window = t.origin.Add(time.Duration(idx) * ScanDetectWindow)
-				}
-				hit = true
-			}
-		}
-		if hit {
-			out = append(out, best)
-		}
+	if t.cacheGen == t.detGen {
+		return t.cache
+	}
+	out := make([]ScannerInfo, 0, len(t.best))
+	for _, info := range t.best {
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	t.cache, t.cacheGen = out, t.detGen
 	return out
+}
+
+// mergeFrom unions another tracker's state into t. Correct only when the
+// two trackers saw disjoint source sets (the owner-sharding invariant);
+// ShardedPassive.Merge relies on it.
+func (t *scanTracker) mergeFrom(o *scanTracker) {
+	if o.started && !t.started {
+		t.seed(o.origin)
+	}
+	for src, s := range o.sources {
+		t.sources[src] = s
+	}
+	for src, info := range o.best {
+		t.best[src] = info
+	}
+	for src := range o.flagged {
+		if t.flagged == nil {
+			t.flagged = make(map[netaddr.V4]bool)
+		}
+		t.flagged[src] = true
+	}
+	t.detGen++
 }

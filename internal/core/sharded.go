@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"maps"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"servdisc/internal/netaddr"
@@ -63,6 +65,20 @@ type ShardedPassive struct {
 	// is entirely before or entirely after the snapshot point.
 	dispatchMu sync.Mutex
 
+	// snapMu serializes whole snapshots (freeze + merge) against each
+	// other. Sealed shard views are patched in place at each freeze, so a
+	// merge must finish reading them before the next freeze runs; holding
+	// snapMu across the critical section guarantees it, because freezes
+	// only ever happen on behalf of a snapshot. Hybrid.Snapshot shares
+	// this lock for the same reason.
+	snapMu sync.Mutex
+
+	// dispatched counts batch dispatches that reached any shard. The
+	// cached Inventory remembers the count it froze at; while it is
+	// unchanged, Snapshot returns the cache without touching the shards
+	// at all — the zero-churn fast path.
+	dispatched atomic.Uint64
+
 	mu       sync.RWMutex
 	running  bool
 	closed   bool
@@ -70,6 +86,9 @@ type ShardedPassive struct {
 	queues   []chan shardMsg
 	workers  sync.WaitGroup
 	inflight sync.WaitGroup
+
+	// batchPool recycles the worker-queue copies of dispatched sub-batches.
+	batchPool sync.Pool
 
 	// snap caches the whole Inventory while no shard changes between
 	// snapshots.
@@ -80,11 +99,28 @@ type ShardedPassive struct {
 }
 
 // snapCache reuses a frozen Inventory for as long as its generation
-// vector is unchanged. Safe for concurrent snapshotters.
+// vector is unchanged, and doubles as the base the next snapshot patches
+// its deltas onto. Safe for concurrent snapshotters.
 type snapCache struct {
 	mu   sync.Mutex
 	gens []uint64
 	inv  *Inventory
+	// dispatched and agen fingerprint the engine state the cache froze at
+	// for the lock-free fast path: while no batch has been dispatched and
+	// no report applied since, the cache is trivially current.
+	dispatched uint64
+	agen       uint64
+}
+
+// fast returns the cached Inventory when the engine fingerprint is
+// unchanged — the zero-churn path, no shard traffic, no allocation.
+func (c *snapCache) fast(dispatched, agen uint64) *Inventory {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inv != nil && c.dispatched == dispatched && c.agen == agen {
+		return c.inv
+	}
+	return nil
 }
 
 // get returns the cached Inventory for exactly this generation vector,
@@ -103,28 +139,45 @@ func (c *snapCache) get(gens []uint64) *Inventory {
 	return c.inv
 }
 
-func (c *snapCache) put(gens []uint64, inv *Inventory) {
+// peek returns the previous snapshot and its generation vector — the base
+// for delta patching.
+func (c *snapCache) peek() ([]uint64, *Inventory) {
 	c.mu.Lock()
-	c.gens, c.inv = gens, inv
+	defer c.mu.Unlock()
+	return c.gens, c.inv
+}
+
+func (c *snapCache) put(gens []uint64, inv *Inventory, dispatched, agen uint64) {
+	c.mu.Lock()
+	c.gens, c.inv, c.dispatched, c.agen = gens, inv, dispatched, agen
 	c.mu.Unlock()
 }
 
+// maxSealDeltas bounds the per-shard seal-delta history. Snapshot cadences
+// that outrun it (more distinct freeze points between two merges than the
+// ring holds) fall back to a full re-merge, never to a wrong one.
+const maxSealDeltas = 32
+
 // passiveShard is one worker-owned shard: the discoverer, its mutation
-// generation, and the cached frozen view. All three are touched only by
-// the shard's owner — the worker goroutine while running, the dispatcher
-// (under dispatchMu) inline and after shutdown.
+// generation, the cached frozen view, and the recent seal-delta history.
+// All are touched only by the shard's owner — the worker goroutine while
+// running, the dispatcher (under dispatchMu) inline and after shutdown.
 type passiveShard struct {
 	disc *PassiveDiscoverer
 	// gen counts batches applied; a snapshot taken at the same gen can
 	// reuse the previously frozen view untouched.
 	gen  uint64
 	view *shardView
+	// deltas chain the recent seals (youngest last) so mergeViewsDelta can
+	// patch a previous merged snapshot forward instead of rebuilding.
+	deltas []sealDelta
 }
 
-// shardView is one shard's frozen point-in-time state: a read-only clone
-// of the inventory-facing maps plus the shard's scanner detections as of
-// the freeze. Shard state is disjoint by owner address, so per-shard
-// detection results concatenate into exactly the merged tracker's output.
+// shardView is one shard's frozen point-in-time state: the sealed
+// copy-on-write view of the inventory-facing maps plus the shard's scanner
+// detections as of the freeze. Shard state is disjoint by owner address,
+// so per-shard detection results concatenate into exactly the merged
+// tracker's output.
 type shardView struct {
 	gen      uint64
 	disc     *PassiveDiscoverer
@@ -137,23 +190,57 @@ func (sh *passiveShard) apply(batch []packet.Packet) {
 	sh.gen++
 }
 
-// freeze returns the shard's frozen view, cloning only if the shard
-// changed since the last freeze.
+// freeze returns the shard's frozen view, sealing (O(records touched
+// since the last seal)) only if the shard changed since the last freeze.
 func (sh *passiveShard) freeze() *shardView {
 	if sh.view == nil || sh.view.gen != sh.gen {
+		var prevGen uint64
+		if sh.view != nil {
+			prevGen = sh.view.gen
+		}
+		sealed, delta := sh.disc.sealView()
+		delta.gen, delta.prevGen = sh.gen, prevGen
+		sh.deltas = append(sh.deltas, delta)
+		if len(sh.deltas) > maxSealDeltas {
+			sh.deltas = append(sh.deltas[:0], sh.deltas[len(sh.deltas)-maxSealDeltas:]...)
+		}
 		sh.view = &shardView{
 			gen:      sh.gen,
-			disc:     sh.disc.cloneFrozen(),
+			disc:     sealed,
 			scanners: sh.disc.DetectScanners(),
 		}
 	}
 	return sh.view
 }
 
-// shardMsg is one entry of a shard queue: either a sub-batch to apply or a
-// snapshot marker to answer (exactly one field is set).
+// deltasBetween collects the seal deltas spanning (fromGen, toGen],
+// youngest first, by walking the prevGen chain. ok is false when the
+// chain cannot be reconstructed — history evicted, or a full (untracked)
+// seal in the span — in which case the caller must re-merge from scratch.
+func (sh *passiveShard) deltasBetween(fromGen, toGen uint64) (out []sealDelta, ok bool) {
+	want := toGen
+	for i := len(sh.deltas) - 1; i >= 0; i-- {
+		if want == fromGen {
+			return out, true
+		}
+		d := sh.deltas[i]
+		if d.gen != want {
+			continue
+		}
+		if d.full {
+			return nil, false
+		}
+		out = append(out, d)
+		want = d.prevGen
+	}
+	return out, want == fromGen
+}
+
+// shardMsg is one entry of a shard queue: either a sub-batch to apply
+// (batch points into a pooled buffer the worker recycles) or a snapshot
+// marker to answer (exactly one field is set).
 type shardMsg struct {
-	batch []packet.Packet
+	batch *[]packet.Packet
 	snap  chan<- *shardView
 }
 
@@ -284,6 +371,7 @@ func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
 		s.counters.AddDropped(len(batch))
 		return
 	}
+	s.dispatched.Add(1)
 	for idx, sub := range s.scratch {
 		if len(sub) == 0 {
 			continue
@@ -293,11 +381,25 @@ func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
 			s.shards[idx].apply(sub)
 			continue
 		}
-		cp := make([]packet.Packet, len(sub))
-		copy(cp, sub)
+		cp := s.getBatchBuf(len(sub))
+		copy(*cp, sub)
 		s.inflight.Add(1)
 		s.queues[idx] <- shardMsg{batch: cp}
 	}
+}
+
+// getBatchBuf takes a sub-batch copy buffer from the pool (workers return
+// theirs after applying), trimming ingest-path allocations to the rare
+// capacity misses. The pool holds pointers so Put never boxes a header.
+func (s *ShardedPassive) getBatchBuf(n int) *[]packet.Packet {
+	if v := s.batchPool.Get(); v != nil {
+		if bp := v.(*[]packet.Packet); cap(*bp) >= n {
+			*bp = (*bp)[:n]
+			return bp
+		}
+	}
+	buf := make([]packet.Packet, n, max(n, pipeline.DefaultBatchSize))
+	return &buf
 }
 
 // HandlePacket implements the legacy per-packet Sink contract.
@@ -338,8 +440,9 @@ func (s *ShardedPassive) Run(ctx context.Context) {
 					continue
 				}
 				if s.ctx.Err() == nil {
-					sh.apply(msg.batch)
+					sh.apply(*msg.batch)
 				}
+				s.batchPool.Put(msg.batch)
 				s.inflight.Done()
 			}
 		}()
@@ -394,26 +497,23 @@ func (s *ShardedPassive) Merge() *PassiveDiscoverer {
 		for a, ts := range d.addrTimes {
 			m.addrTimes[a] = ts
 		}
-		if d.track.started && !m.track.started {
-			m.track.seed(d.track.origin)
-		}
-		for src, src2 := range d.track.sources {
-			m.track.sources[src] = src2
-		}
+		m.track.mergeFrom(d.track)
 	}
 	return m
 }
 
 // snapshotViews captures every shard's frozen view at one consistent
-// point. While workers run, a snapshot marker is enqueued on every shard
-// queue under the dispatch lock — atomically with respect to batch
-// scatter, so the snapshot point falls exactly between two whole batches
-// of the producer's stream; each worker freezes after applying everything
+// point, plus the dispatch count at that point (the cache fingerprint).
+// While workers run, a snapshot marker is enqueued on every shard queue
+// under the dispatch lock — atomically with respect to batch scatter, so
+// the snapshot point falls exactly between two whole batches of the
+// producer's stream; each worker freezes after applying everything
 // enqueued before its marker. Inline (or after Close) the freeze happens
 // directly under the dispatch lock. Unchanged shards reuse their cached
-// frozen view instead of re-cloning.
-func (s *ShardedPassive) snapshotViews() []*shardView {
+// frozen view; changed shards seal in O(churn). Callers must hold snapMu.
+func (s *ShardedPassive) snapshotViews() ([]*shardView, uint64) {
 	s.dispatchMu.Lock()
+	d0 := s.dispatched.Load()
 	s.mu.RLock()
 	if s.running && !s.closed {
 		chans := make([]chan *shardView, len(s.shards))
@@ -428,7 +528,7 @@ func (s *ShardedPassive) snapshotViews() []*shardView {
 		for i, ch := range chans {
 			views[i] = <-ch
 		}
-		return views
+		return views, d0
 	}
 	s.mu.RUnlock()
 	// Inline, or shut down. If workers ever ran, wait for their exit so
@@ -440,13 +540,14 @@ func (s *ShardedPassive) snapshotViews() []*shardView {
 		views[i] = sh.freeze()
 	}
 	s.dispatchMu.Unlock()
-	return views
+	return views, d0
 }
 
-// mergeViews unions frozen shard views into one frozen discoverer plus
-// the combined scanner list (shard detections are disjoint by source, so
-// concatenation + sort reproduces the merged tracker's output).
-func (s *ShardedPassive) mergeViews(views []*shardView) (*PassiveDiscoverer, []ScannerInfo) {
+// mergeViewsFull unions frozen shard views into one frozen discoverer
+// plus the combined scanner list (shard detections are disjoint by
+// source, so concatenation + sort reproduces the merged tracker's
+// output) — the from-scratch merge path.
+func (s *ShardedPassive) mergeViewsFull(views []*shardView) (*PassiveDiscoverer, []ScannerInfo) {
 	m := NewPassiveDiscoverer(s.campus, nil)
 	m.udpPorts = s.shards[0].disc.udpPorts
 	var scanners []ScannerInfo
@@ -464,6 +565,82 @@ func (s *ShardedPassive) mergeViews(views []*shardView) (*PassiveDiscoverer, []S
 	return m, scanners
 }
 
+// mergeViewsDelta derives the merged discoverer for views by patching the
+// previous merged snapshot (prev, frozen at prevGens) with only the
+// records and trails the changed shards touched in between: a shallow
+// clone of the previous maps plus O(churn) pointer patches, no record
+// copying and no re-sort of untouched state. newKeys returns the
+// services that entered the inventory since prev, sorted. ok is false
+// when any shard's delta chain cannot be reconstructed; callers then fall
+// back to mergeViewsFull.
+func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prev *PassiveDiscoverer, prevGens []uint64) (m *PassiveDiscoverer, scanners []ScannerInfo, newKeys []ServiceKey, ok bool) {
+	if prev == nil || len(prevGens) != len(views) {
+		return nil, nil, nil, false
+	}
+	type span struct {
+		shard  int
+		deltas []sealDelta
+	}
+	var spans []span
+	for i, v := range views {
+		if v.gen == prevGens[i] {
+			continue
+		}
+		ds, ok := s.shards[i].deltasBetween(prevGens[i], v.gen)
+		if !ok {
+			return nil, nil, nil, false
+		}
+		spans = append(spans, span{shard: i, deltas: ds})
+	}
+
+	m = NewPassiveDiscoverer(s.campus, nil)
+	m.udpPorts = s.shards[0].disc.udpPorts
+	m.services = maps.Clone(prev.services)
+	m.addrTimes = maps.Clone(prev.addrTimes)
+	for _, v := range views {
+		m.Packets += v.disc.Packets
+		scanners = append(scanners, v.scanners...)
+	}
+	sort.Slice(scanners, func(i, j int) bool { return scanners[i].Source < scanners[j].Source })
+	for _, sp := range spans {
+		sealed := views[sp.shard].disc
+		for _, d := range sp.deltas {
+			for _, k := range d.keys {
+				m.services[k] = sealed.services[k]
+			}
+			for _, a := range d.addrs {
+				m.addrTimes[a] = sealed.addrTimes[a]
+			}
+			newKeys = append(newKeys, d.newKeys...)
+		}
+	}
+	sort.Slice(newKeys, func(i, j int) bool { return newKeys[i].Before(newKeys[j]) })
+	return m, scanners, newKeys, true
+}
+
+// mergeSortedKeys unions a sorted key slice with sorted additions. With
+// no additions the original is returned as-is (it is immutable — shared
+// between inventories).
+func mergeSortedKeys(keys, add []ServiceKey) []ServiceKey {
+	if len(add) == 0 {
+		return keys
+	}
+	out := make([]ServiceKey, 0, len(keys)+len(add))
+	i, j := 0, 0
+	for i < len(keys) && j < len(add) {
+		if keys[i].Before(add[j]) {
+			out = append(out, keys[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	out = append(out, keys[i:]...)
+	out = append(out, add[j:]...)
+	return out
+}
+
 // viewGens extracts the generation vector of a view set.
 func viewGens(views []*shardView) []uint64 {
 	gens := make([]uint64, len(views))
@@ -474,23 +651,39 @@ func viewGens(views []*shardView) []uint64 {
 }
 
 // Snapshot freezes a consistent point-in-time Inventory. It is
-// non-terminal and cheap to repeat: the engine keeps ingesting during and
-// after the call, unchanged shards reuse their previously frozen views,
-// and if nothing changed at all the previous Inventory is returned as-is.
-// On a running engine the snapshot point is a batch boundary of the
-// producer's stream (everything dispatched before the call is included),
-// and the result is byte-identical to pausing the producer, flushing, and
-// snapshotting at that point. Safe to call from any goroutine at any
-// lifecycle stage.
+// non-terminal and cheap to repeat: with nothing dispatched since the
+// previous snapshot the cached Inventory is returned outright (no shard
+// traffic, no allocation); otherwise unchanged shards reuse their
+// previously frozen views, changed shards seal only the records touched
+// since their last freeze, and the merged inventory is patched forward
+// from the previous snapshot rather than rebuilt. On a running engine the
+// snapshot point is a batch boundary of the producer's stream (everything
+// dispatched before the call is included), and the result is
+// byte-identical to pausing the producer, flushing, and snapshotting at
+// that point. Safe to call from any goroutine at any lifecycle stage.
 func (s *ShardedPassive) Snapshot() *Inventory {
-	views := s.snapshotViews()
+	if inv := s.snap.fast(s.dispatched.Load(), 0); inv != nil {
+		return inv
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	views, d0 := s.snapshotViews()
 	gens := viewGens(views)
 	if inv := s.snap.get(gens); inv != nil {
 		return inv
 	}
-	merged, scanners := s.mergeViews(views)
-	inv := newFrozenInventory(merged, scanners)
-	s.snap.put(gens, inv)
+	prevGens, prevInv := s.snap.peek()
+	var inv *Inventory
+	if prevInv != nil {
+		if m, scanners, newKeys, ok := s.mergeViewsDelta(views, prevInv.d, prevGens); ok {
+			inv = &Inventory{d: m, keys: mergeSortedKeys(prevInv.keys, newKeys), scanners: scanners}
+		}
+	}
+	if inv == nil {
+		merged, scanners := s.mergeViewsFull(views)
+		inv = newFrozenInventory(merged, scanners)
+	}
+	s.snap.put(gens, inv, d0, 0)
 	return inv
 }
 

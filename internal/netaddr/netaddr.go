@@ -301,6 +301,10 @@ func (r Range) String() string {
 // value is an empty, ready-to-use set.
 type Set struct {
 	m map[V4]struct{}
+	// shared marks storage aliased by a CloneShared twin: the next
+	// mutation copies the map first (copy-on-write), so the twin never
+	// observes it.
+	shared bool
 }
 
 // NewSet returns a set seeded with the given addresses.
@@ -312,8 +316,22 @@ func NewSet(addrs ...V4) *Set {
 	return s
 }
 
+// own makes the storage exclusively s's again, copying it if a CloneShared
+// twin aliases it.
+func (s *Set) own() {
+	if !s.shared {
+		return
+	}
+	m := make(map[V4]struct{}, len(s.m))
+	for a := range s.m {
+		m[a] = struct{}{}
+	}
+	s.m, s.shared = m, false
+}
+
 // Add inserts a. Duplicate inserts are no-ops.
 func (s *Set) Add(a V4) {
+	s.own()
 	if s.m == nil {
 		s.m = make(map[V4]struct{})
 	}
@@ -339,6 +357,10 @@ func (s *Set) AddRange(r Range) {
 
 // Remove deletes a if present.
 func (s *Set) Remove(a V4) {
+	if _, ok := s.m[a]; !ok {
+		return
+	}
+	s.own()
 	delete(s.m, a)
 }
 
@@ -361,6 +383,24 @@ func (s *Set) Clone() *Set {
 		}
 	}
 	return out
+}
+
+// CloneShared returns a copy that shares s's storage copy-on-write: the
+// O(1) clone for snapshot views. Either side's next mutation copies the
+// storage first, so the twins can never observe each other — semantically
+// identical to Clone, but reads stay free and an all-read lifetime never
+// pays for a copy at all. Not safe for concurrent use with mutations of
+// s, matching Set's general contract.
+func (s *Set) CloneShared() *Set {
+	if len(s.m) == 0 {
+		return &Set{}
+	}
+	// Skip the re-mark on an already-shared set so CloneShared stays a
+	// pure read there: concurrent readers may clone the same frozen set.
+	if !s.shared {
+		s.shared = true
+	}
+	return &Set{m: s.m, shared: true}
 }
 
 // Union returns a new set with every address in s or t.

@@ -380,3 +380,42 @@ func TestSetClone(t *testing.T) {
 		t.Error("zero-set clone not empty")
 	}
 }
+
+func TestSetCloneShared(t *testing.T) {
+	a1, a2, a3 := MustParseV4("10.0.0.1"), MustParseV4("10.0.0.2"), MustParseV4("10.0.0.3")
+
+	// Mutating the original after a shared clone must not reach the clone.
+	s := NewSet(a1, a2)
+	c := s.CloneShared()
+	if !c.Equal(s) {
+		t.Fatal("shared clone differs from original")
+	}
+	s.Add(a3)
+	s.Remove(a1)
+	if c.Len() != 2 || !c.Contains(a1) || c.Contains(a3) {
+		t.Error("mutating the original reached the shared clone")
+	}
+
+	// And the other direction: the clone copies before its first write.
+	s = NewSet(a1, a2)
+	c = s.CloneShared()
+	c.Add(a3)
+	c.Remove(a1)
+	if s.Len() != 2 || !s.Contains(a1) || s.Contains(a3) {
+		t.Error("mutating the shared clone reached the original")
+	}
+
+	// Removing an absent address must not trigger the copy-on-write path's
+	// mutation semantics observably (still a no-op).
+	s = NewSet(a1)
+	c = s.CloneShared()
+	c.Remove(a2)
+	if c.Len() != 1 || s.Len() != 1 {
+		t.Error("no-op Remove disturbed a shared set")
+	}
+
+	var zero Set
+	if cz := zero.CloneShared(); cz.Len() != 0 {
+		t.Error("zero-set shared clone not empty")
+	}
+}
