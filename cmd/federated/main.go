@@ -9,24 +9,41 @@
 // off, redials, and resumes from a fresh snapshot — the aggregator's
 // generation cursor guarantees the overlap is never double-counted.
 //
+// With -checkpoint-dir the global inventory is durable: the aggregator
+// state (services, per-site dedup cursors, scan reports) is written
+// atomically every -checkpoint-every and once more on SIGINT/SIGTERM,
+// and reloaded on the next start — so a restarted aggregator keeps its
+// history instead of waiting for every site to reconnect and re-bootstrap.
+//
 // Endpoints: /dump (canonical text inventory), /services (global JSON
-// rows), /sites (per-feed statistics), /healthz.
+// rows), /sites (per-feed statistics), /metrics (Prometheus text:
+// per-feed event/dedup/reconnect counters, state-write effort), /healthz.
 //
 //	federated -feed east:9000 -feed west:9001 -http :8090
+//	federated -feed east:9000 -checkpoint-dir /var/lib/servdisc-global
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"servdisc/internal/checkpoint"
 	"servdisc/internal/federate"
 )
+
+// StateFileName is the aggregator checkpoint inside -checkpoint-dir.
+const StateFileName = "aggregator.state"
 
 // feedList collects repeated -feed flags.
 type feedList []string
@@ -37,31 +54,89 @@ func (f *feedList) Set(s string) error {
 	return nil
 }
 
+type options struct {
+	feeds     feedList
+	httpAddr  string
+	retry     time.Duration
+	logEvents bool
+	ckptDir   string
+	ckptEvery time.Duration
+}
+
 func main() {
-	var feeds feedList
-	flag.Var(&feeds, "feed", "site feed address to aggregate (repeatable)")
-	httpAddr := flag.String("http", ":8090", "serve the global inventory on this address")
-	retry := flag.Duration("retry", 2*time.Second, "reconnect backoff after a feed drops")
-	logEvents := flag.Bool("log", true, "log global discoveries and scanner detections")
+	var o options
+	flag.Var(&o.feeds, "feed", "site feed address to aggregate (repeatable)")
+	flag.StringVar(&o.httpAddr, "http", ":8090", "serve the global inventory on this address")
+	flag.DurationVar(&o.retry, "retry", 2*time.Second, "reconnect backoff after a feed drops")
+	flag.BoolVar(&o.logEvents, "log", true, "log global discoveries and scanner detections")
+	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "durable aggregator-state directory (restore on start, write periodically and on shutdown)")
+	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 30*time.Second, "aggregator-state write interval (requires -checkpoint-dir)")
 	flag.Parse()
 
-	if len(feeds) == 0 {
+	if len(o.feeds) == 0 {
 		fmt.Fprintln(os.Stderr, "federated: at least one -feed is required")
 		os.Exit(2)
 	}
-	if err := run(feeds, *httpAddr, *retry, *logEvents); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "federated:", err)
 		os.Exit(1)
 	}
 }
 
-func run(feeds []string, httpAddr string, retry time.Duration, logEvents bool) error {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+// feedHealth counts one feed's connection churn for /metrics: dial
+// failures and completed connections (each completed connection is a
+// reconnect-to-come, so `connects - 1` is the reconnect count once the
+// feed has been up at all).
+type feedHealth struct {
+	addr      string
+	connects  atomic.Int64
+	dialFails atomic.Int64
+	drops     atomic.Int64
+}
+
+func run(o options) error {
+	// A signal ends everything: the feed loops stop dialing, the HTTP
+	// server drains, and the final state write makes the inventory
+	// survive the restart.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	agg := federate.NewAggregator()
 
+	statePath := ""
+	if o.ckptDir != "" {
+		if err := os.MkdirAll(o.ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+		statePath = filepath.Join(o.ckptDir, StateFileName)
+		var st federate.AggregatorState
+		ok, err := checkpoint.ReadStateFile(statePath, &st)
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+		if ok {
+			if err := agg.ImportState(&st); err != nil {
+				return fmt.Errorf("restore: %w", err)
+			}
+			fmt.Printf("restored aggregator state from %s: %d sites, %d services\n",
+				statePath, len(st.Sites), len(st.Services))
+		}
+	}
+	var stateWrites, stateWriteFails atomic.Int64
+	writeState := func() {
+		if statePath == "" {
+			return
+		}
+		if err := checkpoint.WriteStateFile(statePath, agg.ExportState()); err != nil {
+			stateWriteFails.Add(1)
+			fmt.Fprintf(os.Stderr, "federated: state write: %v\n", err)
+			return
+		}
+		stateWrites.Add(1)
+	}
+
 	// The global event stream: every first-anywhere discovery, site-tagged.
-	if logEvents {
+	if o.logEvents {
 		sub := agg.Subscribe(8192)
 		go func() {
 			for ge := range sub.Events() {
@@ -70,10 +145,78 @@ func run(feeds []string, httpAddr string, retry time.Duration, logEvents bool) e
 		}()
 	}
 
-	for _, addr := range feeds {
-		go feedLoop(ctx, agg, addr, retry)
+	health := make([]*feedHealth, len(o.feeds))
+	for i, addr := range o.feeds {
+		health[i] = &feedHealth{addr: addr}
+		go feedLoop(sigCtx, agg, health[i], o.retry)
 	}
 
+	srv := &http.Server{Addr: o.httpAddr, Handler: newMux(agg, health, &stateWrites, &stateWriteFails)}
+	httpErr := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			httpErr <- err
+		}
+	}()
+	fmt.Printf("aggregating %d feeds; serving global inventory on %s (/dump, /services, /sites, /metrics, /healthz)\n",
+		len(o.feeds), o.httpAddr)
+
+	var stateTick <-chan time.Time
+	if statePath != "" && o.ckptEvery > 0 {
+		t := time.NewTicker(o.ckptEvery)
+		defer t.Stop()
+		stateTick = t.C
+	}
+	for {
+		select {
+		case <-sigCtx.Done():
+			writeState()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+			if statePath != "" {
+				fmt.Printf("shutting down; aggregator state saved to %s\n", statePath)
+			}
+			return nil
+		case err := <-httpErr:
+			writeState()
+			return err
+		case <-stateTick:
+			writeState()
+		}
+	}
+}
+
+// feedLoop keeps one site feed alive: dial, consume until the connection
+// ends, back off, redial. Every reconnect re-bootstraps from the site's
+// newest snapshot; the aggregator dedups the overlap by generation.
+func feedLoop(ctx context.Context, agg *federate.Aggregator, h *feedHealth, retry time.Duration) {
+	for ctx.Err() == nil {
+		conn, err := net.Dial("tcp", h.addr)
+		if err != nil {
+			h.dialFails.Add(1)
+			fmt.Printf("feed %s: dial: %v (retrying in %s)\n", h.addr, err, retry)
+		} else {
+			h.connects.Add(1)
+			fmt.Printf("feed %s: connected\n", h.addr)
+			err = agg.ReadFeed(ctx, conn)
+			conn.Close()
+			h.drops.Add(1)
+			if err != nil {
+				fmt.Printf("feed %s: %v (reconnecting in %s)\n", h.addr, err, retry)
+			} else {
+				fmt.Printf("feed %s: stream ended (reconnecting in %s)\n", h.addr, retry)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(retry):
+		}
+	}
+}
+
+func newMux(agg *federate.Aggregator, health []*feedHealth, stateWrites, stateWriteFails *atomic.Int64) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/dump", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -90,33 +233,77 @@ func run(feeds []string, httpAddr string, retry time.Duration, logEvents bool) e
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "ok sites=%d services=%d\n", len(agg.Sites()), agg.NumServices())
 	})
-	fmt.Printf("aggregating %d feeds; serving global inventory on %s (/dump, /services, /sites)\n",
-		len(feeds), httpAddr)
-	return http.ListenAndServe(httpAddr, mux)
-}
-
-// feedLoop keeps one site feed alive: dial, consume until the connection
-// ends, back off, redial. Every reconnect re-bootstraps from the site's
-// newest snapshot; the aggregator dedups the overlap by generation.
-func feedLoop(ctx context.Context, agg *federate.Aggregator, addr string, retry time.Duration) {
-	for ctx.Err() == nil {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			fmt.Printf("feed %s: dial: %v (retrying in %s)\n", addr, err, retry)
-		} else {
-			fmt.Printf("feed %s: connected\n", addr)
-			err = agg.ReadFeed(ctx, conn)
-			conn.Close()
-			if err != nil {
-				fmt.Printf("feed %s: %v (reconnecting in %s)\n", addr, err, retry)
-			} else {
-				fmt.Printf("feed %s: stream ended (reconnecting in %s)\n", addr, retry)
-			}
+	// /metrics: the global inventory plus one row per site feed (event
+	// and dedup counters keyed by site identity, connection churn keyed
+	// by feed address) in Prometheus text exposition format.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+		stats := agg.Stats()
+		events := agg.EventCounters()
+		p("# HELP federated_sites Sites currently known to the aggregator.\n")
+		p("# TYPE federated_sites gauge\n")
+		p("federated_sites %d\n", len(stats))
+		p("# HELP federated_services Globally deduplicated services.\n")
+		p("# TYPE federated_services gauge\n")
+		p("federated_services %d\n", agg.NumServices())
+		p("# HELP federated_site_events_total Event frames applied from one site.\n")
+		p("# TYPE federated_site_events_total counter\n")
+		for _, st := range stats {
+			p("federated_site_events_total{site=%q} %d\n", string(st.Site), st.Events)
 		}
-		select {
-		case <-ctx.Done():
-			return
-		case <-time.After(retry):
+		p("# HELP federated_site_dup_events_total Event frames skipped as duplicates (reconnect overlap).\n")
+		p("# TYPE federated_site_dup_events_total counter\n")
+		for _, st := range stats {
+			p("federated_site_dup_events_total{site=%q} %d\n", string(st.Site), st.DupEvents)
 		}
-	}
+		p("# HELP federated_site_last_seq Per-site event-sequence high-water mark.\n")
+		p("# TYPE federated_site_last_seq gauge\n")
+		for _, st := range stats {
+			p("federated_site_last_seq{site=%q} %d\n", string(st.Site), st.LastSeq)
+		}
+		p("# HELP federated_site_packets_total Passive packet volume reported by one site.\n")
+		p("# TYPE federated_site_packets_total counter\n")
+		for _, st := range stats {
+			p("federated_site_packets_total{site=%q} %d\n", string(st.Site), st.Packets)
+		}
+		p("# HELP federated_site_services Services one site contributes to the global inventory.\n")
+		p("# TYPE federated_site_services gauge\n")
+		for _, st := range stats {
+			p("federated_site_services{site=%q} %d\n", string(st.Site), st.Services)
+		}
+		p("# HELP federated_site_scans Completed active sweeps reported by one site.\n")
+		p("# TYPE federated_site_scans gauge\n")
+		for _, st := range stats {
+			p("federated_site_scans{site=%q} %d\n", string(st.Site), st.Scans)
+		}
+		p("# HELP federated_feed_connects_total Successful feed connections (first connect + reconnects).\n")
+		p("# TYPE federated_feed_connects_total counter\n")
+		for _, h := range health {
+			p("federated_feed_connects_total{feed=%q} %d\n", h.addr, h.connects.Load())
+		}
+		p("# HELP federated_feed_disconnects_total Feed connections that ended (each one triggers a redial).\n")
+		p("# TYPE federated_feed_disconnects_total counter\n")
+		for _, h := range health {
+			p("federated_feed_disconnects_total{feed=%q} %d\n", h.addr, h.drops.Load())
+		}
+		p("# HELP federated_feed_dial_errors_total Failed dial attempts.\n")
+		p("# TYPE federated_feed_dial_errors_total counter\n")
+		for _, h := range health {
+			p("federated_feed_dial_errors_total{feed=%q} %d\n", h.addr, h.dialFails.Load())
+		}
+		p("# HELP federated_global_events_published_total Global events published to subscribers.\n")
+		p("# TYPE federated_global_events_published_total counter\n")
+		p("federated_global_events_published_total %d\n", events.In())
+		p("# HELP federated_global_events_dropped_total Global events dropped by lagging subscribers.\n")
+		p("# TYPE federated_global_events_dropped_total counter\n")
+		p("federated_global_events_dropped_total %d\n", events.Dropped())
+		p("# HELP federated_state_writes_total Aggregator-state checkpoints written.\n")
+		p("# TYPE federated_state_writes_total counter\n")
+		p("federated_state_writes_total %d\n", stateWrites.Load())
+		p("# HELP federated_state_write_failures_total Aggregator-state checkpoint failures.\n")
+		p("# TYPE federated_state_write_failures_total counter\n")
+		p("federated_state_write_failures_total %d\n", stateWriteFails.Load())
+	})
+	return mux
 }

@@ -11,82 +11,146 @@
 //
 // Event-stream consumers: /events streams the typed discovery events as
 // JSONL (one JSON event per line, SSE-friendly flushing), /metrics exposes
-// the stage counters and per-subscriber event-hub drop counts in
-// Prometheus text format.
+// the stage counters, checkpoint effort, and per-subscriber event-hub drop
+// counts in Prometheus text format, /healthz answers liveness probes.
 //
 // With -publish the engine becomes one site of a federation: its event
 // stream, tagged -site, is served on a TCP listener in the snapshot-then-
 // live wire format that cmd/federated aggregates (see internal/federate).
 //
+// With -checkpoint-dir the engine state is durable: checkpoints are taken
+// every -checkpoint-every during the replay and once more on shutdown
+// (SIGINT/SIGTERM stop the replay at a batch boundary, checkpoint, and
+// exit cleanly). On the next start the engine restores from the directory
+// and resumes the trace from the exact packet the checkpoint covered, so
+// a killed and restarted run converges on the same inventory as one that
+// was never interrupted.
+//
 //	passived -trace campus.pcap -net 128.125.0.0/16
 //	passived -trace campus.pcap -net 128.125.0.0/16 -shards 8 -snap 500ms -http :8080
 //	passived -trace east.pcap -net 128.125.0.0/16 -site east -publish :9000
+//	passived -trace campus.pcap -checkpoint-dir /var/lib/servdisc -checkpoint-every 30s
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"servdisc"
 	"servdisc/internal/federate"
 )
 
+// options collects the flag set; run takes it whole rather than a dozen
+// positional parameters.
+type options struct {
+	tracePath   string
+	campus      string
+	httpAddr    string
+	publishAddr string
+	site        string
+	top         int
+	shards      int
+	snapEvery   time.Duration
+	ckptDir     string
+	ckptEvery   time.Duration
+	dumpPath    string
+	haltAfter   int
+}
+
 func main() {
-	tracePath := flag.String("trace", "", "pcap trace to analyze (required)")
-	netFlag := flag.String("net", "128.125.0.0/16", "monitored campus prefix")
-	httpAddr := flag.String("http", "", "serve inventory as JSON on this address")
-	top := flag.Int("top", 20, "show the N busiest services")
-	shards := flag.Int("shards", 0, "discoverer shards (0 = hardware default)")
-	snapEvery := flag.Duration("snap", time.Second, "live snapshot interval during replay (0 = final only)")
-	publishAddr := flag.String("publish", "", "serve the federation feed (snapshot + live events) on this TCP address")
-	site := flag.String("site", "", "site identity for the federation feed (defaults to the trace name)")
+	var o options
+	flag.StringVar(&o.tracePath, "trace", "", "pcap trace to analyze (required)")
+	flag.StringVar(&o.campus, "net", "128.125.0.0/16", "monitored campus prefix")
+	flag.StringVar(&o.httpAddr, "http", "", "serve inventory as JSON on this address")
+	flag.IntVar(&o.top, "top", 20, "show the N busiest services")
+	flag.IntVar(&o.shards, "shards", 0, "discoverer shards (0 = hardware default)")
+	flag.DurationVar(&o.snapEvery, "snap", time.Second, "live snapshot interval during replay (0 = final only)")
+	flag.StringVar(&o.publishAddr, "publish", "", "serve the federation feed (snapshot + live events) on this TCP address")
+	flag.StringVar(&o.site, "site", "", "site identity for the federation feed (defaults to the trace name)")
+	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "durable checkpoint directory (restore on start, checkpoint periodically and on shutdown)")
+	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 30*time.Second, "checkpoint interval while the replay runs (requires -checkpoint-dir)")
+	flag.StringVar(&o.dumpPath, "dump", "", "write the final inventory dump to this file when the replay completes")
+	flag.IntVar(&o.haltAfter, "halt-after", 0, "stop the replay once at least N packets are applied, checkpoint, and exit — simulates a mid-trace kill for restart testing")
 	flag.Parse()
 
-	if *tracePath == "" {
+	if o.tracePath == "" {
 		fmt.Fprintln(os.Stderr, "passived: -trace is required")
 		os.Exit(2)
 	}
-	if *site == "" {
+	if o.site == "" {
 		// The trace's base name, not its path: the site identity goes out
 		// on the wire and into the aggregator's reports.
-		*site = filepath.Base(*tracePath)
+		o.site = filepath.Base(o.tracePath)
 	}
-	if err := run(*tracePath, *netFlag, *httpAddr, *publishAddr, *site, *top, *shards, *snapEvery); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "passived:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, netFlag, httpAddr, publishAddr, site string, top, shards int, snapEvery time.Duration) error {
-	f, err := os.Open(tracePath)
+func run(o options) error {
+	f, err := os.Open(o.tracePath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 
-	pl, err := servdisc.NewPipeline(servdisc.Config{
-		Campus: netFlag,
-		Shards: shards,
+	cfg := servdisc.Config{
+		Campus: o.campus,
+		Shards: o.shards,
 		// The taps are bypassed by Replay (a recorded trace was already
 		// filtered at capture time), so no link or filter setup matters
 		// here beyond the campus prefix.
-	})
+	}
+	if o.ckptDir != "" {
+		cfg.Checkpoint = &servdisc.CheckpointOptions{Dir: o.ckptDir, Every: o.ckptEvery}
+	}
+	pl, err := servdisc.NewPipeline(cfg)
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	pl.Run(ctx)
+
+	// Restore before Run and before the first packet: the engine must be
+	// untouched for the import. A cold start (no checkpoint yet) restores
+	// nothing; skip stays zero and the whole trace replays.
+	skip := 0
+	if o.ckptDir != "" {
+		man, err := pl.RestoreFromCheckpoint()
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+		if man != nil {
+			skip = pl.Snapshot().Packets()
+			fmt.Printf("restored checkpoint from %s: %d chunks, resuming at packet %d\n",
+				o.ckptDir, len(man.Chunks), skip)
+		}
+	}
+
+	// The engine runs on a background context, on purpose: a signal must
+	// stop the *replay* at a batch boundary and leave the workers healthy
+	// for the final checkpoint. Cancelling the engine's own context would
+	// abort workers mid-state — an abort lever, not a shutdown lever.
+	pl.Run(context.Background())
+
+	// sigCtx ends on SIGINT/SIGTERM; the replay also ends when -halt-after
+	// trips. Everything interruptible hangs off these two.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	replayCtx, cancelReplay := context.WithCancel(sigCtx)
+	defer cancelReplay()
 
 	subs := newSubRegistry()
 
@@ -113,30 +177,74 @@ func run(tracePath, netFlag, httpAddr, publishAddr, site string, top, shards int
 
 	// Federation feed: publish this engine's stream, site-tagged, to any
 	// connecting aggregator (snapshot catch-up + live events per
-	// connection). The publisher outlives the replay — late aggregators
-	// still get the final snapshot.
-	if publishAddr != "" {
-		pub := federate.NewPublisher(federate.SiteID(site), pl)
+	// connection). A restored process resumes the stored cursor so its
+	// feed continues the old epoch and sequence instead of restarting
+	// them; every later checkpoint samples the cursor back.
+	if o.publishAddr != "" {
+		var cursor federate.PublisherState
+		if st := pl.RestoredPublisherCursor(); st != nil {
+			cursor = *st
+		}
+		pub := federate.NewPublisherResumed(federate.SiteID(o.site), pl, cursor)
+		pl.SetPublisherCursor(pub.State)
 		subs.add("publisher-pump", pub.Dropped)
-		ln, err := net.Listen("tcp", publishAddr)
+		ln, err := net.Listen("tcp", o.publishAddr)
 		if err != nil {
 			return fmt.Errorf("publish: %w", err)
 		}
 		defer ln.Close()
-		go func() { _ = pub.Serve(ctx, ln) }()
-		fmt.Printf("publishing federation feed for site %q on %s\n", site, publishAddr)
+		go func() { _ = pub.Serve(sigCtx, ln) }()
+		fmt.Printf("publishing federation feed for site %q on %s\n", o.site, o.publishAddr)
 	}
 
 	// The latest point-in-time snapshot, shared with the HTTP handlers.
 	var latest atomic.Pointer[servdisc.Inventory]
 	latest.Store(pl.Snapshot())
 	httpErr := make(chan error, 1)
-	if httpAddr != "" {
-		go func() { httpErr <- serveHTTP(httpAddr, &latest, pl, subs) }()
-		fmt.Printf("serving live inventory on %s (/services, /scanners, /stats, /events, /metrics)\n", httpAddr)
+	var srv *http.Server
+	if o.httpAddr != "" {
+		srv = &http.Server{Addr: o.httpAddr, Handler: newMux(&latest, pl, subs)}
+		go func() {
+			if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				httpErr <- err
+			}
+		}()
+		fmt.Printf("serving live inventory on %s (/services, /scanners, /stats, /events, /metrics, /healthz)\n", o.httpAddr)
+	}
+	// shutdownHTTP drains in-flight requests (including /events streams,
+	// which end when their clients notice the close) with a short grace.
+	shutdownHTTP := func() {
+		if srv == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
 	}
 
-	// Replay on its own goroutine; snapshot on a ticker until it finishes.
+	// -halt-after: watch the applied-packet count and stop the replay once
+	// it passes the mark. The cut lands wherever the next batch boundary
+	// falls — restart equivalence holds from any cut, which is the point.
+	if o.haltAfter > 0 {
+		go func() {
+			tick := time.NewTicker(5 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-replayCtx.Done():
+					return
+				case <-tick.C:
+					if pl.Snapshot().Packets() >= skip+o.haltAfter {
+						cancelReplay()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Replay on its own goroutine; snapshot and checkpoint on tickers
+	// until it finishes.
 	type replayResult struct {
 		packets int
 		err     error
@@ -144,16 +252,20 @@ func run(tracePath, netFlag, httpAddr, publishAddr, site string, top, shards int
 	replayDone := make(chan replayResult, 1)
 	start := time.Now()
 	go func() {
-		n, err := pl.Replay(ctx, f)
+		n, err := pl.ResumeReplay(replayCtx, f, skip)
 		replayDone <- replayResult{n, err}
 	}()
 
-	var ticker *time.Ticker
-	var tick <-chan time.Time
-	if snapEvery > 0 {
-		ticker = time.NewTicker(snapEvery)
-		tick = ticker.C
-		defer ticker.Stop()
+	var snapTick, ckptTick <-chan time.Time
+	if o.snapEvery > 0 {
+		t := time.NewTicker(o.snapEvery)
+		defer t.Stop()
+		snapTick = t.C
+	}
+	if o.ckptDir != "" && o.ckptEvery > 0 {
+		t := time.NewTicker(o.ckptEvery)
+		defer t.Stop()
+		ckptTick = t.C
 	}
 	var res replayResult
 loop:
@@ -163,45 +275,98 @@ loop:
 			break loop
 		case err := <-httpErr:
 			return fmt.Errorf("http: %w", err)
-		case <-tick:
+		case <-snapTick:
 			// Live snapshot: consistent, non-blocking for the replay.
 			inv := pl.Snapshot()
 			latest.Store(inv)
 			fmt.Printf("live: %d packets, %d services, %d scanners (%.1fs)\n",
 				inv.Packets(), inv.Len(), len(inv.Scanners()), time.Since(start).Seconds())
+		case <-ckptTick:
+			cr, err := pl.Checkpoint(context.Background())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "passived: checkpoint: %v\n", err)
+				continue
+			}
+			logCheckpoint(cr)
 		}
 	}
-	if res.err != nil {
+	interrupted := errors.Is(res.err, context.Canceled)
+	if res.err != nil && !interrupted {
+		shutdownHTTP()
 		return fmt.Errorf("replay: %w", res.err)
+	}
+
+	// Final checkpoint, interrupted or not, before the engine closes: the
+	// marker drains behind every batch the replay delivered, so the chunk
+	// covers an exact prefix of the trace and a restart resumes from it.
+	if o.ckptDir != "" {
+		cr, err := pl.Checkpoint(context.Background())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "passived: final checkpoint: %v\n", err)
+		} else {
+			logCheckpoint(cr)
+		}
 	}
 	pl.Close() // ends the event stream; snapshots remain available
 	<-eventsDone
 
 	inv := pl.Snapshot()
 	latest.Store(inv)
-	fmt.Printf("replayed %d packets; %d services on %d addresses; %d scanners detected\n",
-		inv.Packets(), inv.Len(), len(inv.AddrFirstSeen(nil)), len(inv.Scanners()))
+	if interrupted {
+		shutdownHTTP()
+		fmt.Printf("interrupted at %d packets (%d services, %d scanners); state checkpointed to %s\n",
+			inv.Packets(), inv.Len(), len(inv.Scanners()), o.ckptDir)
+		return nil
+	}
+	fmt.Printf("replayed %d packets (%d this run); %d services on %d addresses; %d scanners detected\n",
+		inv.Packets(), res.packets-skip, inv.Len(), len(inv.AddrFirstSeen(nil)), len(inv.Scanners()))
 	fmt.Printf("events: %d discoveries, %d upgrades, %d dropped by the log subscriber\n",
 		discovered.Load(), upgraded.Load(), sub.Dropped())
 
-	rows := serviceRows(inv)
-	limit := top
-	if limit > len(rows) {
-		limit = len(rows)
+	if o.dumpPath != "" {
+		if err := os.WriteFile(o.dumpPath, inv.Dump(), 0o644); err != nil {
+			shutdownHTTP()
+			return fmt.Errorf("dump: %w", err)
+		}
+		fmt.Printf("wrote inventory dump to %s\n", o.dumpPath)
 	}
+
+	rows := serviceRows(inv)
+	limit := min(o.top, len(rows))
 	fmt.Printf("\n%-28s %-25s %8s %8s\n", "service", "first seen", "flows", "clients")
 	for _, r := range rows[:limit] {
 		fmt.Printf("%-28s %-25s %8d %8d\n", r.Key, r.First.Format(time.RFC3339), r.Flows, r.Clients)
 	}
 
-	if httpAddr == "" && publishAddr == "" {
+	if o.httpAddr == "" && o.publishAddr == "" {
 		return nil
 	}
 	fmt.Println("\nreplay finished; still serving the final inventory (^C to quit)")
-	if httpAddr == "" {
-		select {} // publish-only: serve snapshot catch-ups until killed
+	select {
+	case <-sigCtx.Done():
+		shutdownHTTP()
+		return nil
+	case err := <-httpErr:
+		return fmt.Errorf("http: %w", err)
 	}
-	return <-httpErr // serve until the server fails or the process is killed
+}
+
+func logCheckpoint(cr servdisc.CheckpointResult) {
+	switch {
+	case cr.Skipped:
+		fmt.Printf("checkpoint: unchanged, skipped (%d shards clean)\n", cr.ShardsSkipped)
+	case cr.Full:
+		kind := "baseline"
+		if cr.Compacted {
+			kind = "compacted baseline"
+		}
+		fmt.Printf("checkpoint: %s, %d services, %d bytes in %s\n",
+			kind, cr.Services, cr.Bytes, cr.Duration.Round(time.Microsecond))
+	default:
+		fmt.Printf("checkpoint: delta, %d services changed, %d bytes in %s (%d/%d shards clean)\n",
+			cr.Services, cr.Bytes, cr.Duration.Round(time.Microsecond),
+			cr.ShardsSkipped, cr.ShardsSkipped+cr.ShardsChanged)
+	}
 }
 
 type row struct {
@@ -268,13 +433,19 @@ func (r *subRegistry) snapshot() (names []string, drops []int, departed int64) {
 	return names, drops, r.departed
 }
 
-// serveHTTP serves the latest snapshot plus the live event feed and
-// metrics; every request reads the freshest inventory the snapshot loop
-// has published. It blocks until the server fails (including a failed
-// listen).
-func serveHTTP(addr string, latest *atomic.Pointer[servdisc.Inventory], pl *servdisc.Pipeline, subs *subRegistry) error {
+// newMux builds the HTTP surface: the latest snapshot as JSON, the live
+// event feed, Prometheus metrics, and a liveness probe. Every request
+// reads the freshest inventory the snapshot loop has published.
+func newMux(latest *atomic.Pointer[servdisc.Inventory], pl *servdisc.Pipeline, subs *subRegistry) *http.ServeMux {
 	var eventsSeq atomic.Int64
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":  "ok",
+			"packets": latest.Load().Packets(),
+		})
+	})
 	mux.HandleFunc("/services", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(serviceRows(latest.Load()))
@@ -326,8 +497,8 @@ func serveHTTP(addr string, latest *atomic.Pointer[servdisc.Inventory], pl *serv
 			}
 		}
 	})
-	// /metrics exposes the stage counters and per-subscriber hub drops in
-	// Prometheus text exposition format.
+	// /metrics exposes the stage counters, checkpoint effort, and
+	// per-subscriber hub drops in Prometheus text exposition format.
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		inv := latest.Load()
 		ingest, events := pl.IngestCounters(), pl.EventCounters()
@@ -357,6 +528,29 @@ func serveHTTP(addr string, latest *atomic.Pointer[servdisc.Inventory], pl *serv
 		p("# HELP servdisc_events_dropped_total Per-subscriber event drops (all subscribers).\n")
 		p("# TYPE servdisc_events_dropped_total counter\n")
 		p("servdisc_events_dropped_total %d\n", events.Dropped())
+		if cs, ok := pl.CheckpointStats(); ok {
+			p("# HELP servdisc_checkpoints_total Checkpoints completed (skipped ones included).\n")
+			p("# TYPE servdisc_checkpoints_total counter\n")
+			p("servdisc_checkpoints_total %d\n", cs.Checkpoints)
+			p("# HELP servdisc_checkpoint_baselines_total Checkpoints that wrote a full baseline.\n")
+			p("# TYPE servdisc_checkpoint_baselines_total counter\n")
+			p("servdisc_checkpoint_baselines_total %d\n", cs.Baselines)
+			p("# HELP servdisc_checkpoint_failures_total Checkpoint attempts that failed.\n")
+			p("# TYPE servdisc_checkpoint_failures_total counter\n")
+			p("servdisc_checkpoint_failures_total %d\n", cs.Failures)
+			p("# HELP servdisc_checkpoint_bytes_written_total Chunk bytes made durable.\n")
+			p("# TYPE servdisc_checkpoint_bytes_written_total counter\n")
+			p("servdisc_checkpoint_bytes_written_total %d\n", cs.BytesWritten)
+			p("# HELP servdisc_checkpoint_chunks_skipped_total Shard exports skipped because the shard was unchanged.\n")
+			p("# TYPE servdisc_checkpoint_chunks_skipped_total counter\n")
+			p("servdisc_checkpoint_chunks_skipped_total %d\n", cs.ChunksSkipped)
+			p("# HELP servdisc_checkpoint_last_bytes Bytes written by the most recent checkpoint.\n")
+			p("# TYPE servdisc_checkpoint_last_bytes gauge\n")
+			p("servdisc_checkpoint_last_bytes %d\n", cs.LastBytes)
+			p("# HELP servdisc_checkpoint_last_duration_seconds Duration of the most recent checkpoint.\n")
+			p("# TYPE servdisc_checkpoint_last_duration_seconds gauge\n")
+			p("servdisc_checkpoint_last_duration_seconds %g\n", cs.LastDuration.Seconds())
+		}
 		names, drops, departed := subs.snapshot()
 		p("# HELP servdisc_subscriber_dropped_total Events missed by one named subscriber.\n")
 		p("# TYPE servdisc_subscriber_dropped_total counter\n")
@@ -365,5 +559,5 @@ func serveHTTP(addr string, latest *atomic.Pointer[servdisc.Inventory], pl *serv
 		}
 		p("servdisc_subscriber_dropped_total{subscriber=\"departed\"} %d\n", departed)
 	})
-	return http.ListenAndServe(addr, mux)
+	return mux
 }

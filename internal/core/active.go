@@ -18,14 +18,16 @@ type ScanMeta struct {
 	Finished time.Time `json:"finished"`
 }
 
-// AddrScanOutcome is one address's aggregate result in one sweep.
+// AddrScanOutcome is one address's aggregate result in one sweep. The
+// JSON tags define the checkpoint wire form (see export.go).
 type AddrScanOutcome struct {
-	ScanID int
-	Time   time.Time
+	ScanID int       `json:"scan_id"`
+	Time   time.Time `json:"time"`
 	// Open lists ports that answered SYN-ACK in this sweep.
-	Open []uint16
+	Open []uint16 `json:"open,omitempty"`
 	// Closed and Filtered count RST and silent ports.
-	Closed, Filtered int
+	Closed   int `json:"closed,omitempty"`
+	Filtered int `json:"filtered,omitempty"`
 }
 
 // ActiveDiscoverer accumulates probe sweep reports into an inventory plus

@@ -56,9 +56,10 @@ func (k ServiceKey) Before(other ServiceKey) bool {
 }
 
 // PeerContact is the first contact from one distinct peer to a service.
+// The JSON tags define the checkpoint wire form (see export.go).
 type PeerContact struct {
-	Peer netaddr.V4
-	Time time.Time
+	Peer netaddr.V4 `json:"peer"`
+	Time time.Time  `json:"time"`
 }
 
 // PassiveRecord accumulates everything passive monitoring learns about one

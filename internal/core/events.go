@@ -231,6 +231,33 @@ func (es *eventStream) activeOpenEarlier(key ServiceKey, t time.Time) {
 	}
 }
 
+// seedPassive records checkpoint-restored passive evidence in the join
+// table WITHOUT publishing: the event already fired in the incarnation
+// that wrote the checkpoint, and re-announcing it would break the
+// exactly-once contract across restarts.
+func (es *eventStream) seedPassive(key ServiceKey, t time.Time) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	st := es.seen[key]
+	if st == nil {
+		st = &firstSeen{}
+		es.seen[key] = st
+	}
+	st.hasPassive, st.passiveAt = true, t
+}
+
+// seedActive is seedPassive's active-side counterpart.
+func (es *eventStream) seedActive(key ServiceKey, t time.Time) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	st := es.seen[key]
+	if st == nil {
+		st = &firstSeen{}
+		es.seen[key] = st
+	}
+	st.hasActive, st.activeAt = true, t
+}
+
 // scannerDetected publishes a threshold crossing.
 func (es *eventStream) scannerDetected(info ScannerInfo, at time.Time) {
 	es.hub.Publish(Event{Kind: EventScannerDetected, Time: at, Scanner: info})

@@ -1,0 +1,611 @@
+package core
+
+// Checkpoint export/import: the engine side of internal/checkpoint.
+//
+// ExportDelta freezes a consistent cut of everything the engine has
+// learned — including the live-only state that sealed snapshot views
+// deliberately do not carry (the peer-identity side tables behind client
+// counts, the scan tracker's window contents, the cumulative packet
+// count) — and copies only what changed since the given cursor. Capture
+// consistency comes from the same mechanism snapshots use: an export
+// marker flows through every shard queue under the dispatch lock, so the
+// cut falls at a whole-batch boundary of the producer's stream and the
+// copy-out runs on the shard's owner goroutine, race-free by
+// construction.
+//
+// Incrementality comes from dedicated checkpoint dirty sets (ckDirty /
+// ckDirtyAddrs on the discoverer, ckDirty on the scan tracker), switched
+// on by the first full export and cleared at each export: unlike the seal
+// dirty sets they survive snapshot freezes, so a checkpoint cadence much
+// slower than the snapshot cadence still pays O(churn), not O(inventory).
+// The generation vector in the cursor detects untouched shards (their
+// export is skipped outright) and guards against stale cursors.
+//
+// ImportDelta is the inverse: it redistributes exported state by owner
+// address into a FRESH engine — the shard count may differ from the
+// exporting engine's — and re-seeds the event stream's join table and the
+// tracker's flagged set so a restored engine never re-announces what the
+// checkpointed incarnation already published. Deltas carry complete
+// per-entity state (a whole service record, a whole trail, a whole
+// source's windows), so applying a baseline plus its delta chain in order
+// is a plain upsert sequence; nothing in the data model is ever deleted.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/probe"
+)
+
+// EngineConfig fingerprints the engine shape a checkpoint was written
+// from. A restore refuses a checkpoint whose campus or UDP port set does
+// not match the target engine (the state would be silently wrong);
+// Shards is informational only — restore redistributes by owner address,
+// so the shard count may change across a restart.
+type EngineConfig struct {
+	Campus   string   `json:"campus"`
+	UDPPorts []uint16 `json:"udp_ports,omitempty"`
+	Shards   int      `json:"shards"`
+	Hybrid   bool     `json:"hybrid,omitempty"`
+}
+
+// CheckpointCursor names the engine state an export covered: one
+// generation per passive shard plus the active-side report generation.
+// Feed it back to the next ExportDelta to receive only what changed.
+type CheckpointCursor struct {
+	Gens []uint64 `json:"gens"`
+	Agen uint64   `json:"agen,omitempty"`
+}
+
+// ServiceState is one service's complete passive evidence in wire form:
+// the record fields plus the full distinct-peer identity set that backs
+// the client count (live-only state, absent from sealed views — without
+// it a restored engine would re-count returning clients).
+type ServiceState struct {
+	Key        ServiceKey    `json:"key"`
+	FirstSeen  time.Time     `json:"first_seen"`
+	Flows      int           `json:"flows"`
+	Clients    int           `json:"clients"`
+	FirstPeers []PeerContact `json:"first_peers,omitempty"`
+	Peers      []netaddr.V4  `json:"peers,omitempty"`
+}
+
+// AddrTrail is one address's thinned activity-timestamp trail.
+type AddrTrail struct {
+	Addr  netaddr.V4  `json:"addr"`
+	Times []time.Time `json:"times"`
+}
+
+// ScanWindowState is one tumbling detection window's contact sets.
+type ScanWindowState struct {
+	Index   int64        `json:"index"`
+	Dsts    []netaddr.V4 `json:"dsts,omitempty"`
+	RstDsts []netaddr.V4 `json:"rst_dsts,omitempty"`
+}
+
+// ScanSourceState is one external source's complete tracker state. The
+// peak window and the flagged bit are NOT carried: both are recomputed on
+// import from the window contents (the online and offline evaluation
+// rules provably agree — see scanTracker.best).
+type ScanSourceState struct {
+	Source  netaddr.V4        `json:"source"`
+	Windows []ScanWindowState `json:"windows"`
+}
+
+// ActiveServiceState is one probe-discovered service.
+type ActiveServiceState struct {
+	Key ServiceKey `json:"key"`
+	At  time.Time  `json:"at"`
+}
+
+// AddrOutcomes is one address's full per-sweep outcome history.
+type AddrOutcomes struct {
+	Addr     netaddr.V4        `json:"addr"`
+	Outcomes []AddrScanOutcome `json:"outcomes"`
+}
+
+// UDPPortState is one recorded generic-UDP probe outcome.
+type UDPPortState struct {
+	Port  uint16         `json:"port"`
+	State probe.UDPState `json:"state"`
+}
+
+// AddrUDPState is one address's generic-UDP outcomes.
+type AddrUDPState struct {
+	Addr  netaddr.V4     `json:"addr"`
+	Ports []UDPPortState `json:"ports"`
+}
+
+// ActiveState is the active discoverer's complete state. The active side
+// is small next to the passive inventory (one entry per probed address,
+// not per flow), so it is exported whole whenever any report was applied
+// since the cursor, and a later export replaces an earlier one wholesale.
+type ActiveState struct {
+	Ports     []uint16             `json:"ports,omitempty"`
+	Services  []ActiveServiceState `json:"services,omitempty"`
+	Scans     []ScanMeta           `json:"scans,omitempty"`
+	Outcomes  []AddrOutcomes       `json:"outcomes,omitempty"`
+	Responded []netaddr.V4         `json:"responded,omitempty"`
+	UDP       []AddrUDPState       `json:"udp,omitempty"`
+}
+
+// EngineDelta is everything one export captured: entity lists sorted for
+// deterministic output, the cumulative packet count, and the detection-
+// window origin. Full marks a baseline (every shard exported completely).
+type EngineDelta struct {
+	Full      bool
+	Packets   int
+	Origin    time.Time
+	OriginSet bool
+
+	Services    []ServiceState
+	Trails      []AddrTrail
+	ScanSources []ScanSourceState
+	Active      *ActiveState
+
+	// ShardsChanged and ShardsSkipped report export effort: skipped
+	// shards had not applied a single batch since the cursor and were not
+	// even walked — the number behind the "chunks skipped" metric.
+	ShardsChanged int
+	ShardsSkipped int
+}
+
+// shardExportReq asks one shard to copy out its state since gen `since`
+// (everything, when full).
+type shardExportReq struct {
+	since uint64
+	full  bool
+	out   chan<- *shardExport
+}
+
+// shardExport is one shard's copy-out. All slices are either freshly
+// copied or alias append-only storage below the captured length, so the
+// caller may serialize them while the shard keeps ingesting.
+type shardExport struct {
+	gen       uint64
+	packets   int
+	origin    time.Time
+	originSet bool
+	skipped   bool
+	full      bool
+	services  []ServiceState
+	trails    []AddrTrail
+	scanSrcs  []ScanSourceState
+}
+
+// exportState runs on the shard's owner goroutine (worker marker, or the
+// dispatcher inline/after shutdown): it may read the live maps freely.
+// A full export switches the checkpoint dirty tracking on; every export
+// clears it, handing responsibility for write failures to the caller
+// (the Writer falls back to a full baseline after any failed checkpoint,
+// since the cleared dirty sets are unrecoverable).
+func (sh *passiveShard) exportState(req *shardExportReq) *shardExport {
+	d := sh.disc
+	ex := &shardExport{gen: sh.gen, packets: d.Packets}
+	if d.track.started {
+		ex.origin, ex.originSet = d.track.origin, true
+	}
+	full := req.full || d.ckDirty == nil
+	if !full && sh.gen == req.since {
+		// Not one batch applied since the cursor: nothing to copy. The
+		// dirty sets are necessarily empty (every observe advances gen).
+		ex.skipped = true
+		return ex
+	}
+	ex.full = full
+	if full {
+		d.ckDirty = make(map[ServiceKey]struct{})
+		d.ckDirtyAddrs = make(map[netaddr.V4]struct{})
+		d.track.ckDirty = make(map[netaddr.V4]struct{})
+		ex.services = make([]ServiceState, 0, len(d.services))
+		for k := range d.services {
+			ex.services = append(ex.services, d.exportService(k))
+		}
+		ex.trails = make([]AddrTrail, 0, len(d.addrTimes))
+		for a, ts := range d.addrTimes {
+			ex.trails = append(ex.trails, AddrTrail{Addr: a, Times: ts[:len(ts):len(ts)]})
+		}
+		ex.scanSrcs = make([]ScanSourceState, 0, len(d.track.sources))
+		for src := range d.track.sources {
+			ex.scanSrcs = append(ex.scanSrcs, d.track.exportSource(src))
+		}
+		return ex
+	}
+	ex.services = make([]ServiceState, 0, len(d.ckDirty))
+	for k := range d.ckDirty {
+		ex.services = append(ex.services, d.exportService(k))
+	}
+	clear(d.ckDirty)
+	ex.trails = make([]AddrTrail, 0, len(d.ckDirtyAddrs))
+	for a := range d.ckDirtyAddrs {
+		ts := d.addrTimes[a]
+		ex.trails = append(ex.trails, AddrTrail{Addr: a, Times: ts[:len(ts):len(ts)]})
+	}
+	clear(d.ckDirtyAddrs)
+	ex.scanSrcs = make([]ScanSourceState, 0, len(d.track.ckDirty))
+	for src := range d.track.ckDirty {
+		ex.scanSrcs = append(ex.scanSrcs, d.track.exportSource(src))
+	}
+	clear(d.track.ckDirty)
+	return ex
+}
+
+// exportService copies one service's record and peer set into wire form.
+// firstPeers and trails are append-only, so aliasing below the captured
+// length is safe while ingest continues; the peer map is copied out.
+func (d *PassiveDiscoverer) exportService(key ServiceKey) ServiceState {
+	rec := d.services[key]
+	peers := sortedV4Keys(d.peers[key])
+	fp := rec.firstPeers
+	return ServiceState{
+		Key:        key,
+		FirstSeen:  rec.FirstSeen,
+		Flows:      rec.Flows,
+		Clients:    rec.nClients,
+		FirstPeers: fp[:len(fp):len(fp)],
+		Peers:      peers,
+	}
+}
+
+// importService installs one service wholesale (later deltas replace
+// earlier state). Import happens before any ingest, so no dirty
+// bookkeeping applies.
+func (d *PassiveDiscoverer) importService(st *ServiceState) {
+	d.services[st.Key] = &PassiveRecord{
+		FirstSeen:  st.FirstSeen,
+		Flows:      st.Flows,
+		nClients:   st.Clients,
+		firstPeers: append([]PeerContact(nil), st.FirstPeers...),
+		seal:       d.seals,
+	}
+	ps := make(map[netaddr.V4]struct{}, len(st.Peers))
+	for _, p := range st.Peers {
+		ps[p] = struct{}{}
+	}
+	d.peers[st.Key] = ps
+}
+
+// exportSource copies one source's window contents into wire form,
+// windows ascending, contact sets sorted.
+func (t *scanTracker) exportSource(src netaddr.V4) ScanSourceState {
+	s := t.sources[src]
+	st := ScanSourceState{Source: src, Windows: make([]ScanWindowState, 0, len(s.windows))}
+	for idx, w := range s.windows {
+		st.Windows = append(st.Windows, ScanWindowState{
+			Index:   idx,
+			Dsts:    sortedV4Keys(w.dsts),
+			RstDsts: sortedV4Keys(w.rstDsts),
+		})
+	}
+	sort.Slice(st.Windows, func(i, j int) bool { return st.Windows[i].Index < st.Windows[j].Index })
+	return st
+}
+
+// importSource installs one source wholesale and recomputes its peak
+// window and flagged bit offline. The offline rule — best (dsts, then
+// rstDsts), earliest window on full ties — agrees with the online
+// updateBest rule because counts within one window only grow, so the
+// restored tracker's detect() output is identical to the uninterrupted
+// run's, and a restored-then-resumed run flags each source at most once
+// across incarnations.
+func (t *scanTracker) importSource(ss *ScanSourceState) {
+	windows := append([]ScanWindowState(nil), ss.Windows...)
+	sort.Slice(windows, func(i, j int) bool { return windows[i].Index < windows[j].Index })
+	src := &scanSource{windows: make(map[int64]*scanWindow, len(windows))}
+	delete(t.best, ss.Source)
+	qualified := false
+	for _, ws := range windows {
+		w := &scanWindow{
+			dsts:    make(map[netaddr.V4]struct{}, len(ws.Dsts)),
+			rstDsts: make(map[netaddr.V4]struct{}, len(ws.RstDsts)),
+		}
+		for _, a := range ws.Dsts {
+			w.dsts[a] = struct{}{}
+		}
+		for _, a := range ws.RstDsts {
+			w.rstDsts[a] = struct{}{}
+		}
+		src.windows[ws.Index] = w
+		if len(w.dsts) < ScanDetectMinDsts || len(w.rstDsts) < ScanDetectMinRsts {
+			continue
+		}
+		qualified = true
+		cur, ok := t.best[ss.Source]
+		if ok && (len(w.dsts) < cur.UniqueDsts ||
+			(len(w.dsts) == cur.UniqueDsts && len(w.rstDsts) <= cur.RstDsts)) {
+			continue
+		}
+		t.best[ss.Source] = ScannerInfo{
+			Source:     ss.Source,
+			Window:     t.origin.Add(time.Duration(ws.Index) * ScanDetectWindow),
+			UniqueDsts: len(w.dsts),
+			RstDsts:    len(w.rstDsts),
+		}
+	}
+	t.sources[ss.Source] = src
+	if qualified {
+		if t.flagged == nil {
+			t.flagged = make(map[netaddr.V4]bool)
+		}
+		t.flagged[ss.Source] = true
+	}
+	t.detGen++
+}
+
+// CheckpointConfig reports the engine's shape for manifest validation.
+func (s *ShardedPassive) CheckpointConfig() EngineConfig {
+	ports := make([]uint16, 0, len(s.shards[0].disc.udpPorts))
+	for p := range s.shards[0].disc.udpPorts {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	return EngineConfig{Campus: s.campus.String(), UDPPorts: ports, Shards: len(s.shards)}
+}
+
+// ExportDelta captures the passive engine's state changed since cur (all
+// of it when cur is nil — a baseline). The capture point is a whole-batch
+// boundary of the producer's stream (marker-based, like Snapshot), safe
+// to call at any lifecycle stage and concurrent with ingest. The returned
+// cursor names the captured state; feed it to the next call.
+func (s *ShardedPassive) ExportDelta(cur *CheckpointCursor) (*EngineDelta, CheckpointCursor) {
+	ed, gens := s.exportShards(cur)
+	return ed, CheckpointCursor{Gens: gens}
+}
+
+// exportShards scatters export markers (mirroring snapshotViews) and
+// assembles the shard copy-outs into one delta.
+func (s *ShardedPassive) exportShards(cur *CheckpointCursor) (*EngineDelta, []uint64) {
+	full := cur == nil || len(cur.Gens) != len(s.shards)
+	exports := make([]*shardExport, len(s.shards))
+
+	s.dispatchMu.Lock()
+	s.mu.RLock()
+	if s.running && !s.closed {
+		chans := make([]chan *shardExport, len(s.shards))
+		for i := range s.shards {
+			ch := make(chan *shardExport, 1)
+			chans[i] = ch
+			req := &shardExportReq{full: full, out: ch}
+			if !full {
+				req.since = cur.Gens[i]
+			}
+			s.queues[i] <- shardMsg{ckpt: req}
+		}
+		s.mu.RUnlock()
+		s.dispatchMu.Unlock()
+		for i, ch := range chans {
+			exports[i] = <-ch
+		}
+	} else {
+		s.mu.RUnlock()
+		// Inline, or shut down: wait out any former workers so their
+		// final writes are visible, then copy out directly.
+		s.workers.Wait()
+		for i, sh := range s.shards {
+			req := &shardExportReq{full: full}
+			if !full {
+				req.since = cur.Gens[i]
+			}
+			exports[i] = sh.exportState(req)
+		}
+		s.dispatchMu.Unlock()
+	}
+
+	ed := &EngineDelta{}
+	gens := make([]uint64, len(exports))
+	allFull := len(exports) > 0
+	for i, ex := range exports {
+		gens[i] = ex.gen
+		ed.Packets += ex.packets
+		if ex.originSet && !ed.OriginSet {
+			ed.Origin, ed.OriginSet = ex.origin, true
+		}
+		if ex.skipped {
+			ed.ShardsSkipped++
+			allFull = false
+			continue
+		}
+		ed.ShardsChanged++
+		if !ex.full {
+			allFull = false
+		}
+		ed.Services = append(ed.Services, ex.services...)
+		ed.Trails = append(ed.Trails, ex.trails...)
+		ed.ScanSources = append(ed.ScanSources, ex.scanSrcs...)
+	}
+	ed.Full = allFull
+	sort.Slice(ed.Services, func(i, j int) bool { return ed.Services[i].Key.Before(ed.Services[j].Key) })
+	sort.Slice(ed.Trails, func(i, j int) bool { return ed.Trails[i].Addr < ed.Trails[j].Addr })
+	sort.Slice(ed.ScanSources, func(i, j int) bool { return ed.ScanSources[i].Source < ed.ScanSources[j].Source })
+	return ed, gens
+}
+
+// checkFresh rejects import into an engine that has run or ingested:
+// restore must rebuild state from zero, in chunk order, before any
+// traffic — anything else could not be proven equivalent.
+func (s *ShardedPassive) checkFresh() error {
+	s.mu.RLock()
+	running, closed := s.running, s.closed
+	s.mu.RUnlock()
+	if running || closed {
+		return fmt.Errorf("core: checkpoint import requires a fresh engine (already running or closed)")
+	}
+	if s.dispatched.Load() != 0 || s.counters.In() != 0 {
+		return fmt.Errorf("core: checkpoint import requires a fresh engine (packets already ingested)")
+	}
+	return nil
+}
+
+// ImportDelta applies one exported delta to a fresh engine, before Run
+// and before any ingest; apply a baseline and its deltas in chain order.
+// State is redistributed by owner address, so the shard count may differ
+// from the exporting engine's. Single-goroutine, like pre-Run ingest.
+func (s *ShardedPassive) ImportDelta(ed *EngineDelta) error {
+	if err := s.checkFresh(); err != nil {
+		return err
+	}
+	if ed.Active != nil {
+		return fmt.Errorf("core: delta carries active-scan state; import it into a Hybrid engine")
+	}
+	s.importPassive(ed)
+	return nil
+}
+
+func (s *ShardedPassive) importPassive(ed *EngineDelta) {
+	if ed.OriginSet && !s.originSeeded {
+		s.seedOrigins(ed.Origin)
+	}
+	for i := range ed.Services {
+		st := &ed.Services[i]
+		s.shards[s.shardOf(st.Key.Addr)].disc.importService(st)
+		s.events.seedPassive(st.Key, st.FirstSeen)
+	}
+	for i := range ed.Trails {
+		tr := &ed.Trails[i]
+		s.shards[s.shardOf(tr.Addr)].disc.addrTimes[tr.Addr] = append([]time.Time(nil), tr.Times...)
+	}
+	for i := range ed.ScanSources {
+		ss := &ed.ScanSources[i]
+		s.shards[s.shardOf(ss.Source)].disc.track.importSource(ss)
+	}
+	// The cumulative packet count is attributed to shard 0 wholesale:
+	// per-shard attribution is unobservable (every merge sums), and the
+	// importing engine's shardOf may differ from the exporter's anyway.
+	for i, sh := range s.shards {
+		if i == 0 {
+			sh.disc.Packets = ed.Packets
+		} else {
+			sh.disc.Packets = 0
+		}
+		sh.view = nil
+		sh.deltas = nil
+	}
+	s.snap.invalidate()
+}
+
+// CheckpointConfig reports the hybrid engine's shape.
+func (h *Hybrid) CheckpointConfig() EngineConfig {
+	c := h.passive.CheckpointConfig()
+	c.Hybrid = true
+	return c
+}
+
+// ExportDelta captures the hybrid engine's state changed since cur: the
+// passive side at a whole-batch boundary, the active side at its current
+// report generation (exported whole whenever any report was applied —
+// the same capture looseness Snapshot has, harmless because active
+// ingestion is order-independent).
+func (h *Hybrid) ExportDelta(cur *CheckpointCursor) (*EngineDelta, CheckpointCursor) {
+	ed, gens := h.passive.exportShards(cur)
+	av := h.activeSnapshot()
+	var curAgen uint64
+	if cur != nil {
+		curAgen = cur.Agen
+	}
+	if av.gen != curAgen {
+		ed.Active = exportActiveState(av.disc)
+	}
+	return ed, CheckpointCursor{Gens: gens, Agen: av.gen}
+}
+
+// ImportDelta applies one exported delta to a fresh hybrid engine (see
+// ShardedPassive.ImportDelta for the contract).
+func (h *Hybrid) ImportDelta(ed *EngineDelta) error {
+	h.mu.RLock()
+	running, closed := h.running, h.closed
+	h.mu.RUnlock()
+	if running || closed {
+		return fmt.Errorf("core: checkpoint import requires a fresh engine (already running or closed)")
+	}
+	if err := h.passive.checkFresh(); err != nil {
+		return err
+	}
+	h.passive.importPassive(ed)
+	if ed.Active != nil {
+		h.importActiveState(ed.Active)
+	}
+	return nil
+}
+
+// exportActiveState copies a frozen active view into wire form, every
+// list sorted. Slices alias the sealed clone's storage where immutability
+// allows (outcome histories are copy-on-write protected, Open lists are
+// write-once), so the copy is O(entries), not O(bytes).
+func exportActiveState(d *ActiveDiscoverer) *ActiveState {
+	as := &ActiveState{
+		Ports:     append([]uint16(nil), d.ports...),
+		Scans:     append([]ScanMeta(nil), d.scans...),
+		Responded: d.respondedEver.Sorted(),
+	}
+	as.Services = make([]ActiveServiceState, 0, len(d.firstOpen))
+	for k, t := range d.firstOpen {
+		as.Services = append(as.Services, ActiveServiceState{Key: k, At: t})
+	}
+	sort.Slice(as.Services, func(i, j int) bool { return as.Services[i].Key.Before(as.Services[j].Key) })
+	as.Outcomes = make([]AddrOutcomes, 0, len(d.perAddr))
+	for a, outs := range d.perAddr {
+		as.Outcomes = append(as.Outcomes, AddrOutcomes{Addr: a, Outcomes: outs[:len(outs):len(outs)]})
+	}
+	sort.Slice(as.Outcomes, func(i, j int) bool { return as.Outcomes[i].Addr < as.Outcomes[j].Addr })
+	as.UDP = make([]AddrUDPState, 0, len(d.udp))
+	for a, m := range d.udp {
+		ports := make([]UDPPortState, 0, len(m))
+		for p, st := range m {
+			ports = append(ports, UDPPortState{Port: p, State: st})
+		}
+		sort.Slice(ports, func(i, j int) bool { return ports[i].Port < ports[j].Port })
+		as.UDP = append(as.UDP, AddrUDPState{Addr: a, Ports: ports})
+	}
+	sort.Slice(as.UDP, func(i, j int) bool { return as.UDP[i].Addr < as.UDP[j].Addr })
+	return as
+}
+
+// importActiveState replaces the active side wholesale (each export
+// carries the complete state) and re-seeds the event join table.
+func (h *Hybrid) importActiveState(as *ActiveState) {
+	h.amu.Lock()
+	a := h.active
+	a.ports = append([]uint16(nil), as.Ports...)
+	a.scans = append([]ScanMeta(nil), as.Scans...)
+	a.firstOpen = make(map[ServiceKey]time.Time, len(as.Services))
+	for _, svc := range as.Services {
+		a.firstOpen[svc.Key] = svc.At
+	}
+	a.perAddr = make(map[netaddr.V4][]AddrScanOutcome, len(as.Outcomes))
+	for _, ao := range as.Outcomes {
+		a.perAddr[ao.Addr] = append([]AddrScanOutcome(nil), ao.Outcomes...)
+	}
+	a.respondedEver = netaddr.NewSet(as.Responded...)
+	a.udp = make(map[netaddr.V4]map[uint16]probe.UDPState, len(as.UDP))
+	for _, au := range as.UDP {
+		m := make(map[uint16]probe.UDPState, len(au.Ports))
+		for _, ps := range au.Ports {
+			m[ps.Port] = ps.State
+		}
+		a.udp[au.Addr] = m
+	}
+	a.cow, a.ownedAddr, a.ownedUDP = false, nil, nil
+	h.aview = nil
+	h.agen.Add(1)
+	h.seenReports.Store(true)
+	h.amu.Unlock()
+	for _, svc := range as.Services {
+		h.passive.events.seedActive(svc.Key, svc.At)
+	}
+}
+
+// sortedV4Keys renders a V4 key set as a sorted slice. The generic
+// signature covers both struct{}-valued set shapes used in the engine.
+func sortedV4Keys[V any](m map[netaddr.V4]V) []netaddr.V4 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]netaddr.V4, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -52,6 +52,14 @@ type PassiveDiscoverer struct {
 	dirtyAddrs map[netaddr.V4]struct{}
 	newKeys    []ServiceKey
 
+	// Checkpoint dirty tracking (export.go): which services and trails
+	// changed since the last checkpoint export. Independent of the seal
+	// dirty sets above — seals clear at every snapshot freeze, checkpoints
+	// run on their own (usually much slower) cadence. Off (nil, zero cost)
+	// until the first full export enables it.
+	ckDirty      map[ServiceKey]struct{}
+	ckDirtyAddrs map[netaddr.V4]struct{}
+
 	// Packets counts everything handled.
 	Packets int
 }
@@ -241,6 +249,9 @@ func (d *PassiveDiscoverer) observe(key ServiceKey, t time.Time, peer netaddr.V4
 		peers[peer] = struct{}{}
 	}
 	rec.observe(t, peer, !seen)
+	if d.ckDirty != nil {
+		d.ckDirty[key] = struct{}{}
+	}
 
 	// Thinned per-address activity trail (>=1-minute spacing). Appends
 	// only — sealed views alias the backing array safely.
@@ -249,6 +260,9 @@ func (d *PassiveDiscoverer) observe(key ServiceKey, t time.Time, peer netaddr.V4
 		d.addrTimes[key.Addr] = append(times, t)
 		if d.sealed != nil {
 			d.dirtyAddrs[key.Addr] = struct{}{}
+		}
+		if d.ckDirtyAddrs != nil {
+			d.ckDirtyAddrs[key.Addr] = struct{}{}
 		}
 	}
 }

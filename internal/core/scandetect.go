@@ -59,6 +59,10 @@ type scanTracker struct {
 	detGen   uint64
 	cache    []ScannerInfo
 	cacheGen uint64
+
+	// ckDirty names the sources touched since the last checkpoint export
+	// (see export.go). Off (nil, zero cost) until the first full export.
+	ckDirty map[netaddr.V4]struct{}
 }
 
 type scanSource struct {
@@ -119,6 +123,9 @@ func (t *scanTracker) window(src netaddr.V4, at time.Time) (*scanWindow, int64) 
 func (t *scanTracker) recordSyn(at time.Time, src, dst netaddr.V4) {
 	w, idx := t.window(src, at)
 	w.dsts[dst] = struct{}{}
+	if t.ckDirty != nil {
+		t.ckDirty[src] = struct{}{}
+	}
 	t.maybeFlag(src, w, idx, at)
 	t.updateBest(src, w, idx)
 }
@@ -127,6 +134,9 @@ func (t *scanTracker) recordSyn(at time.Time, src, dst netaddr.V4) {
 func (t *scanTracker) recordRst(at time.Time, peer, from netaddr.V4) {
 	w, idx := t.window(peer, at)
 	w.rstDsts[from] = struct{}{}
+	if t.ckDirty != nil {
+		t.ckDirty[peer] = struct{}{}
+	}
 	t.maybeFlag(peer, w, idx, at)
 	t.updateBest(peer, w, idx)
 }

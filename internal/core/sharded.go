@@ -153,6 +153,15 @@ func (c *snapCache) put(gens []uint64, inv *Inventory, dispatched, agen uint64) 
 	c.mu.Unlock()
 }
 
+// invalidate drops the cached Inventory — checkpoint restore mutates
+// shard state without moving the dispatch fingerprint, so any inventory
+// frozen before the import must not be served after it.
+func (c *snapCache) invalidate() {
+	c.mu.Lock()
+	c.gens, c.inv = nil, nil
+	c.mu.Unlock()
+}
+
 // maxSealDeltas bounds the per-shard seal-delta history. Snapshot cadences
 // that outrun it (more distinct freeze points between two merges than the
 // ring holds) fall back to a full re-merge, never to a wrong one.
@@ -236,12 +245,16 @@ func (sh *passiveShard) deltasBetween(fromGen, toGen uint64) (out []sealDelta, o
 	return out, want == fromGen
 }
 
-// shardMsg is one entry of a shard queue: either a sub-batch to apply
-// (batch points into a pooled buffer the worker recycles) or a snapshot
-// marker to answer (exactly one field is set).
+// shardMsg is one entry of a shard queue: a sub-batch to apply (batch
+// points into a pooled buffer the worker recycles), a snapshot marker to
+// answer, or a checkpoint-export request (exactly one field is set).
+// Markers flow through the same queue as batches, so both snapshot and
+// export points always fall at whole-batch boundaries of the producer's
+// stream.
 type shardMsg struct {
 	batch *[]packet.Packet
 	snap  chan<- *shardView
+	ckpt  *shardExportReq
 }
 
 // NewShardedPassive builds a discoverer sharded n ways (n < 1 is treated
@@ -437,6 +450,13 @@ func (s *ShardedPassive) Run(ctx context.Context) {
 					// been applied, so the frozen view is exactly the
 					// shard's state at the marker's dispatch point.
 					msg.snap <- sh.freeze()
+					continue
+				}
+				if msg.ckpt != nil {
+					// Checkpoint-export marker: same boundary guarantee as
+					// a snapshot marker; the copy-out runs on the worker,
+					// so live-only state (peers, tracker) is read race-free.
+					msg.ckpt.out <- sh.exportState(msg.ckpt)
 					continue
 				}
 				if s.ctx.Err() == nil {

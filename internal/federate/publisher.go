@@ -77,16 +77,48 @@ type Publisher struct {
 // identity. The publisher subscribes to the engine immediately; close the
 // engine (or Close the publisher) to end the feed.
 func NewPublisher(site SiteID, eng Engine) *Publisher {
+	return NewPublisherResumed(site, eng, PublisherState{})
+}
+
+// PublisherState is the publisher's stream cursor — which (epoch, seq)
+// position its feed has reached — in checkpointable form.
+type PublisherState struct {
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
+
+// NewPublisherResumed starts a publisher that continues a checkpointed
+// stream: it keeps the stored epoch and numbers new events after the
+// stored cursor, so a restored site resumes its feed instead of opening a
+// new epoch and reshipping history. Downstream aggregators treat the
+// restored engine's re-announcements — events the pre-checkpoint
+// incarnation published after the checkpoint was cut — as duplicates by
+// sequence where ingest order matches, and absorb any residue through
+// idempotent merges and the next snapshot. A zero state is a fresh start
+// (a new wall-clock epoch), which is what NewPublisher passes.
+func NewPublisherResumed(site SiteID, eng Engine, st PublisherState) *Publisher {
+	epoch := st.Epoch
+	if epoch == 0 {
+		epoch = uint64(time.Now().UnixNano())
+	}
 	p := &Publisher{
 		site:  site,
-		epoch: uint64(time.Now().UnixNano()),
+		epoch: epoch,
 		eng:   eng,
 		hub:   pipeline.NewHub[Frame](),
 		sub:   eng.Subscribe(pumpBuffer),
 		done:  make(chan struct{}),
 	}
+	p.seq.Store(st.Seq)
 	go p.pump()
 	return p
+}
+
+// State reports the stream cursor at this instant, for checkpointing.
+// Capture it at the same consistency point as the engine export (the
+// checkpoint Writer snapshots it right after the engine freeze).
+func (p *Publisher) State() PublisherState {
+	return PublisherState{Epoch: p.epoch, Seq: p.seq.Load()}
 }
 
 // Site returns the publisher's site identity.

@@ -89,66 +89,90 @@ type Frame struct {
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
 }
 
-// Encoder writes frames in the length-prefixed JSONL wire form. Not safe
-// for concurrent writers; each feed connection owns one encoder.
-type Encoder struct {
+// FrameWriter writes arbitrary JSON values in the length-prefixed JSONL
+// framing ("123 {...}\n"). It is the raw layer under Encoder, exposed so
+// other durable formats (the checkpoint chunk codec) share one framing;
+// unlike Encoder it buffers — call Flush before trusting the underlying
+// writer has everything. Not safe for concurrent writers.
+type FrameWriter struct {
 	w   *bufio.Writer
 	buf []byte
 }
 
+// NewFrameWriter wraps a writer.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: bufio.NewWriter(w)}
+}
+
+// WriteJSON marshals v and writes it as one frame, buffered.
+func (fw *FrameWriter) WriteJSON(v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("federate: encode frame: %w", err)
+	}
+	fw.buf = strconv.AppendInt(fw.buf[:0], int64(len(body)), 10)
+	fw.buf = append(fw.buf, ' ')
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(body); err != nil {
+		return err
+	}
+	return fw.w.WriteByte('\n')
+}
+
+// Flush pushes buffered frames to the underlying writer.
+func (fw *FrameWriter) Flush() error { return fw.w.Flush() }
+
+// Encoder writes frames in the length-prefixed JSONL wire form. Not safe
+// for concurrent writers; each feed connection owns one encoder.
+type Encoder struct {
+	fw *FrameWriter
+}
+
 // NewEncoder wraps a writer (typically a net.Conn or an HTTP response).
 func NewEncoder(w io.Writer) *Encoder {
-	return &Encoder{w: bufio.NewWriter(w)}
+	return &Encoder{fw: NewFrameWriter(w)}
 }
 
 // Encode writes one frame and flushes it to the underlying writer, so a
 // live feed never sits in the buffer waiting for a frame that may be
 // minutes away.
 func (e *Encoder) Encode(f *Frame) error {
-	body, err := json.Marshal(f)
-	if err != nil {
-		return fmt.Errorf("federate: encode frame: %w", err)
-	}
-	e.buf = strconv.AppendInt(e.buf[:0], int64(len(body)), 10)
-	e.buf = append(e.buf, ' ')
-	if _, err := e.w.Write(e.buf); err != nil {
+	if err := e.fw.WriteJSON(f); err != nil {
 		return err
 	}
-	if _, err := e.w.Write(body); err != nil {
-		return err
-	}
-	if err := e.w.WriteByte('\n'); err != nil {
-		return err
-	}
-	return e.w.Flush()
+	return e.fw.Flush()
 }
 
-// Decoder reads frames written by Encoder. Not safe for concurrent
-// readers.
-type Decoder struct {
+// FrameReader reads frames written by FrameWriter, returning the raw
+// body bytes. It is the raw layer under Decoder, hardened the same way:
+// the body buffer grows only as bytes actually arrive, so a hostile
+// length prefix cannot force a quarter-gigabyte allocation for a stream
+// that ends two bytes later. Not safe for concurrent readers.
+type FrameReader struct {
 	r   *bufio.Reader
 	buf []byte
 }
 
-// NewDecoder wraps a reader.
-func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{r: bufio.NewReader(r)}
+// NewFrameReader wraps a reader.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
 }
 
-// Decode reads the next frame. It returns io.EOF when the stream ends
-// cleanly at a frame boundary and io.ErrUnexpectedEOF when it ends inside
-// a frame; any other malformation (bad prefix, oversized frame, invalid
-// JSON, version mismatch) is a descriptive error.
-func (d *Decoder) Decode() (*Frame, error) {
-	n, err := d.readLen()
+// ReadBody returns the next frame's JSON body. The returned slice aliases
+// the reader's internal buffer and is valid only until the next call. It
+// returns io.EOF when the stream ends cleanly at a frame boundary and
+// io.ErrUnexpectedEOF when it ends inside a frame; any other malformation
+// (bad prefix, oversized frame, missing terminator) is a descriptive
+// error.
+func (fr *FrameReader) ReadBody() ([]byte, error) {
+	n, err := fr.readLen()
 	if err != nil {
 		return nil, err
 	}
-	// Grow the buffer only as bytes actually arrive: a hostile length
-	// prefix must not be able to force a quarter-gigabyte allocation for a
-	// stream that ends two bytes later.
 	need := n + 1 // body plus the trailing newline
-	buf := d.buf[:0]
+	buf := fr.buf[:0]
 	for len(buf) < need {
 		chunk := need - len(buf)
 		if chunk > 1<<20 {
@@ -156,33 +180,38 @@ func (d *Decoder) Decode() (*Frame, error) {
 		}
 		start := len(buf)
 		buf = append(buf, make([]byte, chunk)...)
-		if _, err := io.ReadFull(d.r, buf[start:]); err != nil {
+		if _, err := io.ReadFull(fr.r, buf[start:]); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
 			return nil, err
 		}
 	}
-	d.buf = buf
+	fr.buf = buf
 	if buf[n] != '\n' {
 		return nil, fmt.Errorf("federate: frame missing newline terminator")
 	}
-	var f Frame
-	if err := json.Unmarshal(buf[:n], &f); err != nil {
-		return nil, fmt.Errorf("federate: decode frame: %w", err)
+	return buf[:n], nil
+}
+
+// ReadJSON reads the next frame and unmarshals it into v.
+func (fr *FrameReader) ReadJSON(v any) error {
+	body, err := fr.ReadBody()
+	if err != nil {
+		return err
 	}
-	if f.V != WireVersion {
-		return nil, fmt.Errorf("federate: wire version %d, want %d", f.V, WireVersion)
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("federate: decode frame: %w", err)
 	}
-	return &f, nil
+	return nil
 }
 
 // readLen parses the decimal length prefix up to the separating space.
 // io.EOF before the first digit is a clean end of stream.
-func (d *Decoder) readLen() (int, error) {
+func (fr *FrameReader) readLen() (int, error) {
 	n := 0
 	for i := 0; ; i++ {
-		c, err := d.r.ReadByte()
+		c, err := fr.r.ReadByte()
 		if err != nil {
 			if err == io.EOF && i > 0 {
 				err = io.ErrUnexpectedEOF
@@ -203,4 +232,30 @@ func (d *Decoder) readLen() (int, error) {
 			return 0, fmt.Errorf("federate: frame length %d exceeds limit %d", n, maxFrameLen)
 		}
 	}
+}
+
+// Decoder reads frames written by Encoder. Not safe for concurrent
+// readers.
+type Decoder struct {
+	fr *FrameReader
+}
+
+// NewDecoder wraps a reader.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{fr: NewFrameReader(r)}
+}
+
+// Decode reads the next frame. It returns io.EOF when the stream ends
+// cleanly at a frame boundary and io.ErrUnexpectedEOF when it ends inside
+// a frame; any other malformation (bad prefix, oversized frame, invalid
+// JSON, version mismatch) is a descriptive error.
+func (d *Decoder) Decode() (*Frame, error) {
+	var f Frame
+	if err := d.fr.ReadJSON(&f); err != nil {
+		return nil, err
+	}
+	if f.V != WireVersion {
+		return nil, fmt.Errorf("federate: wire version %d, want %d", f.V, WireVersion)
+	}
+	return &f, nil
 }

@@ -17,7 +17,9 @@ import (
 
 	"servdisc/internal/campus"
 	"servdisc/internal/capture"
+	"servdisc/internal/checkpoint"
 	"servdisc/internal/core"
+	"servdisc/internal/federate"
 	"servdisc/internal/filter"
 	"servdisc/internal/netaddr"
 	"servdisc/internal/packet"
@@ -54,6 +56,18 @@ type (
 	// the form the monitoring endpoints read (see Pipeline.IngestCounters
 	// and Pipeline.EventCounters).
 	StageCounters = pipeline.StageCounters
+	// CheckpointResult reports one checkpoint's effort (see
+	// Pipeline.Checkpoint).
+	CheckpointResult = checkpoint.Result
+	// CheckpointStats aggregates a pipeline's lifetime checkpoint effort —
+	// the numbers behind the /metrics checkpoint series.
+	CheckpointStats = checkpoint.Stats
+	// CheckpointManifest indexes a checkpoint directory (returned by
+	// Pipeline.RestoreFromCheckpoint).
+	CheckpointManifest = checkpoint.Manifest
+	// PublisherState is the federation stream cursor stored with a
+	// checkpoint, so a restored site resumes publishing where it left off.
+	PublisherState = federate.PublisherState
 )
 
 // Event kinds, re-exported from core: see core.EventKind for semantics.
@@ -158,6 +172,25 @@ type Config struct {
 	// NewPipeline accepts it too, attaching the scheduler so scan reports
 	// reconcile into the same engine as the passive stream.
 	Scan *ScanOptions
+	// Checkpoint, when set, gives the pipeline durable state: call
+	// RestoreFromCheckpoint before ingest to resume a previous run, and
+	// Checkpoint periodically (Every is the suggested cadence for the
+	// command-level ticker) to persist incremental deltas.
+	Checkpoint *CheckpointOptions
+}
+
+// CheckpointOptions configure the pipeline's durable-state subsystem
+// (internal/checkpoint): where checkpoints live and how the delta chain
+// is bounded.
+type CheckpointOptions struct {
+	// Dir is the checkpoint directory (required; created if absent).
+	Dir string
+	// Every is the checkpoint cadence hint consumed by the commands'
+	// tickers (the library itself checkpoints only when told to).
+	Every time.Duration
+	// MaxDeltas caps the incremental chain before it is folded into a
+	// fresh baseline (checkpoint.DefaultMaxDeltas when zero).
+	MaxDeltas int
 }
 
 func (c Config) campusPrefix() (netaddr.Prefix, error) {
@@ -196,6 +229,11 @@ type Pipeline struct {
 	sched     *probe.Scheduler // nil unless Config.Scan was set
 	scan      *ScanOptions
 	batchSize int
+
+	ckpt        *checkpoint.Writer // nil unless Config.Checkpoint was set
+	ckptDir     string
+	ckptEvery   time.Duration
+	restoredPub *PublisherState // from the last RestoreFromCheckpoint
 }
 
 // NewPipeline assembles a pipeline from the config. With cfg.Scan set, the
@@ -235,6 +273,19 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		engine:    engine,
 		scan:      cfg.Scan,
 		batchSize: cfg.BatchSize,
+	}
+	if cfg.Checkpoint != nil {
+		if cfg.Checkpoint.Dir == "" {
+			return nil, fmt.Errorf("servdisc: Config.Checkpoint.Dir is required")
+		}
+		w, err := checkpoint.NewWriter(engine, cfg.Checkpoint.Dir,
+			checkpoint.Options{MaxDeltas: cfg.Checkpoint.MaxDeltas})
+		if err != nil {
+			return nil, fmt.Errorf("servdisc: checkpoint dir: %w", err)
+		}
+		p.ckpt = w
+		p.ckptDir = cfg.Checkpoint.Dir
+		p.ckptEvery = cfg.Checkpoint.Every
 	}
 	if cfg.Scan != nil {
 		p.sched = probe.NewScheduler(cfg.Scan.backend(), probe.SchedulerConfig{
@@ -346,6 +397,107 @@ func (p *Pipeline) Replay(ctx context.Context, r io.Reader) (int, error) {
 	}
 	return capture.ReplayBatched(ctx, tr, p.engine, p.batchSize)
 }
+
+// skipSink drops the first n packets of a replayed stream before feeding
+// the wrapped sink — how a restored pipeline resumes a trace from its
+// checkpointed packet position. State equivalence needs only packet
+// order, so the resumed run's batch boundaries need not reproduce the
+// original's.
+type skipSink struct {
+	sink pipeline.BatchSink
+	left int
+}
+
+func (s *skipSink) HandleBatch(batch []packet.Packet) {
+	if s.left > 0 {
+		if s.left >= len(batch) {
+			s.left -= len(batch)
+			return
+		}
+		batch = batch[s.left:]
+		s.left = 0
+	}
+	s.sink.HandleBatch(batch)
+}
+
+// ResumeReplay replays a pcap trace like Replay but skips the first skip
+// packets — pass the restored engine's packet position (Snapshot().
+// Packets() right after RestoreFromCheckpoint): the checkpoint counted
+// every packet it covered, so position N means "resume at trace offset
+// N". Returns the total packets read, skipped ones included.
+func (p *Pipeline) ResumeReplay(ctx context.Context, r io.Reader, skip int) (int, error) {
+	if skip <= 0 {
+		return p.Replay(ctx, r)
+	}
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	return capture.ReplayBatched(ctx, tr, &skipSink{sink: p.engine, left: skip}, p.batchSize)
+}
+
+// RestoreFromCheckpoint rebuilds the engine from Config.Checkpoint.Dir.
+// Call it on a fresh pipeline, before Run and before any ingest. It
+// returns (nil, nil) on a cold start (no checkpoint yet); on success the
+// engine holds the checkpointed state, Snapshot().Packets() is the trace
+// position to resume from (see ResumeReplay), and RestoredPublisherCursor
+// exposes the stored federation cursor, if any. A corrupt checkpoint
+// fails loudly with the engine untouched.
+func (p *Pipeline) RestoreFromCheckpoint() (*CheckpointManifest, error) {
+	if p.ckpt == nil {
+		return nil, fmt.Errorf("servdisc: no Config.Checkpoint configured")
+	}
+	man, err := checkpoint.Restore(p.checkpointDir(), p.engine)
+	if err != nil || man == nil {
+		return man, err
+	}
+	p.restoredPub = man.Publisher
+	return man, nil
+}
+
+// checkpointDir recovers the writer's directory for Restore. The writer
+// itself keeps it; stored here to avoid widening the checkpoint API.
+func (p *Pipeline) checkpointDir() string { return p.ckptDir }
+
+// Checkpoint persists the engine's changes since the last checkpoint
+// (a full baseline the first time, incremental afterwards). Safe to call
+// concurrently with ingest — the cut lands on a whole-batch boundary —
+// and from a ticker and a shutdown path at once.
+func (p *Pipeline) Checkpoint(ctx context.Context) (CheckpointResult, error) {
+	if p.ckpt == nil {
+		return CheckpointResult{}, fmt.Errorf("servdisc: no Config.Checkpoint configured")
+	}
+	return p.ckpt.Checkpoint(ctx)
+}
+
+// CheckpointStats returns the lifetime checkpoint counters; ok is false
+// when no Config.Checkpoint was configured.
+func (p *Pipeline) CheckpointStats() (st CheckpointStats, ok bool) {
+	if p.ckpt == nil {
+		return CheckpointStats{}, false
+	}
+	return p.ckpt.Stats(), true
+}
+
+// CheckpointEvery returns the configured checkpoint cadence hint (zero
+// when unset or unconfigured).
+func (p *Pipeline) CheckpointEvery() time.Duration { return p.ckptEvery }
+
+// SetPublisherCursor installs the federation publisher's cursor sampler,
+// so every later checkpoint stores the stream position alongside the
+// engine state (pass federate.Publisher.State). No-op without
+// Config.Checkpoint.
+func (p *Pipeline) SetPublisherCursor(fn func() PublisherState) {
+	if p.ckpt != nil {
+		p.ckpt.SetPublisher(fn)
+	}
+}
+
+// RestoredPublisherCursor returns the federation cursor recovered by the
+// last RestoreFromCheckpoint, nil when none was stored — hand it to
+// federate.NewPublisherResumed so the restored site keeps its epoch and
+// sequence instead of reshipping history.
+func (p *Pipeline) RestoredPublisherCursor() *PublisherState { return p.restoredPub }
 
 // Passive merges the shards into a single PassiveDiscoverer for the
 // analysis layer (core.Analysis). The merge is a live view sharing shard
