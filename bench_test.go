@@ -342,6 +342,72 @@ func BenchmarkIngestSharded(b *testing.B) {
 	reportPacketsPerSec(b, len(pkts))
 }
 
+// Synthetic inventory-scale harness: the two-day campus corpus tops out
+// around 10^4 services, far too small to show whether merged-snapshot cost
+// really tracks churn rather than inventory size. These helpers fabricate
+// an arbitrary number of distinct services (addresses × ports fanned out
+// inside one campus prefix) via synthesized accept responses, with a
+// monotone microsecond-spaced observation clock.
+
+const synthPortsPerAddr = 32
+
+func synthPrefix(tb testing.TB) netaddr.Prefix {
+	tb.Helper()
+	pfx, err := netaddr.NewPrefix(netaddr.MustParseV4("10.16.0.0"), 16)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pfx
+}
+
+func synthEndpoint(pfx netaddr.Prefix, i int) packet.Endpoint {
+	return packet.Endpoint{
+		Addr: pfx.Base() + netaddr.V4(1+i/synthPortsPerAddr),
+		Port: uint16(9000 + i%synthPortsPerAddr),
+	}
+}
+
+// feedSyntheticServices populates the engine with n distinct services, in
+// ingest-sized batches so dispatch follows the production path.
+func feedSyntheticServices(sp *core.ShardedPassive, pfx netaddr.Prefix, n int, t0 time.Time) {
+	bld := packet.NewBuilder(0)
+	client := packet.Endpoint{Addr: netaddr.MustParseV4("64.9.0.1"), Port: 33000}
+	batch := make([]packet.Packet, 0, benchBatchSize)
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * time.Microsecond)
+		batch = append(batch, *bld.SynAck(at, synthEndpoint(pfx, i), client, 1, 1))
+		if len(batch) == cap(batch) {
+			sp.HandleBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		sp.HandleBatch(batch)
+	}
+}
+
+// synthChurn prebuilds one batch of re-observations of the first n
+// synthetic services. Timestamps are rewritten per round by retimeChurn,
+// so a measurement loop reuses the slice without allocating.
+func synthChurn(pfx netaddr.Prefix, n int) []packet.Packet {
+	bld := packet.NewBuilder(0)
+	client := packet.Endpoint{Addr: netaddr.MustParseV4("64.9.0.2"), Port: 41000}
+	out := make([]packet.Packet, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, *bld.SynAck(time.Time{}, synthEndpoint(pfx, i), client, 7, 7))
+	}
+	return out
+}
+
+// retimeChurn moves a prebuilt churn batch past the engine's watermark so
+// every packet is a genuine re-observation (LastSeen advances, the record
+// goes dirty). Field mutation only — no allocation charged to the caller.
+func retimeChurn(pkts []packet.Packet, at time.Time) {
+	for j := range pkts {
+		pkts[j].Timestamp = at.Add(time.Duration(j) * time.Microsecond)
+	}
+}
+
 // BenchmarkSnapshotUnderLoad measures the live engine: ingest throughput
 // through the 8-shard discoverer while a second goroutine snapshots the
 // running engine at 1 to 1000 Hz, plus the latency of those snapshots.
@@ -401,6 +467,43 @@ func BenchmarkSnapshotUnderLoad(b *testing.B) {
 			}
 		})
 	}
+
+	// entries=2M is the inventory-scale rung: two million resident
+	// services, ten thousand re-observed per op. With the persistent-map
+	// merge, ms/snap and allocs/op here should sit in the same band as
+	// the two-day-corpus rungs — the snapshot pays for the 10k records
+	// that moved, not the 2M it holds. Any O(inventory) step (a map clone,
+	// a full rescan) shows up as a ~200x blowout, which is why the CI
+	// bench archive carries this rung at real iteration counts.
+	b.Run("entries=2M", func(b *testing.B) {
+		const entries = 2_000_000
+		const churn = 10_000
+		pfx := synthPrefix(b)
+		sp := core.NewShardedPassive(pfx, nil, 8)
+		t0 := time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+		feedSyntheticServices(sp, pfx, entries, t0)
+		if got := sp.Snapshot().Len(); got != entries {
+			b.Fatalf("synthetic load produced %d services, want %d", got, entries)
+		}
+		churnPkts := synthChurn(pfx, churn)
+		var snapNanos int64
+		resetIngestTimer(b)
+		for i := 0; i < b.N; i++ {
+			retimeChurn(churnPkts, t0.Add(time.Duration(i+1)*time.Hour))
+			for off := 0; off < len(churnPkts); off += benchBatchSize {
+				end := min(off+benchBatchSize, len(churnPkts))
+				sp.HandleBatch(churnPkts[off:end])
+			}
+			s0 := time.Now()
+			if sp.Snapshot() == nil {
+				b.Fatal("nil snapshot")
+			}
+			snapNanos += int64(time.Since(s0))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(snapNanos)/float64(b.N)/1e6, "ms/snap")
+		reportPacketsPerSec(b, churn)
+	})
 }
 
 // BenchmarkSnapshotZeroChurn measures Snapshot on an engine with nothing

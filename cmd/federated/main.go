@@ -61,6 +61,7 @@ type options struct {
 	logEvents bool
 	ckptDir   string
 	ckptEvery time.Duration
+	tombGC    time.Duration
 }
 
 func main() {
@@ -71,6 +72,7 @@ func main() {
 	flag.BoolVar(&o.logEvents, "log", true, "log global discoveries and scanner detections")
 	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "durable aggregator-state directory (restore on start, write periodically and on shutdown)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 30*time.Second, "aggregator-state write interval (requires -checkpoint-dir)")
+	flag.DurationVar(&o.tombGC, "tombstone-gc", 0, "drop retraction tombstones older than this (wall clock); 0 keeps them forever, which is always safe")
 	flag.Parse()
 
 	if len(o.feeds) == 0 {
@@ -167,8 +169,21 @@ func run(o options) error {
 		defer t.Stop()
 		stateTick = t.C
 	}
+	// Tombstone GC: retractions must outlive any stale snapshot a site
+	// might replay (see Aggregator.CollapseTombstones), so the horizon is
+	// an operator call — typically hours to days.
+	var gcTick <-chan time.Time
+	if o.tombGC > 0 {
+		t := time.NewTicker(o.tombGC)
+		defer t.Stop()
+		gcTick = t.C
+	}
 	for {
 		select {
+		case <-gcTick:
+			if n := agg.CollapseTombstones(time.Now().Add(-o.tombGC)); n > 0 {
+				fmt.Printf("tombstone gc: collapsed %d retracted cells older than %s\n", n, o.tombGC)
+			}
 		case <-sigCtx.Done():
 			writeState()
 			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)

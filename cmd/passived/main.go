@@ -68,6 +68,9 @@ type options struct {
 	ckptEvery   time.Duration
 	dumpPath    string
 	haltAfter   int
+	retTTL      time.Duration
+	retActive   time.Duration
+	retSweep    time.Duration
 }
 
 func main() {
@@ -84,6 +87,9 @@ func main() {
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 30*time.Second, "checkpoint interval while the replay runs (requires -checkpoint-dir)")
 	flag.StringVar(&o.dumpPath, "dump", "", "write the final inventory dump to this file when the replay completes")
 	flag.IntVar(&o.haltAfter, "halt-after", 0, "stop the replay once at least N packets are applied, checkpoint, and exit — simulates a mid-trace kill for restart testing")
+	flag.DurationVar(&o.retTTL, "retention-ttl", 0, "expire a passively-discovered service this long after its last observed flow, on the trace clock (0 = keep forever)")
+	flag.DurationVar(&o.retActive, "retention-active-ttl", 0, "expire active (probe) evidence this long after the last successful probe (0 = same as -retention-ttl)")
+	flag.DurationVar(&o.retSweep, "retention-sweep", 0, "background expiry sweep interval; snapshots already expire lazily, this bounds staleness between them (0 = lazy only)")
 	flag.Parse()
 
 	if o.tracePath == "" {
@@ -117,6 +123,17 @@ func run(o options) error {
 	}
 	if o.ckptDir != "" {
 		cfg.Checkpoint = &servdisc.CheckpointOptions{Dir: o.ckptDir, Every: o.ckptEvery}
+	}
+	if o.retTTL > 0 || o.retActive > 0 {
+		active := o.retActive
+		if active == 0 {
+			active = o.retTTL
+		}
+		cfg.Retention = servdisc.RetentionPolicy{
+			PassiveTTL: o.retTTL,
+			ActiveTTL:  active,
+			SweepEvery: o.retSweep,
+		}
 	}
 	pl, err := servdisc.NewPipeline(cfg)
 	if err != nil {
@@ -160,7 +177,7 @@ func run(o options) error {
 	sub := pl.Subscribe(4096)
 	subs.add("log", sub.Dropped)
 	eventsDone := make(chan struct{})
-	var discovered, upgraded atomic.Int64
+	var discovered, upgraded, expired atomic.Int64
 	go func() {
 		defer close(eventsDone)
 		for ev := range sub.Events() {
@@ -169,6 +186,8 @@ func run(o options) error {
 				discovered.Add(1)
 			case servdisc.EventProvenanceUpgraded:
 				upgraded.Add(1)
+			case servdisc.EventServiceExpired:
+				expired.Add(1)
 			case servdisc.EventScannerDetected:
 				fmt.Printf("event: %s\n", ev)
 			}
@@ -307,6 +326,10 @@ loop:
 			logCheckpoint(cr)
 		}
 	}
+	// One last freeze while the event stream is still open: expiry
+	// decisions made since the previous snapshot publish their
+	// EventServiceExpired at a freeze, and Close ends the stream.
+	latest.Store(pl.Snapshot())
 	pl.Close() // ends the event stream; snapshots remain available
 	<-eventsDone
 
@@ -320,8 +343,8 @@ loop:
 	}
 	fmt.Printf("replayed %d packets (%d this run); %d services on %d addresses; %d scanners detected\n",
 		inv.Packets(), res.packets-skip, inv.Len(), len(inv.AddrFirstSeen(nil)), len(inv.Scanners()))
-	fmt.Printf("events: %d discoveries, %d upgrades, %d dropped by the log subscriber\n",
-		discovered.Load(), upgraded.Load(), sub.Dropped())
+	fmt.Printf("events: %d discoveries, %d upgrades, %d expiries, %d dropped by the log subscriber\n",
+		discovered.Load(), upgraded.Load(), expired.Load(), sub.Dropped())
 
 	if o.dumpPath != "" {
 		if err := os.WriteFile(o.dumpPath, inv.Dump(), 0o644); err != nil {

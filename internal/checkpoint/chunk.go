@@ -47,6 +47,7 @@ func writeChunkFile(path string, ed *core.EngineDelta) (size int64, sum uint32, 
 		Magic: chunkMagic, Version: FormatVersion,
 		Full: ed.Full, Packets: ed.Packets,
 		Origin: ed.Origin, OriginSet: ed.OriginSet,
+		Watermark:     ed.Watermark,
 		ShardsChanged: ed.ShardsChanged, ShardsSkipped: ed.ShardsSkipped,
 	}
 	if err := fw.WriteJSON(&chunkFrame{T: frameHdr, Hdr: &hdr}); err != nil {
@@ -62,6 +63,11 @@ func writeChunkFile(path string, ed *core.EngineDelta) (size int64, sum uint32, 
 			return 0, 0, err
 		}
 	}
+	for i := range ed.Tombs {
+		if err := fw.WriteJSON(&chunkFrame{T: frameTomb, Tomb: &ed.Tombs[i]}); err != nil {
+			return 0, 0, err
+		}
+	}
 	for i := range ed.ScanSources {
 		if err := fw.WriteJSON(&chunkFrame{T: frameScan, Scan: &ed.ScanSources[i]}); err != nil {
 			return 0, 0, err
@@ -73,7 +79,7 @@ func writeChunkFile(path string, ed *core.EngineDelta) (size int64, sum uint32, 
 		}
 	}
 	end := chunkEnd{
-		Services: len(ed.Services), Trails: len(ed.Trails),
+		Services: len(ed.Services), Trails: len(ed.Trails), Tombs: len(ed.Tombs),
 		ScanSources: len(ed.ScanSources), Active: ed.Active != nil,
 	}
 	if err := fw.WriteJSON(&chunkFrame{T: frameEnd, End: &end}); err != nil {
@@ -111,6 +117,7 @@ func DecodeChunk(data []byte) (*core.EngineDelta, error) {
 	ed := &core.EngineDelta{
 		Full: f.Hdr.Full, Packets: f.Hdr.Packets,
 		Origin: f.Hdr.Origin, OriginSet: f.Hdr.OriginSet,
+		Watermark:     f.Hdr.Watermark,
 		ShardsChanged: f.Hdr.ShardsChanged, ShardsSkipped: f.Hdr.ShardsSkipped,
 	}
 	var end *chunkEnd
@@ -133,6 +140,11 @@ func DecodeChunk(data []byte) (*core.EngineDelta, error) {
 				return nil, errors.New("checkpoint: trail frame without payload")
 			}
 			ed.Trails = append(ed.Trails, *f.Trail)
+		case frameTomb:
+			if f.Tomb == nil {
+				return nil, errors.New("checkpoint: tomb frame without payload")
+			}
+			ed.Tombs = append(ed.Tombs, *f.Tomb)
 		case frameScan:
 			if f.Scan == nil {
 				return nil, errors.New("checkpoint: scan-source frame without payload")
@@ -156,6 +168,7 @@ func DecodeChunk(data []byte) (*core.EngineDelta, error) {
 		}
 	}
 	if end.Services != len(ed.Services) || end.Trails != len(ed.Trails) ||
+		end.Tombs != len(ed.Tombs) ||
 		end.ScanSources != len(ed.ScanSources) || end.Active != (ed.Active != nil) {
 		return nil, errors.New("checkpoint: chunk entity counts disagree with end frame")
 	}

@@ -103,6 +103,7 @@ type chunkHeader struct {
 	Packets       int       `json:"packets"`
 	Origin        time.Time `json:"origin,omitzero"`
 	OriginSet     bool      `json:"origin_set,omitempty"`
+	Watermark     time.Time `json:"watermark,omitzero"`
 	ShardsChanged int       `json:"shards_changed,omitempty"`
 	ShardsSkipped int       `json:"shards_skipped,omitempty"`
 }
@@ -113,6 +114,7 @@ type chunkHeader struct {
 type chunkEnd struct {
 	Services    int  `json:"services"`
 	Trails      int  `json:"trails"`
+	Tombs       int  `json:"tombs,omitempty"`
 	ScanSources int  `json:"scan_sources"`
 	Active      bool `json:"active,omitempty"`
 }
@@ -122,6 +124,7 @@ const (
 	frameHdr    = "hdr"
 	frameSvc    = "svc"
 	frameTrail  = "trail"
+	frameTomb   = "tomb"
 	frameScan   = "scan"
 	frameActive = "active"
 	frameEnd    = "end"
@@ -133,6 +136,7 @@ type chunkFrame struct {
 	Hdr    *chunkHeader          `json:"hdr,omitempty"`
 	Svc    *core.ServiceState    `json:"svc,omitempty"`
 	Trail  *core.AddrTrail       `json:"trail,omitempty"`
+	Tomb   *core.TombState       `json:"tomb,omitempty"`
 	Scan   *core.ScanSourceState `json:"scan,omitempty"`
 	Active *core.ActiveState     `json:"active,omitempty"`
 	End    *chunkEnd             `json:"end,omitempty"`

@@ -158,7 +158,7 @@ func (w *Writer) checkpoint(ctx context.Context, forceFull bool) (Result, error)
 		cur = nil
 	}
 	ed, newCur := w.eng.ExportDelta(cur)
-	if !full && len(ed.Services) == 0 && len(ed.Trails) == 0 &&
+	if !full && len(ed.Services) == 0 && len(ed.Trails) == 0 && len(ed.Tombs) == 0 &&
 		len(ed.ScanSources) == 0 && ed.Active == nil {
 		// Not a single entity changed (and Packets only moves with
 		// batches, which dirty a shard): the chain on disk is already

@@ -44,8 +44,14 @@ type ActiveDiscoverer struct {
 	ports []uint16
 
 	firstOpen map[ServiceKey]time.Time
-	scans     []ScanMeta
-	perAddr   map[netaddr.V4][]AddrScanOutcome
+	// lastOpen is each service's most recent probe answer — the timestamp
+	// active retention deadlines are computed from (lastOpen + ActiveTTL).
+	lastOpen map[ServiceKey]time.Time
+	// tombs records expired services: key → the deadline that retired it.
+	// Evidence at or after the deadline re-creates the service.
+	tombs   map[ServiceKey]time.Time
+	scans   []ScanMeta
+	perAddr map[netaddr.V4][]AddrScanOutcome
 
 	// respondedEver tracks addresses that ever answered anything (RST or
 	// SYN-ACK) — the live-host estimate of Section 3.3.
@@ -79,6 +85,8 @@ func NewActiveDiscoverer(ports []uint16) *ActiveDiscoverer {
 	return &ActiveDiscoverer{
 		ports:         append([]uint16(nil), ports...),
 		firstOpen:     make(map[ServiceKey]time.Time),
+		lastOpen:      make(map[ServiceKey]time.Time),
+		tombs:         make(map[ServiceKey]time.Time),
 		perAddr:       make(map[netaddr.V4][]AddrScanOutcome),
 		respondedEver: netaddr.NewSet(),
 		udp:           make(map[netaddr.V4]map[uint16]probe.UDPState),
@@ -170,6 +178,9 @@ func (d *ActiveDiscoverer) recordOpen(addr netaddr.V4, port uint16, t time.Time)
 	cur, seen := d.firstOpen[key]
 	if !seen || t.Before(cur) {
 		d.firstOpen[key] = t
+	}
+	if last, ok := d.lastOpen[key]; !ok || t.After(last) {
+		d.lastOpen[key] = t
 	}
 	switch {
 	case !seen && d.onDiscovered != nil:
@@ -273,6 +284,8 @@ func (d *ActiveDiscoverer) clone() *ActiveDiscoverer {
 	c := &ActiveDiscoverer{
 		ports:         d.ports,
 		firstOpen:     maps.Clone(d.firstOpen),
+		lastOpen:      maps.Clone(d.lastOpen),
+		tombs:         maps.Clone(d.tombs),
 		scans:         append([]ScanMeta(nil), d.scans...),
 		perAddr:       maps.Clone(d.perAddr),
 		respondedEver: d.respondedEver.CloneShared(),

@@ -71,6 +71,9 @@ type PeerContact struct {
 type PassiveRecord struct {
 	// FirstSeen is when the first positive evidence arrived.
 	FirstSeen time.Time
+	// LastSeen is when the most recent positive evidence arrived — the
+	// timestamp retention deadlines are computed from (LastSeen + TTL).
+	LastSeen time.Time
 	// Flows counts completed connection evidence (SYN-ACKs for TCP,
 	// server-sourced datagrams for UDP) — the flow weight of Figure 1.
 	Flows int
@@ -108,6 +111,7 @@ func (r *PassiveRecord) Clients() int { return r.nClients }
 func (r *PassiveRecord) cloneForWrite(seal uint64) *PassiveRecord {
 	return &PassiveRecord{
 		FirstSeen:  r.FirstSeen,
+		LastSeen:   r.LastSeen,
 		Flows:      r.Flows,
 		nClients:   r.nClients,
 		firstPeers: r.firstPeers,
@@ -134,6 +138,9 @@ func (r *PassiveRecord) FirstSeenExcluding(excluded map[netaddr.V4]bool) (time.T
 // first time (the dedup the record itself no longer carries).
 func (r *PassiveRecord) observe(t time.Time, peer netaddr.V4, newPeer bool) {
 	r.Flows++
+	if t.After(r.LastSeen) {
+		r.LastSeen = t
+	}
 	if newPeer {
 		r.nClients++
 		if len(r.firstPeers) < maxFirstPeers {

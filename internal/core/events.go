@@ -32,6 +32,15 @@ const (
 	// engine. Scan carries the sweep metadata, Truncated whether the sweep
 	// was cut short by its deadline or cancellation.
 	EventScanCompleted
+	// EventServiceExpired: a retention deadline passed with no fresh
+	// evidence, withdrawing the service (retention.go). Time is the expiry
+	// deadline (LastSeen + TTL, observation clock); Provenance names the
+	// evidence kind withdrawn — PassiveOnly for passive records, ActiveOnly
+	// for probe answers. Emitted exactly once per expiry, in deterministic
+	// (deadline, key) order, at the snapshot that surfaces the expiry. A
+	// service expired and later re-observed is re-announced with a fresh
+	// ServiceDiscovered.
+	EventServiceExpired
 )
 
 // eventKindNames are the stable wire names of the event kinds. Serialized
@@ -43,6 +52,7 @@ var eventKindNames = [...]string{
 	EventProvenanceUpgraded: "provenance-upgraded",
 	EventScannerDetected:    "scanner-detected",
 	EventScanCompleted:      "scan-completed",
+	EventServiceExpired:     "service-expired",
 }
 
 // String names the event kind (the same stable names MarshalText uses).
@@ -119,7 +129,7 @@ type Event struct {
 // log.
 func (e Event) String() string {
 	switch e.Kind {
-	case EventServiceDiscovered, EventProvenanceUpgraded:
+	case EventServiceDiscovered, EventProvenanceUpgraded, EventServiceExpired:
 		return fmt.Sprintf("%s %s %s @%s", e.Kind, e.Key, e.Provenance,
 			e.Time.UTC().Format(time.RFC3339Nano))
 	case EventScannerDetected:
@@ -256,6 +266,44 @@ func (es *eventStream) seedActive(key ServiceKey, t time.Time) {
 		es.seen[key] = st
 	}
 	st.hasActive, st.activeAt = true, t
+}
+
+// serviceExpired publishes a retention expiry. clearSeen marks snapshot-
+// side expiries: their seen-table entry must be dropped here so a later
+// rediscovery re-announces. Observe-side retirements cleared their entry
+// synchronously via retirePassive (the new incarnation has already re-set
+// it by publication time, and must not be clobbered).
+func (es *eventStream) serviceExpired(key ServiceKey, at time.Time, prov Provenance, clearSeen bool) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if clearSeen {
+		if st := es.seen[key]; st != nil {
+			if prov == ActiveOnly {
+				st.hasActive, st.activeAt = false, time.Time{}
+			} else {
+				st.hasPassive, st.passiveAt = false, time.Time{}
+			}
+			if !st.hasPassive && !st.hasActive {
+				delete(es.seen, key)
+			}
+		}
+	}
+	es.hub.Publish(Event{Kind: EventServiceExpired, Time: at, Key: key, Provenance: prov})
+}
+
+// retirePassive drops a key's passive seen-table entry without publishing:
+// the synchronous half of an observe-side incarnation split, so the split's
+// rediscovery is announced as a fresh ServiceDiscovered (the expiry event
+// itself follows at the next snapshot).
+func (es *eventStream) retirePassive(key ServiceKey) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if st := es.seen[key]; st != nil {
+		st.hasPassive, st.passiveAt = false, time.Time{}
+		if !st.hasActive {
+			delete(es.seen, key)
+		}
+	}
 }
 
 // scannerDetected publishes a threshold crossing.

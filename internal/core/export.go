@@ -66,10 +66,22 @@ type CheckpointCursor struct {
 type ServiceState struct {
 	Key        ServiceKey    `json:"key"`
 	FirstSeen  time.Time     `json:"first_seen"`
+	LastSeen   time.Time     `json:"last_seen,omitzero"`
 	Flows      int           `json:"flows"`
 	Clients    int           `json:"clients"`
 	FirstPeers []PeerContact `json:"first_peers,omitempty"`
 	Peers      []netaddr.V4  `json:"peers,omitempty"`
+}
+
+// TombState is one retention tombstone in wire form: the service retired
+// by TTL expiry and the deadline that retired it. In a delta chain a tomb
+// deletes any service imported by an earlier (or the same) delta; a
+// ServiceState for the same key in the same delta re-creates it (the
+// service expired and was reborn between checkpoints) — imports apply
+// tombs first.
+type TombState struct {
+	Key ServiceKey `json:"key"`
+	At  time.Time  `json:"at"`
 }
 
 // AddrTrail is one address's thinned activity-timestamp trail.
@@ -94,10 +106,13 @@ type ScanSourceState struct {
 	Windows []ScanWindowState `json:"windows"`
 }
 
-// ActiveServiceState is one probe-discovered service.
+// ActiveServiceState is one probe-discovered service: first and most
+// recent probe answer (Last empty in checkpoints written before
+// last-answer tracking; restore falls back to At).
 type ActiveServiceState struct {
-	Key ServiceKey `json:"key"`
-	At  time.Time  `json:"at"`
+	Key  ServiceKey `json:"key"`
+	At   time.Time  `json:"at"`
+	Last time.Time  `json:"last,omitzero"`
 }
 
 // AddrOutcomes is one address's full per-sweep outcome history.
@@ -125,6 +140,7 @@ type AddrUDPState struct {
 type ActiveState struct {
 	Ports     []uint16             `json:"ports,omitempty"`
 	Services  []ActiveServiceState `json:"services,omitempty"`
+	Tombs     []TombState          `json:"tombs,omitempty"`
 	Scans     []ScanMeta           `json:"scans,omitempty"`
 	Outcomes  []AddrOutcomes       `json:"outcomes,omitempty"`
 	Responded []netaddr.V4         `json:"responded,omitempty"`
@@ -142,8 +158,15 @@ type EngineDelta struct {
 
 	Services    []ServiceState
 	Trails      []AddrTrail
+	Tombs       []TombState
 	ScanSources []ScanSourceState
 	Active      *ActiveState
+
+	// Watermark is the observation clock at the capture point (the newest
+	// packet timestamp dispatched). Restoring it keeps retention deadlines
+	// meaningful across a restart: a restored engine expires exactly what
+	// the uninterrupted run would have.
+	Watermark time.Time
 
 	// ShardsChanged and ShardsSkipped report export effort: skipped
 	// shards had not applied a single batch since the cursor and were not
@@ -172,6 +195,7 @@ type shardExport struct {
 	full      bool
 	services  []ServiceState
 	trails    []AddrTrail
+	tombs     []TombState
 	scanSrcs  []ScanSourceState
 }
 
@@ -198,6 +222,7 @@ func (sh *passiveShard) exportState(req *shardExportReq) *shardExport {
 	if full {
 		d.ckDirty = make(map[ServiceKey]struct{})
 		d.ckDirtyAddrs = make(map[netaddr.V4]struct{})
+		d.ckTombs = make(map[ServiceKey]time.Time)
 		d.track.ckDirty = make(map[netaddr.V4]struct{})
 		ex.services = make([]ServiceState, 0, len(d.services))
 		for k := range d.services {
@@ -206,6 +231,10 @@ func (sh *passiveShard) exportState(req *shardExportReq) *shardExport {
 		ex.trails = make([]AddrTrail, 0, len(d.addrTimes))
 		for a, ts := range d.addrTimes {
 			ex.trails = append(ex.trails, AddrTrail{Addr: a, Times: ts[:len(ts):len(ts)]})
+		}
+		ex.tombs = make([]TombState, 0, len(d.tombs))
+		for k, at := range d.tombs {
+			ex.tombs = append(ex.tombs, TombState{Key: k, At: at})
 		}
 		ex.scanSrcs = make([]ScanSourceState, 0, len(d.track.sources))
 		for src := range d.track.sources {
@@ -224,6 +253,11 @@ func (sh *passiveShard) exportState(req *shardExportReq) *shardExport {
 		ex.trails = append(ex.trails, AddrTrail{Addr: a, Times: ts[:len(ts):len(ts)]})
 	}
 	clear(d.ckDirtyAddrs)
+	ex.tombs = make([]TombState, 0, len(d.ckTombs))
+	for k, at := range d.ckTombs {
+		ex.tombs = append(ex.tombs, TombState{Key: k, At: at})
+	}
+	clear(d.ckTombs)
 	ex.scanSrcs = make([]ScanSourceState, 0, len(d.track.ckDirty))
 	for src := range d.track.ckDirty {
 		ex.scanSrcs = append(ex.scanSrcs, d.track.exportSource(src))
@@ -242,6 +276,7 @@ func (d *PassiveDiscoverer) exportService(key ServiceKey) ServiceState {
 	return ServiceState{
 		Key:        key,
 		FirstSeen:  rec.FirstSeen,
+		LastSeen:   rec.LastSeen,
 		Flows:      rec.Flows,
 		Clients:    rec.nClients,
 		FirstPeers: fp[:len(fp):len(fp)],
@@ -253,8 +288,15 @@ func (d *PassiveDiscoverer) exportService(key ServiceKey) ServiceState {
 // earlier state). Import happens before any ingest, so no dirty
 // bookkeeping applies.
 func (d *PassiveDiscoverer) importService(st *ServiceState) {
+	last := st.LastSeen
+	if last.IsZero() {
+		// Checkpoint written before last-seen tracking: the first
+		// observation is the only one on record.
+		last = st.FirstSeen
+	}
 	d.services[st.Key] = &PassiveRecord{
 		FirstSeen:  st.FirstSeen,
+		LastSeen:   last,
 		Flows:      st.Flows,
 		nClients:   st.Clients,
 		firstPeers: append([]PeerContact(nil), st.FirstPeers...),
@@ -265,6 +307,9 @@ func (d *PassiveDiscoverer) importService(st *ServiceState) {
 		ps[p] = struct{}{}
 	}
 	d.peers[st.Key] = ps
+	if d.ttl > 0 {
+		d.expPush(last.Add(d.ttl), st.Key)
+	}
 }
 
 // exportSource copies one source's window contents into wire form,
@@ -361,6 +406,7 @@ func (s *ShardedPassive) exportShards(cur *CheckpointCursor) (*EngineDelta, []ui
 	exports := make([]*shardExport, len(s.shards))
 
 	s.dispatchMu.Lock()
+	wm := s.watermark
 	s.mu.RLock()
 	if s.running && !s.closed {
 		chans := make([]chan *shardExport, len(s.shards))
@@ -393,7 +439,7 @@ func (s *ShardedPassive) exportShards(cur *CheckpointCursor) (*EngineDelta, []ui
 		s.dispatchMu.Unlock()
 	}
 
-	ed := &EngineDelta{}
+	ed := &EngineDelta{Watermark: wm}
 	gens := make([]uint64, len(exports))
 	allFull := len(exports) > 0
 	for i, ex := range exports {
@@ -413,11 +459,13 @@ func (s *ShardedPassive) exportShards(cur *CheckpointCursor) (*EngineDelta, []ui
 		}
 		ed.Services = append(ed.Services, ex.services...)
 		ed.Trails = append(ed.Trails, ex.trails...)
+		ed.Tombs = append(ed.Tombs, ex.tombs...)
 		ed.ScanSources = append(ed.ScanSources, ex.scanSrcs...)
 	}
 	ed.Full = allFull
 	sort.Slice(ed.Services, func(i, j int) bool { return ed.Services[i].Key.Before(ed.Services[j].Key) })
 	sort.Slice(ed.Trails, func(i, j int) bool { return ed.Trails[i].Addr < ed.Trails[j].Addr })
+	sort.Slice(ed.Tombs, func(i, j int) bool { return ed.Tombs[i].Key.Before(ed.Tombs[j].Key) })
 	sort.Slice(ed.ScanSources, func(i, j int) bool { return ed.ScanSources[i].Source < ed.ScanSources[j].Source })
 	return ed, gens
 }
@@ -456,6 +504,24 @@ func (s *ShardedPassive) ImportDelta(ed *EngineDelta) error {
 func (s *ShardedPassive) importPassive(ed *EngineDelta) {
 	if ed.OriginSet && !s.originSeeded {
 		s.seedOrigins(ed.Origin)
+	}
+	// Tombs before service upserts: a delta carrying both a tomb and a
+	// record for one key means the service expired and was then reborn —
+	// the tomb retires the earlier incarnation, the upsert re-creates it.
+	for i := range ed.Tombs {
+		tb := &ed.Tombs[i]
+		d := s.shards[s.shardOf(tb.Key.Addr)].disc
+		if _, live := d.services[tb.Key]; live {
+			delete(d.services, tb.Key)
+			delete(d.peers, tb.Key)
+			s.events.retirePassive(tb.Key)
+		}
+		if cur, ok := d.tombs[tb.Key]; !ok || tb.At.After(cur) {
+			d.tombs[tb.Key] = tb.At
+		}
+	}
+	if ed.Watermark.After(s.watermark) {
+		s.watermark = ed.Watermark
 	}
 	for i := range ed.Services {
 		st := &ed.Services[i]
@@ -541,9 +607,14 @@ func exportActiveState(d *ActiveDiscoverer) *ActiveState {
 	}
 	as.Services = make([]ActiveServiceState, 0, len(d.firstOpen))
 	for k, t := range d.firstOpen {
-		as.Services = append(as.Services, ActiveServiceState{Key: k, At: t})
+		as.Services = append(as.Services, ActiveServiceState{Key: k, At: t, Last: d.lastOpen[k]})
 	}
 	sort.Slice(as.Services, func(i, j int) bool { return as.Services[i].Key.Before(as.Services[j].Key) })
+	as.Tombs = make([]TombState, 0, len(d.tombs))
+	for k, at := range d.tombs {
+		as.Tombs = append(as.Tombs, TombState{Key: k, At: at})
+	}
+	sort.Slice(as.Tombs, func(i, j int) bool { return as.Tombs[i].Key.Before(as.Tombs[j].Key) })
 	as.Outcomes = make([]AddrOutcomes, 0, len(d.perAddr))
 	for a, outs := range d.perAddr {
 		as.Outcomes = append(as.Outcomes, AddrOutcomes{Addr: a, Outcomes: outs[:len(outs):len(outs)]})
@@ -570,8 +641,18 @@ func (h *Hybrid) importActiveState(as *ActiveState) {
 	a.ports = append([]uint16(nil), as.Ports...)
 	a.scans = append([]ScanMeta(nil), as.Scans...)
 	a.firstOpen = make(map[ServiceKey]time.Time, len(as.Services))
+	a.lastOpen = make(map[ServiceKey]time.Time, len(as.Services))
 	for _, svc := range as.Services {
 		a.firstOpen[svc.Key] = svc.At
+		last := svc.Last
+		if last.IsZero() {
+			last = svc.At
+		}
+		a.lastOpen[svc.Key] = last
+	}
+	a.tombs = make(map[ServiceKey]time.Time, len(as.Tombs))
+	for _, tb := range as.Tombs {
+		a.tombs[tb.Key] = tb.At
 	}
 	a.perAddr = make(map[netaddr.V4][]AddrScanOutcome, len(as.Outcomes))
 	for _, ao := range as.Outcomes {

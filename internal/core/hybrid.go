@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"servdisc/internal/netaddr"
 	"servdisc/internal/packet"
@@ -48,6 +49,11 @@ type Hybrid struct {
 	active *ActiveDiscoverer
 	agen   atomic.Uint64
 	aview  *activeView
+
+	// activeTTL, when positive, expires active-side records whose last
+	// probe answer is older than the TTL at the passive observation
+	// watermark (see RetentionPolicy). Guarded by amu.
+	activeTTL time.Duration
 
 	// seenReports flips once any report is accepted, so consumers can
 	// tell a hybrid run from a passive-only one without locking.
@@ -200,6 +206,44 @@ func (h *Hybrid) Active() *ActiveDiscoverer {
 	return h.active
 }
 
+// SetRetention configures TTL-based expiry on both sides of the engine
+// (see ShardedPassive.SetRetention). The active side expires against the
+// passive observation watermark, so active retention needs passive
+// traffic to advance the clock.
+func (h *Hybrid) SetRetention(p RetentionPolicy) {
+	h.passive.SetRetention(p)
+	h.amu.Lock()
+	h.activeTTL = p.ActiveTTL
+	h.amu.Unlock()
+}
+
+// expireActive retires active-side records whose retention deadline
+// (lastOpen + ActiveTTL) has passed at the observation watermark,
+// recording tombstones and returning the expiry notices. Any expiry bumps
+// the active generation so the snapshot machinery reclassifies.
+func (h *Hybrid) expireActive(wm time.Time) []expiredSvc {
+	h.amu.Lock()
+	defer h.amu.Unlock()
+	if h.activeTTL <= 0 || wm.IsZero() {
+		return nil
+	}
+	var out []expiredSvc
+	for k, last := range h.active.lastOpen {
+		deadline := last.Add(h.activeTTL)
+		if deadline.After(wm) {
+			continue
+		}
+		delete(h.active.firstOpen, k)
+		delete(h.active.lastOpen, k)
+		h.active.tombs[k] = deadline
+		out = append(out, expiredSvc{key: k, at: deadline, prov: ActiveOnly, clear: true})
+	}
+	if len(out) > 0 {
+		h.agen.Add(1)
+	}
+	return out
+}
+
 // activeSnapshot returns the active side's frozen clone, reusing the
 // cached view when no report has been applied since.
 func (h *Hybrid) activeSnapshot() *activeView {
@@ -229,7 +273,18 @@ func (h *Hybrid) Snapshot() *Inventory {
 	}
 	h.passive.snapMu.Lock()
 	defer h.passive.snapMu.Unlock()
-	views, d0 := h.passive.snapshotViews()
+	views, d0, wm := h.passive.snapshotViews()
+	// Active expiry runs before the active clone so the frozen view (and
+	// its generation) reflects the deletions; the combined notice list is
+	// re-sorted into one deterministic (time, key) order across both sides.
+	exp := collectExpired(views)
+	exp = append(exp, h.expireActive(wm)...)
+	if len(exp) > 0 {
+		sortExpired(exp)
+		for _, e := range exp {
+			h.passive.events.serviceExpired(e.key, e.at, e.prov, e.clear)
+		}
+	}
 	av := h.activeSnapshot()
 	// The active generation rides along as one more entry of the vector.
 	gens := append(viewGens(views), av.gen)
@@ -245,9 +300,9 @@ func (h *Hybrid) Snapshot() *Inventory {
 	// move first-open times and so re-classify existing services, which
 	// forces a reclassification pass (but not a passive re-merge).
 	if prevInv != nil && len(prevGens) == len(views)+1 {
-		if m, scanners, newKeys, ok := h.passive.mergeViewsDelta(views, prevInv.d, prevGens[:len(prevGens)-1]); ok {
+		if m, scanners, newKeys, delKeys, ok := h.passive.mergeViewsDelta(views, prevInv, prevGens[:len(prevGens)-1]); ok {
 			if prevGens[len(prevGens)-1] == av.gen {
-				inv = patchHybridInventory(prevInv, m, av.disc, scanners, newKeys)
+				inv = patchHybridInventory(prevInv, m, av.disc, scanners, newKeys, delKeys)
 			} else {
 				inv = newFrozenHybridInventory(m, av.disc, scanners)
 			}

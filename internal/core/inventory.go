@@ -3,7 +3,6 @@ package core
 import (
 	"bytes"
 	"fmt"
-	"maps"
 	"sort"
 	"time"
 
@@ -81,10 +80,13 @@ func (p *Provenance) UnmarshalText(text []byte) error {
 // folds in active sweep results: Keys becomes the union of both sides and
 // each key carries a Provenance.
 type Inventory struct {
-	d        *PassiveDiscoverer
-	active   *ActiveDiscoverer // nil for passive-only inventories
-	keys     []ServiceKey
-	prov     map[ServiceKey]Provenance
+	d      invSource
+	active *ActiveDiscoverer // nil for passive-only inventories
+	keys   []ServiceKey
+	// prov classifies each key (hybrid inventories only; the zero pmap for
+	// passive-only ones). A persistent map, so a patched-forward inventory
+	// shares all unchanged classifications with its predecessor.
+	prov     pmap[ServiceKey, Provenance]
 	scanners []ScannerInfo
 }
 
@@ -95,12 +97,23 @@ func NewInventory(d *PassiveDiscoverer) *Inventory {
 	return newFrozenInventory(d, d.DetectScanners())
 }
 
-// newFrozenInventory wraps an already-frozen discoverer and a precomputed
-// scanner list — the constructor behind live snapshots, where detection
-// ran per shard at freeze time and the merged discoverer carries no
+// newFrozenInventory wraps an already-frozen passive source and a
+// precomputed scanner list — the constructor behind live snapshots, where
+// detection ran per shard at freeze time and the merged source carries no
 // tracker state.
-func newFrozenInventory(d *PassiveDiscoverer, scanners []ScannerInfo) *Inventory {
-	return &Inventory{d: d, keys: d.Keys(), scanners: scanners}
+func newFrozenInventory(src invSource, scanners []ScannerInfo) *Inventory {
+	return &Inventory{d: src, keys: sortedServiceKeys(src), scanners: scanners}
+}
+
+// sortedServiceKeys lists a source's live services in canonical order.
+func sortedServiceKeys(src invSource) []ServiceKey {
+	keys := make([]ServiceKey, 0, src.numServices())
+	src.eachService(func(k ServiceKey, _ *PassiveRecord) bool {
+		keys = append(keys, k)
+		return true
+	})
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Before(keys[j]) })
+	return keys
 }
 
 // NewHybridInventory freezes the union of a passive and an active run into
@@ -113,63 +126,74 @@ func NewHybridInventory(d *PassiveDiscoverer, a *ActiveDiscoverer) *Inventory {
 
 // newFrozenHybridInventory is NewHybridInventory with the scanner list
 // precomputed (the live-snapshot path).
-func newFrozenHybridInventory(d *PassiveDiscoverer, a *ActiveDiscoverer, scanners []ScannerInfo) *Inventory {
-	v := &Inventory{d: d, active: a, scanners: scanners}
-	v.prov = make(map[ServiceKey]Provenance, len(d.services)+len(a.firstOpen))
-	v.keys = make([]ServiceKey, 0, len(d.services)+len(a.firstOpen))
-	for key, rec := range d.services {
-		if at, ok := a.firstOpen[key]; ok {
-			if at.Before(rec.FirstSeen) {
-				v.prov[key] = ActiveFirst
-			} else {
-				v.prov[key] = PassiveFirst
-			}
-		} else {
-			v.prov[key] = PassiveOnly
-		}
+func newFrozenHybridInventory(src invSource, a *ActiveDiscoverer, scanners []ScannerInfo) *Inventory {
+	v := &Inventory{d: src, active: a, scanners: scanners}
+	pb := newPmap[ServiceKey, Provenance](hashServiceKey).builder()
+	v.keys = make([]ServiceKey, 0, src.numServices()+len(a.firstOpen))
+	src.eachService(func(key ServiceKey, rec *PassiveRecord) bool {
+		pb.Set(key, classify(rec, a, key))
 		v.keys = append(v.keys, key)
-	}
+		return true
+	})
 	for key := range a.firstOpen {
-		if _, seen := v.prov[key]; !seen {
-			v.prov[key] = ActiveOnly
+		if _, seen := pb.Get(key); !seen {
+			pb.Set(key, ActiveOnly)
 			v.keys = append(v.keys, key)
 		}
 	}
+	v.prov = pb.freeze()
 	sort.Slice(v.keys, func(i, j int) bool { return v.keys[i].Before(v.keys[j]) })
 	return v
 }
 
+// classify computes one passively-seen service's provenance against the
+// active side.
+func classify(rec *PassiveRecord, a *ActiveDiscoverer, key ServiceKey) Provenance {
+	if at, ok := a.firstOpen[key]; ok {
+		if at.Before(rec.FirstSeen) {
+			return ActiveFirst
+		}
+		return PassiveFirst
+	}
+	return PassiveOnly
+}
+
 // patchHybridInventory derives a hybrid inventory from prev when only the
-// passive side moved: merged is the delta-patched passive union, a the
-// unchanged frozen active view prev was classified against, and newKeys
-// the passive services that appeared since prev (sorted). Existing
-// services keep their provenance — a record's FirstSeen is immutable and
-// the active side is the same view — so only newKeys are classified, and
-// with none of those the key and provenance tables are shared outright.
-func patchHybridInventory(prev *Inventory, merged *PassiveDiscoverer, a *ActiveDiscoverer, scanners []ScannerInfo, newKeys []ServiceKey) *Inventory {
-	v := &Inventory{d: merged, active: a, scanners: scanners}
-	if len(newKeys) == 0 {
+// passive side moved: src is the delta-patched passive union, a the
+// unchanged frozen active view prev was classified against, newKeys the
+// passive services that appeared (or were reborn with a new FirstSeen)
+// since prev, and delKeys the passive services that expired since prev
+// (both sorted). Untouched services keep their provenance — their record's
+// FirstSeen is unchanged and the active side is the same view — so only
+// the named keys are reclassified, as persistent-map patches over prev's
+// table; with no changes at all the key and provenance tables are shared
+// outright. An expired key with surviving active evidence downgrades to
+// ActiveOnly rather than leaving the inventory.
+func patchHybridInventory(prev *Inventory, src invSource, a *ActiveDiscoverer, scanners []ScannerInfo, newKeys, delKeys []ServiceKey) *Inventory {
+	v := &Inventory{d: src, active: a, scanners: scanners}
+	if len(newKeys) == 0 && len(delKeys) == 0 {
 		v.prov, v.keys = prev.prov, prev.keys
 		return v
 	}
-	v.prov = maps.Clone(prev.prov)
-	var add []ServiceKey // newly-listed keys: new passive keys not already present as active-only
+	pb := prev.prov.builder()
+	var add, del []ServiceKey
 	for _, k := range newKeys {
-		if _, seen := prev.prov[k]; !seen {
+		if _, seen := prev.prov.Get(k); !seen {
 			add = append(add, k)
 		}
-		rec := merged.services[k]
-		if at, ok := a.firstOpen[k]; ok {
-			if at.Before(rec.FirstSeen) {
-				v.prov[k] = ActiveFirst
-			} else {
-				v.prov[k] = PassiveFirst
-			}
+		rec, _ := src.Record(k)
+		pb.Set(k, classify(rec, a, k))
+	}
+	for _, k := range delKeys {
+		if _, probed := a.firstOpen[k]; probed {
+			pb.Set(k, ActiveOnly) // passive evidence withdrawn, probe answer stands
 		} else {
-			v.prov[k] = PassiveOnly
+			pb.Delete(k)
+			del = append(del, k)
 		}
 	}
-	v.keys = mergeSortedKeys(prev.keys, add)
+	v.prov = pb.freeze()
+	v.keys = removeSortedKeys(mergeSortedKeys(prev.keys, add), del)
 	return v
 }
 
@@ -182,7 +206,7 @@ func (d *PassiveDiscoverer) Snapshot() *Inventory { return NewInventory(d) }
 func (v *Inventory) Len() int { return len(v.keys) }
 
 // Packets returns how many packets the underlying passive run consumed.
-func (v *Inventory) Packets() int { return v.d.Packets }
+func (v *Inventory) Packets() int { return v.d.NumPackets() }
 
 // Hybrid reports whether the inventory carries an active side.
 func (v *Inventory) Hybrid() bool { return v.active != nil }
@@ -203,8 +227,30 @@ func (v *Inventory) Provenance(key ServiceKey) (Provenance, bool) {
 		_, ok := v.d.Record(key)
 		return PassiveOnly, ok
 	}
-	p, ok := v.prov[key]
-	return p, ok
+	return v.prov.Get(key)
+}
+
+// EachTombstone visits every retention tombstone — services withdrawn by
+// TTL expiry, with their expiry deadline and the evidence kind withdrawn
+// (PassiveOnly or ActiveOnly) — until f returns false. Federation snapshot
+// frames carry these so late-connecting aggregators withdraw expired state
+// too.
+func (v *Inventory) EachTombstone(f func(key ServiceKey, at time.Time, prov Provenance) bool) {
+	stopped := false
+	v.d.eachTombstone(func(k ServiceKey, at time.Time) bool {
+		if !f(k, at, PassiveOnly) {
+			stopped = true
+		}
+		return !stopped
+	})
+	if stopped || v.active == nil {
+		return
+	}
+	for k, at := range v.active.tombs {
+		if !f(k, at, ActiveOnly) {
+			return
+		}
+	}
 }
 
 // ProvenanceCounts tallies services per provenance class, indexed by the
@@ -310,7 +356,7 @@ func (v *Inventory) LastActivity(addr netaddr.V4) (time.Time, bool) {
 // command-line tools.
 func (v *Inventory) Dump() []byte {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "services=%d packets=%d\n", len(v.keys), v.d.Packets)
+	fmt.Fprintf(&b, "services=%d packets=%d\n", len(v.keys), v.d.NumPackets())
 	for _, key := range v.keys {
 		p, _ := v.Provenance(key)
 		fmt.Fprintf(&b, "%s %s", key, p)

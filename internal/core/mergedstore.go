@@ -1,0 +1,145 @@
+package core
+
+// invSource + mergedStore: the storage abstraction behind Inventory.
+//
+// A frozen Inventory reads its passive state through invSource. Two
+// implementations exist: *PassiveDiscoverer (the single-threaded and
+// terminal-merge paths, plain maps) and *mergedStore (the live sharded
+// snapshot path), which keeps services, activity trails and tombstones in
+// persistent HAMTs so a changed snapshot is a handful of path copies over
+// the previous one — O(records changed), never an O(inventory) map clone —
+// while every previously returned Inventory stays valid forever.
+
+import (
+	"sort"
+	"time"
+
+	"servdisc/internal/netaddr"
+)
+
+// invSource is the passive-state storage a frozen Inventory queries. All
+// methods are read-only and safe for concurrent readers once the source is
+// frozen.
+type invSource interface {
+	// NumPackets returns the cumulative packet count behind the state.
+	NumPackets() int
+	// Record returns one service's record, if present.
+	Record(key ServiceKey) (*PassiveRecord, bool)
+	// numServices returns the live (non-expired) service count.
+	numServices() int
+	// eachService visits every live service until f returns false.
+	eachService(f func(ServiceKey, *PassiveRecord) bool)
+	// eachTombstone visits every expiry tombstone (key, deadline) until f
+	// returns false.
+	eachTombstone(f func(ServiceKey, time.Time) bool)
+	// AddrFirstSeen rolls the inventory up to addresses (see
+	// PassiveDiscoverer.AddrFirstSeen).
+	AddrFirstSeen(keep func(ServiceKey) bool) map[netaddr.V4]time.Time
+	// AddrFirstSeenExcluding recomputes per-address first discovery with
+	// the given peers removed.
+	AddrFirstSeenExcluding(excluded map[netaddr.V4]bool, keep func(ServiceKey) bool) map[netaddr.V4]time.Time
+	// AddrWeights sums flow and client weights per address.
+	AddrWeights() (flows, clients map[netaddr.V4]int)
+	// ActiveDuring reports whether the address showed passive activity
+	// within [from, to].
+	ActiveDuring(addr netaddr.V4, from, to time.Time) bool
+	// LastActivity returns the most recent recorded activity time.
+	LastActivity(addr netaddr.V4) (time.Time, bool)
+}
+
+// mergedStore is the union of all frozen shard views, held in persistent
+// maps. A delta merge starts builders from the previous snapshot's store
+// and patches only the touched entries; the result shares all untouched
+// structure with its predecessor.
+type mergedStore struct {
+	packets  int
+	services pmap[ServiceKey, *PassiveRecord]
+	trails   pmap[netaddr.V4, []time.Time]
+	tombs    pmap[ServiceKey, time.Time]
+}
+
+func newMergedStore() *mergedStore {
+	return &mergedStore{
+		services: newPmap[ServiceKey, *PassiveRecord](hashServiceKey),
+		trails:   newPmap[netaddr.V4, []time.Time](hashV4),
+		tombs:    newPmap[ServiceKey, time.Time](hashServiceKey),
+	}
+}
+
+func (m *mergedStore) NumPackets() int { return m.packets }
+
+func (m *mergedStore) numServices() int { return m.services.Len() }
+
+func (m *mergedStore) Record(key ServiceKey) (*PassiveRecord, bool) {
+	return m.services.Get(key)
+}
+
+func (m *mergedStore) eachService(f func(ServiceKey, *PassiveRecord) bool) {
+	m.services.each(f)
+}
+
+func (m *mergedStore) eachTombstone(f func(ServiceKey, time.Time) bool) {
+	m.tombs.each(f)
+}
+
+func (m *mergedStore) AddrFirstSeen(keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
+	out := make(map[netaddr.V4]time.Time)
+	m.services.each(func(k ServiceKey, rec *PassiveRecord) bool {
+		if keep != nil && !keep(k) {
+			return true
+		}
+		if cur, ok := out[k.Addr]; !ok || rec.FirstSeen.Before(cur) {
+			out[k.Addr] = rec.FirstSeen
+		}
+		return true
+	})
+	return out
+}
+
+func (m *mergedStore) AddrFirstSeenExcluding(excluded map[netaddr.V4]bool, keep func(ServiceKey) bool) map[netaddr.V4]time.Time {
+	out := make(map[netaddr.V4]time.Time)
+	m.services.each(func(k ServiceKey, rec *PassiveRecord) bool {
+		if keep != nil && !keep(k) {
+			return true
+		}
+		t, ok := rec.FirstSeenExcluding(excluded)
+		if !ok {
+			return true
+		}
+		if cur, seen := out[k.Addr]; !seen || t.Before(cur) {
+			out[k.Addr] = t
+		}
+		return true
+	})
+	return out
+}
+
+func (m *mergedStore) AddrWeights() (flows, clients map[netaddr.V4]int) {
+	flows = make(map[netaddr.V4]int)
+	clients = make(map[netaddr.V4]int)
+	m.services.each(func(k ServiceKey, rec *PassiveRecord) bool {
+		flows[k.Addr] += rec.Flows
+		clients[k.Addr] += rec.Clients()
+		return true
+	})
+	return flows, clients
+}
+
+func (m *mergedStore) ActiveDuring(addr netaddr.V4, from, to time.Time) bool {
+	times, _ := m.trails.Get(addr)
+	i := sort.Search(len(times), func(i int) bool { return !times[i].Before(from) })
+	return i < len(times) && !times[i].After(to)
+}
+
+func (m *mergedStore) LastActivity(addr netaddr.V4) (time.Time, bool) {
+	ts, _ := m.trails.Get(addr)
+	if len(ts) == 0 {
+		return time.Time{}, false
+	}
+	return ts[len(ts)-1], true
+}
+
+var (
+	_ invSource = (*mergedStore)(nil)
+	_ invSource = (*PassiveDiscoverer)(nil)
+)

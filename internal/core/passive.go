@@ -39,6 +39,28 @@ type PassiveDiscoverer struct {
 	// wires it (and the tracker's onDetect) into the engine's event stream.
 	onService func(key ServiceKey, t time.Time)
 
+	// onRetire, when set, is invoked when an observe-side incarnation
+	// split retires a record (see observe): the event stream clears its
+	// seen entry synchronously so the new incarnation's discovery
+	// announcement is not suppressed.
+	onRetire func(key ServiceKey)
+
+	// Retention state (retention.go). ttl=0 disables expiry entirely; the
+	// maps and slices below then stay empty and cost nothing. tombs maps
+	// each expired key to its expiry deadline (a later re-creation keeps
+	// the tombstone — it only helps late federation consumers). expq is
+	// the lazy deadline min-heap; pendingExpired accumulates expiries
+	// until the next snapshot publishes them; deadKeys and tombDirty name
+	// what the next seal must delete from / sync into the sealed view;
+	// ckTombs are tombstones not yet exported to a checkpoint.
+	ttl            time.Duration
+	tombs          map[ServiceKey]time.Time
+	expq           []expEntry
+	pendingExpired []expiredSvc
+	deadKeys       []ServiceKey
+	tombDirty      []ServiceKey
+	ckTombs        map[ServiceKey]time.Time
+
 	// Copy-on-write snapshot machinery (sealView). sealed is the immutable
 	// view shared with snapshot consumers: its records and activity trails
 	// alias the live maps, and each seal patches in only what the dirty
@@ -74,6 +96,7 @@ func NewPassiveDiscoverer(campus netaddr.Prefix, udpPorts []uint16) *PassiveDisc
 		services:  make(map[ServiceKey]*PassiveRecord),
 		peers:     make(map[ServiceKey]map[netaddr.V4]struct{}),
 		addrTimes: make(map[netaddr.V4][]time.Time),
+		tombs:     make(map[ServiceKey]time.Time),
 		track:     newScanTracker(),
 	}
 	for _, p := range udpPorts {
@@ -116,7 +139,10 @@ type sealDelta struct {
 	gen, prevGen uint64
 	keys         []ServiceKey
 	newKeys      []ServiceKey
-	addrs        []netaddr.V4
+	// delKeys are the records expired since the previous seal: a merger
+	// must remove them from the previous merged snapshot.
+	delKeys []ServiceKey
+	addrs   []netaddr.V4
 	// full marks a seal whose delta was not tracked (the first seal, or a
 	// churn burst too large to be worth patching): merge must rebuild.
 	full bool
@@ -152,21 +178,38 @@ func (d *PassiveDiscoverer) sealView() (*PassiveDiscoverer, sealDelta) {
 		for a, ts := range d.addrTimes {
 			s.addrTimes[a] = ts
 		}
+		for k, at := range d.tombs {
+			s.tombs[k] = at
+		}
 		d.sealed = s
 		d.dirty = make(map[ServiceKey]struct{})
 		d.dirtyAddrs = make(map[netaddr.V4]struct{})
+		d.deadKeys, d.tombDirty = nil, nil
 		return s, sealDelta{full: true}
 	}
 	delta := sealDelta{
-		keys:    make([]ServiceKey, 0, len(d.dirty)),
-		newKeys: d.newKeys,
-		addrs:   make([]netaddr.V4, 0, len(d.dirtyAddrs)),
+		keys:  make([]ServiceKey, 0, len(d.dirty)),
+		addrs: make([]netaddr.V4, 0, len(d.dirtyAddrs)),
 	}
 	// A churn burst touching most of the inventory is cheaper to re-merge
 	// than to patch downstream; the seal itself still applies the delta.
 	if len(d.dirty) > len(d.services)/2 {
 		delta = sealDelta{full: true}
 	}
+	// Sync expiries first: tombstones move into the sealed view, expired
+	// records leave it (and the delta tells the merger to drop them too).
+	for _, k := range d.tombDirty {
+		d.sealed.tombs[k] = d.tombs[k]
+	}
+	d.tombDirty = nil
+	hadDead := len(d.deadKeys) > 0
+	for _, k := range d.deadKeys {
+		delete(d.sealed.services, k)
+		if !delta.full {
+			delta.delKeys = append(delta.delKeys, k)
+		}
+	}
+	d.deadKeys = nil
 	for k := range d.dirty {
 		d.sealed.services[k] = d.services[k]
 		if !delta.full {
@@ -180,6 +223,19 @@ func (d *PassiveDiscoverer) sealView() (*PassiveDiscoverer, sealDelta) {
 			delta.addrs = append(delta.addrs, a)
 		}
 		delete(d.dirtyAddrs, a)
+	}
+	if !delta.full {
+		delta.newKeys = d.newKeys
+		if hadDead {
+			// A key created and expired within one seal interval must not
+			// leak into the merger's new-key list.
+			delta.newKeys = nil
+			for _, k := range d.newKeys {
+				if _, live := d.services[k]; live {
+					delta.newKeys = append(delta.newKeys, k)
+				}
+			}
+		}
 	}
 	d.sealed.Packets = d.Packets
 	d.newKeys = nil
@@ -224,6 +280,27 @@ func (d *PassiveDiscoverer) handleUDP(p *packet.Packet) {
 
 func (d *PassiveDiscoverer) observe(key ServiceKey, t time.Time, peer netaddr.V4) {
 	rec := d.services[key]
+	if rec != nil && d.ttl > 0 && !t.Before(rec.LastSeen.Add(d.ttl)) {
+		// Incarnation split: the old record's deadline passed before this
+		// evidence arrived, so on the observation clock the service expired
+		// and is now being rediscovered. Retiring it here — rather than
+		// waiting for a snapshot-side sweep to notice — makes the final
+		// state independent of snapshot cadence (for monotone observation
+		// clocks): the fresh record below gets a new FirstSeen and reset
+		// weights no matter how often anyone snapshotted in between. The
+		// expiry event is queued for the next snapshot; the seen-table
+		// entry is cleared synchronously (onRetire) so the rediscovery
+		// announcement below is not suppressed.
+		deadline := rec.LastSeen.Add(d.ttl)
+		d.retire(key, deadline)
+		d.pendingExpired = append(d.pendingExpired, expiredSvc{
+			key: key, at: deadline, prov: PassiveOnly,
+		})
+		if d.onRetire != nil {
+			d.onRetire(key)
+		}
+		rec = nil
+	}
 	switch {
 	case rec == nil:
 		rec = &PassiveRecord{FirstSeen: t, seal: d.seals}
@@ -232,6 +309,9 @@ func (d *PassiveDiscoverer) observe(key ServiceKey, t time.Time, peer netaddr.V4
 		if d.sealed != nil {
 			d.dirty[key] = struct{}{}
 			d.newKeys = append(d.newKeys, key)
+		}
+		if d.ttl > 0 {
+			d.expPush(t.Add(d.ttl), key)
 		}
 		if d.onService != nil {
 			d.onService(key, t)
@@ -269,6 +349,30 @@ func (d *PassiveDiscoverer) observe(key ServiceKey, t time.Time, peer netaddr.V4
 
 // Services returns the live inventory map (owned by the discoverer).
 func (d *PassiveDiscoverer) Services() map[ServiceKey]*PassiveRecord { return d.services }
+
+// NumPackets returns the cumulative packet count (invSource).
+func (d *PassiveDiscoverer) NumPackets() int { return d.Packets }
+
+// numServices returns the live service count (invSource).
+func (d *PassiveDiscoverer) numServices() int { return len(d.services) }
+
+// eachService visits every live service (invSource; map order).
+func (d *PassiveDiscoverer) eachService(f func(ServiceKey, *PassiveRecord) bool) {
+	for k, rec := range d.services {
+		if !f(k, rec) {
+			return
+		}
+	}
+}
+
+// eachTombstone visits every expiry tombstone (invSource; map order).
+func (d *PassiveDiscoverer) eachTombstone(f func(ServiceKey, time.Time) bool) {
+	for k, at := range d.tombs {
+		if !f(k, at) {
+			return
+		}
+	}
+}
 
 // Record returns the record for one service, if present.
 func (d *PassiveDiscoverer) Record(key ServiceKey) (*PassiveRecord, bool) {

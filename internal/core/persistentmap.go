@@ -1,0 +1,324 @@
+package core
+
+// Persistent hash-array-mapped trie (CHAMP variant) — the storage behind
+// merged snapshot inventories. A pmap value is immutable: Set and Delete
+// return a new map sharing all untouched structure with the old one, so a
+// snapshot patched forward from its predecessor costs O(records changed ·
+// log64 n) node copies instead of an O(n) map clone, and every previously
+// returned snapshot stays valid forever.
+//
+// Keys are hashed through an injective 64-bit encoding followed by the
+// (bijective) splitmix64 finalizer, so two distinct keys can never share a
+// hash and the trie needs no collision buckets: any two keys diverge at
+// some level within the 64-bit hash. A transient builder amortizes bulk
+// construction (the full-merge path) by mutating nodes it alone owns,
+// identified by an edit token, and freezes into an ordinary pmap.
+
+import (
+	"math/bits"
+
+	"servdisc/internal/netaddr"
+)
+
+const (
+	pmapBits  = 6
+	pmapWidth = 1 << pmapBits
+	pmapMask  = pmapWidth - 1
+)
+
+// mix64 is the splitmix64 finalizer: a bijection on uint64, so composing
+// it with an injective key encoding yields collision-free hashes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashServiceKey packs (addr, proto, port) into disjoint bit ranges —
+// injective by construction — and mixes.
+func hashServiceKey(k ServiceKey) uint64 {
+	return mix64(uint64(k.Addr)<<24 | uint64(k.Proto)<<16 | uint64(k.Port))
+}
+
+// hashV4 mixes the (already unique) 32-bit address.
+func hashV4(a netaddr.V4) uint64 { return mix64(uint64(a)) }
+
+// pmapEdit is a transient builder's ownership token: nodes stamped with a
+// live token may be mutated in place by that builder alone.
+type pmapEdit struct{ _ byte }
+
+// pnode is one trie node. dataMap marks slots holding an inline key/value
+// pair, nodeMap slots holding a child node; keys/vals and kids are packed
+// dense in slot order.
+type pnode[K comparable, V any] struct {
+	dataMap uint64
+	nodeMap uint64
+	keys    []K
+	vals    []V
+	kids    []*pnode[K, V]
+	edit    *pmapEdit
+}
+
+// pmap is an immutable hash map value. The zero value is unusable: build
+// with newPmap to bind the hash function.
+type pmap[K comparable, V any] struct {
+	hash func(K) uint64
+	root *pnode[K, V]
+	n    int
+}
+
+func newPmap[K comparable, V any](hash func(K) uint64) pmap[K, V] {
+	return pmap[K, V]{hash: hash}
+}
+
+func (m pmap[K, V]) Len() int { return m.n }
+
+func (m pmap[K, V]) Get(k K) (V, bool) {
+	var zero V
+	n := m.root
+	if n == nil {
+		return zero, false
+	}
+	h := m.hash(k)
+	for shift := uint(0); ; shift += pmapBits {
+		if shift >= 64 {
+			panic("pmap: hash bits exhausted")
+		}
+		bit := uint64(1) << ((h >> shift) & pmapMask)
+		if n.dataMap&bit != 0 {
+			i := bits.OnesCount64(n.dataMap & (bit - 1))
+			if n.keys[i] == k {
+				return n.vals[i], true
+			}
+			return zero, false
+		}
+		if n.nodeMap&bit == 0 {
+			return zero, false
+		}
+		n = n.kids[bits.OnesCount64(n.nodeMap&(bit-1))]
+	}
+}
+
+// Set returns a map with k bound to v; m is untouched.
+func (m pmap[K, V]) Set(k K, v V) pmap[K, V] {
+	root, added := pmapSet(m.root, 0, m.hash(k), k, v, m.hash, nil)
+	n := m.n
+	if added {
+		n++
+	}
+	return pmap[K, V]{hash: m.hash, root: root, n: n}
+}
+
+// Delete returns a map without k; m is untouched. Absent keys are a no-op
+// (the same map value comes back).
+func (m pmap[K, V]) Delete(k K) pmap[K, V] {
+	if m.root == nil {
+		return m
+	}
+	root, removed := pmapDel(m.root, 0, m.hash(k), k, nil)
+	if !removed {
+		return m
+	}
+	return pmap[K, V]{hash: m.hash, root: root, n: m.n - 1}
+}
+
+// each visits every entry in an unspecified (but deterministic for a given
+// map value) order until yield returns false.
+func (m pmap[K, V]) each(yield func(K, V) bool) {
+	if m.root != nil {
+		m.root.each(yield)
+	}
+}
+
+func (n *pnode[K, V]) each(yield func(K, V) bool) bool {
+	for i := range n.keys {
+		if !yield(n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	for _, kid := range n.kids {
+		if !kid.each(yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// owned returns n itself when the edit token proves exclusive ownership,
+// or a copy stamped with the token otherwise.
+func (n *pnode[K, V]) owned(edit *pmapEdit) *pnode[K, V] {
+	if edit != nil && n.edit == edit {
+		return n
+	}
+	return &pnode[K, V]{
+		dataMap: n.dataMap,
+		nodeMap: n.nodeMap,
+		keys:    append([]K(nil), n.keys...),
+		vals:    append([]V(nil), n.vals...),
+		kids:    append([]*pnode[K, V](nil), n.kids...),
+		edit:    edit,
+	}
+}
+
+func pmapSet[K comparable, V any](n *pnode[K, V], shift uint, h uint64, k K, v V, hash func(K) uint64, edit *pmapEdit) (*pnode[K, V], bool) {
+	if shift >= 64 {
+		panic("pmap: hash bits exhausted")
+	}
+	bit := uint64(1) << ((h >> shift) & pmapMask)
+	if n == nil {
+		return &pnode[K, V]{dataMap: bit, keys: []K{k}, vals: []V{v}, edit: edit}, true
+	}
+	switch {
+	case n.dataMap&bit != 0:
+		i := bits.OnesCount64(n.dataMap & (bit - 1))
+		if n.keys[i] == k {
+			c := n.owned(edit)
+			c.vals[i] = v
+			return c, false
+		}
+		// Slot collision at this level: push both entries one level down.
+		child := pmapMerge(shift+pmapBits, hash(n.keys[i]), n.keys[i], n.vals[i], h, k, v, edit)
+		c := n.owned(edit)
+		c.dataMap &^= bit
+		c.keys = append(c.keys[:i], c.keys[i+1:]...)
+		c.vals = append(c.vals[:i], c.vals[i+1:]...)
+		j := bits.OnesCount64(c.nodeMap & (bit - 1))
+		c.nodeMap |= bit
+		c.kids = append(c.kids, nil)
+		copy(c.kids[j+1:], c.kids[j:])
+		c.kids[j] = child
+		return c, true
+	case n.nodeMap&bit != 0:
+		j := bits.OnesCount64(n.nodeMap & (bit - 1))
+		child, added := pmapSet(n.kids[j], shift+pmapBits, h, k, v, hash, edit)
+		c := n.owned(edit)
+		c.kids[j] = child
+		return c, added
+	default:
+		i := bits.OnesCount64(n.dataMap & (bit - 1))
+		c := n.owned(edit)
+		c.dataMap |= bit
+		c.keys = append(c.keys, k)
+		copy(c.keys[i+1:], c.keys[i:])
+		c.keys[i] = k
+		c.vals = append(c.vals, v)
+		copy(c.vals[i+1:], c.vals[i:])
+		c.vals[i] = v
+		return c, true
+	}
+}
+
+// pmapMerge builds the subtree holding two entries whose hashes agree on
+// every level above shift. Injective hashing guarantees divergence before
+// the bits run out.
+func pmapMerge[K comparable, V any](shift uint, h1 uint64, k1 K, v1 V, h2 uint64, k2 K, v2 V, edit *pmapEdit) *pnode[K, V] {
+	if shift >= 64 {
+		panic("pmap: hash collision (non-injective key encoding)")
+	}
+	i1 := (h1 >> shift) & pmapMask
+	i2 := (h2 >> shift) & pmapMask
+	if i1 == i2 {
+		child := pmapMerge(shift+pmapBits, h1, k1, v1, h2, k2, v2, edit)
+		return &pnode[K, V]{nodeMap: 1 << i1, kids: []*pnode[K, V]{child}, edit: edit}
+	}
+	if i1 > i2 {
+		k1, k2 = k2, k1
+		v1, v2 = v2, v1
+		i1, i2 = i2, i1
+	}
+	return &pnode[K, V]{
+		dataMap: 1<<i1 | 1<<i2,
+		keys:    []K{k1, k2},
+		vals:    []V{v1, v2},
+		edit:    edit,
+	}
+}
+
+func pmapDel[K comparable, V any](n *pnode[K, V], shift uint, h uint64, k K, edit *pmapEdit) (*pnode[K, V], bool) {
+	if shift >= 64 {
+		panic("pmap: hash bits exhausted")
+	}
+	bit := uint64(1) << ((h >> shift) & pmapMask)
+	switch {
+	case n.dataMap&bit != 0:
+		i := bits.OnesCount64(n.dataMap & (bit - 1))
+		if n.keys[i] != k {
+			return n, false
+		}
+		if n.dataMap == bit && n.nodeMap == 0 {
+			return nil, true
+		}
+		c := n.owned(edit)
+		c.dataMap &^= bit
+		c.keys = append(c.keys[:i], c.keys[i+1:]...)
+		c.vals = append(c.vals[:i], c.vals[i+1:]...)
+		return c, true
+	case n.nodeMap&bit != 0:
+		j := bits.OnesCount64(n.nodeMap & (bit - 1))
+		child, removed := pmapDel(n.kids[j], shift+pmapBits, h, k, edit)
+		if !removed {
+			return n, false
+		}
+		if child == nil {
+			if n.nodeMap == bit && n.dataMap == 0 {
+				return nil, true
+			}
+			c := n.owned(edit)
+			c.nodeMap &^= bit
+			c.kids = append(c.kids[:j], c.kids[j+1:]...)
+			return c, true
+		}
+		c := n.owned(edit)
+		c.kids[j] = child
+		return c, true
+	default:
+		return n, false
+	}
+}
+
+// pmapBuilder is a transient: a mutable accumulator over pmap structure.
+// Mutations touch only nodes stamped with the builder's edit token, so the
+// base map (and anything frozen out of the builder) is never disturbed.
+// Single-goroutine; freeze() before sharing the result.
+type pmapBuilder[K comparable, V any] struct {
+	m    pmap[K, V]
+	edit *pmapEdit
+}
+
+// builder opens a transient over the map's current contents.
+func (m pmap[K, V]) builder() *pmapBuilder[K, V] {
+	return &pmapBuilder[K, V]{m: m, edit: &pmapEdit{}}
+}
+
+func (b *pmapBuilder[K, V]) Set(k K, v V) {
+	root, added := pmapSet(b.m.root, 0, b.m.hash(k), k, v, b.m.hash, b.edit)
+	b.m.root = root
+	if added {
+		b.m.n++
+	}
+}
+
+func (b *pmapBuilder[K, V]) Delete(k K) {
+	if b.m.root == nil {
+		return
+	}
+	root, removed := pmapDel(b.m.root, 0, b.m.hash(k), k, b.edit)
+	if removed {
+		b.m.root = root
+		b.m.n--
+	}
+}
+
+func (b *pmapBuilder[K, V]) Get(k K) (V, bool) { return b.m.Get(k) }
+
+func (b *pmapBuilder[K, V]) Len() int { return b.m.n }
+
+// freeze returns the accumulated map and retires the edit token: later
+// builder mutations copy rather than touching anything frozen here.
+func (b *pmapBuilder[K, V]) freeze() pmap[K, V] {
+	b.edit = &pmapEdit{}
+	return b.m
+}

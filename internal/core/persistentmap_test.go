@@ -1,0 +1,202 @@
+package core
+
+// Model-based property test for the persistent map: a pmap driven through
+// randomized insert/update/delete/snapshot/builder-compact sequences must
+// agree with a plain map reference model at every step, and — the property
+// flat maps cannot offer — every snapshot taken along the way must still
+// agree with the model state it froze, re-verified after arbitrarily many
+// later mutations. Run under -race this doubles as an aliasing guard: a
+// mutation that touched a snapshot's shared structure in place would trip
+// the verifier (and, for builder transients misusing their edit token, the
+// race detector).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// pmSnap pairs a frozen pmap with a copy of the reference model at freeze
+// time.
+type pmSnap struct {
+	m   pmap[ServiceKey, int]
+	ref map[ServiceKey]int
+	op  int
+}
+
+func pmTestKey(r *rand.Rand, space int) ServiceKey {
+	return ServiceKey{
+		Addr:  netaddr.V4(r.Intn(space)),
+		Proto: packet.ProtoTCP,
+		Port:  uint16(r.Intn(16)),
+	}
+}
+
+func checkAgainst(t *testing.T, label string, m pmap[ServiceKey, int], ref map[ServiceKey]int) {
+	t.Helper()
+	if m.Len() != len(ref) {
+		t.Fatalf("%s: Len=%d want %d", label, m.Len(), len(ref))
+	}
+	seen := 0
+	m.each(func(k ServiceKey, v int) bool {
+		want, ok := ref[k]
+		if !ok {
+			t.Fatalf("%s: each yielded absent key %s", label, k)
+		}
+		if v != want {
+			t.Fatalf("%s: each(%s)=%d want %d", label, k, v, want)
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("%s: each visited %d entries, want %d", label, seen, len(ref))
+	}
+	for k, want := range ref {
+		got, ok := m.Get(k)
+		if !ok || got != want {
+			t.Fatalf("%s: Get(%s)=(%d,%v) want (%d,true)", label, k, got, ok, want)
+		}
+	}
+}
+
+func TestPersistentMapModel(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			m := newPmap[ServiceKey, int](hashServiceKey)
+			ref := make(map[ServiceKey]int)
+			var snaps []pmSnap
+			const ops = 4000
+			for op := 0; op < ops; op++ {
+				switch c := r.Intn(100); {
+				case c < 55: // insert or update
+					k := pmTestKey(r, 512)
+					v := r.Intn(1 << 20)
+					m = m.Set(k, v)
+					ref[k] = v
+				case c < 80: // delete (sometimes absent)
+					k := pmTestKey(r, 512)
+					m = m.Delete(k)
+					delete(ref, k)
+				case c < 90: // snapshot: retain for later re-verification
+					cp := make(map[ServiceKey]int, len(ref))
+					for k, v := range ref {
+						cp[k] = v
+					}
+					snaps = append(snaps, pmSnap{m: m, ref: cp, op: op})
+				default: // compact through a builder transient
+					b := m.builder()
+					for i := 0; i < 20; i++ {
+						k := pmTestKey(r, 512)
+						if i%3 == 0 {
+							b.Delete(k)
+							delete(ref, k)
+						} else {
+							v := r.Intn(1 << 20)
+							b.Set(k, v)
+							ref[k] = v
+						}
+					}
+					m = b.freeze()
+					// The frozen result must be immune to further builder use.
+					b.Set(pmTestKey(r, 512), -1)
+					b.Delete(pmTestKey(r, 512))
+				}
+				if op%512 == 0 {
+					checkAgainst(t, fmt.Sprintf("op %d (live)", op), m, ref)
+				}
+			}
+			checkAgainst(t, "final", m, ref)
+			// Every retained snapshot must still match the model state it
+			// froze, all later mutations notwithstanding.
+			for _, s := range snaps {
+				checkAgainst(t, fmt.Sprintf("snapshot@op%d", s.op), s.m, s.ref)
+			}
+			// Negative lookups outside the touched keyspace.
+			for i := 0; i < 100; i++ {
+				k := ServiceKey{Addr: netaddr.V4(1 << 20), Proto: packet.ProtoUDP, Port: uint16(i)}
+				if _, ok := m.Get(k); ok {
+					t.Fatalf("Get(%s) found a never-inserted key", k)
+				}
+			}
+		})
+	}
+}
+
+// TestPersistentMapBuilderSharing drives a builder from an existing map and
+// verifies the base map is untouched — the transient must copy, not mutate,
+// nodes it does not own.
+func TestPersistentMapBuilderSharing(t *testing.T) {
+	m := newPmap[ServiceKey, int](hashServiceKey)
+	ref := make(map[ServiceKey]int)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		k := pmTestKey(r, 1024)
+		m = m.Set(k, i)
+		ref[k] = i
+	}
+	base := m
+	baseRef := make(map[ServiceKey]int, len(ref))
+	for k, v := range ref {
+		baseRef[k] = v
+	}
+	b := base.builder()
+	for i := 0; i < 2000; i++ {
+		k := pmTestKey(r, 1024)
+		if i%2 == 0 {
+			b.Set(k, -i)
+			ref[k] = -i
+		} else {
+			b.Delete(k)
+			delete(ref, k)
+		}
+	}
+	out := b.freeze()
+	checkAgainst(t, "builder result", out, ref)
+	checkAgainst(t, "base after builder", base, baseRef)
+}
+
+// TestPersistentMapV4 exercises the second key type (address trails use
+// netaddr.V4 keys) through the same model check.
+func TestPersistentMapV4(t *testing.T) {
+	m := newPmap[netaddr.V4, string](hashV4)
+	ref := make(map[netaddr.V4]string)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		a := netaddr.V4(r.Intn(700))
+		if r.Intn(4) == 0 {
+			m = m.Delete(a)
+			delete(ref, a)
+		} else {
+			v := fmt.Sprintf("v%d", i)
+			m = m.Set(a, v)
+			ref[a] = v
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(ref))
+	}
+	for a, want := range ref {
+		got, ok := m.Get(a)
+		if !ok || got != want {
+			t.Fatalf("Get(%s)=(%q,%v) want (%q,true)", a, got, ok, want)
+		}
+	}
+	n := 0
+	m.each(func(a netaddr.V4, v string) bool {
+		if ref[a] != v {
+			t.Fatalf("each(%s)=%q want %q", a, v, ref[a])
+		}
+		n++
+		return true
+	})
+	if n != len(ref) {
+		t.Fatalf("each visited %d, want %d", n, len(ref))
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+// Retention: TTL-based expiry of service records, the "forgetting" half of
+// a deployable inventory (DHCP churn, transient services).
+//
+// All deadlines run on the OBSERVATION clock — packet timestamps — never
+// wall time, so replays and live runs expire identically. A passive record
+// expires when the engine's watermark (the maximum packet timestamp ever
+// dispatched) passes LastSeen+TTL; an active record when the watermark
+// passes its last successful probe answer plus the active TTL.
+//
+// Expiry is decided at two points, chosen so the outcome is independent of
+// snapshot cadence for monotone observation clocks:
+//
+//   - observe-side: when new evidence for a key arrives at or after the old
+//     record's deadline, the old incarnation is retired on the spot and a
+//     fresh record (new FirstSeen, reset weights) is created — regardless
+//     of whether any snapshot happened to run in between;
+//   - snapshot-side: a per-shard deadline min-heap is drained against the
+//     watermark at every freeze, removing records whose deadline passed
+//     with no further evidence.
+//
+// Both append to a pending list that the next Snapshot drains, sorts by
+// (deadline, key) and publishes as EventServiceExpired — exactly once per
+// expiry, deterministically ordered across shard counts. Every expiry also
+// leaves a tombstone (key → deadline) that sealed views, merged snapshots,
+// checkpoints and federation snapshot frames carry, so late or restarted
+// consumers can withdraw state they learned before the expiry.
+
+import (
+	"sort"
+	"time"
+)
+
+// RetentionPolicy configures TTL expiry. Zero durations disable the
+// corresponding mechanism; the zero policy disables retention entirely.
+type RetentionPolicy struct {
+	// PassiveTTL expires a passively-discovered record once no positive
+	// evidence has arrived for this long (observation clock).
+	PassiveTTL time.Duration
+	// ActiveTTL expires a probe-discovered record once it has not answered
+	// a probe for this long (measured against the passive watermark).
+	ActiveTTL time.Duration
+	// SweepEvery, when set, makes the facade pipeline take a background
+	// snapshot at this wall-clock period so expiries surface (and publish
+	// their events) even when nobody is reading. Purely a trigger cadence:
+	// expiry *decisions* stay on the observation clock.
+	SweepEvery time.Duration
+}
+
+// Enabled reports whether any expiry mechanism is on.
+func (p RetentionPolicy) Enabled() bool { return p.PassiveTTL > 0 || p.ActiveTTL > 0 }
+
+// expEntry is one deadline-heap entry. Entries are lazy: a refreshed record
+// keeps its stale entries, which re-push with the true deadline when popped.
+type expEntry struct {
+	at  time.Time
+	key ServiceKey
+}
+
+// expiredSvc is one pending expiry awaiting publication at the next
+// snapshot. clear marks snapshot-side expiries, whose emission must also
+// clear the event stream's seen table so a later rediscovery re-announces;
+// observe-side retirements already cleared it synchronously (the new
+// incarnation's discovery event depends on it) and must not clear the new
+// incarnation's entry.
+type expiredSvc struct {
+	key   ServiceKey
+	at    time.Time
+	prov  Provenance
+	clear bool
+}
+
+// sortExpired orders pending expiries canonically: by deadline, then key,
+// then provenance — the published EventServiceExpired order, identical at
+// any shard count.
+func sortExpired(exp []expiredSvc) {
+	sort.Slice(exp, func(i, j int) bool {
+		a, b := exp[i], exp[j]
+		if !a.at.Equal(b.at) {
+			return a.at.Before(b.at)
+		}
+		if a.key != b.key {
+			return a.key.Before(b.key)
+		}
+		return a.prov < b.prov
+	})
+}
+
+// expPush adds a deadline entry (sift-up on a binary min-heap by at).
+func (d *PassiveDiscoverer) expPush(at time.Time, key ServiceKey) {
+	d.expq = append(d.expq, expEntry{at: at, key: key})
+	i := len(d.expq) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !d.expq[i].at.Before(d.expq[p].at) {
+			break
+		}
+		d.expq[i], d.expq[p] = d.expq[p], d.expq[i]
+		i = p
+	}
+}
+
+// expPop removes and returns the earliest-deadline entry.
+func (d *PassiveDiscoverer) expPop() expEntry {
+	top := d.expq[0]
+	last := len(d.expq) - 1
+	d.expq[0] = d.expq[last]
+	d.expq = d.expq[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(d.expq) && d.expq[l].at.Before(d.expq[min].at) {
+			min = l
+		}
+		if r < len(d.expq) && d.expq[r].at.Before(d.expq[min].at) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		d.expq[i], d.expq[min] = d.expq[min], d.expq[i]
+		i = min
+	}
+}
+
+// setRetention switches passive TTL expiry on (or off) and seeds the
+// deadline heap from whatever the discoverer already holds, so retention
+// configured after a checkpoint restore still covers restored records.
+// Call only from the shard's owner (pre-Run, or under the dispatch lock).
+func (d *PassiveDiscoverer) setRetention(ttl time.Duration) {
+	d.ttl = ttl
+	d.expq = d.expq[:0]
+	if ttl <= 0 {
+		return
+	}
+	for k, rec := range d.services {
+		d.expPush(rec.LastSeen.Add(ttl), k)
+	}
+}
+
+// retire removes the record's live state and leaves a tombstone at the
+// given deadline: the shared half of observe-side and snapshot-side expiry.
+func (d *PassiveDiscoverer) retire(key ServiceKey, deadline time.Time) {
+	delete(d.services, key)
+	delete(d.peers, key)
+	d.tombs[key] = deadline
+	d.tombDirty = append(d.tombDirty, key)
+	if d.ckDirty != nil {
+		delete(d.ckDirty, key)
+		d.ckTombs[key] = deadline
+	}
+}
+
+// expireDue drains every deadline at or before the watermark, expiring
+// records whose evidence really has gone stale and lazily re-pushing
+// entries whose record was refreshed since the entry was pushed. Returns
+// whether anything expired (the caller bumps the shard generation so the
+// change propagates through the snapshot machinery). Runs on the shard's
+// owner goroutine at freeze time.
+func (d *PassiveDiscoverer) expireDue(wm time.Time) bool {
+	if d.ttl <= 0 || wm.IsZero() {
+		return false
+	}
+	any := false
+	for len(d.expq) > 0 && !d.expq[0].at.After(wm) {
+		e := d.expPop()
+		rec, live := d.services[e.key]
+		if !live {
+			continue // already expired or retired under an earlier entry
+		}
+		deadline := rec.LastSeen.Add(d.ttl)
+		if deadline.After(wm) {
+			d.expPush(deadline, e.key) // refreshed since the stale entry
+			continue
+		}
+		d.retire(e.key, deadline)
+		if d.sealed != nil {
+			delete(d.dirty, e.key)
+			d.deadKeys = append(d.deadKeys, e.key)
+		}
+		d.pendingExpired = append(d.pendingExpired, expiredSvc{
+			key: e.key, at: deadline, prov: PassiveOnly, clear: true,
+		})
+		any = true
+	}
+	return any
+}
+
+// takePendingExpired hands the accumulated pending expiries to the freeze
+// that will publish them, clearing the accumulator.
+func (d *PassiveDiscoverer) takePendingExpired() []expiredSvc {
+	p := d.pendingExpired
+	d.pendingExpired = nil
+	return p
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"maps"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,6 +77,14 @@ type ShardedPassive struct {
 	// unchanged, Snapshot returns the cache without touching the shards
 	// at all — the zero-churn fast path.
 	dispatched atomic.Uint64
+
+	// Retention (retention.go). watermark is the maximum packet timestamp
+	// ever dispatched — the observation clock expiry deadlines are
+	// measured against. Maintained (under dispatchMu) only while retention
+	// is on, so the partition loop stays branch-cheap when it is off.
+	retention   RetentionPolicy
+	retentionOn bool
+	watermark   time.Time
 
 	mu       sync.RWMutex
 	running  bool
@@ -191,6 +198,10 @@ type shardView struct {
 	gen      uint64
 	disc     *PassiveDiscoverer
 	scanners []ScannerInfo
+	// expired holds the shard's pending expiries drained at this freeze;
+	// the snapshot that merges the views publishes and clears them (views
+	// are cached and reused — clearing prevents double emission).
+	expired []expiredSvc
 }
 
 // apply ingests one sub-batch and advances the generation.
@@ -201,7 +212,12 @@ func (sh *passiveShard) apply(batch []packet.Packet) {
 
 // freeze returns the shard's frozen view, sealing (O(records touched
 // since the last seal)) only if the shard changed since the last freeze.
-func (sh *passiveShard) freeze() *shardView {
+// wm is the engine watermark at the snapshot point: deadlines at or before
+// it expire first (generation-bumping, so the seal below picks them up).
+func (sh *passiveShard) freeze(wm time.Time) *shardView {
+	if sh.disc.expireDue(wm) {
+		sh.gen++
+	}
 	if sh.view == nil || sh.view.gen != sh.gen {
 		var prevGen uint64
 		if sh.view != nil {
@@ -218,6 +234,11 @@ func (sh *passiveShard) freeze() *shardView {
 			disc:     sealed,
 			scanners: sh.disc.DetectScanners(),
 		}
+	}
+	// Pending expiries imply a generation change (expiry bumps it, observe-
+	// side splits ride a batch), so the view holding them is always fresh.
+	if exp := sh.disc.takePendingExpired(); len(exp) > 0 {
+		sh.view.expired = append(sh.view.expired, exp...)
 	}
 	return sh.view
 }
@@ -255,6 +276,9 @@ type shardMsg struct {
 	batch *[]packet.Packet
 	snap  chan<- *shardView
 	ckpt  *shardExportReq
+	// wm carries the engine watermark captured at the snapshot point
+	// (snap markers only).
+	wm time.Time
 }
 
 // NewShardedPassive builds a discoverer sharded n ways (n < 1 is treated
@@ -272,10 +296,24 @@ func NewShardedPassive(campus netaddr.Prefix, udpPorts []uint16, n int) *Sharded
 	for i := range s.shards {
 		d := NewPassiveDiscoverer(campus, udpPorts)
 		d.onService = s.events.passiveDiscovered
+		d.onRetire = s.events.retirePassive
 		d.track.onDetect = s.events.scannerDetected
 		s.shards[i] = &passiveShard{disc: d}
 	}
 	return s
+}
+
+// SetRetention configures TTL expiry, seeding deadlines for anything the
+// shards already hold (so it composes with checkpoint restore in either
+// order). Call before Run and before ingest begins.
+func (s *ShardedPassive) SetRetention(p RetentionPolicy) {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	s.retention = p
+	s.retentionOn = p.Enabled()
+	for _, sh := range s.shards {
+		sh.disc.setRetention(p.PassiveTTL)
+	}
 }
 
 // NumShards returns the shard count.
@@ -374,6 +412,9 @@ func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
 		if !s.originSeeded && s.scanRelevant(p) {
 			s.seedOrigins(p.Timestamp)
 		}
+		if s.retentionOn && p.Timestamp.After(s.watermark) {
+			s.watermark = p.Timestamp
+		}
 		idx := s.shardOf(s.ownerAddr(p))
 		s.scratch[idx] = append(s.scratch[idx], *p)
 	}
@@ -449,7 +490,7 @@ func (s *ShardedPassive) Run(ctx context.Context) {
 					// Snapshot marker: everything enqueued before it has
 					// been applied, so the frozen view is exactly the
 					// shard's state at the marker's dispatch point.
-					msg.snap <- sh.freeze()
+					msg.snap <- sh.freeze(msg.wm)
 					continue
 				}
 				if msg.ckpt != nil {
@@ -517,6 +558,9 @@ func (s *ShardedPassive) Merge() *PassiveDiscoverer {
 		for a, ts := range d.addrTimes {
 			m.addrTimes[a] = ts
 		}
+		for k, at := range d.tombs {
+			m.tombs[k] = at
+		}
 		m.track.mergeFrom(d.track)
 	}
 	return m
@@ -531,16 +575,17 @@ func (s *ShardedPassive) Merge() *PassiveDiscoverer {
 // enqueued before its marker. Inline (or after Close) the freeze happens
 // directly under the dispatch lock. Unchanged shards reuse their cached
 // frozen view; changed shards seal in O(churn). Callers must hold snapMu.
-func (s *ShardedPassive) snapshotViews() ([]*shardView, uint64) {
+func (s *ShardedPassive) snapshotViews() ([]*shardView, uint64, time.Time) {
 	s.dispatchMu.Lock()
 	d0 := s.dispatched.Load()
+	wm := s.watermark
 	s.mu.RLock()
 	if s.running && !s.closed {
 		chans := make([]chan *shardView, len(s.shards))
 		for i := range s.shards {
 			ch := make(chan *shardView, 1)
 			chans[i] = ch
-			s.queues[i] <- shardMsg{snap: ch}
+			s.queues[i] <- shardMsg{snap: ch, wm: wm}
 		}
 		s.mu.RUnlock()
 		s.dispatchMu.Unlock()
@@ -548,7 +593,7 @@ func (s *ShardedPassive) snapshotViews() ([]*shardView, uint64) {
 		for i, ch := range chans {
 			views[i] = <-ch
 		}
-		return views, d0
+		return views, d0, wm
 	}
 	s.mu.RUnlock()
 	// Inline, or shut down. If workers ever ran, wait for their exit so
@@ -557,45 +602,60 @@ func (s *ShardedPassive) snapshotViews() ([]*shardView, uint64) {
 	s.workers.Wait()
 	views := make([]*shardView, len(s.shards))
 	for i, sh := range s.shards {
-		views[i] = sh.freeze()
+		views[i] = sh.freeze(wm)
 	}
 	s.dispatchMu.Unlock()
-	return views, d0
+	return views, d0, wm
 }
 
-// mergeViewsFull unions frozen shard views into one frozen discoverer
-// plus the combined scanner list (shard detections are disjoint by
-// source, so concatenation + sort reproduces the merged tracker's
-// output) — the from-scratch merge path.
-func (s *ShardedPassive) mergeViewsFull(views []*shardView) (*PassiveDiscoverer, []ScannerInfo) {
-	m := NewPassiveDiscoverer(s.campus, nil)
-	m.udpPorts = s.shards[0].disc.udpPorts
+// mergeViewsFull unions frozen shard views into one merged store plus the
+// combined scanner list (shard detections are disjoint by source, so
+// concatenation + sort reproduces the merged tracker's output) — the
+// from-scratch merge path, built through persistent-map transients.
+func (s *ShardedPassive) mergeViewsFull(views []*shardView) (*mergedStore, []ScannerInfo) {
+	m := newMergedStore()
+	sb := m.services.builder()
+	tb := m.trails.builder()
+	ob := m.tombs.builder()
 	var scanners []ScannerInfo
 	for _, v := range views {
-		m.Packets += v.disc.Packets
+		m.packets += v.disc.Packets
 		for k, rec := range v.disc.services {
-			m.services[k] = rec
+			sb.Set(k, rec)
 		}
 		for a, ts := range v.disc.addrTimes {
-			m.addrTimes[a] = ts
+			tb.Set(a, ts)
+		}
+		for k, at := range v.disc.tombs {
+			ob.Set(k, at)
 		}
 		scanners = append(scanners, v.scanners...)
 	}
+	m.services, m.trails, m.tombs = sb.freeze(), tb.freeze(), ob.freeze()
 	sort.Slice(scanners, func(i, j int) bool { return scanners[i].Source < scanners[j].Source })
 	return m, scanners
 }
 
-// mergeViewsDelta derives the merged discoverer for views by patching the
-// previous merged snapshot (prev, frozen at prevGens) with only the
-// records and trails the changed shards touched in between: a shallow
-// clone of the previous maps plus O(churn) pointer patches, no record
-// copying and no re-sort of untouched state. newKeys returns the
-// services that entered the inventory since prev, sorted. ok is false
-// when any shard's delta chain cannot be reconstructed; callers then fall
-// back to mergeViewsFull.
-func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prev *PassiveDiscoverer, prevGens []uint64) (m *PassiveDiscoverer, scanners []ScannerInfo, newKeys []ServiceKey, ok bool) {
-	if prev == nil || len(prevGens) != len(views) {
-		return nil, nil, nil, false
+// mergeViewsDelta derives the merged store for views by patching the
+// previous merged snapshot (prevInv, frozen at prevGens) with only the
+// records, trails and tombstones the changed shards touched in between:
+// persistent-map path copies for exactly the touched entries, zero
+// full-map clones, no re-sort of untouched state. Each touched key is
+// resolved against the shard's FINAL sealed state, so the patch is
+// insensitive to the order (and interleaving) of the deltas within a span
+// — a key that expired and was reborn lands on its final record, a key
+// that expired for good is deleted with its tombstone. newKeys returns
+// the services that appeared or were reborn since prev and delKeys those
+// that left (both sorted). ok is false when the previous snapshot is not
+// persistent-map backed or a shard's delta chain cannot be reconstructed;
+// callers then fall back to mergeViewsFull.
+func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prevInv *Inventory, prevGens []uint64) (m *mergedStore, scanners []ScannerInfo, newKeys, delKeys []ServiceKey, ok bool) {
+	if prevInv == nil || len(prevGens) != len(views) {
+		return nil, nil, nil, nil, false
+	}
+	prev, isMerged := prevInv.d.(*mergedStore)
+	if !isMerged {
+		return nil, nil, nil, nil, false
 	}
 	type span struct {
 		shard  int
@@ -608,39 +668,71 @@ func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prev *PassiveDiscov
 		}
 		ds, ok := s.shards[i].deltasBetween(prevGens[i], v.gen)
 		if !ok {
-			return nil, nil, nil, false
+			return nil, nil, nil, nil, false
 		}
 		spans = append(spans, span{shard: i, deltas: ds})
 	}
 
-	m = NewPassiveDiscoverer(s.campus, nil)
-	m.udpPorts = s.shards[0].disc.udpPorts
-	m.services = maps.Clone(prev.services)
-	m.addrTimes = maps.Clone(prev.addrTimes)
+	m = &mergedStore{}
+	sb := prev.services.builder()
+	tb := prev.trails.builder()
+	ob := prev.tombs.builder()
 	for _, v := range views {
-		m.Packets += v.disc.Packets
+		m.packets += v.disc.Packets
 		scanners = append(scanners, v.scanners...)
 	}
 	sort.Slice(scanners, func(i, j int) bool { return scanners[i].Source < scanners[j].Source })
 	for _, sp := range spans {
 		sealed := views[sp.shard].disc
+		touched := make(map[ServiceKey]bool)
+		reborn := make(map[ServiceKey]bool)
+		addrs := make(map[netaddr.V4]bool)
 		for _, d := range sp.deltas {
 			for _, k := range d.keys {
-				m.services[k] = sealed.services[k]
+				touched[k] = true
+			}
+			for _, k := range d.newKeys {
+				touched[k] = true
+				reborn[k] = true
+			}
+			for _, k := range d.delKeys {
+				touched[k] = true
 			}
 			for _, a := range d.addrs {
-				m.addrTimes[a] = sealed.addrTimes[a]
+				addrs[a] = true
 			}
-			newKeys = append(newKeys, d.newKeys...)
+		}
+		for k := range touched {
+			_, was := prev.services.Get(k)
+			if rec, live := sealed.services[k]; live {
+				sb.Set(k, rec)
+				if !was || reborn[k] {
+					newKeys = append(newKeys, k)
+				}
+			} else {
+				sb.Delete(k)
+				if was {
+					delKeys = append(delKeys, k)
+				}
+			}
+			if at, tombed := sealed.tombs[k]; tombed {
+				ob.Set(k, at)
+			}
+		}
+		for a := range addrs {
+			tb.Set(a, sealed.addrTimes[a])
 		}
 	}
+	m.services, m.trails, m.tombs = sb.freeze(), tb.freeze(), ob.freeze()
 	sort.Slice(newKeys, func(i, j int) bool { return newKeys[i].Before(newKeys[j]) })
-	return m, scanners, newKeys, true
+	sort.Slice(delKeys, func(i, j int) bool { return delKeys[i].Before(delKeys[j]) })
+	return m, scanners, newKeys, delKeys, true
 }
 
-// mergeSortedKeys unions a sorted key slice with sorted additions. With
-// no additions the original is returned as-is (it is immutable — shared
-// between inventories).
+// mergeSortedKeys unions a sorted key slice with sorted additions,
+// deduplicating equal keys (a reborn service is "new" for provenance
+// purposes but already listed). With no additions the original is
+// returned as-is (it is immutable — shared between inventories).
 func mergeSortedKeys(keys, add []ServiceKey) []ServiceKey {
 	if len(add) == 0 {
 		return keys
@@ -648,16 +740,55 @@ func mergeSortedKeys(keys, add []ServiceKey) []ServiceKey {
 	out := make([]ServiceKey, 0, len(keys)+len(add))
 	i, j := 0, 0
 	for i < len(keys) && j < len(add) {
-		if keys[i].Before(add[j]) {
+		switch {
+		case keys[i].Before(add[j]):
 			out = append(out, keys[i])
 			i++
-		} else {
+		case add[j].Before(keys[i]):
 			out = append(out, add[j])
+			j++
+		default:
+			out = append(out, keys[i])
+			i++
 			j++
 		}
 	}
 	out = append(out, keys[i:]...)
 	out = append(out, add[j:]...)
+	return out
+}
+
+// removeSortedKeys filters sorted deletions out of a sorted key slice.
+// With no deletions the original is returned as-is.
+func removeSortedKeys(keys, del []ServiceKey) []ServiceKey {
+	if len(del) == 0 {
+		return keys
+	}
+	out := make([]ServiceKey, 0, len(keys))
+	j := 0
+	for _, k := range keys {
+		for j < len(del) && del[j].Before(k) {
+			j++
+		}
+		if j < len(del) && del[j] == k {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectExpired drains the pending expiry notices off a view set. The
+// views retain no reference afterwards, so a cached view reused by a later
+// snapshot cannot re-emit them.
+func collectExpired(views []*shardView) []expiredSvc {
+	var out []expiredSvc
+	for _, v := range views {
+		if len(v.expired) > 0 {
+			out = append(out, v.expired...)
+			v.expired = nil
+		}
+	}
 	return out
 }
 
@@ -687,7 +818,13 @@ func (s *ShardedPassive) Snapshot() *Inventory {
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	views, d0 := s.snapshotViews()
+	views, d0, _ := s.snapshotViews()
+	if exp := collectExpired(views); len(exp) > 0 {
+		sortExpired(exp)
+		for _, e := range exp {
+			s.events.serviceExpired(e.key, e.at, e.prov, e.clear)
+		}
+	}
 	gens := viewGens(views)
 	if inv := s.snap.get(gens); inv != nil {
 		return inv
@@ -695,8 +832,8 @@ func (s *ShardedPassive) Snapshot() *Inventory {
 	prevGens, prevInv := s.snap.peek()
 	var inv *Inventory
 	if prevInv != nil {
-		if m, scanners, newKeys, ok := s.mergeViewsDelta(views, prevInv.d, prevGens); ok {
-			inv = &Inventory{d: m, keys: mergeSortedKeys(prevInv.keys, newKeys), scanners: scanners}
+		if m, scanners, newKeys, delKeys, ok := s.mergeViewsDelta(views, prevInv, prevGens); ok {
+			inv = &Inventory{d: m, keys: removeSortedKeys(mergeSortedKeys(prevInv.keys, newKeys), delKeys), scanners: scanners}
 		}
 	}
 	if inv == nil {

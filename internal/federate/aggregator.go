@@ -39,6 +39,14 @@ type svcState struct {
 	// passiveAt and activeAt are the earliest per-technique observations
 	// (zero when unknown, which the join treats as absent, not as minimal).
 	passiveAt, activeAt time.Time
+	// passiveSeenAt / activeSeenAt are the NEWEST accepted observations
+	// (max-merged). They decide whether a late retraction kills the side:
+	// the canonical stream order for an expire-and-rebirth is discovery of
+	// the new incarnation first, retraction of the old one second (expiry
+	// events publish at the snapshot after the rebirth), so a cell whose
+	// newest evidence postdates the deadline must survive the retraction
+	// even though its min-merged first-at predates it.
+	passiveSeenAt, activeSeenAt time.Time
 	// upgProv remembers an upgrade event's classification, the fallback
 	// when per-technique times never materialize (e.g. the discovery event
 	// preceding the upgrade was lost and no snapshot has arrived yet).
@@ -48,6 +56,64 @@ type svcState struct {
 	flows, clients int
 	// firstAt is the earliest evidence from any technique.
 	firstAt time.Time
+	// retractedPassiveAt / retractedActiveAt are the newest retraction
+	// deadlines applied per evidence kind (max-merged — the retraction
+	// side of the semilattice). Evidence of a kind timestamped before its
+	// retraction time is void: it is cleared when the retraction arrives
+	// and rejected when it arrives later, so replayed pre-expiry frames
+	// cannot resurrect an expired service. A cell with no live evidence
+	// is kept as a tombstone until CollapseTombstones.
+	retractedPassiveAt, retractedActiveAt time.Time
+}
+
+// live reports whether the cell still holds unretracted evidence.
+func (s *svcState) live() bool { return s.hasPassive || s.hasActive }
+
+// acceptPassive / acceptActive gate incoming evidence against the
+// retraction times: evidence is void iff strictly older than the
+// retraction (a service reborn exactly at the deadline counts). A zero
+// evidence time is treated as older than any retraction — its age is
+// unknown, and accepting it would resurrect expired state.
+func (s *svcState) acceptPassive(t time.Time) bool {
+	return s.retractedPassiveAt.IsZero() || (!t.IsZero() && !t.Before(s.retractedPassiveAt))
+}
+
+func (s *svcState) acceptActive(t time.Time) bool {
+	return s.retractedActiveAt.IsZero() || (!t.IsZero() && !t.Before(s.retractedActiveAt))
+}
+
+// clearPassive / clearActive drop one evidence kind's fields after a
+// retraction. The upgraded fallback asserts both kinds existed, so any
+// clear invalidates it; firstAt is recomputed from what remains.
+func (s *svcState) clearPassive() {
+	s.hasPassive = false
+	s.passiveAt, s.passiveSeenAt = time.Time{}, time.Time{}
+	s.flows, s.clients = 0, 0
+	s.afterClear()
+}
+
+func (s *svcState) clearActive() {
+	s.hasActive = false
+	s.activeAt, s.activeSeenAt = time.Time{}, time.Time{}
+	s.afterClear()
+}
+
+func (s *svcState) afterClear() {
+	s.upgraded, s.upgProv = false, 0
+	s.recomputeFirstAt()
+}
+
+// recomputeFirstAt rebuilds the technique-agnostic first-at from the
+// surviving per-side times, after a retraction invalidated evidence that
+// may have fed the old value.
+func (s *svcState) recomputeFirstAt() {
+	s.firstAt = time.Time{}
+	if s.hasPassive {
+		s.firstAt = minTime(s.firstAt, s.passiveAt)
+	}
+	if s.hasActive {
+		s.firstAt = minTime(s.firstAt, s.activeAt)
+	}
 }
 
 // join folds another time observation into a min-merged field.
@@ -56,6 +122,14 @@ func minTime(cur, t time.Time) time.Time {
 		return cur
 	}
 	if cur.IsZero() || t.Before(cur) {
+		return t
+	}
+	return cur
+}
+
+// maxTime folds another time observation into a max-merged field.
+func maxTime(cur, t time.Time) time.Time {
+	if t.After(cur) {
 		return t
 	}
 	return cur
@@ -254,9 +328,31 @@ func (a *Aggregator) Apply(f *Frame) error {
 		st.events++
 		a.applyEvent(f.Site, st, f.Event)
 		return nil
+	case FrameRetract:
+		if f.Retract == nil {
+			return fmt.Errorf("federate: retract frame without retraction")
+		}
+		if err := validRetraction(f.Retract); err != nil {
+			return err
+		}
+		if f.Seq <= st.lastSeq {
+			st.dups++
+			return nil
+		}
+		st.lastSeq = f.Seq
+		st.events++
+		a.applyRetract(f.Site, f.Retract)
+		return nil
 	case FrameSnapshot:
 		if f.Snapshot == nil {
 			return fmt.Errorf("federate: snapshot frame without snapshot")
+		}
+		// Validate the whole retraction list before the first merge:
+		// applySnapshot must never half-apply a hostile frame.
+		for i := range f.Snapshot.Retractions {
+			if err := validRetraction(&f.Snapshot.Retractions[i]); err != nil {
+				return err
+			}
 		}
 		// An older snapshot is strictly dominated by what is already
 		// merged: every time it carries is >= the applied minimum, every
@@ -282,6 +378,59 @@ func (a *Aggregator) Apply(f *Frame) error {
 	}
 }
 
+// validRetraction rejects structurally invalid retraction payloads before
+// any of them mutates state.
+func validRetraction(r *Retraction) error {
+	if r.At.IsZero() {
+		return fmt.Errorf("federate: retraction without deadline")
+	}
+	if r.Prov != core.PassiveOnly && r.Prov != core.ActiveOnly {
+		return fmt.Errorf("federate: retraction with evidence kind %q", r.Prov)
+	}
+	return nil
+}
+
+// applyRetract folds one retraction: the deadline max-merges into the
+// cell, and evidence of that kind strictly older than it is cleared.
+// Caller holds a.mu; the retraction is already validated.
+func (a *Aggregator) applyRetract(site SiteID, r *Retraction) {
+	s, _ := a.svc(site, r.Key)
+	switch r.Prov {
+	case core.ActiveOnly:
+		if r.At.After(s.retractedActiveAt) {
+			s.retractedActiveAt = r.At
+		}
+		if s.hasActive {
+			seen := maxTime(s.activeSeenAt, s.activeAt)
+			switch {
+			case !s.acceptActive(seen):
+				s.clearActive()
+			case s.activeAt.Before(s.retractedActiveAt):
+				// The min-merged first-at belongs to the retracted
+				// incarnation; advance it to the newest surviving evidence
+				// (the site's next snapshot min-merges the reborn
+				// incarnation's exact first-at back in).
+				s.activeAt = seen
+				s.recomputeFirstAt()
+			}
+		}
+	default: // PassiveOnly
+		if r.At.After(s.retractedPassiveAt) {
+			s.retractedPassiveAt = r.At
+		}
+		if s.hasPassive {
+			seen := maxTime(s.passiveSeenAt, s.passiveAt)
+			switch {
+			case !s.acceptPassive(seen):
+				s.clearPassive()
+			case s.passiveAt.Before(s.retractedPassiveAt):
+				s.passiveAt = seen
+				s.recomputeFirstAt()
+			}
+		}
+	}
+}
+
 // applyEvent merges one live event. Caller holds a.mu.
 func (a *Aggregator) applyEvent(site SiteID, st *siteState, ev *core.Event) {
 	switch ev.Kind {
@@ -289,11 +438,19 @@ func (a *Aggregator) applyEvent(site SiteID, st *siteState, ev *core.Event) {
 		s, newGlobal := a.svc(site, ev.Key)
 		switch ev.Provenance {
 		case core.ActiveOnly:
+			if !s.acceptActive(ev.Time) {
+				return
+			}
 			s.hasActive = true
 			s.activeAt = minTime(s.activeAt, ev.Time)
+			s.activeSeenAt = maxTime(s.activeSeenAt, ev.Time)
 		default: // PassiveOnly
+			if !s.acceptPassive(ev.Time) {
+				return
+			}
 			s.hasPassive = true
 			s.passiveAt = minTime(s.passiveAt, ev.Time)
+			s.passiveSeenAt = maxTime(s.passiveSeenAt, ev.Time)
 		}
 		s.firstAt = minTime(s.firstAt, ev.Time)
 		if newGlobal {
@@ -307,8 +464,16 @@ func (a *Aggregator) applyEvent(site SiteID, st *siteState, ev *core.Event) {
 		// applied first (which would break Dump convergence across
 		// interleavings) — so it only feeds the technique-agnostic
 		// firstAt; the per-technique times arrive with the next snapshot.
-		s.hasPassive, s.hasActive = true, true
-		s.upgraded, s.upgProv = true, ev.Provenance
+		// Each side still passes the retraction gate on its own.
+		okP, okA := s.acceptPassive(ev.Time), s.acceptActive(ev.Time)
+		if !okP && !okA {
+			return
+		}
+		s.hasPassive = s.hasPassive || okP
+		s.hasActive = s.hasActive || okA
+		if okP && okA {
+			s.upgraded, s.upgProv = true, ev.Provenance
+		}
 		s.firstAt = minTime(s.firstAt, ev.Time)
 		if newGlobal {
 			// The preceding discovery frame was lost (bounded feed): the
@@ -333,26 +498,46 @@ func (a *Aggregator) applySnapshot(site SiteID, st *siteState, snap *Snapshot) {
 	if snap.Packets > st.packets {
 		st.packets = snap.Packets
 	}
+	// Retractions first: the snapshot's service list already excludes what
+	// they withdrew, and replaying them before merging keeps a reconnect
+	// from resurrecting state a lost retract frame had cleared.
+	for i := range snap.Retractions {
+		a.applyRetract(site, &snap.Retractions[i])
+	}
 	for i := range snap.Services {
 		svc := &snap.Services[i]
 		s, newGlobal := a.svc(site, svc.Key)
-		switch svc.Provenance {
-		case core.PassiveOnly:
+		wantPassive := svc.Provenance != core.ActiveOnly
+		wantActive := svc.Provenance != core.PassiveOnly
+		okP := wantPassive && s.acceptPassive(svc.PassiveAt)
+		okA := wantActive && s.acceptActive(svc.ActiveAt)
+		if !okP && !okA {
+			continue
+		}
+		if okP {
 			s.hasPassive = true
-		case core.ActiveOnly:
+			s.passiveAt = minTime(s.passiveAt, svc.PassiveAt)
+			s.passiveSeenAt = maxTime(s.passiveSeenAt, svc.PassiveAt)
+			if svc.Flows > s.flows {
+				s.flows = svc.Flows
+			}
+			if svc.Clients > s.clients {
+				s.clients = svc.Clients
+			}
+		}
+		if okA {
 			s.hasActive = true
-		default:
-			s.hasPassive, s.hasActive = true, true
+			s.activeAt = minTime(s.activeAt, svc.ActiveAt)
+			s.activeSeenAt = maxTime(s.activeSeenAt, svc.ActiveAt)
 		}
-		s.passiveAt = minTime(s.passiveAt, svc.PassiveAt)
-		s.activeAt = minTime(s.activeAt, svc.ActiveAt)
-		if svc.Flows > s.flows {
-			s.flows = svc.Flows
+		var first time.Time
+		if okP {
+			first = minTime(first, svc.PassiveAt)
 		}
-		if svc.Clients > s.clients {
-			s.clients = svc.Clients
+		if okA {
+			first = minTime(first, svc.ActiveAt)
 		}
-		s.firstAt = minTime(s.firstAt, minTime(svc.PassiveAt, svc.ActiveAt))
+		s.firstAt = minTime(s.firstAt, first)
 		if newGlobal {
 			a.hub.Publish(GlobalEvent{Site: site, Event: core.Event{
 				Kind: core.EventServiceDiscovered, Time: s.firstAt,
@@ -448,15 +633,61 @@ func (a *Aggregator) Sites() []SiteID {
 }
 
 // perSiteServiceCounts tallies how many services each site contributes to
-// the global inventory. Caller holds a.mu.
+// the global inventory — live evidence only, retraction tombstones do not
+// count. Caller holds a.mu.
 func (a *Aggregator) perSiteServiceCounts() map[SiteID]int {
 	perSite := make(map[SiteID]int, len(a.sites))
 	for _, sites := range a.services {
-		for id := range sites {
-			perSite[id]++
+		for id, s := range sites {
+			if s.live() {
+				perSite[id]++
+			}
 		}
 	}
 	return perSite
+}
+
+// numLiveLocked counts services with live evidence from at least one site.
+// Caller holds a.mu.
+func (a *Aggregator) numLiveLocked() int {
+	n := 0
+	for _, sites := range a.services {
+		for _, s := range sites {
+			if s.live() {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// CollapseTombstones drops retraction bookkeeping older than the given
+// time: cells with no live evidence whose retraction deadlines all fall
+// before olderThan are deleted (and emptied services removed), returning
+// how many cells were collapsed. After a cell is collapsed, a replayed
+// pre-expiry frame would merge as a fresh discovery again — run this only
+// with an olderThan horizon no publisher still replays across (the
+// federated daemon's -tombstone-gc flag; zero keeps tombstones forever).
+func (a *Aggregator) CollapseTombstones(olderThan time.Time) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for key, sites := range a.services {
+		for id, s := range sites {
+			if s.live() {
+				continue
+			}
+			if s.retractedPassiveAt.Before(olderThan) && s.retractedActiveAt.Before(olderThan) {
+				delete(sites, id)
+				n++
+			}
+		}
+		if len(sites) == 0 {
+			delete(a.services, key)
+		}
+	}
+	return n
 }
 
 // Stats summarizes every site's feed, sorted by site.
@@ -475,11 +706,12 @@ func (a *Aggregator) Stats() []SiteStats {
 	return out
 }
 
-// NumServices returns the global (cross-site deduplicated) service count.
+// NumServices returns the global (cross-site deduplicated) service count:
+// services with live evidence from at least one site.
 func (a *Aggregator) NumServices() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.services)
+	return a.numLiveLocked()
 }
 
 // SiteRecord is one site's view of a global service.
@@ -514,12 +746,18 @@ func (a *Aggregator) servicesLocked() []GlobalService {
 	for key, sites := range a.services {
 		g := GlobalService{Key: key, Sites: make([]SiteRecord, 0, len(sites))}
 		for id, s := range sites {
+			if !s.live() {
+				continue
+			}
 			g.Sites = append(g.Sites, SiteRecord{
 				Site: id, Provenance: s.prov(),
 				PassiveAt: s.passiveAt, ActiveAt: s.activeAt,
 				Flows: s.flows, Clients: s.clients,
 			})
 			g.FirstAt = minTime(g.FirstAt, s.firstAt)
+		}
+		if len(g.Sites) == 0 {
+			continue
 		}
 		sort.Slice(g.Sites, func(i, j int) bool { return g.Sites[i].Site < g.Sites[j].Site })
 		out = append(out, g)
@@ -540,7 +778,7 @@ func (a *Aggregator) Dump() []byte {
 	services := a.servicesLocked()
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "sites=%d services=%d scanners=%d\n",
-		len(a.sites), len(a.services), len(a.scanners))
+		len(a.sites), len(services), len(a.scanners))
 	for _, g := range services {
 		fmt.Fprintf(&b, "%s sites=%d first=%s\n", g.Key, len(g.Sites),
 			g.FirstAt.UTC().Format(time.RFC3339Nano))

@@ -19,16 +19,24 @@ import (
 // form: the raw semilattice cell, not the derived provenance (which is
 // recomputed on demand).
 type AggSvcRecord struct {
-	Site       SiteID          `json:"site"`
-	HasPassive bool            `json:"has_passive,omitempty"`
-	HasActive  bool            `json:"has_active,omitempty"`
-	PassiveAt  time.Time       `json:"passive_at,omitzero"`
-	ActiveAt   time.Time       `json:"active_at,omitzero"`
-	Upgraded   bool            `json:"upgraded,omitempty"`
-	UpgProv    core.Provenance `json:"upg_prov,omitzero"`
-	Flows      int             `json:"flows,omitempty"`
-	Clients    int             `json:"clients,omitempty"`
-	FirstAt    time.Time       `json:"first_at,omitzero"`
+	Site       SiteID    `json:"site"`
+	HasPassive bool      `json:"has_passive,omitempty"`
+	HasActive  bool      `json:"has_active,omitempty"`
+	PassiveAt  time.Time `json:"passive_at,omitzero"`
+	ActiveAt   time.Time `json:"active_at,omitzero"`
+	// PassiveSeenAt / ActiveSeenAt are the newest accepted observations
+	// per side (the late-retraction survival cursor).
+	PassiveSeenAt time.Time       `json:"passive_seen_at,omitzero"`
+	ActiveSeenAt  time.Time       `json:"active_seen_at,omitzero"`
+	Upgraded      bool            `json:"upgraded,omitempty"`
+	UpgProv       core.Provenance `json:"upg_prov,omitzero"`
+	Flows         int             `json:"flows,omitempty"`
+	Clients       int             `json:"clients,omitempty"`
+	FirstAt       time.Time       `json:"first_at,omitzero"`
+	// RetractedPassiveAt / RetractedActiveAt carry the cell's retraction
+	// deadlines; a cell with no live evidence persists as a tombstone.
+	RetractedPassiveAt time.Time `json:"retracted_passive_at,omitzero"`
+	RetractedActiveAt  time.Time `json:"retracted_active_at,omitzero"`
 }
 
 // AggService is one global service with every site's cell.
@@ -102,8 +110,11 @@ func (a *Aggregator) ExportState() *AggregatorState {
 			gs.Sites = append(gs.Sites, AggSvcRecord{
 				Site: id, HasPassive: s.hasPassive, HasActive: s.hasActive,
 				PassiveAt: s.passiveAt, ActiveAt: s.activeAt,
+				PassiveSeenAt: s.passiveSeenAt, ActiveSeenAt: s.activeSeenAt,
 				Upgraded: s.upgraded, UpgProv: s.upgProv,
 				Flows: s.flows, Clients: s.clients, FirstAt: s.firstAt,
+				RetractedPassiveAt: s.retractedPassiveAt,
+				RetractedActiveAt:  s.retractedActiveAt,
 			})
 		}
 		sort.Slice(gs.Sites, func(i, j int) bool { return gs.Sites[i].Site < gs.Sites[j].Site })
@@ -153,8 +164,11 @@ func (a *Aggregator) ImportState(st *AggregatorState) error {
 			perSite[r.Site] = &svcState{
 				hasPassive: r.HasPassive, hasActive: r.HasActive,
 				passiveAt: r.PassiveAt, activeAt: r.ActiveAt,
+				passiveSeenAt: r.PassiveSeenAt, activeSeenAt: r.ActiveSeenAt,
 				upgraded: r.Upgraded, upgProv: r.UpgProv,
 				flows: r.Flows, clients: r.Clients, firstAt: r.FirstAt,
+				retractedPassiveAt: r.RetractedPassiveAt,
+				retractedActiveAt:  r.RetractedActiveAt,
 			}
 		}
 		a.services[gs.Key] = perSite

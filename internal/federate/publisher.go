@@ -132,7 +132,15 @@ func (p *Publisher) pump() {
 	for ev := range p.sub.Events() {
 		ev := ev
 		n := p.seq.Add(1)
-		p.hub.Publish(Frame{V: WireVersion, Type: FrameEvent, Site: p.site, Epoch: p.epoch, Seq: n, Event: &ev})
+		f := Frame{V: WireVersion, Type: FrameEvent, Site: p.site, Epoch: p.epoch, Seq: n, Event: &ev}
+		if ev.Kind == core.EventServiceExpired {
+			// Expiry leaves the site's inventory as a withdrawal, not a
+			// discovery: ship it as a retract frame so the aggregator
+			// clears the evidence instead of merging it.
+			f.Type, f.Event = FrameRetract, nil
+			f.Retract = &Retraction{Key: ev.Key, At: ev.Time, Prov: ev.Provenance}
+		}
+		p.hub.Publish(f)
 	}
 	p.hub.Close()
 }

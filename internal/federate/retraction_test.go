@@ -1,0 +1,270 @@
+package federate
+
+// Retraction hardening: hostile or stale input must never half-apply a
+// withdrawal, and a publisher reconnect (even one replaying pre-expiry
+// state) must never resurrect an expired service.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+var (
+	retBase = time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
+	keyA    = core.ServiceKey{Addr: netaddr.MustParseV4("128.125.3.1"), Proto: packet.ProtoTCP, Port: 80}
+	keyB    = core.ServiceKey{Addr: netaddr.MustParseV4("128.125.3.2"), Proto: packet.ProtoTCP, Port: 443}
+)
+
+// seedAggregator builds a deterministic aggregator holding one site with
+// two live services and one already-applied retraction — enough surface
+// that a hostile frame has real state to corrupt.
+func seedAggregator(tb testing.TB) *Aggregator {
+	tb.Helper()
+	agg := NewAggregator()
+	snap := &Snapshot{
+		Services: []SnapshotService{
+			{Key: keyA, Provenance: core.PassiveOnly, PassiveAt: retBase, Flows: 7, Clients: 3},
+			{Key: keyB, Provenance: core.ActiveOnly, ActiveAt: retBase.Add(time.Minute)},
+		},
+		Retractions: []Retraction{
+			{Key: keyB, At: retBase.Add(-time.Hour), Prov: core.PassiveOnly},
+		},
+		Packets: 100,
+	}
+	f := &Frame{V: WireVersion, Type: FrameSnapshot, Site: "seed-site", Epoch: 1, Seq: 5, Snapshot: snap}
+	if err := agg.Apply(f); err != nil {
+		tb.Fatalf("seed snapshot: %v", err)
+	}
+	return agg
+}
+
+// invSignature renders the aggregator's merged inventory (services and
+// scanners, not the per-site dedup cursors — those legitimately move on
+// any frame, including rejected ones that open a new epoch) in canonical
+// bytes for before/after comparison.
+func invSignature(tb testing.TB, a *Aggregator) []byte {
+	tb.Helper()
+	st := a.ExportState()
+	st.Sites = nil
+	b, err := json.Marshal(st)
+	if err != nil {
+		tb.Fatalf("marshal state: %v", err)
+	}
+	return b
+}
+
+// encodeFrames renders frames in wire form for fuzz seeds.
+func encodeFrames(tb testing.TB, frames ...Frame) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for i := range frames {
+		if err := enc.Encode(&frames[i]); err != nil {
+			tb.Fatalf("encode seed: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzRetractionFrameDecode feeds arbitrary bytes through the wire
+// decoder into a seeded aggregator and asserts the never-half-apply
+// contract: any frame Apply rejects leaves the merged inventory
+// byte-identical. (Accepted frames may of course mutate it.)
+func FuzzRetractionFrameDecode(f *testing.F) {
+	valid := Retraction{Key: keyA, At: retBase.Add(2 * time.Hour), Prov: core.PassiveOnly}
+	noDeadline := Retraction{Key: keyA, Prov: core.PassiveOnly}
+	// PassiveFirst is a legal wire value but not a legal retraction kind.
+	badProv := Retraction{Key: keyA, At: retBase.Add(2 * time.Hour), Prov: core.PassiveFirst}
+	f.Add(encodeFrames(f, Frame{V: WireVersion, Type: FrameRetract, Site: "seed-site", Epoch: 1, Seq: 6, Retract: &valid}))
+	f.Add(encodeFrames(f, Frame{V: WireVersion, Type: FrameRetract, Site: "seed-site", Epoch: 1, Seq: 6, Retract: &noDeadline}))
+	f.Add(encodeFrames(f, Frame{V: WireVersion, Type: FrameRetract, Site: "seed-site", Epoch: 2, Seq: 1, Retract: &badProv}))
+	f.Add(encodeFrames(f, Frame{V: WireVersion, Type: FrameRetract, Site: "seed-site", Epoch: 1, Seq: 7}))
+	// The half-apply honeypot: valid retractions ahead of an invalid one
+	// in a single snapshot — none may land.
+	f.Add(encodeFrames(f, Frame{
+		V: WireVersion, Type: FrameSnapshot, Site: "seed-site", Epoch: 1, Seq: 9,
+		Snapshot: &Snapshot{Retractions: []Retraction{valid, valid, noDeadline}},
+	}))
+	f.Add(encodeFrames(f,
+		Frame{V: WireVersion, Type: FrameHello, Site: "seed-site", Epoch: 3},
+		Frame{V: WireVersion, Type: FrameRetract, Site: "seed-site", Epoch: 3, Seq: 1, Retract: &valid},
+	))
+	f.Add([]byte("7 {\"v\":2}\ngarbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		agg := seedAggregator(t)
+		dec := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			fr, err := dec.Decode()
+			if err != nil {
+				return // framing rejected the rest of the stream
+			}
+			pre := invSignature(t, agg)
+			if aerr := agg.Apply(fr); aerr != nil {
+				if post := invSignature(t, agg); !bytes.Equal(pre, post) {
+					t.Fatalf("rejected frame mutated inventory\nframe: %+v\n pre: %s\npost: %s", fr, pre, post)
+				}
+			}
+		}
+	})
+}
+
+// TestSnapshotInvalidRetractionNotHalfApplied pins the honeypot case
+// deterministically (the fuzzer's most important seed): a snapshot whose
+// retraction list is valid except for its last entry must be rejected
+// wholesale — the valid prefix must not land.
+func TestSnapshotInvalidRetractionNotHalfApplied(t *testing.T) {
+	agg := seedAggregator(t)
+	pre := invSignature(t, agg)
+	f := &Frame{
+		V: WireVersion, Type: FrameSnapshot, Site: "seed-site", Epoch: 1, Seq: 9,
+		Snapshot: &Snapshot{Retractions: []Retraction{
+			{Key: keyA, At: retBase.Add(2 * time.Hour), Prov: core.PassiveOnly},
+			{Key: keyB, Prov: core.ActiveOnly}, // zero deadline: invalid
+		}},
+	}
+	if err := agg.Apply(f); err == nil {
+		t.Fatal("snapshot with an invalid retraction was accepted")
+	}
+	if post := invSignature(t, agg); !bytes.Equal(pre, post) {
+		t.Fatalf("rejected snapshot half-applied its retractions\n pre: %s\npost: %s", pre, post)
+	}
+	if n := agg.NumServices(); n != 2 {
+		t.Fatalf("NumServices = %d, want 2", n)
+	}
+}
+
+// hasLive reports whether the aggregator lists key as a live global
+// service.
+func hasLive(a *Aggregator, key core.ServiceKey) bool {
+	for _, gs := range a.Services() {
+		if gs.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TestReconnectAfterRetractionNoResurrection walks the full lifecycle:
+// a site discovers a service, the aggregator learns it, the service
+// expires (retract frame), and then every flavor of reconnect replay —
+// the site's fresh snapshot, a stale pre-expiry snapshot from a restarted
+// publisher epoch, and a stale discovery event — fails to bring it back.
+func TestReconnectAfterRetractionNoResurrection(t *testing.T) {
+	eng := core.NewShardedPassive(testCampus, []uint16{53}, 2)
+	eng.SetRetention(core.RetentionPolicy{PassiveTTL: time.Hour})
+	pub := NewPublisher("ret-site", eng)
+	defer pub.Close()
+	agg := NewAggregator()
+
+	bld := packet.NewBuilder(0)
+	svcA := testCampus.Base() + netaddr.V4(77) // will expire
+	svcB := testCampus.Base() + netaddr.V4(78) // keeps chattering
+	keyOfA := core.ServiceKey{Addr: svcA, Proto: packet.ProtoTCP, Port: 80}
+	keyOfB := core.ServiceKey{Addr: svcB, Proto: packet.ProtoTCP, Port: 443}
+	ext := netaddr.MustParseV4("64.20.0.1")
+	answer := func(srv netaddr.V4, port uint16, at time.Time) {
+		eng.HandlePacket(bld.SynAck(at, packet.Endpoint{Addr: srv, Port: port},
+			packet.Endpoint{Addr: ext, Port: 33000}, 9, 8))
+	}
+
+	answer(svcA, 80, retBase)
+	answer(svcB, 443, retBase)
+
+	// First connection: bootstrap carries both services. Keep a copy of
+	// the pre-expiry snapshot payload — the resurrection ammunition.
+	bootstrap, live := pub.Catchup(0)
+	for i := range bootstrap {
+		if err := agg.Apply(&bootstrap[i]); err != nil {
+			t.Fatalf("bootstrap: %v", err)
+		}
+	}
+	staleSnap := bootstrap[1].Snapshot
+	if !hasLive(agg, keyOfA) || !hasLive(agg, keyOfB) {
+		t.Fatal("bootstrap did not establish both services")
+	}
+
+	// svcB chatters again past BOTH deadlines; the snapshot expires svcA
+	// for good and splits svcB into a new incarnation (retract + fresh
+	// discovery — the out-of-order case the deadline guard absorbs).
+	// Close the engine so the live feed drains deterministically.
+	answer(svcB, 443, retBase.Add(3*time.Hour))
+	eng.Snapshot()
+	eng.Close()
+	retracted := map[core.ServiceKey]bool{}
+	for f := range live.Events() {
+		if f.Type == FrameRetract {
+			retracted[f.Retract.Key] = true
+		}
+		if err := agg.Apply(&f); err != nil {
+			t.Fatalf("live frame: %v", err)
+		}
+	}
+	if !retracted[keyOfA] {
+		t.Fatal("expiry never produced a retract frame for the idle service")
+	}
+	if hasLive(agg, keyOfA) {
+		t.Fatal("service still live after retraction")
+	}
+	if !hasLive(agg, keyOfB) {
+		t.Fatal("unexpired service lost")
+	}
+
+	// Reconnect 1: the site's current snapshot (which carries the
+	// tombstone in Retractions) — svcA stays gone.
+	re, reLive := pub.Catchup(0)
+	reLive.Cancel()
+	for i := range re {
+		if err := agg.Apply(&re[i]); err != nil {
+			t.Fatalf("reconnect: %v", err)
+		}
+	}
+	if hasLive(agg, keyOfA) {
+		t.Fatal("resurrected by the site's own reconnect snapshot")
+	}
+
+	// Reconnect 2: a restarted publisher epoch replays the STALE
+	// pre-expiry snapshot (fresh sequence space, so no cursor saves us —
+	// only the retraction semilattice can). svcA's evidence predates the
+	// deadline and must stay rejected.
+	stale := Frame{V: WireVersion, Type: FrameSnapshot, Site: "ret-site", Epoch: 999, Seq: 50, Snapshot: staleSnap}
+	if err := agg.Apply(&stale); err != nil {
+		t.Fatalf("stale snapshot: %v", err)
+	}
+	if hasLive(agg, keyOfA) {
+		t.Fatal("resurrected by a stale pre-expiry snapshot")
+	}
+	if !hasLive(agg, keyOfB) {
+		t.Fatal("stale snapshot clobbered the live service")
+	}
+
+	// Stale discovery event from the same restarted epoch: same verdict.
+	ev := core.Event{Kind: core.EventServiceDiscovered, Time: retBase, Key: keyOfA, Provenance: core.PassiveOnly}
+	evf := Frame{V: WireVersion, Type: FrameEvent, Site: "ret-site", Epoch: 999, Seq: 51, Event: &ev}
+	if err := agg.Apply(&evf); err != nil {
+		t.Fatalf("stale event: %v", err)
+	}
+	if hasLive(agg, keyOfA) {
+		t.Fatal("resurrected by a stale discovery event")
+	}
+
+	// Genuinely fresh evidence at/after the deadline DOES re-establish:
+	// the service really is back.
+	reborn := core.Event{Kind: core.EventServiceDiscovered, Time: retBase.Add(2 * time.Hour), Key: keyOfA, Provenance: core.PassiveOnly}
+	rbf := Frame{V: WireVersion, Type: FrameEvent, Site: "ret-site", Epoch: 999, Seq: 52, Event: &reborn}
+	if err := agg.Apply(&rbf); err != nil {
+		t.Fatalf("reborn event: %v", err)
+	}
+	if !hasLive(agg, keyOfA) {
+		t.Fatal("post-deadline rediscovery failed to re-establish the service")
+	}
+}

@@ -1,6 +1,7 @@
 package federate
 
 import (
+	"sort"
 	"time"
 
 	"servdisc/internal/core"
@@ -34,6 +35,11 @@ type Snapshot struct {
 	Scanners []core.ScannerInfo `json:"scanners,omitempty"`
 	// Scans lists completed sweep metadata in start order.
 	Scans []core.ScanMeta `json:"scans,omitempty"`
+	// Retractions lists the site's retention tombstones — services whose
+	// evidence expired, sorted by (key, prov). A reconnecting aggregator
+	// replays them before the service list, so retract frames lost from
+	// the bounded live feed cannot resurrect an expired service.
+	Retractions []Retraction `json:"retractions,omitempty"`
 	// Packets is how many packets the site's passive run has consumed.
 	Packets int `json:"packets"`
 }
@@ -63,5 +69,16 @@ func BuildSnapshot(inv *core.Inventory) *Snapshot {
 		}
 		s.Services = append(s.Services, svc)
 	}
+	inv.EachTombstone(func(key core.ServiceKey, at time.Time, prov core.Provenance) bool {
+		s.Retractions = append(s.Retractions, Retraction{Key: key, At: at, Prov: prov})
+		return true
+	})
+	sort.Slice(s.Retractions, func(i, j int) bool {
+		a, b := &s.Retractions[i], &s.Retractions[j]
+		if a.Key != b.Key {
+			return a.Key.Before(b.Key)
+		}
+		return a.Prov < b.Prov
+	})
 	return s
 }

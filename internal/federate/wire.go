@@ -29,13 +29,16 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 
 	"servdisc/internal/core"
 )
 
 // WireVersion is the protocol version stamped into every frame. A decoder
 // rejects frames from a different major version rather than guessing.
-const WireVersion = 1
+// Version 2 added retraction: the retract frame type and the snapshot's
+// retraction list (TTL-expired services withdrawn from the aggregate).
+const WireVersion = 2
 
 // maxFrameLen bounds a single frame's JSON body. Snapshot frames grow with
 // inventory size (~100 B per service), so the cap is generous; anything
@@ -60,7 +63,25 @@ const (
 	// FrameEvent carries one live core.Event, tagged with its position in
 	// the site's stream.
 	FrameEvent FrameType = "event"
+	// FrameRetract withdraws evidence: the site's retention expired a
+	// service, so evidence of the given kind older than the retraction
+	// time no longer supports it. Sequenced like an event frame.
+	FrameRetract FrameType = "retract"
 )
+
+// Retraction is the payload of a retract frame (and one entry of a
+// snapshot's retraction list): the site no longer holds evidence of the
+// given kind for the service, as of At — the retention deadline that
+// expired it. Prov names the evidence kind withdrawn (PassiveOnly or
+// ActiveOnly). Evidence timestamped at or after At re-establishes the
+// service; older evidence is void. Snapshots carry the site's full
+// tombstone list, so a retract frame lost from the bounded live feed
+// heals on the next reconnect.
+type Retraction struct {
+	Key  core.ServiceKey `json:"key"`
+	At   time.Time       `json:"at"`
+	Prov core.Provenance `json:"prov"`
+}
 
 // Frame is one unit of the federation wire: a site-tagged envelope around
 // either an event or a snapshot. On the wire each frame is a single line
@@ -87,6 +108,8 @@ type Frame struct {
 	Event *core.Event `json:"event,omitempty"`
 	// Snapshot is the payload of a snapshot frame.
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	// Retract is the payload of a retract frame.
+	Retract *Retraction `json:"retract,omitempty"`
 }
 
 // FrameWriter writes arbitrary JSON values in the length-prefixed JSONL

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
 	"servdisc/internal/campus"
@@ -68,6 +69,10 @@ type (
 	// PublisherState is the federation stream cursor stored with a
 	// checkpoint, so a restored site resumes publishing where it left off.
 	PublisherState = federate.PublisherState
+	// RetentionPolicy configures TTL-based expiry of idle services (see
+	// Config.Retention): per-evidence-kind TTLs on the observation clock,
+	// plus the background sweep cadence.
+	RetentionPolicy = core.RetentionPolicy
 )
 
 // Event kinds, re-exported from core: see core.EventKind for semantics.
@@ -83,6 +88,11 @@ const (
 	EventScannerDetected = core.EventScannerDetected
 	// EventScanCompleted: an active sweep reconciled into the engine.
 	EventScanCompleted = core.EventScanCompleted
+	// EventServiceExpired: a service's evidence aged past its retention
+	// TTL and left the inventory — exactly once per expiry, timestamped
+	// with the retention deadline on the observation clock. Rediscovery
+	// after expiry announces ServiceDiscovered again.
+	EventServiceExpired = core.EventServiceExpired
 )
 
 // ScanOptions configure the active-scan side of a hybrid engine: what to
@@ -177,6 +187,14 @@ type Config struct {
 	// Checkpoint periodically (Every is the suggested cadence for the
 	// command-level ticker) to persist incremental deltas.
 	Checkpoint *CheckpointOptions
+	// Retention, when enabled (any TTL > 0), expires services whose
+	// evidence ages past its TTL, measured on the observation clock (the
+	// newest packet timestamp ingested). Expired services leave Snapshot
+	// inventories, emit EventServiceExpired on the event stream, and are
+	// retracted from federation aggregators. Expiry is evaluated lazily
+	// at each Snapshot; set SweepEvery to bound staleness between
+	// explicit snapshots (Run starts the background sweep ticker).
+	Retention RetentionPolicy
 }
 
 // CheckpointOptions configure the pipeline's durable-state subsystem
@@ -234,6 +252,12 @@ type Pipeline struct {
 	ckptDir     string
 	ckptEvery   time.Duration
 	restoredPub *PublisherState // from the last RestoreFromCheckpoint
+
+	// retention sweep ticker (started by Run when Retention.SweepEvery is
+	// set, stopped by Close).
+	retention RetentionPolicy
+	sweepMu   sync.Mutex
+	sweepStop chan struct{}
 }
 
 // NewPipeline assembles a pipeline from the config. With cfg.Scan set, the
@@ -252,6 +276,9 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		scanTCP = cfg.Scan.tcpPorts()
 	}
 	engine := core.NewHybrid(pfx, cfg.udpPorts(), cfg.shardCount(), scanTCP)
+	if cfg.Retention.Enabled() {
+		engine.SetRetention(cfg.Retention)
+	}
 	links := cfg.Links
 	if len(links) == 0 {
 		links = []capture.LinkID{capture.LinkCommercial1, capture.LinkCommercial2}
@@ -273,6 +300,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		engine:    engine,
 		scan:      cfg.Scan,
 		batchSize: cfg.BatchSize,
+		retention: cfg.Retention,
 	}
 	if cfg.Checkpoint != nil {
 		if cfg.Checkpoint.Dir == "" {
@@ -317,14 +345,55 @@ func (p *Pipeline) AddReport(rep *ScanReport) { p.engine.AddReport(rep) }
 // Run starts the engine's workers (passive shard workers plus the report
 // reconciler); without it ingest runs synchronously on the producer's
 // goroutine (the deterministic mode the simulator uses — results are
-// identical either way).
-func (p *Pipeline) Run(ctx context.Context) { p.engine.Run(ctx) }
+// identical either way). With Config.Retention.SweepEvery set, Run also
+// starts the background retention sweeper, which snapshots on that
+// cadence so expiry (and its events and federation retractions) happens
+// even when nobody polls Snapshot.
+func (p *Pipeline) Run(ctx context.Context) {
+	p.engine.Run(ctx)
+	p.startSweeper()
+}
+
+// startSweeper launches the retention sweep ticker once; no-op without a
+// sweep cadence or with retention disabled.
+func (p *Pipeline) startSweeper() {
+	if !p.retention.Enabled() || p.retention.SweepEvery <= 0 {
+		return
+	}
+	p.sweepMu.Lock()
+	defer p.sweepMu.Unlock()
+	if p.sweepStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	p.sweepStop = stop
+	go func() {
+		t := time.NewTicker(p.retention.SweepEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				p.Snapshot()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
 
 // Flush waits until everything ingested so far has reached engine state.
 func (p *Pipeline) Flush() { p.engine.Flush() }
 
-// Close stops the engine's workers (idempotent).
-func (p *Pipeline) Close() { p.engine.Close() }
+// Close stops the retention sweeper and the engine's workers (idempotent).
+func (p *Pipeline) Close() {
+	p.sweepMu.Lock()
+	if p.sweepStop != nil {
+		close(p.sweepStop)
+		p.sweepStop = nil
+	}
+	p.sweepMu.Unlock()
+	p.engine.Close()
+}
 
 // Snapshot freezes a consistent point-in-time inventory: hybrid (with
 // provenance) when scan options were configured or any scan report was

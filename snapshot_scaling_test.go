@@ -1,0 +1,79 @@
+package servdisc
+
+// The O(churn) merged-snapshot gate. BenchmarkSnapshotUnderLoad/entries=2M
+// shows the property at scale in the CI bench archive; this test enforces
+// it on every `go test` run, cheaply: snapshot an engine after a fixed
+// batch of re-observations and count allocations with AllocsPerRun at two
+// inventory sizes an order of magnitude apart. If merging the frozen shard
+// views into the published inventory ever regresses to cloning or
+// rescanning the resident records (the pre-persistent-map behavior), the
+// large engine's count blows up by roughly the size ratio and both bounds
+// below fail loudly.
+
+import (
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+)
+
+func TestSnapshotMergeCostScalesWithChurn(t *testing.T) {
+	const churn = 2048
+	const smallEntries = 50_000
+	const largeEntries = 400_000
+	t0 := time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+
+	measure := func(entries int) float64 {
+		pfx := synthPrefix(t)
+		sp := core.NewShardedPassive(pfx, nil, 4)
+		defer sp.Close()
+		feedSyntheticServices(sp, pfx, entries, t0)
+		if got := sp.Snapshot().Len(); got != entries {
+			t.Fatalf("synthetic load produced %d services, want %d", got, entries)
+		}
+		churnPkts := synthChurn(pfx, churn)
+		round := 0
+		step := func() {
+			round++
+			retimeChurn(churnPkts, t0.Add(time.Duration(round)*time.Minute))
+			sp.HandleBatch(churnPkts)
+			if sp.Snapshot() == nil {
+				t.Fatal("nil snapshot")
+			}
+		}
+		// Warm rounds let the engine's internal buffers reach steady-state
+		// capacity so growth noise is not charged to the measured rounds
+		// (AllocsPerRun adds one more warm-up call of its own).
+		for i := 0; i < 3; i++ {
+			step()
+		}
+		return testing.AllocsPerRun(8, step)
+	}
+
+	small := measure(smallEntries)
+	large := measure(largeEntries)
+	t.Logf("allocs per churn-%d snapshot: %d entries → %.0f, %d entries → %.0f",
+		churn, smallEntries, small, largeEntries, large)
+
+	// Absolute bound: a churned record costs a bounded handful of
+	// allocations (dirty-seal copy plus a path-copied trie spine), nowhere
+	// near one per resident record. 64 per churned record is ~5x headroom
+	// over observed cost while staying ~400x below O(inventory) behavior.
+	const maxPerChurned = 64
+	if small > maxPerChurned*churn {
+		t.Errorf("%d-entry engine: %.0f allocs for %d churned records (> %d per record)",
+			smallEntries, small, churn, maxPerChurned)
+	}
+	if large > maxPerChurned*churn {
+		t.Errorf("%d-entry engine: %.0f allocs for %d churned records (> %d per record)",
+			largeEntries, large, churn, maxPerChurned)
+	}
+
+	// Scaling bound: 8x the inventory may deepen the trie spine by at most
+	// a level or so — identical churn must not cost more than ~2x the
+	// allocations. O(inventory) merging would make this ratio ~8x.
+	if large > 2*small+64 {
+		t.Errorf("identical churn cost %.0f allocs at %d entries vs %.0f at %d: merge cost is scaling with inventory size",
+			large, largeEntries, small, smallEntries)
+	}
+}
