@@ -16,8 +16,10 @@
 // history instead of waiting for every site to reconnect and re-bootstrap.
 //
 // Endpoints: /dump (canonical text inventory), /services (global JSON
-// rows), /sites (per-feed statistics), /metrics (Prometheus text:
-// per-feed event/dedup/reconnect counters, state-write effort), /healthz.
+// rows; cached-encoded with ETag, ?limit=/&page= paginates), /query
+// (typed indexed queries over the global inventory), /sites (per-feed
+// statistics, ?limit= truncates), /metrics (Prometheus text: per-feed
+// event/dedup/reconnect counters, state-write effort), /healthz.
 //
 //	federated -feed east:9000 -feed west:9001 -http :8090
 //	federated -feed east:9000 -checkpoint-dir /var/lib/servdisc-global
@@ -34,12 +36,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"servdisc/internal/checkpoint"
 	"servdisc/internal/federate"
+	"servdisc/internal/query"
 )
 
 // StateFileName is the aggregator checkpoint inside -checkpoint-dir.
@@ -160,7 +165,7 @@ func run(o options) error {
 			httpErr <- err
 		}
 	}()
-	fmt.Printf("aggregating %d feeds; serving global inventory on %s (/dump, /services, /sites, /metrics, /healthz)\n",
+	fmt.Printf("aggregating %d feeds; serving global inventory on %s (/dump, /services, /query, /sites, /metrics, /healthz)\n",
 		len(o.feeds), o.httpAddr)
 
 	var stateTick <-chan time.Time
@@ -231,19 +236,126 @@ func feedLoop(ctx context.Context, agg *federate.Aggregator, h *feedHealth, retr
 	}
 }
 
+// dumpCache holds one encoded /services body per aggregator generation:
+// re-encoding happens only when a feed frame actually changed the service
+// table, so any number of full-dump pollers cost one marshal per change.
+type dumpCache struct {
+	mu   sync.Mutex
+	gen  uint64
+	has  bool
+	body []byte
+	etag string
+}
+
+func (c *dumpCache) get(gen uint64, build func() []byte) ([]byte, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.has || gen != c.gen {
+		c.gen, c.has = gen, true
+		c.body = build()
+		c.etag = fmt.Sprintf("\"agg-%d\"", gen)
+	}
+	return c.body, c.etag
+}
+
+// pagedServices serves /services?limit=&page=: global services in
+// canonical key order, the last emitted key as the next-page token.
+func pagedServices(agg *federate.Aggregator, limitStr, page string) ([]federate.GlobalService, string, error) {
+	limit := 1000
+	if limitStr != "" {
+		n, err := strconv.Atoi(limitStr)
+		if err != nil || n <= 0 {
+			return nil, "", fmt.Errorf("bad limit %q", limitStr)
+		}
+		limit = n
+	}
+	all := agg.Services()
+	if page != "" {
+		after, err := query.ParseKey(page)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad page token %q", page)
+		}
+		for len(all) > 0 && !after.Before(all[0].Key) {
+			all = all[1:]
+		}
+	}
+	next := ""
+	if len(all) > limit {
+		all = all[:limit]
+		next = all[limit-1].Key.String()
+	}
+	return all, next, nil
+}
+
 func newMux(agg *federate.Aggregator, health []*feedHealth, stateWrites, stateWriteFails *atomic.Int64) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/dump", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write(agg.Dump())
 	})
-	mux.HandleFunc("/services", func(w http.ResponseWriter, _ *http.Request) {
+	// /services serves the global dump from a body encoded once per
+	// aggregator generation (ETag/If-None-Match answers unchanged polls
+	// with a 304); ?limit=/&page= switches to canonical-key-order
+	// pagination.
+	dump := &dumpCache{}
+	mux.HandleFunc("/services", func(w http.ResponseWriter, r *http.Request) {
+		params := r.URL.Query()
+		if params.Get("limit") == "" && params.Get("page") == "" {
+			body, etag := dump.get(agg.Gen(), func() []byte {
+				b, _ := json.Marshal(agg.Services())
+				return b
+			})
+			w.Header().Set("ETag", etag)
+			w.Header().Set("Content-Type", "application/json")
+			if r.Header.Get("If-None-Match") == etag {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			_, _ = w.Write(body)
+			return
+		}
+		page, next, err := pagedServices(agg, params.Get("limit"), params.Get("page"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(agg.Services())
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"services":        page,
+			"next_page_token": next,
+		})
 	})
-	mux.HandleFunc("/sites", func(w http.ResponseWriter, _ *http.Request) {
+	// /query answers typed indexed queries over the global cross-site
+	// inventory; the index refreshes lazily from the keys feed frames
+	// touched since the last query.
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q, err := query.ParseHTTP(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := agg.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(agg.Stats())
+		_ = json.NewEncoder(w).Encode(res)
+	})
+	mux.HandleFunc("/sites", func(w http.ResponseWriter, r *http.Request) {
+		stats := agg.Stats()
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n <= 0 {
+				http.Error(w, fmt.Sprintf("bad limit %q", ls), http.StatusBadRequest)
+				return
+			}
+			if n < len(stats) {
+				stats = stats[:n]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(stats)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "ok sites=%d services=%d\n", len(agg.Sites()), agg.NumServices())

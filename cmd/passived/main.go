@@ -10,9 +10,14 @@
 // second.
 //
 // Event-stream consumers: /events streams the typed discovery events as
-// JSONL (one JSON event per line, SSE-friendly flushing), /metrics exposes
-// the stage counters, checkpoint effort, and per-subscriber event-hub drop
-// counts in Prometheus text format, /healthz answers liveness probes.
+// JSONL (one JSON event per line, SSE-friendly flushing) and accepts
+// push-down filters (?filter=port:443,prefix:10.0.0.0/8) so narrow
+// consumers neither receive nor pay drop budget for the rest of the
+// stream; /query answers typed indexed queries (?port=&prefix=&category=
+// &prov=&since=&limit=&page=) against the latest snapshot's index epoch;
+// /metrics exposes the stage counters, checkpoint effort, and
+// per-subscriber event-hub drop counts in Prometheus text format,
+// /healthz answers liveness probes.
 //
 // With -publish the engine becomes one site of a federation: its event
 // stream, tagged -site, is served on a TCP listener in the snapshot-then-
@@ -44,6 +49,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -51,6 +57,7 @@ import (
 
 	"servdisc"
 	"servdisc/internal/federate"
+	"servdisc/internal/query"
 )
 
 // options collects the flag set; run takes it whole rather than a dozen
@@ -120,6 +127,11 @@ func run(o options) error {
 		// The taps are bypassed by Replay (a recorded trace was already
 		// filtered at capture time), so no link or filter setup matters
 		// here beyond the campus prefix.
+
+		// The indexed query layer rides the snapshot ticker: every live
+		// snapshot advances the index epoch from the same O(churn) deltas,
+		// so /query serves from it at any client fan-out.
+		QueryIndex: true,
 	}
 	if o.ckptDir != "" {
 		cfg.Checkpoint = &servdisc.CheckpointOptions{Dir: o.ckptDir, Every: o.ckptEvery}
@@ -228,7 +240,7 @@ func run(o options) error {
 				httpErr <- err
 			}
 		}()
-		fmt.Printf("serving live inventory on %s (/services, /scanners, /stats, /events, /metrics, /healthz)\n", o.httpAddr)
+		fmt.Printf("serving live inventory on %s (/services, /query, /scanners, /stats, /events, /metrics, /healthz)\n", o.httpAddr)
 	}
 	// shutdownHTTP drains in-flight requests (including /events streams,
 	// which end when their clients notice the close) with a short grace.
@@ -413,6 +425,83 @@ func serviceRows(inv *servdisc.Inventory) []row {
 	return rows
 }
 
+// pagedRows serves /services?limit=&page=: canonical key order (the only
+// order a cursor can resume deterministically across snapshots), with the
+// last emitted key as the next-page token.
+func pagedRows(inv *servdisc.Inventory, limitStr, page string) ([]row, string, error) {
+	limit := 1000
+	if limitStr != "" {
+		n, err := strconv.Atoi(limitStr)
+		if err != nil || n <= 0 {
+			return nil, "", fmt.Errorf("bad limit %q", limitStr)
+		}
+		limit = n
+	}
+	var after servdisc.ServiceKey
+	haveAfter := false
+	if page != "" {
+		k, err := query.ParseKey(page)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad page token %q", page)
+		}
+		after, haveAfter = k, true
+	}
+	rows := make([]row, 0, limit)
+	next := ""
+	for _, key := range inv.Keys() {
+		if haveAfter && !after.Before(key) {
+			continue
+		}
+		if len(rows) == limit {
+			next = rows[len(rows)-1].Key
+			break
+		}
+		rec, _ := inv.Record(key)
+		rows = append(rows, row{
+			Key: key.String(), First: rec.FirstSeen,
+			Flows: rec.Flows, Clients: rec.Clients(),
+		})
+	}
+	return rows, next, nil
+}
+
+// dumpCache holds one encoded /services body per snapshot generation:
+// re-encoding happens only when the published inventory pointer moves, so
+// any number of full-dump pollers cost one marshal per snapshot.
+type dumpCache struct {
+	mu   sync.Mutex
+	inv  *servdisc.Inventory
+	gen  uint64
+	body []byte
+	etag string
+}
+
+func newDumpCache() *dumpCache { return &dumpCache{} }
+
+func (c *dumpCache) get(inv *servdisc.Inventory, build func() []byte) ([]byte, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if inv != c.inv {
+		c.gen++
+		c.inv = inv
+		c.body = build()
+		c.etag = fmt.Sprintf("\"inv-%d\"", c.gen)
+	}
+	return c.body, c.etag
+}
+
+// serveCached writes a cached JSON body with its ETag, answering 304 to a
+// matching If-None-Match.
+func serveCached(w http.ResponseWriter, r *http.Request, etag string, body []byte) {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", "application/json")
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	_, _ = w.Write(body)
+}
+
 // subRegistry tracks every named event-hub subscriber so /metrics can
 // report per-subscriber drop counts — the signal that a consumer's buffer
 // is undersized. Ended subscribers fold into a cumulative tally.
@@ -469,9 +558,49 @@ func newMux(latest *atomic.Pointer[servdisc.Inventory], pl *servdisc.Pipeline, s
 			"packets": latest.Load().Packets(),
 		})
 	})
-	mux.HandleFunc("/services", func(w http.ResponseWriter, _ *http.Request) {
+	// /services serves the full dump (busiest-first) from a body encoded
+	// once per snapshot generation, with ETag/If-None-Match so unchanged
+	// polls cost a 304 and no marshal; ?limit=/&page= switches to
+	// deterministic canonical-key-order pagination.
+	dump := newDumpCache()
+	mux.HandleFunc("/services", func(w http.ResponseWriter, r *http.Request) {
+		inv := latest.Load()
+		params := r.URL.Query()
+		if params.Get("limit") == "" && params.Get("page") == "" {
+			body, etag := dump.get(inv, func() []byte {
+				b, _ := json.Marshal(serviceRows(inv))
+				return b
+			})
+			serveCached(w, r, etag, body)
+			return
+		}
+		rows, next, err := pagedRows(inv, params.Get("limit"), params.Get("page"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(serviceRows(latest.Load()))
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"services":        rows,
+			"next_page_token": next,
+		})
+	})
+	// /query answers typed indexed queries (port, prefix, category,
+	// provenance, freshness; paginated) from the latest index epoch —
+	// lock-free reads sized for arbitrary client fan-out.
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q, err := query.ParseHTTP(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := pl.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(res)
 	})
 	mux.HandleFunc("/scanners", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -490,10 +619,18 @@ func newMux(latest *atomic.Pointer[servdisc.Inventory], pl *servdisc.Pipeline, s
 	// event per line, flushed per event so curl and EventSource-style
 	// consumers see discoveries as they happen. Delivery is bounded and
 	// lossy (the drop count appears in /metrics); the stream ends when the
-	// engine closes or the client disconnects.
+	// engine closes or the client disconnects. Filter parameters (?filter=
+	// port:443,prefix:10.0.0.0/8 or kind=/port=/proto=/prefix=/prov=) are
+	// pushed down into the event hub: rejected events are never delivered
+	// and never consume this subscriber's drop budget.
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		f, err := query.ParseEventFilter(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		name := fmt.Sprintf("events-%d", eventsSeq.Add(1))
-		sub := pl.Subscribe(4096)
+		sub := pl.SubscribeFiltered(4096, f)
 		subs.add(name, sub.Dropped)
 		defer subs.remove(name)
 		defer sub.Cancel()
@@ -551,6 +688,11 @@ func newMux(latest *atomic.Pointer[servdisc.Inventory], pl *servdisc.Pipeline, s
 		p("# HELP servdisc_events_dropped_total Per-subscriber event drops (all subscribers).\n")
 		p("# TYPE servdisc_events_dropped_total counter\n")
 		p("servdisc_events_dropped_total %d\n", events.Dropped())
+		if n, ok := pl.QueryIndexLen(); ok {
+			p("# HELP servdisc_query_index_services Services in the current query-index epoch.\n")
+			p("# TYPE servdisc_query_index_services gauge\n")
+			p("servdisc_query_index_services %d\n", n)
+		}
 		if cs, ok := pl.CheckpointStats(); ok {
 			p("# HELP servdisc_checkpoints_total Checkpoints completed (skipped ones included).\n")
 			p("# TYPE servdisc_checkpoints_total counter\n")

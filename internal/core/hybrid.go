@@ -71,6 +71,11 @@ type Hybrid struct {
 	// snap caches the whole Inventory across both sides' generations
 	// (see ShardedPassive).
 	snap snapCache
+
+	// onSnap, when set, observes every newly built hybrid snapshot with
+	// its delta (see ShardedPassive.OnSnapshot). Guarded by the passive
+	// side's snapMu, which every hybrid snapshot holds.
+	onSnap func(prev, inv *Inventory, delta SnapshotDelta)
 }
 
 // activeView is the active side's frozen clone at one generation.
@@ -99,6 +104,22 @@ func (h *Hybrid) Passive() *ShardedPassive { return h.passive }
 // Subscribe attaches a bounded subscriber to the engine's discovery event
 // stream (see ShardedPassive.Subscribe for the drop contract).
 func (h *Hybrid) Subscribe(buf int) *EventSub { return h.passive.Subscribe(buf) }
+
+// SubscribeFiltered attaches a predicate-filtered subscriber (see
+// ShardedPassive.SubscribeFiltered).
+func (h *Hybrid) SubscribeFiltered(buf int, keep func(Event) bool) *EventSub {
+	return h.passive.SubscribeFiltered(buf, keep)
+}
+
+// OnSnapshot registers fn to observe every newly built hybrid snapshot
+// (see ShardedPassive.OnSnapshot for the contract). An observer set here
+// sees hybrid snapshots only; passive-only snapshots taken directly via
+// Passive().Snapshot() report to the passive side's own observer.
+func (h *Hybrid) OnSnapshot(fn func(prev, inv *Inventory, delta SnapshotDelta)) {
+	h.passive.snapMu.Lock()
+	h.onSnap = fn
+	h.passive.snapMu.Unlock()
+}
 
 // EventCounters exposes the event stream's flow counters.
 func (h *Hybrid) EventCounters() *pipeline.StageCounters { return h.passive.EventCounters() }
@@ -293,6 +314,7 @@ func (h *Hybrid) Snapshot() *Inventory {
 	}
 	prevGens, prevInv := h.snap.peek()
 	var inv *Inventory
+	delta := SnapshotDelta{Full: true}
 	// The passive merge is independent of the active side, so it is
 	// delta-patched whenever the shard chains allow. The key/provenance
 	// tables patch forward only when the active side is the same frozen
@@ -300,9 +322,14 @@ func (h *Hybrid) Snapshot() *Inventory {
 	// move first-open times and so re-classify existing services, which
 	// forces a reclassification pass (but not a passive re-merge).
 	if prevInv != nil && len(prevGens) == len(views)+1 {
-		if m, scanners, newKeys, delKeys, ok := h.passive.mergeViewsDelta(views, prevInv, prevGens[:len(prevGens)-1]); ok {
+		if m, scanners, newKeys, updKeys, delKeys, ok := h.passive.mergeViewsDelta(views, prevInv, prevGens[:len(prevGens)-1]); ok {
 			if prevGens[len(prevGens)-1] == av.gen {
-				inv = patchHybridInventory(prevInv, m, av.disc, scanners, newKeys, delKeys)
+				var removed, downgraded []ServiceKey
+				inv, removed, downgraded = patchHybridInventory(prevInv, m, av.disc, scanners, newKeys, delKeys)
+				// A downgraded key (passive evidence withdrawn, probe
+				// answer standing) stays in the inventory with a new
+				// classification — an update, not a removal.
+				delta = SnapshotDelta{Added: newKeys, Updated: mergeSortedKeys(updKeys, downgraded), Removed: removed}
 			} else {
 				inv = newFrozenHybridInventory(m, av.disc, scanners)
 			}
@@ -313,6 +340,9 @@ func (h *Hybrid) Snapshot() *Inventory {
 		inv = newFrozenHybridInventory(merged, av.disc, scanners)
 	}
 	h.snap.put(gens, inv, d0, av.gen)
+	if h.onSnap != nil {
+		h.onSnap(prevInv, inv, delta)
+	}
 	return inv
 }
 

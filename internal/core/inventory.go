@@ -169,14 +169,18 @@ func classify(rec *PassiveRecord, a *ActiveDiscoverer, key ServiceKey) Provenanc
 // table; with no changes at all the key and provenance tables are shared
 // outright. An expired key with surviving active evidence downgrades to
 // ActiveOnly rather than leaving the inventory.
-func patchHybridInventory(prev *Inventory, src invSource, a *ActiveDiscoverer, scanners []ScannerInfo, newKeys, delKeys []ServiceKey) *Inventory {
-	v := &Inventory{d: src, active: a, scanners: scanners}
+//
+// The extra returns feed snapshot observers: removed is the subset of
+// delKeys that actually left the inventory, downgraded the subset that
+// stayed as ActiveOnly (both sorted).
+func patchHybridInventory(prev *Inventory, src invSource, a *ActiveDiscoverer, scanners []ScannerInfo, newKeys, delKeys []ServiceKey) (v *Inventory, removed, downgraded []ServiceKey) {
+	v = &Inventory{d: src, active: a, scanners: scanners}
 	if len(newKeys) == 0 && len(delKeys) == 0 {
 		v.prov, v.keys = prev.prov, prev.keys
-		return v
+		return v, nil, nil
 	}
 	pb := prev.prov.builder()
-	var add, del []ServiceKey
+	var add []ServiceKey
 	for _, k := range newKeys {
 		if _, seen := prev.prov.Get(k); !seen {
 			add = append(add, k)
@@ -187,14 +191,15 @@ func patchHybridInventory(prev *Inventory, src invSource, a *ActiveDiscoverer, s
 	for _, k := range delKeys {
 		if _, probed := a.firstOpen[k]; probed {
 			pb.Set(k, ActiveOnly) // passive evidence withdrawn, probe answer stands
+			downgraded = append(downgraded, k)
 		} else {
 			pb.Delete(k)
-			del = append(del, k)
+			removed = append(removed, k)
 		}
 	}
 	v.prov = pb.freeze()
-	v.keys = removeSortedKeys(mergeSortedKeys(prev.keys, add), del)
-	return v
+	v.keys = removeSortedKeys(mergeSortedKeys(prev.keys, add), removed)
+	return v, removed, downgraded
 }
 
 // Snapshot freezes a plain discoverer into a read-only inventory, the

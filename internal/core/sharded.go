@@ -72,6 +72,10 @@ type ShardedPassive struct {
 	// this lock for the same reason.
 	snapMu sync.Mutex
 
+	// onSnap, when set, observes every newly built snapshot with its
+	// delta (see OnSnapshot). Guarded by snapMu.
+	onSnap func(prev, inv *Inventory, delta SnapshotDelta)
+
 	// dispatched counts batch dispatches that reached any shard. The
 	// cached Inventory remembers the count it froze at; while it is
 	// unchanged, Snapshot returns the cache without touching the shards
@@ -332,6 +336,15 @@ func (s *ShardedPassive) EventCounters() *pipeline.StageCounters { return s.even
 // it never stalls ingest. The channel closes when the engine closes or the
 // subscription is cancelled.
 func (s *ShardedPassive) Subscribe(buf int) *EventSub { return s.events.hub.Subscribe(buf) }
+
+// SubscribeFiltered is Subscribe with a predicate pushed down into the
+// hub's publish path: events keep rejects are never delivered and never
+// consume the subscriber's drop budget, so a consumer watching one port
+// does not pay for the whole stream. keep runs on publishing goroutines —
+// it must be fast and safe for concurrent calls.
+func (s *ShardedPassive) SubscribeFiltered(buf int, keep func(Event) bool) *EventSub {
+	return s.events.hub.SubscribeFunc(buf, keep)
+}
 
 // ownerAddr returns the address whose state the packet would mutate; for
 // packets the discoverer ignores it falls back to the source, which keeps
@@ -645,17 +658,19 @@ func (s *ShardedPassive) mergeViewsFull(views []*shardView) (*mergedStore, []Sca
 // insensitive to the order (and interleaving) of the deltas within a span
 // — a key that expired and was reborn lands on its final record, a key
 // that expired for good is deleted with its tombstone. newKeys returns
-// the services that appeared or were reborn since prev and delKeys those
-// that left (both sorted). ok is false when the previous snapshot is not
-// persistent-map backed or a shard's delta chain cannot be reconstructed;
-// callers then fall back to mergeViewsFull.
-func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prevInv *Inventory, prevGens []uint64) (m *mergedStore, scanners []ScannerInfo, newKeys, delKeys []ServiceKey, ok bool) {
+// the services that appeared or were reborn since prev, updKeys those
+// whose record was touched but persisted (re-observations — LastSeen,
+// flows or client counts moved), and delKeys those that left (all three
+// sorted, mutually disjoint). ok is false when the previous snapshot is
+// not persistent-map backed or a shard's delta chain cannot be
+// reconstructed; callers then fall back to mergeViewsFull.
+func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prevInv *Inventory, prevGens []uint64) (m *mergedStore, scanners []ScannerInfo, newKeys, updKeys, delKeys []ServiceKey, ok bool) {
 	if prevInv == nil || len(prevGens) != len(views) {
-		return nil, nil, nil, nil, false
+		return nil, nil, nil, nil, nil, false
 	}
 	prev, isMerged := prevInv.d.(*mergedStore)
 	if !isMerged {
-		return nil, nil, nil, nil, false
+		return nil, nil, nil, nil, nil, false
 	}
 	type span struct {
 		shard  int
@@ -668,7 +683,7 @@ func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prevInv *Inventory,
 		}
 		ds, ok := s.shards[i].deltasBetween(prevGens[i], v.gen)
 		if !ok {
-			return nil, nil, nil, nil, false
+			return nil, nil, nil, nil, nil, false
 		}
 		spans = append(spans, span{shard: i, deltas: ds})
 	}
@@ -708,6 +723,8 @@ func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prevInv *Inventory,
 				sb.Set(k, rec)
 				if !was || reborn[k] {
 					newKeys = append(newKeys, k)
+				} else {
+					updKeys = append(updKeys, k)
 				}
 			} else {
 				sb.Delete(k)
@@ -725,8 +742,9 @@ func (s *ShardedPassive) mergeViewsDelta(views []*shardView, prevInv *Inventory,
 	}
 	m.services, m.trails, m.tombs = sb.freeze(), tb.freeze(), ob.freeze()
 	sort.Slice(newKeys, func(i, j int) bool { return newKeys[i].Before(newKeys[j]) })
+	sort.Slice(updKeys, func(i, j int) bool { return updKeys[i].Before(updKeys[j]) })
 	sort.Slice(delKeys, func(i, j int) bool { return delKeys[i].Before(delKeys[j]) })
-	return m, scanners, newKeys, delKeys, true
+	return m, scanners, newKeys, updKeys, delKeys, true
 }
 
 // mergeSortedKeys unions a sorted key slice with sorted additions,
@@ -801,6 +819,35 @@ func viewGens(views []*shardView) []uint64 {
 	return gens
 }
 
+// SnapshotDelta describes how one published snapshot differs from its
+// predecessor — the O(churn) changed-key sets a snapshot observer needs
+// to patch derived state (secondary indexes, caches) forward without
+// rescanning the inventory. Added, Updated and Removed are sorted in
+// canonical key order and mutually disjoint; a reborn service (expired
+// and re-observed within one span) is Added, an expired key that
+// survives on active evidence is Updated (its provenance downgraded).
+// Full set means no delta could be derived (first snapshot, cache
+// lineage break, or an active-side change that reclassifies everything)
+// — consumers must rebuild from the new inventory.
+type SnapshotDelta struct {
+	Added   []ServiceKey
+	Updated []ServiceKey
+	Removed []ServiceKey
+	Full    bool
+}
+
+// OnSnapshot registers fn to observe every newly built snapshot: it runs
+// under the snapshot lock, after the new inventory is cached, with the
+// previous inventory (nil on the first), the new one, and the delta
+// between them. Cache hits (snapshots of an unchanged engine) do not
+// invoke it. Because fn blocks the snapshot path, it must be fast —
+// O(delta) work, no waiting on queries. At most one observer; nil clears.
+func (s *ShardedPassive) OnSnapshot(fn func(prev, inv *Inventory, delta SnapshotDelta)) {
+	s.snapMu.Lock()
+	s.onSnap = fn
+	s.snapMu.Unlock()
+}
+
 // Snapshot freezes a consistent point-in-time Inventory. It is
 // non-terminal and cheap to repeat: with nothing dispatched since the
 // previous snapshot the cached Inventory is returned outright (no shard
@@ -831,9 +878,11 @@ func (s *ShardedPassive) Snapshot() *Inventory {
 	}
 	prevGens, prevInv := s.snap.peek()
 	var inv *Inventory
+	delta := SnapshotDelta{Full: true}
 	if prevInv != nil {
-		if m, scanners, newKeys, delKeys, ok := s.mergeViewsDelta(views, prevInv, prevGens); ok {
+		if m, scanners, newKeys, updKeys, delKeys, ok := s.mergeViewsDelta(views, prevInv, prevGens); ok {
 			inv = &Inventory{d: m, keys: removeSortedKeys(mergeSortedKeys(prevInv.keys, newKeys), delKeys), scanners: scanners}
+			delta = SnapshotDelta{Added: newKeys, Updated: updKeys, Removed: delKeys}
 		}
 	}
 	if inv == nil {
@@ -841,6 +890,9 @@ func (s *ShardedPassive) Snapshot() *Inventory {
 		inv = newFrozenInventory(merged, scanners)
 	}
 	s.snap.put(gens, inv, d0, 0)
+	if s.onSnap != nil {
+		s.onSnap(prevInv, inv, delta)
+	}
 	return inv
 }
 

@@ -12,6 +12,7 @@ import (
 	"servdisc/internal/core"
 	"servdisc/internal/netaddr"
 	"servdisc/internal/pipeline"
+	"servdisc/internal/query"
 )
 
 // GlobalEvent is one entry of the aggregator's own event stream: a
@@ -242,6 +243,15 @@ type Aggregator struct {
 	services map[core.ServiceKey]map[SiteID]*svcState
 	scanners map[netaddr.V4]map[SiteID]*scannerState
 	hub      *pipeline.Hub[GlobalEvent]
+
+	// Query-index maintenance (see query.go): gen counts service-table
+	// mutations, dirty the keys touched since the last index refresh, and
+	// qcat is the lazily-built secondary index over the global inventory.
+	// qfull forces the next refresh to rebuild instead of patch.
+	gen   uint64
+	dirty map[core.ServiceKey]struct{}
+	qcat  *query.Catalog
+	qfull bool
 }
 
 // NewAggregator builds an empty aggregator.
@@ -276,8 +286,12 @@ func (a *Aggregator) site(id SiteID) *siteState {
 }
 
 // svc returns the per-site state cell for one service, reporting whether
-// the key is new to the global inventory entirely.
+// the key is new to the global inventory entirely. Every caller is a
+// mutation path, so the key is marked dirty for the query index here
+// (over-marking on a merge that turns out to be a no-op is harmless: the
+// index patch skips docs that did not change).
 func (a *Aggregator) svc(site SiteID, key core.ServiceKey) (s *svcState, newGlobal bool) {
+	a.markDirty(key)
 	perSite := a.services[key]
 	if perSite == nil {
 		perSite = make(map[SiteID]*svcState)
@@ -680,6 +694,7 @@ func (a *Aggregator) CollapseTombstones(olderThan time.Time) int {
 			}
 			if s.retractedPassiveAt.Before(olderThan) && s.retractedActiveAt.Before(olderThan) {
 				delete(sites, id)
+				a.markDirty(key)
 				n++
 			}
 		}

@@ -180,5 +180,8 @@ func (a *Aggregator) ImportState(st *AggregatorState) error {
 		}
 		a.scanners[gs.Source] = perSite
 	}
+	// The imported service table bypassed the dirty tracking; the next
+	// query rebuilds the index whole.
+	a.qfull, a.dirty = true, nil
 	return nil
 }

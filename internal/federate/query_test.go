@@ -1,0 +1,164 @@
+package federate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/packet"
+	"servdisc/internal/query"
+)
+
+// queryAll drains the aggregator's full index in canonical order.
+func queryAll(t *testing.T, agg *Aggregator) []query.Doc {
+	t.Helper()
+	var out []query.Doc
+	q := query.Query{Limit: query.MaxLimit}
+	for {
+		res, err := agg.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, res.Hits...)
+		if res.NextPageToken == "" {
+			return out
+		}
+		q.PageToken = res.NextPageToken
+	}
+}
+
+// The aggregator's lazily-patched index must track the service table
+// exactly under a random mix of snapshot, event and retraction frames
+// from several sites — checked every round against the canonical
+// Services() roll-up, so both the rebuild path (first query) and the
+// dirty-key patch path (every later query) are exercised.
+func TestAggregatorQueryFollowsFrames(t *testing.T) {
+	base := time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
+	agg := NewAggregator()
+	rng := rand.New(rand.NewSource(11))
+	sites := []SiteID{"east", "west"}
+	seq := map[SiteID]uint64{}
+	key := func(i int) core.ServiceKey {
+		return testKey(0x807D0100+uint32(i/3), 6, uint16(80+i%3))
+	}
+
+	for round := 0; round < 25; round++ {
+		site := sites[rng.Intn(len(sites))]
+		seq[site]++
+		switch rng.Intn(3) {
+		case 0: // live discovery event
+			ev := core.Event{
+				Kind: core.EventServiceDiscovered, Key: key(rng.Intn(30)),
+				Provenance: core.PassiveOnly,
+				Time:       base.Add(time.Duration(round) * time.Minute),
+			}
+			if err := agg.Apply(&Frame{V: WireVersion, Type: FrameEvent, Site: site,
+				Seq: seq[site], Event: &ev}); err != nil {
+				t.Fatal(err)
+			}
+		case 1: // bootstrap snapshot with a handful of services
+			var svcs []SnapshotService
+			for i, n := 0, 2+rng.Intn(4); i < n; i++ {
+				svcs = append(svcs, SnapshotService{
+					Key: key(rng.Intn(30)), Provenance: core.PassiveOnly,
+					PassiveAt: base.Add(time.Duration(rng.Intn(60)) * time.Minute),
+					Flows:     1 + rng.Intn(50), Clients: 1 + rng.Intn(5),
+				})
+			}
+			if err := agg.Apply(&Frame{V: WireVersion, Type: FrameSnapshot, Site: site,
+				Seq: seq[site], Snapshot: &Snapshot{Services: svcs}}); err != nil {
+				t.Fatal(err)
+			}
+		default: // retraction far in the future: clears that site's evidence
+			if err := agg.Apply(&Frame{V: WireVersion, Type: FrameRetract, Site: site,
+				Seq: seq[site], Retract: &Retraction{
+					Key: key(rng.Intn(30)), Prov: core.PassiveOnly,
+					At: base.Add(24 * time.Hour),
+				}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		want := agg.Services()
+		got := queryAll(t, agg)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: index has %d services, roll-up %d", round, len(got), len(want))
+		}
+		for i := range got {
+			ctx := fmt.Sprintf("round %d, hit %d (%s)", round, i, want[i].Key)
+			if got[i].Key != want[i].Key {
+				t.Fatalf("%s: index key %s out of order", ctx, got[i].Key)
+			}
+			if !got[i].First.Equal(want[i].FirstAt) {
+				t.Errorf("%s: First = %v, want %v", ctx, got[i].First, want[i].FirstAt)
+			}
+			var flows int
+			for _, sr := range want[i].Sites {
+				flows += sr.Flows
+			}
+			if got[i].Flows != flows {
+				t.Errorf("%s: Flows = %d, want summed %d", ctx, got[i].Flows, flows)
+			}
+		}
+	}
+	if agg.Gen() == 0 {
+		t.Fatal("mutations never advanced the generation")
+	}
+}
+
+// Filtered aggregator queries must answer from the same merged state as
+// the full scan, and pagination must compose to the one-shot answer.
+func TestAggregatorQueryFiltersAndPaginates(t *testing.T) {
+	base := time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
+	agg := NewAggregator()
+	var svcs []SnapshotService
+	for i := 0; i < 40; i++ {
+		svcs = append(svcs, SnapshotService{
+			Key:        testKey(0x807D0200+uint32(i), 6, uint16(22+(i%2)*58)), // ports 22 / 80
+			Provenance: core.PassiveOnly,
+			PassiveAt:  base.Add(time.Duration(i) * time.Minute),
+			Flows:      1, Clients: 1,
+		})
+	}
+	if err := agg.Apply(&Frame{V: WireVersion, Type: FrameSnapshot, Site: "east", Seq: 1,
+		Snapshot: &Snapshot{Services: svcs}}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := agg.Query(query.Query{Port: 80, Limit: query.MaxLimit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 20 {
+		t.Fatalf("port query returned %d hits, want 20", len(res.Hits))
+	}
+	for _, d := range res.Hits {
+		if d.Key.Port != 80 || d.Key.Proto != packet.ProtoTCP {
+			t.Fatalf("port query leaked %s", d.Key)
+		}
+	}
+
+	var paged []query.Doc
+	q := query.Query{Port: 80, Limit: 7}
+	for {
+		r, err := agg.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paged = append(paged, r.Hits...)
+		if r.NextPageToken == "" {
+			break
+		}
+		q.PageToken = r.NextPageToken
+	}
+	if len(paged) != len(res.Hits) {
+		t.Fatalf("pagination yielded %d hits, one-shot %d", len(paged), len(res.Hits))
+	}
+	for i := range paged {
+		if paged[i].Key != res.Hits[i].Key {
+			t.Fatalf("page hit %d = %s, one-shot %s", i, paged[i].Key, res.Hits[i].Key)
+		}
+	}
+}

@@ -41,11 +41,21 @@ func (h *Hub[T]) Counters() *StageCounters { return &h.counters }
 // Subscribe registers a subscriber whose channel buffers up to buf events
 // (buf < 1 is clamped to 1). On a closed hub the returned subscription's
 // channel is already closed.
-func (h *Hub[T]) Subscribe(buf int) *Sub[T] {
+func (h *Hub[T]) Subscribe(buf int) *Sub[T] { return h.SubscribeFunc(buf, nil) }
+
+// SubscribeFunc registers a subscriber that receives only events passing
+// keep (nil keeps everything — equivalent to Subscribe). The predicate is
+// pushed down into Publish: an event keep rejects is never offered to the
+// subscriber's channel and never counts against its drop budget, so a
+// narrow subscriber on a firehose hub pays (and risks losing) only its own
+// slice of the stream. keep runs on the publisher's goroutine for every
+// published event — it must be fast, non-blocking, and safe for concurrent
+// calls.
+func (h *Hub[T]) SubscribeFunc(buf int, keep func(T) bool) *Sub[T] {
 	if buf < 1 {
 		buf = 1
 	}
-	s := &Sub[T]{hub: h, ch: make(chan T, buf), done: make(chan struct{})}
+	s := &Sub[T]{hub: h, ch: make(chan T, buf), done: make(chan struct{}), keep: keep}
 	h.mu.Lock()
 	if h.closed {
 		close(s.ch)
@@ -57,9 +67,11 @@ func (h *Hub[T]) Subscribe(buf int) *Sub[T] {
 	return s
 }
 
-// Publish offers ev to every subscriber, never blocking: subscribers with
-// buffer room receive it, the rest drop it (counted). Publishing to a
-// closed hub is a no-op.
+// Publish offers ev to every subscriber whose filter passes it, never
+// blocking: subscribers with buffer room receive it, the rest drop it
+// (counted). Events rejected by a subscriber's filter are counted as
+// filtered for that subscriber, not dropped. Publishing to a closed hub is
+// a no-op.
 func (h *Hub[T]) Publish(ev T) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
@@ -68,6 +80,10 @@ func (h *Hub[T]) Publish(ev T) {
 	}
 	h.counters.AddIn(1)
 	for _, s := range h.subs {
+		if s.keep != nil && !s.keep(ev) {
+			s.filtered.Add(1)
+			continue
+		}
 		select {
 		case s.ch <- ev:
 			h.counters.AddOut(1)
@@ -96,10 +112,12 @@ func (h *Hub[T]) Close() {
 
 // Sub is one subscription to a Hub.
 type Sub[T any] struct {
-	hub     *Hub[T]
-	ch      chan T
-	done    chan struct{}
-	dropped atomic.Int64
+	hub      *Hub[T]
+	ch       chan T
+	done     chan struct{}
+	keep     func(T) bool
+	dropped  atomic.Int64
+	filtered atomic.Int64
 }
 
 // Events returns the subscription's receive channel. It is closed when the
@@ -113,8 +131,15 @@ func (s *Sub[T]) Events() <-chan T { return s.ch }
 func (s *Sub[T]) Done() <-chan struct{} { return s.done }
 
 // Dropped returns how many events this subscriber missed because its
-// buffer was full. Safe for concurrent readers.
+// buffer was full. Filter-rejected events never count here — the drop
+// budget covers only events the subscriber asked for. Safe for concurrent
+// readers.
 func (s *Sub[T]) Dropped() int { return int(s.dropped.Load()) }
+
+// Filtered returns how many published events this subscriber's filter
+// rejected (always 0 for unfiltered subscriptions). Safe for concurrent
+// readers.
+func (s *Sub[T]) Filtered() int { return int(s.filtered.Load()) }
 
 // Cancel unsubscribes and closes the channel. Idempotent, and a no-op
 // after the hub itself has closed.

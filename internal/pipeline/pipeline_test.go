@@ -328,3 +328,72 @@ func TestHubConcurrentPublishers(t *testing.T) {
 		t.Errorf("received %d (dropped %d), want 8000/0", n, sub.Dropped())
 	}
 }
+
+// A filtered subscriber must see exactly the subsequence of the published
+// stream its predicate selects, in publication order — filtering changes
+// which events arrive, never their relative order.
+func TestHubFilteredSubscriptionOrderMatchesUnfiltered(t *testing.T) {
+	hub := NewHub[int]()
+	all := hub.Subscribe(1024)
+	even := hub.SubscribeFunc(1024, func(v int) bool { return v%2 == 0 })
+	for i := 0; i < 500; i++ {
+		hub.Publish(i)
+	}
+	hub.Close()
+	var full, filtered []int
+	for v := range all.Events() {
+		full = append(full, v)
+	}
+	for v := range even.Events() {
+		filtered = append(filtered, v)
+	}
+	var want []int
+	for _, v := range full {
+		if v%2 == 0 {
+			want = append(want, v)
+		}
+	}
+	if len(filtered) != len(want) {
+		t.Fatalf("filtered subscriber saw %d events, want %d", len(filtered), len(want))
+	}
+	for i := range want {
+		if filtered[i] != want[i] {
+			t.Fatalf("filtered order diverges at %d: got %d want %d", i, filtered[i], want[i])
+		}
+	}
+	if even.Filtered() != 250 || even.Dropped() != 0 {
+		t.Errorf("filtered/dropped = %d/%d, want 250/0", even.Filtered(), even.Dropped())
+	}
+}
+
+// The drop budget of a filtered subscriber covers only events that passed
+// its filter: a tiny buffer watching a rare slice of a firehose drops
+// nothing, and when it does overflow, only filter-passing events count.
+func TestHubFilteredDropAccounting(t *testing.T) {
+	hub := NewHub[int]()
+	// Passes 10 of 1000 events into a buffer of 16: no drops possible.
+	rare := hub.SubscribeFunc(16, func(v int) bool { return v%100 == 0 })
+	// Passes 500 of 1000 into a buffer of 2: exactly 498 filtered-in drops.
+	tight := hub.SubscribeFunc(2, func(v int) bool { return v%2 == 0 })
+	for i := 0; i < 1000; i++ {
+		hub.Publish(i)
+	}
+	if d := rare.Dropped(); d != 0 {
+		t.Errorf("rare subscriber dropped %d, want 0 (filtered events must not consume drop budget)", d)
+	}
+	if f := rare.Filtered(); f != 990 {
+		t.Errorf("rare subscriber filtered %d, want 990", f)
+	}
+	if d := tight.Dropped(); d != 498 {
+		t.Errorf("tight subscriber dropped %d, want 498 (only filter-passing events)", d)
+	}
+	if f := tight.Filtered(); f != 500 {
+		t.Errorf("tight subscriber filtered %d, want 500", f)
+	}
+	// Aggregate hub drop counter likewise charges only filter-passing
+	// overflow (498 from tight, 0 from rare).
+	if c := hub.Counters(); c.Dropped() != 498 {
+		t.Errorf("hub dropped %d, want 498", c.Dropped())
+	}
+	hub.Close()
+}

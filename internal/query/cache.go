@@ -1,0 +1,236 @@
+package query
+
+import (
+	"sync"
+
+	"servdisc/internal/core"
+)
+
+// Source answers queries — an Epoch-backed catalog, a remote /query
+// endpoint, anything. The Cache wraps one.
+type Source interface {
+	Query(q Query) (Result, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(q Query) (Result, error)
+
+func (f SourceFunc) Query(q Query) (Result, error) { return f(q) }
+
+// CacheStats counts cache traffic.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+	PassiveFills  int64 `json:"passive_fills"`
+}
+
+// Cache is the client-side query cache, after the WebGrid discovery
+// design: results fill on demand from the source, *passively* from the
+// subscription event stream (a discovery event updates cached pages it
+// belongs to without a round trip), preemptively via Warm at startup, and
+// stale entries purge when EventServiceExpired withdraws a service. A
+// client polling the same dashboards therefore converges to zero
+// round trips: events keep its entries live.
+//
+// Coherence contract: entries are as fresh as the event stream feeding
+// Apply. A dropped event can leave an entry stale until Invalidate or the
+// next miss; consumers needing stronger guarantees size their
+// subscription buffer or bypass the cache.
+type Cache struct {
+	src Source
+
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	cap      int
+	lruClock int64
+	stats    CacheStats
+}
+
+// cacheEntry is one cached first page (pagination bypasses the cache:
+// cursors beyond page one are cheap to serve and poor to share).
+type cacheEntry struct {
+	q   Query
+	res Result
+	// lru is a coarse recency stamp for capacity eviction.
+	lru int64
+}
+
+// DefaultCacheCap bounds the number of distinct cached queries.
+const DefaultCacheCap = 1024
+
+// NewCache wraps a source. cap <= 0 uses DefaultCacheCap.
+func NewCache(src Source, cap int) *Cache {
+	if cap <= 0 {
+		cap = DefaultCacheCap
+	}
+	return &Cache{src: src, entries: make(map[string]*cacheEntry), cap: cap}
+}
+
+// Query answers from the cache when it can. Only first pages (empty
+// PageToken) are cached; paginated follow-ups pass through.
+func (c *Cache) Query(q Query) (Result, error) {
+	if q.PageToken != "" {
+		return c.src.Query(q)
+	}
+	key := q.CacheKey()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		e.lru = c.tick()
+		res := e.res
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	res, err := c.src.Query(q)
+	if err != nil {
+		return res, err
+	}
+	c.mu.Lock()
+	c.store(key, q, res)
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Warm preemptively fills the cache — the startup prefetch of the queries
+// a client knows it will serve. Errors abort the warm and are returned.
+func (c *Cache) Warm(queries ...Query) error {
+	for _, q := range queries {
+		q.PageToken = ""
+		res, err := c.src.Query(q)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.store(q.CacheKey(), q, res)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// store inserts under c.mu, evicting the least-recent entry over cap.
+func (c *Cache) store(key string, q Query, res Result) {
+	if len(c.entries) >= c.cap {
+		var worstKey string
+		var worst int64 = 1<<63 - 1
+		for k, e := range c.entries {
+			if e.lru < worst {
+				worst, worstKey = e.lru, k
+			}
+		}
+		delete(c.entries, worstKey)
+	}
+	c.entries[key] = &cacheEntry{q: q, res: res, lru: c.tick()}
+}
+
+// tick advances the recency clock (caller holds c.mu).
+func (c *Cache) tick() int64 {
+	c.lruClock++
+	return c.lruClock
+}
+
+// Apply folds one subscription event into the cache:
+//
+//   - EventServiceExpired purges every cached result the key belongs to
+//     (the stale-entry purge keyed off expiry events).
+//   - EventServiceDiscovered / EventProvenanceUpgraded passively refresh:
+//     results whose query matches the new service are invalidated so the
+//     next read refetches them fresh — except exact-key point lookups,
+//     which are patched in place (the passive fill) with the event's
+//     provenance, no round trip.
+//
+// Feed it every event from a SubscribeFiltered stream; unrelated events
+// are ignored in O(cached queries).
+func (c *Cache) Apply(ev core.Event) {
+	switch ev.Kind {
+	case core.EventServiceExpired, core.EventServiceDiscovered, core.EventProvenanceUpgraded:
+	default:
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if !c.queryCovers(&e.q, ev.Key) {
+			continue
+		}
+		if ev.Kind != core.EventServiceExpired && c.passiveFill(e, ev) {
+			c.stats.PassiveFills++
+			continue
+		}
+		delete(c.entries, key)
+		c.stats.Invalidations++
+	}
+}
+
+// queryCovers reports whether a key could appear in the query's results
+// (freshness deliberately ignored: an event about the key can change its
+// freshness, so the entry is affected either way).
+func (c *Cache) queryCovers(q *Query, k core.ServiceKey) bool {
+	if q.Port != 0 && k.Port != q.Port {
+		return false
+	}
+	if q.Proto != 0 && k.Proto != q.Proto {
+		return false
+	}
+	if q.Category != CatAny && CategoryOf(k) != q.Category {
+		return false
+	}
+	if q.Prefix.Bits() != 0 && !q.Prefix.Contains(k.Addr) {
+		return false
+	}
+	return true
+}
+
+// passiveFill patches a point-lookup entry in place from a discovery /
+// upgrade event. Only exact-key queries (a /32 prefix plus port) are
+// safely patchable: the event carries enough to rebuild their single hit.
+func (c *Cache) passiveFill(e *cacheEntry, ev core.Event) bool {
+	if e.q.Prefix.Bits() != 32 || e.q.Port == 0 {
+		return false
+	}
+	if e.q.HasProvenance && ev.Provenance != e.q.Provenance {
+		return false // class moved out of (or was never in) this query
+	}
+	if !e.q.MinFreshness.IsZero() && ev.Time.Before(e.q.MinFreshness) {
+		return false
+	}
+	d := Doc{Key: ev.Key, Prov: ev.Provenance, First: ev.Time, Last: ev.Time}
+	if len(e.res.Hits) == 1 && e.res.Hits[0].Key == ev.Key {
+		old := e.res.Hits[0]
+		if old.First.Before(d.First) {
+			d.First = old.First
+		}
+		if d.Last.Before(old.Last) {
+			d.Last = old.Last
+		}
+		d.Flows, d.Clients = old.Flows, old.Clients
+	}
+	e.res = Result{Hits: []Doc{d}, Epoch: e.res.Epoch, Total: e.res.Total}
+	return true
+}
+
+// Invalidate drops every cached entry (e.g. on reconnect, when the event
+// stream may have gapped).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Invalidations += int64(len(c.entries))
+	c.entries = make(map[string]*cacheEntry)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached queries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,194 @@
+package query
+
+import (
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// countingSource wraps a catalog and counts round trips.
+type countingSource struct {
+	cat   *Catalog
+	calls int
+}
+
+func (s *countingSource) Query(q Query) (Result, error) {
+	s.calls++
+	return s.cat.Epoch().Query(q)
+}
+
+func cacheFixture(t *testing.T) (*countingSource, *Cache) {
+	t.Helper()
+	t0 := time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+	cat := NewCatalog(0)
+	var docs []Doc
+	for i := 0; i < 200; i++ {
+		docs = append(docs, qdoc(i, core.PassiveOnly, t0))
+	}
+	sortEntriesDocs(docs)
+	cat.Rebuild(docs)
+	src := &countingSource{cat: cat}
+	return src, NewCache(src, 16)
+}
+
+func sortEntriesDocs(docs []Doc) {
+	for i := 1; i < len(docs); i++ {
+		for j := i; j > 0 && docs[j].Key.Before(docs[j-1].Key); j-- {
+			docs[j], docs[j-1] = docs[j-1], docs[j]
+		}
+	}
+}
+
+func TestCacheHitMissAndWarm(t *testing.T) {
+	src, c := cacheFixture(t)
+	q := Query{Port: 1003}
+	r1, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != 1 {
+		t.Fatalf("source called %d times, want 1 (second read must hit)", src.calls)
+	}
+	if len(r1.Hits) != len(r2.Hits) {
+		t.Fatal("cache returned a different result")
+	}
+	// Preemptive warm: the warmed query costs a source call now, zero later.
+	warm := Query{Prefix: netaddr.MustParsePrefix("10.16.0.0/28")}
+	if err := c.Warm(warm); err != nil {
+		t.Fatal(err)
+	}
+	before := src.calls
+	if _, err := c.Query(warm); err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != before {
+		t.Fatal("warmed query still hit the source")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+	// Pagination bypasses the cache.
+	if _, err := c.Query(Query{Port: 1003, PageToken: pageToken(tkey(3))}); err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != before+1 {
+		t.Fatal("paginated query did not pass through")
+	}
+}
+
+func TestCacheExpiryPurge(t *testing.T) {
+	src, c := cacheFixture(t)
+	inPort := Query{Port: 1003}
+	otherPort := Query{Port: 1004}
+	if _, err := c.Query(inPort); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(otherPort); err != nil {
+		t.Fatal(err)
+	}
+	// Expire a service on port 1003: only that query's entry purges.
+	c.Apply(core.Event{Kind: core.EventServiceExpired, Key: tkey(3), Time: time.Unix(2000, 0)})
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries after purge, want 1", c.Len())
+	}
+	calls := src.calls
+	if _, err := c.Query(otherPort); err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != calls {
+		t.Fatal("unaffected entry was purged too")
+	}
+	if _, err := c.Query(inPort); err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != calls+1 {
+		t.Fatal("purged entry did not refetch")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestCachePassiveFillPointLookup(t *testing.T) {
+	src, c := cacheFixture(t)
+	key := core.ServiceKey{Addr: netaddr.MustParseV4("10.99.0.1"), Proto: packet.ProtoTCP, Port: 8080}
+	point := Query{Prefix: mustPrefix32(key.Addr), Port: key.Port, Proto: key.Proto}
+	res, err := c.Query(point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatal("service should not exist yet")
+	}
+	// A discovery event for exactly this key fills the entry in place —
+	// the next read sees the service with zero round trips.
+	at := time.Date(2006, 9, 20, 0, 0, 0, 0, time.UTC)
+	c.Apply(core.Event{Kind: core.EventServiceDiscovered, Key: key, Provenance: core.PassiveOnly, Time: at})
+	calls := src.calls
+	res, err = c.Query(point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != calls {
+		t.Fatal("passive fill did not avoid the round trip")
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Key != key || !res.Hits[0].Last.Equal(at) {
+		t.Fatalf("passive-filled result = %+v", res.Hits)
+	}
+	if st := c.Stats(); st.PassiveFills != 1 {
+		t.Fatalf("passive fills = %d, want 1", st.PassiveFills)
+	}
+	// A broader (non-point) query matching the key invalidates instead.
+	broad := Query{Port: key.Port}
+	if _, err := c.Query(broad); err != nil {
+		t.Fatal(err)
+	}
+	c.Apply(core.Event{Kind: core.EventProvenanceUpgraded, Key: key, Provenance: core.PassiveFirst, Time: at.Add(time.Hour)})
+	calls = src.calls
+	if _, err := c.Query(broad); err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != calls+1 {
+		t.Fatal("broad entry should have been invalidated by the upgrade event")
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	src, _ := cacheFixture(t)
+	c := NewCache(src, 4)
+	for p := uint16(1000); p < 1008; p++ {
+		if _, err := c.Query(Query{Port: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 4 {
+		t.Fatalf("cache grew to %d entries, cap 4", c.Len())
+	}
+	// Most recent queries survive.
+	calls := src.calls
+	if _, err := c.Query(Query{Port: 1007}); err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != calls {
+		t.Fatal("most recent entry was evicted")
+	}
+}
+
+func TestCacheInvalidateAll(t *testing.T) {
+	_, c := cacheFixture(t)
+	if _, err := c.Query(Query{Port: 1001}); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatal("Invalidate left entries")
+	}
+}

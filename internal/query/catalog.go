@@ -1,0 +1,471 @@
+package query
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// Doc is one service as the query layer sees it: the key, its provenance
+// class, discovery and freshness times, and the passive weights. Docs are
+// plain values — an epoch holds millions of them in a persistent tree and
+// hands them out by value, so queries never touch (or pin) engine state.
+type Doc struct {
+	Key   core.ServiceKey `json:"key"`
+	Prov  core.Provenance `json:"prov"`
+	First time.Time       `json:"first_seen"`
+	// Last is the newest positive evidence — the freshness axis. For
+	// active-only services (no passive record) it is the first probe
+	// answer, the only per-key time the active side retains.
+	Last    time.Time `json:"last_seen"`
+	Flows   int       `json:"flows,omitempty"`
+	Clients int       `json:"clients,omitempty"`
+}
+
+func (d Doc) skey() core.ServiceKey { return d.Key }
+
+// equal compares docs without time.Time's monotonic-clock noise.
+func (d Doc) equal(o Doc) bool {
+	return d.Key == o.Key && d.Prov == o.Prov && d.Flows == o.Flows && d.Clients == o.Clients &&
+		d.First.Equal(o.First) && d.Last.Equal(o.Last)
+}
+
+// DocFromInventory builds the query doc for one inventory key.
+func DocFromInventory(inv *core.Inventory, k core.ServiceKey) Doc {
+	d := Doc{Key: k}
+	d.Prov, _ = inv.Provenance(k)
+	d.First, _ = inv.FirstDiscovered(k)
+	if rec, ok := inv.Record(k); ok {
+		d.Last = rec.LastSeen
+		d.Flows = rec.Flows
+		d.Clients = rec.Clients()
+	} else if at, ok := inv.ActiveFirstOpen(k); ok {
+		d.Last = at
+	}
+	return d
+}
+
+// Category buckets services by application class, derived from the
+// well-known port (the paper's service axis: its datasets select FTP,
+// SSH, HTTP, HTTPS and MySQL, plus the UDP services passive monitoring
+// watches).
+type Category uint8
+
+// Category classes. CatAny is the query wildcard, never stored.
+const (
+	CatAny Category = iota
+	CatWeb
+	CatSSH
+	CatFTP
+	CatMail
+	CatDNS
+	CatDB
+	CatNameSvc
+	CatOther
+)
+
+var categoryNames = [...]string{
+	CatAny:     "any",
+	CatWeb:     "web",
+	CatSSH:     "ssh",
+	CatFTP:     "ftp",
+	CatMail:    "mail",
+	CatDNS:     "dns",
+	CatDB:      "db",
+	CatNameSvc: "namesvc",
+	CatOther:   "other",
+}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "other"
+}
+
+// ParseCategory parses the names String renders; unknown names are CatAny
+// with ok=false.
+func ParseCategory(s string) (Category, bool) {
+	for i, name := range categoryNames {
+		if s == name {
+			return Category(i), true
+		}
+	}
+	return CatAny, false
+}
+
+// CategoryOf classifies a service key.
+func CategoryOf(k core.ServiceKey) Category {
+	switch k.Port {
+	case 80, 443, 8080, 8443:
+		return CatWeb
+	case 22:
+		return CatSSH
+	case 20, 21:
+		return CatFTP
+	case 25, 110, 143, 465, 587, 993, 995:
+		return CatMail
+	case 53:
+		return CatDNS
+	case 3306, 5432, 1433, 6379, 11211, 27017:
+		return CatDB
+	case 111, 137, 138, 139, 389, 445:
+		return CatNameSvc
+	}
+	if k.Proto == packet.ProtoUDP && (k.Port == 5353 || k.Port == 1900) {
+		return CatNameSvc
+	}
+	return CatOther
+}
+
+// prefixBucket is the /24 an address belongs to — the granularity the
+// subnet dimension indexes at. Prefix queries wider than /24 walk a run
+// of buckets (address-ordered, so concatenation is canonical order);
+// narrower ones post-filter a single bucket.
+func prefixBucket(a netaddr.V4) netaddr.V4 { return a &^ 0xff }
+
+// DefaultFreshnessBucket is the width of the freshness-dimension buckets
+// when the catalog is built with no explicit width.
+const DefaultFreshnessBucket = time.Hour
+
+// provClasses is the size of the provenance dimension.
+const provClasses = 4
+
+// Epoch is one immutable index generation: the doc tree plus every
+// secondary dimension, all persistent structures sharing state with the
+// previous epoch. Readers navigate an epoch lock-free; it never changes
+// after publication.
+type Epoch struct {
+	gen        uint64
+	freshWidth time.Duration
+	docs       stree[Doc]
+	byPort     map[uint16]stree[keyEntry]
+	byPrefix   map[netaddr.V4]stree[keyEntry] // /24 bucket base → keys
+	pfxBases   []netaddr.V4                   // sorted bucket bases
+	byProv     [provClasses]stree[keyEntry]
+	byCat      map[Category]stree[keyEntry]
+	byFresh    map[int64]stree[keyEntry] // Last truncated to freshWidth → keys
+	freshBases []int64                   // sorted bucket ids
+}
+
+// Gen returns the epoch's generation counter (0 = empty initial epoch).
+func (e *Epoch) Gen() uint64 { return e.gen }
+
+// Len returns the number of indexed services.
+func (e *Epoch) Len() int { return e.docs.len() }
+
+// Doc returns the indexed doc for one key.
+func (e *Epoch) Doc(k core.ServiceKey) (Doc, bool) { return e.docs.get(k) }
+
+func (e *Epoch) freshBucket(t time.Time) int64 {
+	w := int64(e.freshWidth)
+	n := t.UnixNano()
+	b := n / w
+	if n < 0 && n%w != 0 {
+		b--
+	}
+	return b
+}
+
+// Catalog owns the epoch chain: Patch and Rebuild install new epochs
+// (caller-serialized — in the engine they run under the snapshot lock),
+// while any number of concurrent readers load the current epoch through
+// one atomic pointer.
+type Catalog struct {
+	cur        atomic.Pointer[Epoch]
+	freshWidth time.Duration
+}
+
+// NewCatalog builds an empty catalog. freshWidth sets the freshness
+// bucket granularity (DefaultFreshnessBucket when <= 0).
+func NewCatalog(freshWidth time.Duration) *Catalog {
+	if freshWidth <= 0 {
+		freshWidth = DefaultFreshnessBucket
+	}
+	c := &Catalog{freshWidth: freshWidth}
+	c.cur.Store(c.emptyEpoch())
+	return c
+}
+
+func (c *Catalog) emptyEpoch() *Epoch {
+	return &Epoch{
+		freshWidth: c.freshWidth,
+		byPort:     map[uint16]stree[keyEntry]{},
+		byPrefix:   map[netaddr.V4]stree[keyEntry]{},
+		byCat:      map[Category]stree[keyEntry]{},
+		byFresh:    map[int64]stree[keyEntry]{},
+	}
+}
+
+// Epoch returns the current index epoch — an immutable value, safe to
+// read for as long as the caller likes regardless of later patches.
+func (c *Catalog) Epoch() *Epoch { return c.cur.Load() }
+
+// Len returns the current epoch's service count.
+func (c *Catalog) Len() int { return c.Epoch().Len() }
+
+// dimDelta accumulates one dimension's bucket-level add/del key lists.
+// Lists are re-sorted at apply time: a bucket's deletions interleave keys
+// from the upsert loop (bucket migrations) and the remove loop, so append
+// order is not globally sorted.
+type dimDelta[B comparable] struct {
+	adds map[B][]keyEntry
+	dels map[B][]core.ServiceKey
+}
+
+func (d *dimDelta[B]) add(b B, k core.ServiceKey) {
+	if d.adds == nil {
+		d.adds = map[B][]keyEntry{}
+	}
+	d.adds[b] = append(d.adds[b], keyEntry(k))
+}
+
+func (d *dimDelta[B]) del(b B, k core.ServiceKey) {
+	if d.dels == nil {
+		d.dels = map[B][]core.ServiceKey{}
+	}
+	d.dels[b] = append(d.dels[b], k)
+}
+
+// apply patches one dimension's bucket map, cloning it only when at least
+// one bucket changed. Returns the (possibly shared) new map and whether
+// the set of buckets changed.
+func (d *dimDelta[B]) apply(prev map[B]stree[keyEntry]) (map[B]stree[keyEntry], bool) {
+	if d.adds == nil && d.dels == nil {
+		return prev, false
+	}
+	next := make(map[B]stree[keyEntry], len(prev)+len(d.adds))
+	for b, t := range prev {
+		next[b] = t
+	}
+	basesChanged := false
+	touched := map[B]bool{}
+	for b := range d.adds {
+		touched[b] = true
+	}
+	for b := range d.dels {
+		touched[b] = true
+	}
+	for b := range touched {
+		before, existed := next[b]
+		after := before.patch(sortEntries(d.adds[b]), sortKeys(d.dels[b]))
+		if after.len() == 0 {
+			if existed {
+				delete(next, b)
+				basesChanged = true
+			}
+			continue
+		}
+		if !existed {
+			basesChanged = true
+		}
+		next[b] = after
+	}
+	return next, basesChanged
+}
+
+// Patch advances the catalog one epoch: upserts (sorted by key,
+// duplicate-free) replace or insert docs, removes (sorted, disjoint from
+// upserts) delete them. Cost is O(changes · log n) — the persistent trees
+// path-copy only what moved, and the dimension maps are cloned at bucket
+// granularity. No-op patches (every upsert equal to the stored doc) keep
+// the current epoch.
+func (c *Catalog) Patch(upserts []Doc, removes []core.ServiceKey) {
+	prev := c.Epoch()
+	var docAdds []Doc
+	var docDels []core.ServiceKey
+	var port dimDelta[uint16]
+	var pfx dimDelta[netaddr.V4]
+	var cat dimDelta[Category]
+	var fresh dimDelta[int64]
+	var provAdds [provClasses][]keyEntry
+	var provDels [provClasses][]core.ServiceKey
+
+	for _, d := range upserts {
+		old, had := prev.docs.get(d.Key)
+		if had && old.equal(d) {
+			continue
+		}
+		docAdds = append(docAdds, d)
+		if had {
+			// Key-derived dimensions (port, prefix, category) cannot move;
+			// provenance and freshness can.
+			if old.Prov != d.Prov {
+				provDels[old.Prov%provClasses] = append(provDels[old.Prov%provClasses], d.Key)
+				provAdds[d.Prov%provClasses] = append(provAdds[d.Prov%provClasses], keyEntry(d.Key))
+			}
+			if ob, nb := prev.freshBucket(old.Last), prev.freshBucket(d.Last); ob != nb {
+				fresh.del(ob, d.Key)
+				fresh.add(nb, d.Key)
+			}
+			continue
+		}
+		port.add(d.Key.Port, d.Key)
+		pfx.add(prefixBucket(d.Key.Addr), d.Key)
+		cat.add(CategoryOf(d.Key), d.Key)
+		provAdds[d.Prov%provClasses] = append(provAdds[d.Prov%provClasses], keyEntry(d.Key))
+		fresh.add(prev.freshBucket(d.Last), d.Key)
+	}
+	for _, k := range removes {
+		old, had := prev.docs.get(k)
+		if !had {
+			continue
+		}
+		docDels = append(docDels, k)
+		port.del(k.Port, k)
+		pfx.del(prefixBucket(k.Addr), k)
+		cat.del(CategoryOf(k), k)
+		provDels[old.Prov%provClasses] = append(provDels[old.Prov%provClasses], k)
+		fresh.del(prev.freshBucket(old.Last), k)
+	}
+	if len(docAdds) == 0 && len(docDels) == 0 {
+		return
+	}
+
+	next := &Epoch{
+		gen:        prev.gen + 1,
+		freshWidth: prev.freshWidth,
+		docs:       prev.docs.patch(docAdds, docDels),
+		byProv:     prev.byProv,
+		pfxBases:   prev.pfxBases,
+		freshBases: prev.freshBases,
+	}
+	for p := 0; p < provClasses; p++ {
+		next.byProv[p] = next.byProv[p].patch(sortEntries(provAdds[p]), sortKeys(provDels[p]))
+	}
+	var pfxMoved, freshMoved bool
+	next.byPort, _ = port.apply(prev.byPort)
+	next.byCat, _ = cat.apply(prev.byCat)
+	next.byPrefix, pfxMoved = pfx.apply(prev.byPrefix)
+	next.byFresh, freshMoved = fresh.apply(prev.byFresh)
+	if pfxMoved {
+		next.pfxBases = sortedBases(next.byPrefix, func(a, b netaddr.V4) bool { return a < b })
+	}
+	if freshMoved {
+		next.freshBases = sortedBases(next.byFresh, func(a, b int64) bool { return a < b })
+	}
+	c.cur.Store(next)
+}
+
+// Rebuild replaces the whole index from an inventory-ordered doc list
+// (sorted by key) — the full-resync path for lineage breaks, startup
+// warms, and aggregator bootstraps. O(n log n); Patch is the steady state.
+func (c *Catalog) Rebuild(docs []Doc) {
+	prevGen := c.Epoch().gen
+	next := c.emptyEpoch()
+	next.gen = prevGen + 1
+	next.docs = stree[Doc]{}.patch(docs, nil)
+	perPort := map[uint16][]keyEntry{}
+	perPfx := map[netaddr.V4][]keyEntry{}
+	perCat := map[Category][]keyEntry{}
+	perFresh := map[int64][]keyEntry{}
+	var perProv [provClasses][]keyEntry
+	for _, d := range docs {
+		k := keyEntry(d.Key)
+		perPort[d.Key.Port] = append(perPort[d.Key.Port], k)
+		perPfx[prefixBucket(d.Key.Addr)] = append(perPfx[prefixBucket(d.Key.Addr)], k)
+		perCat[CategoryOf(d.Key)] = append(perCat[CategoryOf(d.Key)], k)
+		perProv[d.Prov%provClasses] = append(perProv[d.Prov%provClasses], k)
+		b := next.freshBucket(d.Last)
+		perFresh[b] = append(perFresh[b], k)
+	}
+	for p, ks := range perPort {
+		next.byPort[p] = stree[keyEntry]{}.patch(ks, nil)
+	}
+	for b, ks := range perPfx {
+		next.byPrefix[b] = stree[keyEntry]{}.patch(ks, nil)
+	}
+	for ct, ks := range perCat {
+		next.byCat[ct] = stree[keyEntry]{}.patch(ks, nil)
+	}
+	for i, ks := range perProv {
+		next.byProv[i] = stree[keyEntry]{}.patch(ks, nil)
+	}
+	for b, ks := range perFresh {
+		next.byFresh[b] = stree[keyEntry]{}.patch(ks, nil)
+	}
+	next.pfxBases = sortedBases(next.byPrefix, func(a, b netaddr.V4) bool { return a < b })
+	next.freshBases = sortedBases(next.byFresh, func(a, b int64) bool { return a < b })
+	c.cur.Store(next)
+}
+
+// RebuildFromInventory is Rebuild fed straight from a frozen inventory.
+func (c *Catalog) RebuildFromInventory(inv *core.Inventory) {
+	keys := inv.Keys()
+	docs := make([]Doc, len(keys))
+	for i, k := range keys {
+		docs[i] = DocFromInventory(inv, k)
+	}
+	c.Rebuild(docs)
+}
+
+// ApplyDelta folds one snapshot transition into the index: an O(churn)
+// patch when the engine produced a delta, a full rebuild when it could
+// not (delta.Full). This is the OnSnapshot observer body; prev/inv are
+// the transition's inventories as the engine reported them.
+func (c *Catalog) ApplyDelta(inv *core.Inventory, delta core.SnapshotDelta) {
+	if delta.Full {
+		c.RebuildFromInventory(inv)
+		return
+	}
+	n := len(delta.Added) + len(delta.Updated)
+	if n == 0 && len(delta.Removed) == 0 {
+		return
+	}
+	ups := make([]Doc, 0, n)
+	for _, k := range mergeSorted(delta.Added, delta.Updated) {
+		ups = append(ups, DocFromInventory(inv, k))
+	}
+	c.Patch(ups, delta.Removed)
+}
+
+// mergeSorted unions two sorted key slices, deduplicating.
+func mergeSorted(a, b []core.ServiceKey) []core.ServiceKey {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]core.ServiceKey, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Before(b[j]):
+			out = append(out, a[i])
+			i++
+		case b[j].Before(a[i]):
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func sortEntries(es []keyEntry) []keyEntry {
+	sort.Slice(es, func(i, j int) bool { return es[i].skey().Before(es[j].skey()) })
+	return es
+}
+
+func sortKeys(ks []core.ServiceKey) []core.ServiceKey {
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Before(ks[j]) })
+	return ks
+}
+
+func sortedBases[B comparable](m map[B]stree[keyEntry], less func(a, b B) bool) []B {
+	out := make([]B, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}

@@ -1,0 +1,156 @@
+package query
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// Filter is a predicate over the discovery event stream — the push-down
+// form handed to SubscribeFiltered so a narrow consumer neither receives
+// nor pays drop budget for events outside its slice. Zero-valued fields
+// are wildcards; set fields are conjunctive.
+type Filter struct {
+	// Kinds restricts to the listed event kinds (empty = all).
+	Kinds []core.EventKind
+	// Port / Proto / Prefix restrict service events by their key. Events
+	// without a service key (scan completions) fail these predicates;
+	// scanner detections match Prefix against the scanner source instead.
+	Port   uint16
+	Proto  packet.IPProtocol
+	Prefix netaddr.Prefix
+	// Provenance restricts service events by class when HasProvenance is
+	// set.
+	Provenance    core.Provenance
+	HasProvenance bool
+}
+
+// Zero reports whether the filter passes everything.
+func (f *Filter) Zero() bool {
+	return len(f.Kinds) == 0 && f.Port == 0 && f.Proto == 0 && f.Prefix.Bits() == 0 && !f.HasProvenance
+}
+
+// Match applies the filter to one event.
+func (f *Filter) Match(ev core.Event) bool {
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if ev.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	keyed := ev.Kind == core.EventServiceDiscovered || ev.Kind == core.EventProvenanceUpgraded || ev.Kind == core.EventServiceExpired
+	if f.Port != 0 && (!keyed || ev.Key.Port != f.Port) {
+		return false
+	}
+	if f.Proto != 0 && (!keyed || ev.Key.Proto != f.Proto) {
+		return false
+	}
+	if f.Prefix.Bits() != 0 {
+		switch {
+		case keyed:
+			if !f.Prefix.Contains(ev.Key.Addr) {
+				return false
+			}
+		case ev.Kind == core.EventScannerDetected:
+			if !f.Prefix.Contains(ev.Scanner.Source) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	if f.HasProvenance && (!keyed || ev.Provenance != f.Provenance) {
+		return false
+	}
+	return true
+}
+
+// Keep returns the push-down predicate, nil for a pass-everything filter
+// (so the hub skips predicate evaluation entirely).
+func (f Filter) Keep() func(core.Event) bool {
+	if f.Zero() {
+		return nil
+	}
+	return f.Match
+}
+
+// ParseEventFilter builds a Filter from URL parameters — the
+// /events?filter contract:
+//
+//	kind=service-discovered,service-expired port=443 proto=tcp
+//	prefix=10.16.0.0/16 prov=passive-only
+//
+// plus the combined filter=port:443,prefix:10.16.0.0/16 shorthand.
+func ParseEventFilter(values url.Values) (Filter, error) {
+	var f Filter
+	set := func(key, val string) error {
+		switch key {
+		case "kind":
+			var k core.EventKind
+			if err := k.UnmarshalText([]byte(val)); err != nil {
+				return err
+			}
+			f.Kinds = append(f.Kinds, k)
+		case "port":
+			p, err := strconv.ParseUint(val, 10, 16)
+			if err != nil || p == 0 {
+				return fmt.Errorf("bad port %q", val)
+			}
+			f.Port = uint16(p)
+		case "proto":
+			return f.Proto.UnmarshalText([]byte(val))
+		case "prefix":
+			p, err := netaddr.ParsePrefix(val)
+			if err != nil {
+				return err
+			}
+			f.Prefix = p
+		case "prov":
+			if err := f.Provenance.UnmarshalText([]byte(val)); err != nil {
+				return err
+			}
+			f.HasProvenance = true
+		default:
+			return fmt.Errorf("unknown filter key %q", key)
+		}
+		return nil
+	}
+	for _, key := range []string{"kind", "port", "proto", "prefix", "prov"} {
+		for _, val := range values[key] {
+			for _, v := range strings.Split(val, ",") {
+				if v == "" {
+					continue
+				}
+				if err := set(key, v); err != nil {
+					return f, err
+				}
+			}
+		}
+	}
+	for _, spec := range values["filter"] {
+		for _, clause := range strings.Split(spec, ",") {
+			if clause == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(clause, ":")
+			if !ok {
+				return f, fmt.Errorf("bad filter clause %q (want key:value)", clause)
+			}
+			if err := set(key, val); err != nil {
+				return f, err
+			}
+		}
+	}
+	return f, nil
+}

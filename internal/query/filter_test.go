@@ -1,0 +1,102 @@
+package query
+
+import (
+	"net/url"
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+func svcEvent(kind core.EventKind, key core.ServiceKey, prov core.Provenance) core.Event {
+	return core.Event{Kind: kind, Key: key, Provenance: prov, Time: time.Unix(1000, 0)}
+}
+
+func TestFilterMatch(t *testing.T) {
+	web := core.ServiceKey{Addr: netaddr.MustParseV4("10.16.0.9"), Proto: packet.ProtoTCP, Port: 443}
+	ssh := core.ServiceKey{Addr: netaddr.MustParseV4("10.17.0.9"), Proto: packet.ProtoTCP, Port: 22}
+	cases := []struct {
+		name string
+		f    Filter
+		ev   core.Event
+		want bool
+	}{
+		{"zero passes all", Filter{}, svcEvent(core.EventServiceDiscovered, web, core.PassiveOnly), true},
+		{"port match", Filter{Port: 443}, svcEvent(core.EventServiceDiscovered, web, core.PassiveOnly), true},
+		{"port mismatch", Filter{Port: 443}, svcEvent(core.EventServiceDiscovered, ssh, core.PassiveOnly), false},
+		{"port excludes keyless", Filter{Port: 443}, core.Event{Kind: core.EventScanCompleted}, false},
+		{"kind match", Filter{Kinds: []core.EventKind{core.EventServiceExpired}}, svcEvent(core.EventServiceExpired, web, core.PassiveOnly), true},
+		{"kind mismatch", Filter{Kinds: []core.EventKind{core.EventServiceExpired}}, svcEvent(core.EventServiceDiscovered, web, core.PassiveOnly), false},
+		{"prefix match", Filter{Prefix: netaddr.MustParsePrefix("10.16.0.0/16")}, svcEvent(core.EventServiceDiscovered, web, core.PassiveOnly), true},
+		{"prefix mismatch", Filter{Prefix: netaddr.MustParsePrefix("10.16.0.0/16")}, svcEvent(core.EventServiceDiscovered, ssh, core.PassiveOnly), false},
+		{"prefix matches scanner source", Filter{Prefix: netaddr.MustParsePrefix("10.16.0.0/16")},
+			core.Event{Kind: core.EventScannerDetected, Scanner: core.ScannerInfo{Source: netaddr.MustParseV4("10.16.3.3")}}, true},
+		{"prov match", Filter{Provenance: core.ActiveOnly, HasProvenance: true}, svcEvent(core.EventServiceDiscovered, web, core.ActiveOnly), true},
+		{"prov mismatch", Filter{Provenance: core.ActiveOnly, HasProvenance: true}, svcEvent(core.EventServiceDiscovered, web, core.PassiveOnly), false},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Match(tc.ev); got != tc.want {
+			t.Errorf("%s: Match = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if (Filter{}).Keep() != nil {
+		t.Error("zero filter must push down nil (no per-event predicate cost)")
+	}
+	if (Filter{Port: 1}).Keep() == nil {
+		t.Error("non-zero filter lost its predicate")
+	}
+}
+
+func TestParseEventFilter(t *testing.T) {
+	v, _ := url.ParseQuery("filter=port:443,prefix:10.16.0.0/16&kind=service-discovered,service-expired")
+	f, err := ParseEventFilter(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Port != 443 || f.Prefix.String() != "10.16.0.0/16" || len(f.Kinds) != 2 {
+		t.Fatalf("parsed %+v", f)
+	}
+	v, _ = url.ParseQuery("prov=active-only&proto=tcp")
+	f, err = ParseEventFilter(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasProvenance || f.Provenance != core.ActiveOnly || f.Proto != packet.ProtoTCP {
+		t.Fatalf("parsed %+v", f)
+	}
+	for _, bad := range []string{"filter=port", "port=0", "port=x", "kind=bogus", "prefix=zzz", "filter=what:4"} {
+		v, _ := url.ParseQuery(bad)
+		if _, err := ParseEventFilter(v); err == nil {
+			t.Errorf("ParseEventFilter(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseHTTPQuery(t *testing.T) {
+	v, _ := url.ParseQuery("port=443&proto=tcp&prefix=10.16.0.0/24&prov=passive-first&since=2006-09-19T10:00:00Z&limit=5")
+	q, err := ParseHTTP(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Port != 443 || q.Proto != packet.ProtoTCP || q.Prefix.String() != "10.16.0.0/24" ||
+		!q.HasProvenance || q.Provenance != core.PassiveFirst || q.Limit != 5 ||
+		!q.MinFreshness.Equal(time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)) {
+		t.Fatalf("parsed %+v", q)
+	}
+	v, _ = url.ParseQuery("key=10.16.0.9:443/tcp")
+	q, err = ParseHTTP(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Prefix.Bits() != 32 || q.Port != 443 || q.Proto != packet.ProtoTCP {
+		t.Fatalf("key shorthand parsed %+v", q)
+	}
+	for _, bad := range []string{"port=abc", "limit=-1", "since=yesterday", "category=zzz", "key=1.2.3.4"} {
+		v, _ := url.ParseQuery(bad)
+		if _, err := ParseHTTP(v); err == nil {
+			t.Errorf("ParseHTTP(%q) accepted", bad)
+		}
+	}
+}

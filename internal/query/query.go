@@ -1,0 +1,375 @@
+package query
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// Query is one typed request against the index. Zero-valued fields are
+// wildcards; set fields are conjunctive (all must match). Results come
+// back in the canonical (addr, proto, port) order regardless of which
+// index dimension drove the scan, so identical queries against identical
+// epochs are byte-identical — and pagination via PageToken is stable.
+type Query struct {
+	// Port restricts to one destination port (0 = any).
+	Port uint16
+	// Proto restricts to one transport (0 = any).
+	Proto packet.IPProtocol
+	// Category restricts to one application class (CatAny = any).
+	Category Category
+	// Prefix restricts to an owner subnet. The zero Prefix is a wildcard.
+	Prefix netaddr.Prefix
+	// Provenance restricts to one class when HasProvenance is set (the
+	// zero Provenance is a real class, PassiveOnly).
+	Provenance    core.Provenance
+	HasProvenance bool
+	// MinFreshness keeps only services with evidence at or after this
+	// time (zero = any).
+	MinFreshness time.Time
+	// Limit caps the hits per page (DefaultLimit when <= 0, clamped to
+	// MaxLimit).
+	Limit int
+	// PageToken resumes a paginated scan where the previous Result left
+	// off (Result.NextPageToken). Empty starts from the beginning.
+	PageToken string
+}
+
+// Limits for one result page.
+const (
+	DefaultLimit = 1000
+	MaxLimit     = 10000
+)
+
+// Result is one page of hits plus the cursor for the next.
+type Result struct {
+	Hits []Doc `json:"hits"`
+	// NextPageToken is non-empty when more hits may follow; feed it back
+	// via Query.PageToken. Deterministic for a given epoch and query.
+	NextPageToken string `json:"next_page_token,omitempty"`
+	// Epoch identifies the index generation that answered.
+	Epoch uint64 `json:"epoch"`
+	// Total is the number of services in the index (not the match count —
+	// counting matches would cost a full scan).
+	Total int `json:"total"`
+}
+
+// pageToken encodes the last-returned key as "addr:port/proto" (the
+// ServiceKey string form). parseKey inverts it.
+func pageToken(k core.ServiceKey) string { return k.String() }
+
+// ParseKey parses the "addr:port/proto" form ServiceKey.String renders —
+// page tokens, exact-key query params, cache keys.
+func ParseKey(s string) (core.ServiceKey, error) {
+	var k core.ServiceKey
+	slash := strings.LastIndexByte(s, '/')
+	if slash < 0 {
+		return k, fmt.Errorf("query: key %q: missing /proto", s)
+	}
+	if err := k.Proto.UnmarshalText([]byte(s[slash+1:])); err != nil {
+		return k, fmt.Errorf("query: key %q: %v", s, err)
+	}
+	colon := strings.LastIndexByte(s[:slash], ':')
+	if colon < 0 {
+		return k, fmt.Errorf("query: key %q: missing :port", s)
+	}
+	port, err := strconv.ParseUint(s[colon+1:slash], 10, 16)
+	if err != nil {
+		return k, fmt.Errorf("query: key %q: bad port: %v", s, err)
+	}
+	k.Port = uint16(port)
+	addr, err := netaddr.ParseV4(s[:colon])
+	if err != nil {
+		return k, fmt.Errorf("query: key %q: %v", s, err)
+	}
+	k.Addr = addr
+	return k, nil
+}
+
+// matches applies every predicate to a doc — the residual filter applied
+// to candidates regardless of which dimension produced them.
+func (q *Query) matches(d Doc) bool {
+	if q.Port != 0 && d.Key.Port != q.Port {
+		return false
+	}
+	if q.Proto != 0 && d.Key.Proto != q.Proto {
+		return false
+	}
+	if q.Category != CatAny && CategoryOf(d.Key) != q.Category {
+		return false
+	}
+	if q.Prefix.Bits() != 0 && !q.Prefix.Contains(d.Key.Addr) {
+		return false
+	}
+	if q.HasProvenance && d.Prov != q.Provenance {
+		return false
+	}
+	if !q.MinFreshness.IsZero() && d.Last.Before(q.MinFreshness) {
+		return false
+	}
+	return true
+}
+
+// limit returns the clamped page size.
+func (q *Query) limit() int {
+	switch {
+	case q.Limit <= 0:
+		return DefaultLimit
+	case q.Limit > MaxLimit:
+		return MaxLimit
+	default:
+		return q.Limit
+	}
+}
+
+// Query runs one request against this epoch. The epoch is immutable, so
+// any number of goroutines may query it concurrently, lock-free, while
+// the catalog builds successors.
+func (e *Epoch) Query(q Query) (Result, error) {
+	var after *core.ServiceKey
+	if q.PageToken != "" {
+		k, err := ParseKey(q.PageToken)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad page token: %v", err)
+		}
+		after = &k
+	}
+	res := Result{Epoch: e.gen, Total: e.docs.len()}
+	limit := q.limit()
+	res.Hits = make([]Doc, 0, min(limit, 64))
+
+	emit := func(d Doc) bool {
+		if !q.matches(d) {
+			return true
+		}
+		if len(res.Hits) == limit {
+			res.NextPageToken = pageToken(res.Hits[limit-1].Key)
+			return false
+		}
+		res.Hits = append(res.Hits, d)
+		return true
+	}
+	emitKey := func(ke keyEntry) bool {
+		d, ok := e.docs.get(ke.skey())
+		if !ok {
+			return true
+		}
+		return emit(d)
+	}
+
+	// Pick the candidate source: the most selective dimension the query
+	// names. Every source yields candidates in canonical key order; emit
+	// post-filters with the full predicate set.
+	switch {
+	case q.Prefix.Bits() == 32 && q.Port != 0 && q.Proto != 0:
+		// Point lookup: the predicates pin one exact key (the key= form),
+		// so probe the doc tree directly — O(log n), no posting-bucket
+		// scan. emit still applies the full predicate set, so freshness
+		// and provenance filters compose with the probe.
+		k := core.ServiceKey{Addr: q.Prefix.Base(), Proto: q.Proto, Port: q.Port}
+		if after == nil || after.Before(k) {
+			if d, ok := e.docs.get(k); ok {
+				emit(d)
+			}
+		}
+	case q.Prefix.Bits() >= 24:
+		// The whole prefix lies inside one /24 bucket.
+		if t, ok := e.byPrefix[prefixBucket(q.Prefix.Base())]; ok {
+			iterate(t, after, emitKey)
+		}
+	case q.Port != 0:
+		if t, ok := e.byPort[q.Port]; ok {
+			iterate(t, after, emitKey)
+		}
+	case q.Category != CatAny:
+		if t, ok := e.byCat[q.Category]; ok {
+			iterate(t, after, emitKey)
+		}
+	case q.Prefix.Bits() != 0:
+		// A run of /24 buckets in address order: concatenation preserves
+		// canonical order because keys sort address-major.
+		base, last := q.Prefix.Base(), q.Prefix.Last()
+		lo := sort.Search(len(e.pfxBases), func(i int) bool { return e.pfxBases[i] >= prefixBucket(base) })
+		for _, b := range e.pfxBases[lo:] {
+			if b > last {
+				break
+			}
+			if after != nil && after.Addr > b|0xff {
+				continue // whole bucket precedes the cursor
+			}
+			if !iterate(e.byPrefix[b], after, emitKey) {
+				break
+			}
+		}
+	case q.HasProvenance:
+		iterate(e.byProv[q.Provenance%provClasses], after, emitKey)
+	case !q.MinFreshness.IsZero():
+		// Qualifying freshness buckets, k-way merged back into key order.
+		// The bucket at the boundary may contain too-old entries; emit's
+		// residual filter drops them.
+		floor := e.freshBucket(q.MinFreshness)
+		lo := sort.Search(len(e.freshBases), func(i int) bool { return e.freshBases[i] >= floor })
+		var cursors []cursor[keyEntry]
+		for _, b := range e.freshBases[lo:] {
+			cursors = append(cursors, e.byFresh[b].seek(after))
+		}
+		mergeIterate(cursors, emitKey)
+	default:
+		c := e.docs.seek(after)
+		for {
+			d, ok := c.next()
+			if !ok || !emit(d) {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// iterate walks one posting tree from the cursor position, returning
+// false when the consumer stopped.
+func iterate(t stree[keyEntry], after *core.ServiceKey, f func(keyEntry) bool) bool {
+	c := t.seek(after)
+	for {
+		e, ok := c.next()
+		if !ok {
+			return true
+		}
+		if !f(e) {
+			return false
+		}
+	}
+}
+
+// mergeIterate merges already-positioned cursors into one key-ordered
+// stream. Posting lists are disjoint (a key lives in exactly one bucket
+// per dimension), so no dedup is needed.
+func mergeIterate(cs []cursor[keyEntry], f func(keyEntry) bool) {
+	// Small-k loser-free heap: linear scan for the minimum head. The
+	// freshness dimension yields one cursor per bucket in the window —
+	// typically a handful.
+	for {
+		best := -1
+		var bestKey core.ServiceKey
+		for i := range cs {
+			e, ok := cs[i].peek()
+			if !ok {
+				continue
+			}
+			if best < 0 || e.skey().Before(bestKey) {
+				best, bestKey = i, e.skey()
+			}
+		}
+		if best < 0 {
+			return
+		}
+		e, _ := cs[best].next()
+		if !f(e) {
+			return
+		}
+	}
+}
+
+// ParseHTTP builds a Query from URL parameters — the /query endpoint
+// contract shared by passived and federated:
+//
+//	port=443 proto=tcp category=web prefix=10.16.0.0/16
+//	prov=passive-only since=2006-09-19T00:00:00Z (or since=3600s ago)
+//	limit=100 page=<next_page_token> key=10.16.0.9:443/tcp
+//
+// key= is the point-lookup shorthand: it expands to Prefix=<addr>/32,
+// Port and Proto.
+func ParseHTTP(values url.Values) (Query, error) {
+	var q Query
+	if s := values.Get("key"); s != "" {
+		k, err := ParseKey(s)
+		if err != nil {
+			return q, err
+		}
+		q.Prefix, _ = netaddr.NewPrefix(k.Addr, 32)
+		q.Port = k.Port
+		q.Proto = k.Proto
+	}
+	if s := values.Get("port"); s != "" {
+		p, err := strconv.ParseUint(s, 10, 16)
+		if err != nil || p == 0 {
+			return q, fmt.Errorf("bad port %q", s)
+		}
+		q.Port = uint16(p)
+	}
+	if s := values.Get("proto"); s != "" {
+		if err := q.Proto.UnmarshalText([]byte(s)); err != nil {
+			return q, err
+		}
+	}
+	if s := values.Get("category"); s != "" {
+		c, ok := ParseCategory(s)
+		if !ok {
+			return q, fmt.Errorf("bad category %q", s)
+		}
+		q.Category = c
+	}
+	if s := values.Get("prefix"); s != "" {
+		p, err := netaddr.ParsePrefix(s)
+		if err != nil {
+			return q, err
+		}
+		q.Prefix = p
+	}
+	if s := values.Get("prov"); s != "" {
+		if err := q.Provenance.UnmarshalText([]byte(s)); err != nil {
+			return q, err
+		}
+		q.HasProvenance = true
+	}
+	if s := values.Get("since"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return q, fmt.Errorf("bad since %q (want RFC3339)", s)
+		}
+		q.MinFreshness = t
+	}
+	if s := values.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad limit %q", s)
+		}
+		q.Limit = n
+	}
+	q.PageToken = values.Get("page")
+	return q, nil
+}
+
+// CacheKey renders the query (excluding pagination) canonically — the
+// client cache's map key. Two queries with equal predicates share one
+// entry regardless of field order at the call site.
+func (q Query) CacheKey() string {
+	var b strings.Builder
+	if q.Port != 0 {
+		fmt.Fprintf(&b, "port=%d;", q.Port)
+	}
+	if q.Proto != 0 {
+		fmt.Fprintf(&b, "proto=%s;", q.Proto)
+	}
+	if q.Category != CatAny {
+		fmt.Fprintf(&b, "cat=%s;", q.Category)
+	}
+	if q.Prefix.Bits() != 0 {
+		fmt.Fprintf(&b, "pfx=%s;", q.Prefix)
+	}
+	if q.HasProvenance {
+		fmt.Fprintf(&b, "prov=%s;", q.Provenance)
+	}
+	if !q.MinFreshness.IsZero() {
+		fmt.Fprintf(&b, "since=%d;", q.MinFreshness.UnixNano())
+	}
+	fmt.Fprintf(&b, "limit=%d", q.limit())
+	return b.String()
+}

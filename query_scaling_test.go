@@ -1,0 +1,114 @@
+package servdisc
+
+// The O(churn) index-maintenance gate, the query layer's counterpart to
+// TestSnapshotMergeCostScalesWithChurn: with a catalog attached to the
+// engine's snapshot stream, a fixed churn batch plus freeze must cost the
+// same handful of allocations per churned record whether the engine holds
+// 50k or 400k services. The secondary dimensions (port, subnet, category,
+// provenance, freshness) are persistent trees patched from the seal delta;
+// if index maintenance ever regresses to rebuilding a dimension from the
+// inventory, the large engine's count blows up by the size ratio and the
+// scaling bound fails loudly. BenchmarkQueryIndexMaintain shows the same
+// property at 2M entries in the CI bench archive; this enforces it on
+// every `go test` run.
+
+import (
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/query"
+)
+
+func TestQueryIndexMaintainCostScalesWithChurn(t *testing.T) {
+	const churn = 2048
+	const smallEntries = 50_000
+	const largeEntries = 400_000
+	t0 := time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+
+	measure := func(entries int) float64 {
+		pfx := synthPrefix(t)
+		sp := core.NewShardedPassive(pfx, nil, 4)
+		defer sp.Close()
+		cat := attachCatalog(sp)
+		feedSyntheticServices(sp, pfx, entries, t0)
+		if sp.Snapshot() == nil || cat.Len() != entries {
+			t.Fatalf("index holds %d services, want %d", cat.Len(), entries)
+		}
+		gen := cat.Epoch().Gen()
+		churnPkts := synthChurn(pfx, churn)
+		round := 0
+		step := func() {
+			round++
+			retimeChurn(churnPkts, t0.Add(time.Duration(round)*time.Minute))
+			sp.HandleBatch(churnPkts)
+			if sp.Snapshot() == nil {
+				t.Fatal("nil snapshot")
+			}
+		}
+		// Warm rounds reach steady-state buffer capacity (AllocsPerRun adds
+		// one more warm-up call of its own).
+		for i := 0; i < 3; i++ {
+			step()
+		}
+		allocs := testing.AllocsPerRun(8, step)
+		if got := cat.Epoch().Gen(); got <= gen {
+			t.Fatalf("epoch generation never advanced past %d under churn", gen)
+		}
+		return allocs
+	}
+
+	small := measure(smallEntries)
+	large := measure(largeEntries)
+	t.Logf("allocs per churn-%d freeze+index: %d entries → %.0f, %d entries → %.0f",
+		churn, smallEntries, small, largeEntries, large)
+
+	// Absolute bound: a churned record costs the snapshot merge's bounded
+	// handful plus a few path-copied index-tree nodes. 96 per churned
+	// record is generous headroom while staying far below O(inventory).
+	const maxPerChurned = 96
+	if small > maxPerChurned*churn {
+		t.Errorf("%d-entry engine: %.0f allocs for %d churned records (> %d per record)",
+			smallEntries, small, churn, maxPerChurned)
+	}
+	if large > maxPerChurned*churn {
+		t.Errorf("%d-entry engine: %.0f allocs for %d churned records (> %d per record)",
+			largeEntries, large, churn, maxPerChurned)
+	}
+
+	// Scaling bound: 8x the inventory may deepen the doc and posting trees
+	// by a level — identical churn must not cost more than ~2x the
+	// allocations. O(inventory) maintenance would make this ratio ~8x.
+	if large > 2*small+64 {
+		t.Errorf("identical churn cost %.0f allocs at %d entries vs %.0f at %d: index maintenance is scaling with inventory size",
+			large, largeEntries, small, smallEntries)
+	}
+}
+
+// A zero-churn freeze must leave the epoch untouched: the snapshot fast
+// path returns the cached inventory without running observers, so an idle
+// poller costs the query layer nothing — no generation turnover, no
+// invalidated reader state.
+func TestQueryIndexZeroChurnKeepsEpoch(t *testing.T) {
+	pfx := synthPrefix(t)
+	sp := core.NewShardedPassive(pfx, nil, 4)
+	defer sp.Close()
+	cat := attachCatalog(sp)
+	t0 := time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
+	feedSyntheticServices(sp, pfx, 10_000, t0)
+	if sp.Snapshot() == nil {
+		t.Fatal("nil snapshot")
+	}
+	ep := cat.Epoch()
+	for i := 0; i < 5; i++ {
+		if sp.Snapshot() == nil {
+			t.Fatal("nil snapshot")
+		}
+	}
+	if got := cat.Epoch(); got != ep {
+		t.Fatalf("idle snapshots advanced the epoch: gen %d → %d", ep.Gen(), got.Gen())
+	}
+	if _, err := ep.Query(query.Query{Limit: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

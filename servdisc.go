@@ -26,6 +26,7 @@ import (
 	"servdisc/internal/packet"
 	"servdisc/internal/pipeline"
 	"servdisc/internal/probe"
+	"servdisc/internal/query"
 	"servdisc/internal/trace"
 )
 
@@ -73,6 +74,21 @@ type (
 	// Config.Retention): per-evidence-kind TTLs on the observation clock,
 	// plus the background sweep cadence.
 	RetentionPolicy = core.RetentionPolicy
+	// Query is a typed inventory query served by the secondary indexes
+	// (see Pipeline.Query; requires Config.QueryIndex).
+	Query = query.Query
+	// QueryResult is one query answer: hits in canonical key order plus
+	// the pagination cursor and the index epoch that served it.
+	QueryResult = query.Result
+	// QueryDoc is one indexed service as queries return it.
+	QueryDoc = query.Doc
+	// EventFilter is the predicate pushed down into the event hub by
+	// SubscribeFiltered: a filtered subscriber neither receives nor pays
+	// drop budget for events outside its slice.
+	EventFilter = query.Filter
+	// QueryCache is the client-side query cache (passive fill from
+	// subscription events, preemptive Warm, expiry-driven purge).
+	QueryCache = query.Cache
 )
 
 // Event kinds, re-exported from core: see core.EventKind for semantics.
@@ -187,6 +203,13 @@ type Config struct {
 	// Checkpoint periodically (Every is the suggested cadence for the
 	// command-level ticker) to persist incremental deltas.
 	Checkpoint *CheckpointOptions
+	// QueryIndex, when true, maintains secondary indexes (port, prefix,
+	// provenance, service category, freshness bucket) over the live
+	// inventory and enables Pipeline.Query. The indexes advance at each
+	// Snapshot from the same O(churn) deltas that patch the snapshot
+	// itself — never a full rescan — and each index epoch is an immutable
+	// value read lock-free by any number of concurrent queries.
+	QueryIndex bool
 	// Retention, when enabled (any TTL > 0), expires services whose
 	// evidence ages past its TTL, measured on the observation clock (the
 	// newest packet timestamp ingested). Expired services leave Snapshot
@@ -258,6 +281,29 @@ type Pipeline struct {
 	retention RetentionPolicy
 	sweepMu   sync.Mutex
 	sweepStop chan struct{}
+
+	qix *queryIndex // nil unless Config.QueryIndex was set
+}
+
+// queryIndex keeps the secondary indexes in lockstep with the snapshot
+// stream. Both the passive and the hybrid snapshot paths notify it (the
+// facade serves whichever fits the configuration), so it tracks inventory
+// lineage itself: a delta only applies when its prev is the inventory the
+// catalog last absorbed — any break (mode switch, full seal) rebuilds.
+// The observer runs under the engine's snapshot lock, which serializes
+// inv/catalog updates; Epoch() readers are lock-free.
+type queryIndex struct {
+	cat *query.Catalog
+	inv *core.Inventory
+}
+
+func (x *queryIndex) observe(prev, inv *core.Inventory, d core.SnapshotDelta) {
+	if d.Full || prev != x.inv {
+		x.cat.RebuildFromInventory(inv)
+	} else {
+		x.cat.ApplyDelta(inv, d)
+	}
+	x.inv = inv
 }
 
 // NewPipeline assembles a pipeline from the config. With cfg.Scan set, the
@@ -301,6 +347,12 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		scan:      cfg.Scan,
 		batchSize: cfg.BatchSize,
 		retention: cfg.Retention,
+	}
+	if cfg.QueryIndex {
+		qix := &queryIndex{cat: query.NewCatalog(0)}
+		p.qix = qix
+		engine.OnSnapshot(qix.observe)
+		engine.Passive().OnSnapshot(qix.observe)
 	}
 	if cfg.Checkpoint != nil {
 		if cfg.Checkpoint.Dir == "" {
@@ -441,6 +493,38 @@ func (p *Pipeline) Watch(ctx context.Context) <-chan Event {
 // same event stream as Watch, returning the subscription itself so the
 // caller can inspect its drop count and cancel explicitly.
 func (p *Pipeline) Subscribe(buf int) *EventSub { return p.engine.Subscribe(buf) }
+
+// SubscribeFiltered is Subscribe with the filter pushed down into the
+// event hub's publish path: events the filter rejects are never delivered
+// and never consume this subscriber's drop budget, so a consumer watching
+// one port (or prefix, kind, provenance class) does not pay for the whole
+// stream. The subscription's Filtered count tallies the rejects.
+func (p *Pipeline) SubscribeFiltered(buf int, f EventFilter) *EventSub {
+	return p.engine.SubscribeFiltered(buf, f.Keep())
+}
+
+// Query answers a typed inventory query (port, prefix, category,
+// provenance, freshness; paginated, deterministic canonical key order)
+// from the secondary indexes. Reads are lock-free against an immutable
+// index epoch; the epoch advances at each Snapshot, so results reflect
+// the latest snapshot taken, not un-snapshotted ingest. Requires
+// Config.QueryIndex.
+func (p *Pipeline) Query(q Query) (QueryResult, error) {
+	if p.qix == nil {
+		return QueryResult{}, fmt.Errorf("servdisc: Config.QueryIndex not enabled")
+	}
+	return p.qix.cat.Epoch().Query(q)
+}
+
+// QueryIndexLen returns the number of services the query index currently
+// holds (0 and false when Config.QueryIndex is off) — a cheap freshness
+// probe for monitoring endpoints.
+func (p *Pipeline) QueryIndexLen() (int, bool) {
+	if p.qix == nil {
+		return 0, false
+	}
+	return p.qix.cat.Len(), true
+}
 
 // IngestCounters exposes the engine's packet-flow counters (In = packets
 // offered, Out = packets dispatched to shards, Dropped = packets discarded
