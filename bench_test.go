@@ -27,6 +27,7 @@ import (
 	"servdisc/internal/core"
 	"servdisc/internal/experiments"
 	"servdisc/internal/netaddr"
+	"servdisc/internal/obs"
 	"servdisc/internal/packet"
 	"servdisc/internal/pipeline"
 	"servdisc/internal/query"
@@ -270,6 +271,21 @@ func resetIngestTimer(b *testing.B) {
 	b.ResetTimer()
 }
 
+// benchEngineMetrics attaches a live telemetry bundle to the engine, so
+// the hot-path benchmarks measure the instrumented pipeline — the same
+// configuration the facade wires up for production. The CI gates (ingest
+// throughput within 3%, zero-churn snapshot allocs == 0) therefore hold
+// with telemetry enabled, not just with it absent.
+func benchEngineMetrics(sp *core.ShardedPassive) {
+	reg := obs.NewRegistry()
+	sp.SetMetrics(&core.EngineMetrics{
+		Dispatch: reg.Histogram("bench_ingest_dispatch_seconds", "bench instrumentation"),
+		Apply:    reg.Histogram("bench_ingest_apply_seconds", "bench instrumentation"),
+		Snapshot: reg.Histogram("bench_snapshot_merge_seconds", "bench instrumentation"),
+		Flight:   reg.Flight(),
+	})
+}
+
 // ingestChain wires the standard monitor → tap → sink assembly over both
 // commercial links.
 func ingestChain(b *testing.B, pfx netaddr.Prefix, sink pipeline.BatchSink) *capture.Monitor {
@@ -328,6 +344,7 @@ func BenchmarkIngestSharded(b *testing.B) {
 	resetIngestTimer(b)
 	for i := 0; i < b.N; i++ {
 		sp := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
+		benchEngineMetrics(sp)
 		sp.Run(context.Background())
 		mon := ingestChain(b, pfx, sp)
 		for off := 0; off < len(pkts); off += benchBatchSize {
@@ -422,6 +439,7 @@ func BenchmarkSnapshotUnderLoad(b *testing.B) {
 		b.Run(fmt.Sprintf("hz=%d", hz), func(b *testing.B) {
 			pkts, pfx := ingestStream(b)
 			sp := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
+			benchEngineMetrics(sp)
 			sp.Run(context.Background())
 			mon := ingestChain(b, pfx, sp)
 
@@ -481,6 +499,7 @@ func BenchmarkSnapshotUnderLoad(b *testing.B) {
 		const churn = 10_000
 		pfx := synthPrefix(b)
 		sp := core.NewShardedPassive(pfx, nil, 8)
+		benchEngineMetrics(sp)
 		t0 := time.Date(2006, 9, 19, 10, 0, 0, 0, time.UTC)
 		feedSyntheticServices(sp, pfx, entries, t0)
 		if got := sp.Snapshot().Len(); got != entries {
@@ -514,6 +533,7 @@ func BenchmarkSnapshotUnderLoad(b *testing.B) {
 func BenchmarkSnapshotZeroChurn(b *testing.B) {
 	pkts, pfx := ingestStream(b)
 	sp := core.NewShardedPassive(pfx, campus.SelectedUDPPorts, 8)
+	benchEngineMetrics(sp)
 	sp.HandleBatch(pkts)
 	if sp.Snapshot() == nil {
 		b.Fatal("nil snapshot")

@@ -44,6 +44,7 @@ import (
 
 	"servdisc/internal/checkpoint"
 	"servdisc/internal/federate"
+	"servdisc/internal/obs"
 	"servdisc/internal/query"
 )
 
@@ -62,6 +63,7 @@ func (f *feedList) Set(s string) error {
 type options struct {
 	feeds     feedList
 	httpAddr  string
+	debugAddr string
 	retry     time.Duration
 	logEvents bool
 	ckptDir   string
@@ -73,6 +75,7 @@ func main() {
 	var o options
 	flag.Var(&o.feeds, "feed", "site feed address to aggregate (repeatable)")
 	flag.StringVar(&o.httpAddr, "http", ":8090", "serve the global inventory on this address")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof, /metrics and /debug/flight on this extra address")
 	flag.DurationVar(&o.retry, "retry", 2*time.Second, "reconnect backoff after a feed drops")
 	flag.BoolVar(&o.logEvents, "log", true, "log global discoveries and scanner detections")
 	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "durable aggregator-state directory (restore on start, write periodically and on shutdown)")
@@ -93,9 +96,11 @@ func main() {
 // feedHealth counts one feed's connection churn for /metrics: dial
 // failures and completed connections (each completed connection is a
 // reconnect-to-come, so `connects - 1` is the reconnect count once the
-// feed has been up at all).
+// feed has been up at all). connected tracks the live state for
+// /healthz: an aggregator with every feed down is serving only history.
 type feedHealth struct {
 	addr      string
+	connected atomic.Bool
 	connects  atomic.Int64
 	dialFails atomic.Int64
 	drops     atomic.Int64
@@ -109,6 +114,19 @@ func run(o options) error {
 	defer stopSignals()
 
 	agg := federate.NewAggregator()
+
+	// Telemetry: one registry for the whole daemon — frame decode/apply
+	// histograms from the aggregator, feed churn and per-site freshness
+	// mirrored in at scrape time, feed connect/disconnect trace events in
+	// the flight recorder (dumped by /debug/flight or SIGQUIT).
+	reg := obs.NewRegistry()
+	reg.Flight().DumpOnSIGQUIT()
+	agg.SetMetrics(&federate.AggregatorMetrics{
+		Decode: reg.Histogram("federated_frame_decode_seconds",
+			"Feed frame decode latency, socket wait included (time from bytes pending to frame in hand)."),
+		Apply: reg.Histogram("federated_frame_apply_seconds",
+			"Feed frame merge latency into the global inventory."),
+	})
 
 	statePath := ""
 	if o.ckptDir != "" {
@@ -155,16 +173,31 @@ func run(o options) error {
 	health := make([]*feedHealth, len(o.feeds))
 	for i, addr := range o.feeds {
 		health[i] = &feedHealth{addr: addr}
-		go feedLoop(sigCtx, agg, health[i], o.retry)
+		go feedLoop(sigCtx, agg, health[i], o.retry, reg.Flight())
 	}
 
-	srv := &http.Server{Addr: o.httpAddr, Handler: newMux(agg, health, &stateWrites, &stateWriteFails)}
+	registerDaemonSeries(reg, agg, &stateWrites, &stateWriteFails)
+	mirror := newSiteMirror(reg, agg, health)
+	srv := &http.Server{Addr: o.httpAddr, Handler: newMux(agg, health, reg, mirror)}
 	httpErr := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			httpErr <- err
 		}
 	}()
+	if o.debugAddr != "" {
+		// The debug surface keeps pprof and the flight dump off the public
+		// API address; its /metrics is the same mirrored scrape.
+		dbg := http.NewServeMux()
+		dbg.Handle("/metrics", mirror.handler())
+		dbg.Handle("/", reg.DebugHandler())
+		go func() {
+			if err := http.ListenAndServe(o.debugAddr, dbg); err != nil {
+				fmt.Fprintf(os.Stderr, "federated: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving debug surface on %s (/debug/pprof, /debug/flight, /metrics)\n", o.debugAddr)
+	}
 	fmt.Printf("aggregating %d feeds; serving global inventory on %s (/dump, /services, /query, /sites, /metrics, /healthz)\n",
 		len(o.feeds), o.httpAddr)
 
@@ -210,18 +243,21 @@ func run(o options) error {
 // feedLoop keeps one site feed alive: dial, consume until the connection
 // ends, back off, redial. Every reconnect re-bootstraps from the site's
 // newest snapshot; the aggregator dedups the overlap by generation.
-func feedLoop(ctx context.Context, agg *federate.Aggregator, h *feedHealth, retry time.Duration) {
+func feedLoop(ctx context.Context, agg *federate.Aggregator, h *feedHealth, retry time.Duration, flight *obs.Recorder) {
 	for ctx.Err() == nil {
 		conn, err := net.Dial("tcp", h.addr)
 		if err != nil {
 			h.dialFails.Add(1)
 			fmt.Printf("feed %s: dial: %v (retrying in %s)\n", h.addr, err, retry)
 		} else {
-			h.connects.Add(1)
+			n := h.connects.Add(1)
+			h.connected.Store(true)
+			flight.Record(obs.TraceFeedConnected, h.addr, n, 0)
 			fmt.Printf("feed %s: connected\n", h.addr)
 			err = agg.ReadFeed(ctx, conn)
 			conn.Close()
-			h.drops.Add(1)
+			h.connected.Store(false)
+			flight.Record(obs.TraceFeedDisconnected, h.addr, h.drops.Add(1), 0)
 			if err != nil {
 				fmt.Printf("feed %s: %v (reconnecting in %s)\n", h.addr, err, retry)
 			} else {
@@ -287,7 +323,144 @@ func pagedServices(agg *federate.Aggregator, limitStr, page string) ([]federate.
 	return all, next, nil
 }
 
-func newMux(agg *federate.Aggregator, health []*feedHealth, stateWrites, stateWriteFails *atomic.Int64) *http.ServeMux {
+// registerDaemonSeries adds the aggregator-global series: everything here
+// is a scrape-time callback over state the daemon maintains anyway, and
+// the names are unchanged from the pre-registry /metrics emitter.
+func registerDaemonSeries(reg *obs.Registry, agg *federate.Aggregator, stateWrites, stateWriteFails *atomic.Int64) {
+	events := agg.EventCounters()
+	reg.GaugeFunc("federated_sites",
+		"Sites currently known to the aggregator.",
+		func() float64 { return float64(len(agg.Sites())) })
+	reg.GaugeFunc("federated_services",
+		"Globally deduplicated services.",
+		func() float64 { return float64(agg.NumServices()) })
+	reg.CounterFunc("federated_global_events_published_total",
+		"Global events published to subscribers.",
+		func() float64 { return float64(events.In()) })
+	reg.CounterFunc("federated_global_events_dropped_total",
+		"Global events dropped by lagging subscribers.",
+		func() float64 { return float64(events.Dropped()) })
+	reg.CounterFunc("federated_state_writes_total",
+		"Aggregator-state checkpoints written.",
+		func() float64 { return float64(stateWrites.Load()) })
+	reg.CounterFunc("federated_state_write_failures_total",
+		"Aggregator-state checkpoint failures.",
+		func() float64 { return float64(stateWriteFails.Load()) })
+}
+
+// siteSeries is the mirrored registry series for one site (or, for the
+// last three fields, one feed address).
+type siteSeries struct {
+	events, dups, packets    *obs.Counter
+	lastSeq, services, scans *obs.Gauge
+	staleness                *obs.Gauge
+}
+
+// siteMirror copies the aggregator's per-site statistics (dynamic label
+// set — sites appear as feeds deliver their hello frames) and the static
+// per-feed churn counters into registry series right before each scrape.
+// It runs outside the registry lock, so it can mint new series freely;
+// OnScrape hooks cannot (they run under the lock).
+type siteMirror struct {
+	reg *obs.Registry
+	agg *federate.Aggregator
+
+	siteEvents, sitePackets, siteDups    *obs.CounterVec
+	siteLastSeq, siteServices, siteScans *obs.GaugeVec
+	siteStaleness                        *obs.GaugeVec
+
+	feedConnects, feedDisconnects, feedDialErrors []*obs.Counter
+	health                                        []*feedHealth
+
+	mu    sync.Mutex
+	sites map[federate.SiteID]*siteSeries
+}
+
+func newSiteMirror(reg *obs.Registry, agg *federate.Aggregator, health []*feedHealth) *siteMirror {
+	m := &siteMirror{
+		reg: reg, agg: agg, health: health,
+		sites: make(map[federate.SiteID]*siteSeries),
+		siteEvents: reg.CounterVec("federated_site_events_total",
+			"Event frames applied from one site.", "site"),
+		siteDups: reg.CounterVec("federated_site_dup_events_total",
+			"Event frames skipped as duplicates (reconnect overlap).", "site"),
+		sitePackets: reg.CounterVec("federated_site_packets_total",
+			"Passive packet volume reported by one site.", "site"),
+		siteLastSeq: reg.GaugeVec("federated_site_last_seq",
+			"Per-site event-sequence high-water mark.", "site"),
+		siteServices: reg.GaugeVec("federated_site_services",
+			"Services one site contributes to the global inventory.", "site"),
+		siteScans: reg.GaugeVec("federated_site_scans",
+			"Completed active sweeps reported by one site.", "site"),
+		siteStaleness: reg.GaugeVec("federated_feed_staleness_seconds",
+			"Discovery staleness: the global observation watermark minus this site's watermark.", "site"),
+	}
+	connects := reg.CounterVec("federated_feed_connects_total",
+		"Successful feed connections (first connect + reconnects).", "feed")
+	disconnects := reg.CounterVec("federated_feed_disconnects_total",
+		"Feed connections that ended (each one triggers a redial).", "feed")
+	dialErrs := reg.CounterVec("federated_feed_dial_errors_total",
+		"Failed dial attempts.", "feed")
+	for _, h := range health {
+		m.feedConnects = append(m.feedConnects, connects.With(h.addr))
+		m.feedDisconnects = append(m.feedDisconnects, disconnects.With(h.addr))
+		m.feedDialErrors = append(m.feedDialErrors, dialErrs.With(h.addr))
+	}
+	return m
+}
+
+// refresh mirrors the current aggregator and feed state into the registry
+// series. Concurrent scrapes may interleave refreshes; each Set is atomic
+// and every value is monotone or a point-in-time gauge, so interleaving
+// is harmless.
+func (m *siteMirror) refresh() {
+	stats := m.agg.Stats()
+	stale := m.agg.Staleness()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range stats {
+		s := m.sites[st.Site]
+		if s == nil {
+			name := string(st.Site)
+			s = &siteSeries{
+				events:    m.siteEvents.With(name),
+				dups:      m.siteDups.With(name),
+				packets:   m.sitePackets.With(name),
+				lastSeq:   m.siteLastSeq.With(name),
+				services:  m.siteServices.With(name),
+				scans:     m.siteScans.With(name),
+				staleness: m.siteStaleness.With(name),
+			}
+			m.sites[st.Site] = s
+		}
+		s.events.Set(st.Events)
+		s.dups.Set(st.DupEvents)
+		s.packets.Set(uint64(st.Packets))
+		s.lastSeq.Set(float64(st.LastSeq))
+		s.services.Set(float64(st.Services))
+		s.scans.Set(float64(st.Scans))
+		if d, ok := stale[st.Site]; ok {
+			s.staleness.Set(d.Seconds())
+		}
+	}
+	for i, h := range m.health {
+		m.feedConnects[i].Set(uint64(h.connects.Load()))
+		m.feedDisconnects[i].Set(uint64(h.drops.Load()))
+		m.feedDialErrors[i].Set(uint64(h.dialFails.Load()))
+	}
+}
+
+// handler is the /metrics endpoint: refresh the mirrored series, then
+// serve the whole registry in text exposition format.
+func (m *siteMirror) handler() http.Handler {
+	h := m.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.refresh()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func newMux(agg *federate.Aggregator, health []*feedHealth, reg *obs.Registry, mirror *siteMirror) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/dump", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -357,80 +530,48 @@ func newMux(agg *federate.Aggregator, health []*feedHealth, stateWrites, stateWr
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(stats)
 	})
+	// /healthz distinguishes "alive" from "useful": with every site feed
+	// disconnected the aggregator serves only history, so it reports
+	// degraded with a 503 (readiness-probe semantics) and per-feed detail
+	// naming the culprits.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintf(w, "ok sites=%d services=%d\n", len(agg.Sites()), agg.NumServices())
+		type feedStatus struct {
+			Addr        string `json:"addr"`
+			Connected   bool   `json:"connected"`
+			Connects    int64  `json:"connects"`
+			Disconnects int64  `json:"disconnects"`
+			DialErrors  int64  `json:"dial_errors"`
+		}
+		feeds := make([]feedStatus, len(health))
+		anyUp := false
+		for i, h := range health {
+			up := h.connected.Load()
+			anyUp = anyUp || up
+			feeds[i] = feedStatus{
+				Addr: h.addr, Connected: up,
+				Connects:    h.connects.Load(),
+				Disconnects: h.drops.Load(),
+				DialErrors:  h.dialFails.Load(),
+			}
+		}
+		status, code := "ok", http.StatusOK
+		if !anyUp {
+			status, code = "degraded", http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":   status,
+			"sites":    len(agg.Sites()),
+			"services": agg.NumServices(),
+			"feeds":    feeds,
+		})
 	})
-	// /metrics: the global inventory plus one row per site feed (event
-	// and dedup counters keyed by site identity, connection churn keyed
-	// by feed address) in Prometheus text exposition format.
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-		stats := agg.Stats()
-		events := agg.EventCounters()
-		p("# HELP federated_sites Sites currently known to the aggregator.\n")
-		p("# TYPE federated_sites gauge\n")
-		p("federated_sites %d\n", len(stats))
-		p("# HELP federated_services Globally deduplicated services.\n")
-		p("# TYPE federated_services gauge\n")
-		p("federated_services %d\n", agg.NumServices())
-		p("# HELP federated_site_events_total Event frames applied from one site.\n")
-		p("# TYPE federated_site_events_total counter\n")
-		for _, st := range stats {
-			p("federated_site_events_total{site=%q} %d\n", string(st.Site), st.Events)
-		}
-		p("# HELP federated_site_dup_events_total Event frames skipped as duplicates (reconnect overlap).\n")
-		p("# TYPE federated_site_dup_events_total counter\n")
-		for _, st := range stats {
-			p("federated_site_dup_events_total{site=%q} %d\n", string(st.Site), st.DupEvents)
-		}
-		p("# HELP federated_site_last_seq Per-site event-sequence high-water mark.\n")
-		p("# TYPE federated_site_last_seq gauge\n")
-		for _, st := range stats {
-			p("federated_site_last_seq{site=%q} %d\n", string(st.Site), st.LastSeq)
-		}
-		p("# HELP federated_site_packets_total Passive packet volume reported by one site.\n")
-		p("# TYPE federated_site_packets_total counter\n")
-		for _, st := range stats {
-			p("federated_site_packets_total{site=%q} %d\n", string(st.Site), st.Packets)
-		}
-		p("# HELP federated_site_services Services one site contributes to the global inventory.\n")
-		p("# TYPE federated_site_services gauge\n")
-		for _, st := range stats {
-			p("federated_site_services{site=%q} %d\n", string(st.Site), st.Services)
-		}
-		p("# HELP federated_site_scans Completed active sweeps reported by one site.\n")
-		p("# TYPE federated_site_scans gauge\n")
-		for _, st := range stats {
-			p("federated_site_scans{site=%q} %d\n", string(st.Site), st.Scans)
-		}
-		p("# HELP federated_feed_connects_total Successful feed connections (first connect + reconnects).\n")
-		p("# TYPE federated_feed_connects_total counter\n")
-		for _, h := range health {
-			p("federated_feed_connects_total{feed=%q} %d\n", h.addr, h.connects.Load())
-		}
-		p("# HELP federated_feed_disconnects_total Feed connections that ended (each one triggers a redial).\n")
-		p("# TYPE federated_feed_disconnects_total counter\n")
-		for _, h := range health {
-			p("federated_feed_disconnects_total{feed=%q} %d\n", h.addr, h.drops.Load())
-		}
-		p("# HELP federated_feed_dial_errors_total Failed dial attempts.\n")
-		p("# TYPE federated_feed_dial_errors_total counter\n")
-		for _, h := range health {
-			p("federated_feed_dial_errors_total{feed=%q} %d\n", h.addr, h.dialFails.Load())
-		}
-		p("# HELP federated_global_events_published_total Global events published to subscribers.\n")
-		p("# TYPE federated_global_events_published_total counter\n")
-		p("federated_global_events_published_total %d\n", events.In())
-		p("# HELP federated_global_events_dropped_total Global events dropped by lagging subscribers.\n")
-		p("# TYPE federated_global_events_dropped_total counter\n")
-		p("federated_global_events_dropped_total %d\n", events.Dropped())
-		p("# HELP federated_state_writes_total Aggregator-state checkpoints written.\n")
-		p("# TYPE federated_state_writes_total counter\n")
-		p("federated_state_writes_total %d\n", stateWrites.Load())
-		p("# HELP federated_state_write_failures_total Aggregator-state checkpoint failures.\n")
-		p("# TYPE federated_state_write_failures_total counter\n")
-		p("federated_state_write_failures_total %d\n", stateWriteFails.Load())
-	})
+	// /metrics: the registry-backed exposition — aggregator histograms,
+	// per-site counters and the discovery-staleness gauge mirrored in by
+	// the refresh, feed churn, state-write effort. /debug/flight dumps
+	// the always-on trace ring (the full pprof surface is -debug-addr).
+	mux.Handle("/metrics", mirror.handler())
+	mux.Handle("/debug/flight", reg.Flight().Handler())
 	return mux
 }

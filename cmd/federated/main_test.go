@@ -1,0 +1,146 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/federate"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/obs"
+	"servdisc/internal/packet"
+)
+
+// newTestServer assembles the aggregator's HTTP surface exactly as run()
+// does — registry, frame-latency histograms, daemon series, site mirror —
+// over an aggregator fed two sites' worth of frames, so the scrape
+// assertions see populated per-site series.
+func newTestServer(t *testing.T) (*httptest.Server, []*feedHealth) {
+	t.Helper()
+	agg := federate.NewAggregator()
+	reg := obs.NewRegistry()
+	agg.SetMetrics(&federate.AggregatorMetrics{
+		Decode: reg.Histogram("federated_frame_decode_seconds", "Feed frame decode latency."),
+		Apply:  reg.Histogram("federated_frame_apply_seconds", "Feed frame merge latency."),
+	})
+
+	base := time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
+	for i, site := range []federate.SiteID{"east", "west"} {
+		key := core.ServiceKey{
+			Addr:  netaddr.MustParseV4("128.125.1.1") + netaddr.V4(i),
+			Proto: packet.ProtoTCP,
+			Port:  80,
+		}
+		ev := core.Event{
+			Kind: core.EventServiceDiscovered,
+			// Staggered watermarks make the staleness gauge nonzero for one
+			// of the two sites.
+			Time:       base.Add(time.Duration(i) * time.Minute),
+			Key:        key,
+			Provenance: core.PassiveOnly,
+		}
+		if err := agg.Apply(&federate.Frame{
+			V: federate.WireVersion, Type: federate.FrameEvent,
+			Site: site, Epoch: 1, Seq: 1, Event: &ev,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	health := []*feedHealth{{addr: "127.0.0.1:9101"}, {addr: "127.0.0.1:9102"}}
+	var stateWrites, stateWriteFails atomic.Int64
+	registerDaemonSeries(reg, agg, &stateWrites, &stateWriteFails)
+	mirror := newSiteMirror(reg, agg, health)
+	srv := httptest.NewServer(newMux(agg, health, reg, mirror))
+	t.Cleanup(srv.Close)
+	return srv, health
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsExposition scrapes the aggregator mux and checks the body
+// against the strict exposition grammar plus the aggregate, per-site, and
+// per-feed series the registry must now serve.
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := newTestServer(t)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("GET /metrics: status %d", code)
+	}
+	if err := obs.Lint(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition fails strict lint: %v\nbody:\n%s", err, body)
+	}
+	for _, want := range []string{
+		"federated_sites 2",
+		"federated_services 2",
+		"federated_global_events_published_total ",
+		"federated_state_writes_total ",
+		"federated_frame_decode_seconds_bucket",
+		"federated_frame_apply_seconds_bucket",
+		`federated_site_events_total{site="east"} 1`,
+		`federated_site_events_total{site="west"} 1`,
+		`federated_site_services{site="east"} 1`,
+		`federated_site_last_seq{site="west"} 1`,
+		// The tentpole gauge: global watermark minus this site's watermark.
+		// East's event is one minute older than west's.
+		`federated_feed_staleness_seconds{site="east"} 60`,
+		`federated_feed_staleness_seconds{site="west"} 0`,
+		`federated_feed_connects_total{feed="127.0.0.1:9101"}`,
+		`federated_feed_disconnects_total{feed="127.0.0.1:9102"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestHealthzDegraded pins the liveness/usefulness split: every feed down
+// means 503 + "degraded" with per-feed detail; one live feed restores 200.
+func TestHealthzDegraded(t *testing.T) {
+	srv, health := newTestServer(t)
+
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("all feeds down: /healthz status %d, want 503", code)
+	}
+	if !strings.Contains(body, `"status":"degraded"`) {
+		t.Errorf("degraded body = %q, want status degraded", body)
+	}
+	if !strings.Contains(body, `"addr":"127.0.0.1:9101"`) || !strings.Contains(body, `"connected":false`) {
+		t.Errorf("degraded body lacks per-feed detail: %q", body)
+	}
+
+	health[0].connected.Store(true)
+	code, body = get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("one feed up: /healthz status %d, want 200", code)
+	}
+	if !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("healthy body = %q, want status ok", body)
+	}
+}
+
+// TestFlightEndpoint keeps /debug/flight mounted on the public mux.
+func TestFlightEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if code, _ := get(t, srv.URL+"/debug/flight"); code != 200 {
+		t.Fatalf("GET /debug/flight: status %d", code)
+	}
+}

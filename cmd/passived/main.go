@@ -57,6 +57,7 @@ import (
 
 	"servdisc"
 	"servdisc/internal/federate"
+	"servdisc/internal/obs"
 	"servdisc/internal/query"
 )
 
@@ -66,6 +67,7 @@ type options struct {
 	tracePath   string
 	campus      string
 	httpAddr    string
+	debugAddr   string
 	publishAddr string
 	site        string
 	top         int
@@ -85,6 +87,7 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "pcap trace to analyze (required)")
 	flag.StringVar(&o.campus, "net", "128.125.0.0/16", "monitored campus prefix")
 	flag.StringVar(&o.httpAddr, "http", "", "serve inventory as JSON on this address")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof, /metrics and /debug/flight on this extra address")
 	flag.IntVar(&o.top, "top", 20, "show the N busiest services")
 	flag.IntVar(&o.shards, "shards", 0, "discoverer shards (0 = hardware default)")
 	flag.DurationVar(&o.snapEvery, "snap", time.Second, "live snapshot interval during replay (0 = final only)")
@@ -151,6 +154,12 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	// Telemetry: the pipeline instruments itself into its registry; the
+	// daemon adds its own series below (registerDaemonSeries) and serves
+	// everything from the same scrape. SIGQUIT dumps the flight recorder
+	// to stderr at any time without stopping the process.
+	reg := pl.Metrics()
+	reg.Flight().DumpOnSIGQUIT()
 
 	// Restore before Run and before the first packet: the engine must be
 	// untouched for the import. A cold start (no checkpoint yet) restores
@@ -181,7 +190,7 @@ func run(o options) error {
 	replayCtx, cancelReplay := context.WithCancel(sigCtx)
 	defer cancelReplay()
 
-	subs := newSubRegistry()
+	subs := newSubRegistry(reg)
 
 	// Stream discovery events while the replay runs: scanner detections
 	// are worth a log line the moment they happen. The subscription is
@@ -217,6 +226,10 @@ func run(o options) error {
 			cursor = *st
 		}
 		pub := federate.NewPublisherResumed(federate.SiteID(o.site), pl, cursor)
+		pub.SetMetrics(&federate.PublisherMetrics{
+			Encode: reg.Histogram("servdisc_federation_encode_seconds",
+				"Federation frame encode+write latency per frame served."),
+		})
 		pl.SetPublisherCursor(pub.State)
 		subs.add("publisher-pump", pub.Dropped)
 		ln, err := net.Listen("tcp", o.publishAddr)
@@ -231,6 +244,18 @@ func run(o options) error {
 	// The latest point-in-time snapshot, shared with the HTTP handlers.
 	var latest atomic.Pointer[servdisc.Inventory]
 	latest.Store(pl.Snapshot())
+	registerDaemonSeries(reg, &latest, pl)
+	if o.debugAddr != "" {
+		// The debug surface (pprof profiles, the flight-recorder dump and
+		// a second /metrics) lives on its own listener so it can stay
+		// unexposed while the main API is public.
+		go func() {
+			if err := http.ListenAndServe(o.debugAddr, reg.DebugHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "passived: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving debug surface on %s (/debug/pprof, /debug/flight, /metrics)\n", o.debugAddr)
+	}
 	httpErr := make(chan error, 1)
 	var srv *http.Server
 	if o.httpAddr != "" {
@@ -504,45 +529,129 @@ func serveCached(w http.ResponseWriter, r *http.Request, etag string, body []byt
 
 // subRegistry tracks every named event-hub subscriber so /metrics can
 // report per-subscriber drop counts — the signal that a consumer's buffer
-// is undersized. Ended subscribers fold into a cumulative tally.
+// is undersized. Each subscriber owns one series of
+// servdisc_subscriber_dropped_total, refreshed at scrape time; an ended
+// subscriber folds its tally into the cumulative "departed" series (its
+// own series keeps its final value — registry series never unregister).
 type subRegistry struct {
+	vec       *obs.CounterVec
+	departedC *obs.Counter
+
 	mu       sync.Mutex
-	live     map[string]func() int
+	live     map[string]*subEntry
 	departed int64
 }
 
-func newSubRegistry() *subRegistry {
-	return &subRegistry{live: make(map[string]func() int)}
+type subEntry struct {
+	dropped func() int
+	c       *obs.Counter
+}
+
+func newSubRegistry(reg *servdisc.Telemetry) *subRegistry {
+	r := &subRegistry{
+		vec: reg.CounterVec("servdisc_subscriber_dropped_total",
+			"Events missed by one named subscriber.", "subscriber"),
+		live: make(map[string]*subEntry),
+	}
+	r.departedC = r.vec.With("departed")
+	// The hook runs under the registry lock, so it may only Set
+	// pre-resolved counters — calling With there would deadlock.
+	reg.OnScrape(r.scrape)
+	return r
 }
 
 func (r *subRegistry) add(name string, dropped func() int) {
+	c := r.vec.With(name) // before r.mu: lock order is registry, then r.mu
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.live[name] = dropped
+	r.live[name] = &subEntry{dropped: dropped, c: c}
 }
 
 func (r *subRegistry) remove(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if dropped, ok := r.live[name]; ok {
-		r.departed += int64(dropped())
+	if e, ok := r.live[name]; ok {
+		n := e.dropped()
+		r.departed += int64(n)
+		e.c.Set(uint64(n))
 		delete(r.live, name)
 	}
 }
 
-// snapshot returns the live subscriber drop counts (sorted by name) plus
-// the departed-subscriber tally.
-func (r *subRegistry) snapshot() (names []string, drops []int, departed int64) {
+// scrape mirrors the live drop counts into the registry series; it runs
+// under the registry lock at every exposition.
+func (r *subRegistry) scrape() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name := range r.live {
-		names = append(names, name)
+	for _, e := range r.live {
+		e.c.Set(uint64(e.dropped()))
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		drops = append(drops, r.live[name]())
+	r.departedC.Set(uint64(r.departed))
+}
+
+// registerDaemonSeries adds passived's own series to the pipeline's
+// registry: flow counters mirrored from the engine's stage counters,
+// inventory gauges read from the latest published snapshot, and
+// checkpoint effort. All are scrape-time callbacks — nothing has to tick
+// between scrapes — and the names are unchanged from the daemon's
+// pre-registry /metrics emitter.
+func registerDaemonSeries(reg *servdisc.Telemetry, latest *atomic.Pointer[servdisc.Inventory], pl *servdisc.Pipeline) {
+	ingest, events := pl.IngestCounters(), pl.EventCounters()
+	reg.CounterFunc("servdisc_packets_total",
+		"Packets offered to the discovery engine.",
+		func() float64 { return float64(ingest.In()) })
+	reg.CounterFunc("servdisc_packets_dispatched_total",
+		"Packets dispatched to shard workers.",
+		func() float64 { return float64(ingest.Out()) })
+	reg.CounterFunc("servdisc_packets_dropped_total",
+		"Packets discarded (engine closed).",
+		func() float64 { return float64(ingest.Dropped()) })
+	reg.GaugeFunc("servdisc_services",
+		"Services in the latest snapshot.",
+		func() float64 { return float64(latest.Load().Len()) })
+	reg.GaugeFunc("servdisc_scanners",
+		"Scanners detected in the latest snapshot.",
+		func() float64 { return float64(len(latest.Load().Scanners())) })
+	reg.CounterFunc("servdisc_events_published_total",
+		"Events published on the discovery stream.",
+		func() float64 { return float64(events.In()) })
+	reg.CounterFunc("servdisc_events_delivered_total",
+		"Per-subscriber event deliveries.",
+		func() float64 { return float64(events.Out()) })
+	reg.CounterFunc("servdisc_events_dropped_total",
+		"Per-subscriber event drops (all subscribers).",
+		func() float64 { return float64(events.Dropped()) })
+	if _, ok := pl.QueryIndexLen(); ok {
+		reg.GaugeFunc("servdisc_query_index_services",
+			"Services in the current query-index epoch.",
+			func() float64 { n, _ := pl.QueryIndexLen(); return float64(n) })
 	}
-	return names, drops, r.departed
+	if _, ok := pl.CheckpointStats(); ok {
+		stat := func(sel func(servdisc.CheckpointStats) float64) func() float64 {
+			return func() float64 { cs, _ := pl.CheckpointStats(); return sel(cs) }
+		}
+		reg.CounterFunc("servdisc_checkpoints_total",
+			"Checkpoints completed (skipped ones included).",
+			stat(func(cs servdisc.CheckpointStats) float64 { return float64(cs.Checkpoints) }))
+		reg.CounterFunc("servdisc_checkpoint_baselines_total",
+			"Checkpoints that wrote a full baseline.",
+			stat(func(cs servdisc.CheckpointStats) float64 { return float64(cs.Baselines) }))
+		reg.CounterFunc("servdisc_checkpoint_failures_total",
+			"Checkpoint attempts that failed.",
+			stat(func(cs servdisc.CheckpointStats) float64 { return float64(cs.Failures) }))
+		reg.CounterFunc("servdisc_checkpoint_bytes_written_total",
+			"Chunk bytes made durable.",
+			stat(func(cs servdisc.CheckpointStats) float64 { return float64(cs.BytesWritten) }))
+		reg.CounterFunc("servdisc_checkpoint_chunks_skipped_total",
+			"Shard exports skipped because the shard was unchanged.",
+			stat(func(cs servdisc.CheckpointStats) float64 { return float64(cs.ChunksSkipped) }))
+		reg.GaugeFunc("servdisc_checkpoint_last_bytes",
+			"Bytes written by the most recent checkpoint.",
+			stat(func(cs servdisc.CheckpointStats) float64 { return float64(cs.LastBytes) }))
+		reg.GaugeFunc("servdisc_checkpoint_last_duration_seconds",
+			"Duration of the most recent checkpoint.",
+			stat(func(cs servdisc.CheckpointStats) float64 { return cs.LastDuration.Seconds() }))
+	}
 }
 
 // newMux builds the HTTP surface: the latest snapshot as JSON, the live
@@ -657,72 +766,12 @@ func newMux(latest *atomic.Pointer[servdisc.Inventory], pl *servdisc.Pipeline, s
 			}
 		}
 	})
-	// /metrics exposes the stage counters, checkpoint effort, and
-	// per-subscriber hub drops in Prometheus text exposition format.
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		inv := latest.Load()
-		ingest, events := pl.IngestCounters(), pl.EventCounters()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-		p("# HELP servdisc_packets_total Packets offered to the discovery engine.\n")
-		p("# TYPE servdisc_packets_total counter\n")
-		p("servdisc_packets_total %d\n", ingest.In())
-		p("# HELP servdisc_packets_dispatched_total Packets dispatched to shard workers.\n")
-		p("# TYPE servdisc_packets_dispatched_total counter\n")
-		p("servdisc_packets_dispatched_total %d\n", ingest.Out())
-		p("# HELP servdisc_packets_dropped_total Packets discarded (engine closed).\n")
-		p("# TYPE servdisc_packets_dropped_total counter\n")
-		p("servdisc_packets_dropped_total %d\n", ingest.Dropped())
-		p("# HELP servdisc_services Services in the latest snapshot.\n")
-		p("# TYPE servdisc_services gauge\n")
-		p("servdisc_services %d\n", inv.Len())
-		p("# HELP servdisc_scanners Scanners detected in the latest snapshot.\n")
-		p("# TYPE servdisc_scanners gauge\n")
-		p("servdisc_scanners %d\n", len(inv.Scanners()))
-		p("# HELP servdisc_events_published_total Events published on the discovery stream.\n")
-		p("# TYPE servdisc_events_published_total counter\n")
-		p("servdisc_events_published_total %d\n", events.In())
-		p("# HELP servdisc_events_delivered_total Per-subscriber event deliveries.\n")
-		p("# TYPE servdisc_events_delivered_total counter\n")
-		p("servdisc_events_delivered_total %d\n", events.Out())
-		p("# HELP servdisc_events_dropped_total Per-subscriber event drops (all subscribers).\n")
-		p("# TYPE servdisc_events_dropped_total counter\n")
-		p("servdisc_events_dropped_total %d\n", events.Dropped())
-		if n, ok := pl.QueryIndexLen(); ok {
-			p("# HELP servdisc_query_index_services Services in the current query-index epoch.\n")
-			p("# TYPE servdisc_query_index_services gauge\n")
-			p("servdisc_query_index_services %d\n", n)
-		}
-		if cs, ok := pl.CheckpointStats(); ok {
-			p("# HELP servdisc_checkpoints_total Checkpoints completed (skipped ones included).\n")
-			p("# TYPE servdisc_checkpoints_total counter\n")
-			p("servdisc_checkpoints_total %d\n", cs.Checkpoints)
-			p("# HELP servdisc_checkpoint_baselines_total Checkpoints that wrote a full baseline.\n")
-			p("# TYPE servdisc_checkpoint_baselines_total counter\n")
-			p("servdisc_checkpoint_baselines_total %d\n", cs.Baselines)
-			p("# HELP servdisc_checkpoint_failures_total Checkpoint attempts that failed.\n")
-			p("# TYPE servdisc_checkpoint_failures_total counter\n")
-			p("servdisc_checkpoint_failures_total %d\n", cs.Failures)
-			p("# HELP servdisc_checkpoint_bytes_written_total Chunk bytes made durable.\n")
-			p("# TYPE servdisc_checkpoint_bytes_written_total counter\n")
-			p("servdisc_checkpoint_bytes_written_total %d\n", cs.BytesWritten)
-			p("# HELP servdisc_checkpoint_chunks_skipped_total Shard exports skipped because the shard was unchanged.\n")
-			p("# TYPE servdisc_checkpoint_chunks_skipped_total counter\n")
-			p("servdisc_checkpoint_chunks_skipped_total %d\n", cs.ChunksSkipped)
-			p("# HELP servdisc_checkpoint_last_bytes Bytes written by the most recent checkpoint.\n")
-			p("# TYPE servdisc_checkpoint_last_bytes gauge\n")
-			p("servdisc_checkpoint_last_bytes %d\n", cs.LastBytes)
-			p("# HELP servdisc_checkpoint_last_duration_seconds Duration of the most recent checkpoint.\n")
-			p("# TYPE servdisc_checkpoint_last_duration_seconds gauge\n")
-			p("servdisc_checkpoint_last_duration_seconds %g\n", cs.LastDuration.Seconds())
-		}
-		names, drops, departed := subs.snapshot()
-		p("# HELP servdisc_subscriber_dropped_total Events missed by one named subscriber.\n")
-		p("# TYPE servdisc_subscriber_dropped_total counter\n")
-		for i, name := range names {
-			p("servdisc_subscriber_dropped_total{subscriber=%q} %d\n", name, drops[i])
-		}
-		p("servdisc_subscriber_dropped_total{subscriber=\"departed\"} %d\n", departed)
-	})
+	// /metrics serves the whole telemetry registry in Prometheus text
+	// exposition format: the daemon-level series registered above, the
+	// pipeline's latency histograms, and the per-subscriber hub drops.
+	// /debug/flight dumps the always-on flight recorder (the full debug
+	// surface, pprof included, lives on -debug-addr).
+	mux.Handle("/metrics", pl.Metrics().Handler())
+	mux.Handle("/debug/flight", pl.Metrics().Flight().Handler())
 	return mux
 }

@@ -1,0 +1,23 @@
+// Command promlint validates Prometheus text exposition read from stdin
+// against the strict line grammar in internal/obs: metric-name charset,
+// HELP/TYPE placement, family contiguity, duplicate series, histogram
+// bucket monotonicity. Exit status 0 means the exposition parses clean;
+// 1 reports the first violation. CI pipes a running daemon's /metrics
+// through it:
+//
+//	curl -s localhost:8080/metrics | promlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"servdisc/internal/obs"
+)
+
+func main() {
+	if err := obs.Lint(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}

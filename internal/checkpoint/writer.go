@@ -12,7 +12,19 @@ import (
 
 	"servdisc/internal/core"
 	"servdisc/internal/federate"
+	"servdisc/internal/obs"
 )
+
+// Metrics is the writer's optional telemetry bundle; fields are
+// nil-safe and a nil bundle costs nothing.
+type Metrics struct {
+	// Write observes the wall duration of every checkpoint attempt that
+	// wrote a chunk (skips excluded — they are the no-work path).
+	Write *obs.Histogram
+	// Flight receives a checkpoint-cut trace event per written chunk,
+	// tagged "baseline", "delta" or "compacted".
+	Flight *obs.Recorder
+}
 
 // DefaultMaxDeltas bounds the delta chain: once a baseline has this many
 // deltas behind it, the next checkpoint folds the chain into a fresh
@@ -82,6 +94,7 @@ type Writer struct {
 	cur   *core.CheckpointCursor
 	seq   int
 	stats Stats
+	met   *Metrics
 }
 
 // NewWriter prepares a writer on dir, creating it if needed. The first
@@ -129,6 +142,14 @@ func (w *Writer) Baseline(ctx context.Context) (Result, error) {
 func (w *Writer) SetPublisher(fn func() federate.PublisherState) {
 	w.mu.Lock()
 	w.opts.Publisher = fn
+	w.mu.Unlock()
+}
+
+// SetMetrics attaches the telemetry bundle; affects checkpoints taken
+// after the call.
+func (w *Writer) SetMetrics(m *Metrics) {
+	w.mu.Lock()
+	w.met = m
 	w.mu.Unlock()
 }
 
@@ -205,6 +226,17 @@ func (w *Writer) checkpoint(ctx context.Context, forceFull bool) (Result, error)
 		Duration: time.Since(start),
 	}
 	w.note(res)
+	if m := w.met; m != nil {
+		m.Write.Observe(res.Duration)
+		kind := "delta"
+		switch {
+		case compacted:
+			kind = "compacted"
+		case full:
+			kind = "baseline"
+		}
+		m.Flight.Record(obs.TraceCheckpointCut, kind, res.Bytes, res.Duration.Microseconds())
+	}
 	return res, nil
 }
 

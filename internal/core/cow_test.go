@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"servdisc/internal/netaddr"
+	"servdisc/internal/obs"
 	"servdisc/internal/stats"
 )
 
@@ -167,6 +168,20 @@ func TestHybridSnapshotAliasing(t *testing.T) {
 	}
 }
 
+// testEngineMetrics builds a live telemetry bundle so the alloc-gated
+// tests exercise the instrumented hot path — zero allocations must hold
+// with the histograms and flight recorder attached, exactly as the
+// facade wires them in production.
+func testEngineMetrics() *EngineMetrics {
+	reg := obs.NewRegistry()
+	return &EngineMetrics{
+		Dispatch: reg.Histogram("test_dispatch_seconds", "test instrumentation"),
+		Apply:    reg.Histogram("test_apply_seconds", "test instrumentation"),
+		Snapshot: reg.Histogram("test_snapshot_seconds", "test instrumentation"),
+		Flight:   reg.Flight(),
+	}
+}
+
 // TestSnapshotZeroChurnAllocs pins the fast path: snapshotting an
 // unchanged engine must not allocate (and must return the identical
 // Inventory) — the property the CI bench gate watches at the benchmark
@@ -174,6 +189,7 @@ func TestHybridSnapshotAliasing(t *testing.T) {
 func TestSnapshotZeroChurnAllocs(t *testing.T) {
 	campus := netaddr.MustParsePrefix("128.125.0.0/16")
 	sp := NewShardedPassive(campus, []uint16{53}, 8)
+	sp.SetMetrics(testEngineMetrics())
 	sp.HandleBatch(genTrace(24, 5000))
 	inv := sp.Snapshot()
 
@@ -194,6 +210,7 @@ func TestIngestShardedAllocs(t *testing.T) {
 	campus := netaddr.MustParsePrefix("128.125.0.0/16")
 	pkts := genTrace(25, 20000)
 	sp := NewShardedPassive(campus, []uint16{53, 123, 137}, 4)
+	sp.SetMetrics(testEngineMetrics())
 	// Warm up: populate the service records, trails and tracker windows so
 	// the measured runs see steady state, not first-touch growth.
 	sp.HandleBatch(pkts)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"servdisc/internal/netaddr"
+	"servdisc/internal/obs"
 	"servdisc/internal/packet"
 	"servdisc/internal/pipeline"
 	"servdisc/internal/probe"
@@ -100,6 +101,10 @@ func NewHybrid(campus netaddr.Prefix, udpPorts []uint16, shards int, tcpPorts []
 
 // Passive exposes the sharded passive side (counters, shard inspection).
 func (h *Hybrid) Passive() *ShardedPassive { return h.passive }
+
+// SetMetrics attaches the telemetry bundle to the underlying passive
+// engine; hybrid snapshots report into the same Snapshot histogram.
+func (h *Hybrid) SetMetrics(m *EngineMetrics) { h.passive.SetMetrics(m) }
 
 // Subscribe attaches a bounded subscriber to the engine's discovery event
 // stream (see ShardedPassive.Subscribe for the drop contract).
@@ -294,6 +299,10 @@ func (h *Hybrid) Snapshot() *Inventory {
 	}
 	h.passive.snapMu.Lock()
 	defer h.passive.snapMu.Unlock()
+	var t0 time.Time
+	if h.passive.met != nil {
+		t0 = time.Now()
+	}
 	views, d0, wm := h.passive.snapshotViews()
 	// Active expiry runs before the active clone so the frozen view (and
 	// its generation) reflects the deletions; the combined notice list is
@@ -304,6 +313,9 @@ func (h *Hybrid) Snapshot() *Inventory {
 		sortExpired(exp)
 		for _, e := range exp {
 			h.passive.events.serviceExpired(e.key, e.at, e.prov, e.clear)
+		}
+		if m := h.passive.met; m != nil {
+			m.Flight.Record(obs.TraceExpirySweep, "", int64(len(exp)), 0)
 		}
 	}
 	av := h.activeSnapshot()
@@ -342,6 +354,11 @@ func (h *Hybrid) Snapshot() *Inventory {
 	h.snap.put(gens, inv, d0, av.gen)
 	if h.onSnap != nil {
 		h.onSnap(prevInv, inv, delta)
+	}
+	if m := h.passive.met; m != nil {
+		el := time.Since(t0)
+		m.Snapshot.Observe(el)
+		m.Flight.Record(obs.TraceSnapshotSealed, "", int64(inv.Len()), el.Microseconds())
 	}
 	return inv
 }

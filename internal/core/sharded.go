@@ -8,9 +8,29 @@ import (
 	"time"
 
 	"servdisc/internal/netaddr"
+	"servdisc/internal/obs"
 	"servdisc/internal/packet"
 	"servdisc/internal/pipeline"
 )
+
+// EngineMetrics is the telemetry bundle a ShardedPassive reports into.
+// Every field is optional (nil histograms and recorders are no-ops);
+// the bundle itself may be nil, which skips the clock reads entirely so
+// an uninstrumented engine pays nothing.
+type EngineMetrics struct {
+	// Dispatch observes the partition+scatter time of each HandleBatch
+	// call (inline mode also includes the shard applies).
+	Dispatch *obs.Histogram
+	// Apply observes per-sub-batch shard apply time on the workers.
+	Apply *obs.Histogram
+	// Snapshot observes the freeze+merge time of each snapshot actually
+	// built (the zero-churn cache fast path is deliberately untimed — it
+	// must stay allocation- and work-free).
+	Snapshot *obs.Histogram
+	// Flight receives batch-dispatched (sampled 1/obs.BatchSample),
+	// snapshot-sealed and expiry-sweep trace events.
+	Flight *obs.Recorder
+}
 
 // ShardedPassive partitions passive discovery across N worker-owned
 // PassiveDiscoverer shards, so ingest scales with cores while the merged
@@ -107,6 +127,9 @@ type ShardedPassive struct {
 
 	// counters: In = packets offered, Out = packets dispatched to shards.
 	counters pipeline.StageCounters
+
+	// met is the optional telemetry bundle (see SetMetrics).
+	met *EngineMetrics
 }
 
 // snapCache reuses a frozen Inventory for as long as its generation
@@ -397,6 +420,11 @@ func (s *ShardedPassive) shardOf(addr netaddr.V4) int {
 	return int(h % uint32(len(s.shards)))
 }
 
+// SetMetrics attaches the telemetry bundle. Call before any traffic or
+// snapshots flow (it is read without synchronization on the hot paths);
+// nil detaches. Typically wired by the facade, not called directly.
+func (s *ShardedPassive) SetMetrics(m *EngineMetrics) { s.met = m }
+
 // seedOrigins pins every shard's scan-window origin to t.
 func (s *ShardedPassive) seedOrigins(t time.Time) {
 	for _, sh := range s.shards {
@@ -414,6 +442,10 @@ func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
 		return
 	}
 	s.counters.AddIn(len(batch))
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 
 	s.dispatchMu.Lock()
 	defer s.dispatchMu.Unlock()
@@ -438,7 +470,7 @@ func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
 		s.counters.AddDropped(len(batch))
 		return
 	}
-	s.dispatched.Add(1)
+	d := s.dispatched.Add(1)
 	for idx, sub := range s.scratch {
 		if len(sub) == 0 {
 			continue
@@ -452,6 +484,12 @@ func (s *ShardedPassive) HandleBatch(batch []packet.Packet) {
 		copy(*cp, sub)
 		s.inflight.Add(1)
 		s.queues[idx] <- shardMsg{batch: cp}
+	}
+	if m := s.met; m != nil {
+		m.Dispatch.Observe(time.Since(t0))
+		if d%obs.BatchSample == 0 {
+			m.Flight.Record(obs.TraceBatchDispatched, "", int64(len(batch)), int64(d))
+		}
 	}
 }
 
@@ -514,7 +552,13 @@ func (s *ShardedPassive) Run(ctx context.Context) {
 					continue
 				}
 				if s.ctx.Err() == nil {
-					sh.apply(*msg.batch)
+					if m := s.met; m != nil {
+						t := time.Now()
+						sh.apply(*msg.batch)
+						m.Apply.Observe(time.Since(t))
+					} else {
+						sh.apply(*msg.batch)
+					}
 				}
 				s.batchPool.Put(msg.batch)
 				s.inflight.Done()
@@ -865,11 +909,18 @@ func (s *ShardedPassive) Snapshot() *Inventory {
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	var t0 time.Time
+	if s.met != nil {
+		t0 = time.Now()
+	}
 	views, d0, _ := s.snapshotViews()
 	if exp := collectExpired(views); len(exp) > 0 {
 		sortExpired(exp)
 		for _, e := range exp {
 			s.events.serviceExpired(e.key, e.at, e.prov, e.clear)
+		}
+		if m := s.met; m != nil {
+			m.Flight.Record(obs.TraceExpirySweep, "", int64(len(exp)), 0)
 		}
 	}
 	gens := viewGens(views)
@@ -892,6 +943,11 @@ func (s *ShardedPassive) Snapshot() *Inventory {
 	s.snap.put(gens, inv, d0, 0)
 	if s.onSnap != nil {
 		s.onSnap(prevInv, inv, delta)
+	}
+	if m := s.met; m != nil {
+		el := time.Since(t0)
+		m.Snapshot.Observe(el)
+		m.Flight.Record(obs.TraceSnapshotSealed, "", int64(inv.Len()), el.Microseconds())
 	}
 	return inv
 }

@@ -11,9 +11,18 @@ import (
 
 	"servdisc/internal/core"
 	"servdisc/internal/netaddr"
+	"servdisc/internal/obs"
 	"servdisc/internal/pipeline"
 	"servdisc/internal/query"
 )
+
+// AggregatorMetrics is the aggregator's optional telemetry bundle.
+type AggregatorMetrics struct {
+	// Decode observes per-frame wire decode time on ReadFeed.
+	Decode *obs.Histogram
+	// Apply observes per-frame merge time (ReadFeed path).
+	Apply *obs.Histogram
+}
 
 // GlobalEvent is one entry of the aggregator's own event stream: a
 // site-attributed discovery the *global* inventory just learned.
@@ -205,6 +214,12 @@ type siteState struct {
 	events, dups uint64
 	packets      int
 	scans        map[int]core.ScanMeta
+	// watermark is the newest observation-clock timestamp this site has
+	// reported through any frame — the site's position on the paper's
+	// latency-to-discovery axis. The aggregator-wide maximum minus a
+	// site's watermark is that site's *discovery staleness*: how far its
+	// feed lags the freshest evidence anywhere in the federation.
+	watermark time.Time
 }
 
 // SiteStats summarizes one site's feed for monitoring endpoints.
@@ -220,6 +235,10 @@ type SiteStats struct {
 	Services int `json:"services"`
 	Scans    int `json:"scans"`
 	Packets  int `json:"packets"`
+	// Watermark is the newest observation timestamp the site has
+	// reported (zero until its first timestamped frame). See
+	// Aggregator.Staleness for the derived lag metric.
+	Watermark time.Time `json:"watermark,omitzero"`
 }
 
 // Aggregator reconciles N site feeds into one global inventory with
@@ -252,7 +271,13 @@ type Aggregator struct {
 	dirty map[core.ServiceKey]struct{}
 	qcat  *query.Catalog
 	qfull bool
+
+	// met is the optional telemetry bundle (see SetMetrics).
+	met *AggregatorMetrics
 }
+
+// SetMetrics attaches the telemetry bundle; call before feeds start.
+func (a *Aggregator) SetMetrics(m *AggregatorMetrics) { a.met = m }
 
 // NewAggregator builds an empty aggregator.
 func NewAggregator() *Aggregator {
@@ -340,6 +365,7 @@ func (a *Aggregator) Apply(f *Frame) error {
 		}
 		st.lastSeq = f.Seq
 		st.events++
+		st.watermark = maxTime(st.watermark, f.Event.Time)
 		a.applyEvent(f.Site, st, f.Event)
 		return nil
 	case FrameRetract:
@@ -355,6 +381,7 @@ func (a *Aggregator) Apply(f *Frame) error {
 		}
 		st.lastSeq = f.Seq
 		st.events++
+		st.watermark = maxTime(st.watermark, f.Retract.At)
 		a.applyRetract(f.Site, f.Retract)
 		return nil
 	case FrameSnapshot:
@@ -516,10 +543,14 @@ func (a *Aggregator) applySnapshot(site SiteID, st *siteState, snap *Snapshot) {
 	// they withdrew, and replaying them before merging keeps a reconnect
 	// from resurrecting state a lost retract frame had cleared.
 	for i := range snap.Retractions {
+		st.watermark = maxTime(st.watermark, snap.Retractions[i].At)
 		a.applyRetract(site, &snap.Retractions[i])
 	}
 	for i := range snap.Services {
 		svc := &snap.Services[i]
+		// Every reported time advances the watermark, accepted or not —
+		// it tells us how fresh the site's view is either way.
+		st.watermark = maxTime(st.watermark, maxTime(svc.PassiveAt, svc.ActiveAt))
 		s, newGlobal := a.svc(site, svc.Key)
 		wantPassive := svc.Provenance != core.ActiveOnly
 		wantActive := svc.Provenance != core.PassiveOnly
@@ -621,6 +652,10 @@ func (a *Aggregator) ReadFeed(ctx context.Context, r io.Reader) error {
 		if ctx != nil && ctx.Err() != nil {
 			return ctx.Err()
 		}
+		var t0 time.Time
+		if a.met != nil {
+			t0 = time.Now()
+		}
 		f, err := dec.Decode()
 		if err != nil {
 			if err == io.EOF {
@@ -628,10 +663,44 @@ func (a *Aggregator) ReadFeed(ctx context.Context, r io.Reader) error {
 			}
 			return err
 		}
-		if err := a.Apply(f); err != nil {
+		if m := a.met; m != nil {
+			now := time.Now()
+			// The decode measurement includes blocking on the socket for
+			// the next frame on a quiet feed; that is still the honest
+			// number for "time from bytes available to frame in hand",
+			// and the apply half below is pure merge cost.
+			m.Decode.Observe(now.Sub(t0))
+			err = a.Apply(f)
+			m.Apply.Observe(time.Since(now))
+		} else {
+			err = a.Apply(f)
+		}
+		if err != nil {
 			return err
 		}
 	}
+}
+
+// Staleness reports each site's discovery staleness: the aggregator-wide
+// maximum watermark minus the site's own — how far that feed's view of
+// the world lags the freshest evidence in the federation (the paper's
+// latency-to-discovery axis, measured continuously). Sites that have not
+// yet reported a timestamped frame are skipped. Sorted by site.
+func (a *Aggregator) Staleness() map[SiteID]time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var global time.Time
+	for _, st := range a.sites {
+		global = maxTime(global, st.watermark)
+	}
+	out := make(map[SiteID]time.Duration, len(a.sites))
+	for id, st := range a.sites {
+		if st.watermark.IsZero() {
+			continue
+		}
+		out[id] = global.Sub(st.watermark)
+	}
+	return out
 }
 
 // Sites returns every site that has appeared on any feed, sorted.
@@ -715,6 +784,7 @@ func (a *Aggregator) Stats() []SiteStats {
 		out = append(out, SiteStats{
 			Site: id, LastSeq: st.lastSeq, Events: st.events, DupEvents: st.dups,
 			Services: perSite[id], Scans: len(st.scans), Packets: st.packets,
+			Watermark: st.watermark,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })

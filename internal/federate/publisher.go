@@ -9,8 +9,16 @@ import (
 	"time"
 
 	"servdisc/internal/core"
+	"servdisc/internal/obs"
 	"servdisc/internal/pipeline"
 )
+
+// PublisherMetrics is the publisher's optional telemetry bundle.
+type PublisherMetrics struct {
+	// Encode observes the wire-encode (+ write) time of every frame
+	// served to any reader.
+	Encode *obs.Histogram
+}
 
 // Engine is the slice of a discovery engine the publisher needs: a
 // non-terminal frozen snapshot and a bounded subscription to the typed
@@ -71,7 +79,13 @@ type Publisher struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// met is the optional telemetry bundle (see SetMetrics).
+	met *PublisherMetrics
 }
+
+// SetMetrics attaches the telemetry bundle; call before Serve/ServeConn.
+func (p *Publisher) SetMetrics(m *PublisherMetrics) { p.met = m }
 
 // NewPublisher starts publishing the engine's stream under the given site
 // identity. The publisher subscribes to the engine immediately; close the
@@ -222,6 +236,12 @@ func (p *Publisher) ServeConn(ctx context.Context, w io.Writer) error {
 	write := func(f *Frame) error {
 		if wd != nil {
 			_ = wd.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		if m := p.met; m != nil {
+			t0 := time.Now()
+			err := enc.Encode(f)
+			m.Encode.Observe(time.Since(t0))
+			return err
 		}
 		return enc.Encode(f)
 	}

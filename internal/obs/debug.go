@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the mux a daemon serves on its -debug-addr:
+// net/http/pprof under /debug/pprof/, the flight-recorder dump at
+// /debug/flight, and a second copy of /metrics so an operator pointed
+// at the debug port has everything in one place.
+func (r *Registry) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/flight", r.Flight().Handler())
+	mux.Handle("/metrics", r.Handler())
+	return mux
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Histogram buckets span the latency range that matters for this
+// system — sub-microsecond atomic ops up to multi-minute sweeps — on a
+// log-linear grid: each power-of-two octave of nanoseconds is split
+// into histSub equal linear sub-buckets, giving ~19% relative bucket
+// width everywhere without per-histogram bucket configuration.
+const (
+	histMinShift = 8  // first bound 2^8 ns = 256ns; everything below lands in bucket 0
+	histMaxShift = 38 // ~275s; everything at or above is the overflow bucket
+	histSubShift = 2
+	histSub      = 1 << histSubShift // 4 linear sub-buckets per octave
+
+	// numBuckets = underflow + (octaves × sub-buckets) + overflow.
+	numBuckets = (histMaxShift-histMinShift)*histSub + 2
+)
+
+// bucketIdx maps a duration in nanoseconds to its bucket.
+func bucketIdx(ns uint64) int {
+	if ns < 1<<histMinShift {
+		return 0
+	}
+	exp := bits.Len64(ns) - 1 // floor(log2(ns)), >= histMinShift here
+	if exp >= histMaxShift {
+		return numBuckets - 1
+	}
+	sub := (ns >> (uint(exp) - histSubShift)) & (histSub - 1)
+	return 1 + (exp-histMinShift)*histSub + int(sub)
+}
+
+// bucketBoundNanos returns the inclusive upper bound of bucket i in
+// integer nanoseconds. Samples are integral, so emitting le = bound/1e9
+// gives exact cumulative semantics: every sample in buckets 0..i is
+// <= bound, every sample above is > bound. The final bucket is +Inf and
+// has no finite bound.
+func bucketBoundNanos(i int) uint64 {
+	if i == 0 {
+		return 1<<histMinShift - 1
+	}
+	k := i - 1
+	octave := uint(histMinShift + k/histSub)
+	sub := uint64(k%histSub) + 1
+	return 1<<octave + sub<<(octave-histSubShift) - 1
+}
+
+// histStripe is one CPU-local slice of the histogram. Padding keeps
+// adjacent stripes off one cache line's worth of false sharing for the
+// hottest fields (the first buckets and the running sum).
+type histStripe struct {
+	counts [numBuckets]atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	_      [40]byte
+}
+
+// Histogram is a log-linear latency histogram with a lock-free striped
+// hot path. Observe picks a stripe from the observer's stack address —
+// no goroutine pinning, no allocation, no shared cache line under
+// concurrent load — and exposition sums the stripes.
+type Histogram struct {
+	stripes []histStripe
+	mask    uintptr
+}
+
+// histStripes picks a power-of-two stripe count sized to the machine.
+func histStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func newHistogram() *Histogram {
+	n := histStripes()
+	return &Histogram{stripes: make([]histStripe, n), mask: uintptr(n - 1)}
+}
+
+// stripeFor hashes a stack address into a stripe index. Distinct
+// goroutines run on distinct stacks, so concurrent observers spread
+// across stripes; the shift drops the always-zero low bits of a stack
+// slot address.
+func (h *Histogram) stripeFor() *histStripe {
+	var probe byte
+	return &h.stripes[(uintptr(unsafe.Pointer(&probe))>>10)&h.mask]
+}
+
+// Observe records one duration. Zero-alloc, lock-free; nil-safe no-op.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	s := h.stripeFor()
+	s.counts[bucketIdx(uint64(ns))].Add(1)
+	s.sum.Add(ns)
+}
+
+// histSnapshot is the summed view exposition writes.
+type histSnapshot struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    int64 // nanoseconds
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	var out histSnapshot
+	if h == nil {
+		return out
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for b := 0; b < numBuckets; b++ {
+			out.counts[b] += s.counts[b].Load()
+		}
+		out.sum += s.sum.Load()
+	}
+	for b := 0; b < numBuckets; b++ {
+		out.count += out.counts[b]
+	}
+	return out
+}
+
+// Count returns the total number of observations (summed across
+// stripes; exact once concurrent observers quiesce).
+func (h *Histogram) Count() uint64 {
+	return h.snapshot().count
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	return time.Duration(h.snapshot().sum)
+}

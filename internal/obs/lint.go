@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint is a strict parser for the Prometheus text exposition format
+// 0.0.4 — stricter than Prometheus itself, because our output is
+// machine-generated and any slack hides a generator bug. It enforces:
+//
+//   - metric-name and label-name charsets;
+//   - every sample preceded by exactly one HELP and one TYPE for its
+//     family, HELP first;
+//   - no duplicate series (same name + label set twice);
+//   - all series of a family contiguous (no interleaving);
+//   - histogram completeness: le values strictly ascending with +Inf
+//     last, cumulative bucket counts monotone, _count equal to the
+//     +Inf bucket, _sum present;
+//   - every value parses as a float; counters non-negative.
+//
+// It returns the first violation found, or nil.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+
+	fams := make(map[string]*lintFam)
+	seen := make(map[string]bool) // full series dedup: name + canonical label string
+
+	type histState struct {
+		lastLe   float64
+		lastCum  float64
+		sawInf   bool
+		infVal   float64
+		sawSum   bool
+		sawCount bool
+	}
+	hists := make(map[string]*histState) // keyed by family + base labels
+
+	var curFam string
+	lineNo := 0
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("metrics line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	closeFam := func() error {
+		for k, h := range hists {
+			if !h.sawInf {
+				return fmt.Errorf("histogram series %q missing le=\"+Inf\" bucket", k)
+			}
+			if !h.sawSum {
+				return fmt.Errorf("histogram series %q missing _sum", k)
+			}
+			if !h.sawCount {
+				return fmt.Errorf("histogram series %q missing _count", k)
+			}
+		}
+		hists = make(map[string]*histState)
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return errf("malformed comment %q (only # HELP / # TYPE allowed)", line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return errf("invalid metric name %q", name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f := fams[name]; f != nil {
+					return errf("duplicate # HELP for %q", name)
+				}
+				if name != curFam {
+					if err := closeFam(); err != nil {
+						return errf("%v", err)
+					}
+					if old := fams[curFam]; old != nil {
+						old.closed = true
+					}
+					curFam = name
+				}
+				help := ""
+				if len(fields) == 4 {
+					help = fields[3]
+				}
+				fams[name] = &lintFam{help: help}
+			case "TYPE":
+				f := fams[name]
+				if f == nil {
+					return errf("# TYPE %s before its # HELP", name)
+				}
+				if f.typ != "" {
+					return errf("duplicate # TYPE for %q", name)
+				}
+				if name != curFam {
+					return errf("# TYPE %s interleaved with family %s", name, curFam)
+				}
+				if len(fields) != 4 {
+					return errf("# TYPE %s missing type", name)
+				}
+				f.typ = fields[3]
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "untyped", "summary":
+					// "untyped"/"summary" are legal in the format; our own
+					// generator never emits them, but Lint also runs against
+					// third-party exposition in tests.
+				default:
+					return errf("unknown type %q for %s", fields[3], name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return errf("%v", err)
+		}
+		fam, base, sub := histFamilyOf(name, fams)
+		f := fams[fam]
+		if f == nil || f.typ == "" {
+			return errf("sample %s before # HELP and # TYPE for %q", name, fam)
+		}
+		if fam != curFam {
+			return errf("sample for family %q interleaved with family %q", fam, curFam)
+		}
+		if f.closed {
+			return errf("family %q reopened after another family started", fam)
+		}
+
+		serKey := name + "{" + canonicalLabels(labels) + "}"
+		if seen[serKey] {
+			return errf("duplicate series %s", serKey)
+		}
+		seen[serKey] = true
+
+		if f.typ == "histogram" && base {
+			hk := fam + "{" + canonicalLabels(stripLe(labels)) + "}"
+			h := hists[hk]
+			if h == nil {
+				h = &histState{lastLe: math.Inf(-1), lastCum: -1}
+				hists[hk] = h
+			}
+			switch sub {
+			case "bucket":
+				leStr, ok := labelValue(labels, "le")
+				if !ok {
+					return errf("histogram bucket %s missing le label", name)
+				}
+				var le float64
+				if leStr == "+Inf" {
+					le = math.Inf(1)
+				} else if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+					return errf("bad le %q: %v", leStr, err)
+				}
+				if h.sawInf {
+					return errf("bucket after le=\"+Inf\" in %s", hk)
+				}
+				if le <= h.lastLe {
+					return errf("le %q not ascending in %s", leStr, hk)
+				}
+				if value < h.lastCum {
+					return errf("cumulative bucket count decreased at le=%q in %s", leStr, hk)
+				}
+				h.lastLe, h.lastCum = le, value
+				if math.IsInf(le, 1) {
+					h.sawInf, h.infVal = true, value
+				}
+			case "sum":
+				h.sawSum = true
+			case "count":
+				h.sawCount = true
+				if !h.sawInf {
+					return errf("_count before +Inf bucket in %s", hk)
+				}
+				if value != h.infVal {
+					return errf("_count %v != +Inf bucket %v in %s", value, h.infVal, hk)
+				}
+			default:
+				return errf("bare sample %s for histogram family %s", name, fam)
+			}
+		} else if f.typ == "histogram" {
+			return errf("bare sample %s for histogram family %s", name, fam)
+		}
+
+		if f.typ == "counter" && value < 0 {
+			return errf("negative counter %s = %v", name, value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("metrics read: %v", err)
+	}
+	if err := closeFam(); err != nil {
+		return fmt.Errorf("metrics: %v", err)
+	}
+	if curFam == "" && len(fams) == 0 {
+		return fmt.Errorf("metrics: empty exposition")
+	}
+	return nil
+}
+
+// lintFam is the per-family state Lint tracks while scanning.
+type lintFam struct {
+	help, typ string
+	closed    bool // a different family started after this one
+}
+
+// histFamilyOf strips a _bucket/_sum/_count suffix when the base name
+// is a registered histogram family. base reports whether name belongs
+// to a histogram; sub is the suffix ("" for a plain sample).
+func histFamilyOf(name string, fams map[string]*lintFam) (fam string, base bool, sub string) {
+	for _, suffix := range [...]string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			cand := strings.TrimSuffix(name, suffix)
+			if f := fams[cand]; f != nil && f.typ == "histogram" {
+				return cand, true, suffix[1:]
+			}
+		}
+	}
+	return name, false, ""
+}
+
+type sampleLabel struct{ name, value string }
+
+// parseSample parses `name{l1="v1",...} value` or `name value`.
+func parseSample(line string) (string, []sampleLabel, float64, error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []sampleLabel
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := rest[:eq]
+			if !validLintLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			val, rem, err := unquoteLabel(rest[eq+2:])
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("%v in %q", err, line)
+			}
+			labels = append(labels, sampleLabel{lname, val})
+			rest = rem
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp field after the value is legal in the format; our
+	// writer never emits one, and rejecting it keeps Lint strict.
+	if strings.ContainsRune(rest, ' ') {
+		return "", nil, 0, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	return name, labels, v, nil
+}
+
+// unquoteLabel consumes an escaped label value up to its closing quote,
+// returning the decoded value and the remainder after the quote.
+func unquoteLabel(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// validLintLabelName is validLabelName minus the "le" restriction —
+// exposition legitimately contains le on bucket lines.
+func validLintLabelName(s string) bool {
+	return s == "le" || validLabelName(s)
+}
+
+func labelValue(labels []sampleLabel, name string) (string, bool) {
+	for _, l := range labels {
+		if l.name == name {
+			return l.value, true
+		}
+	}
+	return "", false
+}
+
+func stripLe(labels []sampleLabel) []sampleLabel {
+	out := make([]sampleLabel, 0, len(labels))
+	for _, l := range labels {
+		if l.name != "le" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// canonicalLabels renders a sorted, escaped label string for dedup keys.
+func canonicalLabels(labels []sampleLabel) string {
+	ls := append([]sampleLabel(nil), labels...)
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].name < ls[j-1].name; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErr(t *testing.T, text string) error {
+	t.Helper()
+	return Lint(strings.NewReader(text))
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	good := `# HELP a_total things
+# TYPE a_total counter
+a_total 5
+# HELP b_seconds latencies
+# TYPE b_seconds histogram
+b_seconds_bucket{le="0.001"} 2
+b_seconds_bucket{le="0.01"} 3
+b_seconds_bucket{le="+Inf"} 4
+b_seconds_sum 0.123
+b_seconds_count 4
+# HELP c_info per-site gauge
+# TYPE c_info gauge
+c_info{site="x",role="hub \"primary\""} 1
+c_info{site="y",role="a\\b"} 0
+`
+	if err := lintErr(t, good); err != nil {
+		t.Fatalf("well-formed exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := map[string]string{
+		"sample without HELP/TYPE": "a_total 5\n",
+		"TYPE before HELP":         "# TYPE a_total counter\n# HELP a_total x\na_total 1\n",
+		"duplicate HELP":           "# HELP a x\n# TYPE a counter\na 1\n# HELP a x\n",
+		"duplicate series":         "# HELP a x\n# TYPE a counter\na{s=\"1\"} 1\na{s=\"1\"} 2\n",
+		"dup series reordered":     "# HELP a x\n# TYPE a gauge\na{s=\"1\",t=\"2\"} 1\na{t=\"2\",s=\"1\"} 2\n",
+		"bad metric name":          "# HELP 9a x\n# TYPE 9a counter\n9a 1\n",
+		"bad label name":           "# HELP a x\n# TYPE a counter\na{__n=\"1\"} 1\n",
+		"bad value":                "# HELP a x\n# TYPE a counter\na nope\n",
+		"negative counter":         "# HELP a x\n# TYPE a counter\na -1\n",
+		"unknown type":             "# HELP a x\n# TYPE a widget\na 1\n",
+		"interleaved families":     "# HELP a x\n# TYPE a counter\n# HELP b x\n# TYPE b counter\na 1\n",
+		"family reopened":          "# HELP a x\n# TYPE a counter\na 1\n# HELP b x\n# TYPE b counter\nb 1\na 2\n",
+		"le not ascending": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"0.01\"} 1\nh_bucket{le=\"0.001\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"bucket count decreases": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"0.001\"} 5\nh_bucket{le=\"0.01\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"0.001\"} 1\nh_sum 1\nh_count 1\n",
+		"count != +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+		"missing _sum": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 4\nh_count 4\n",
+		"bare histogram sample": "# HELP h x\n# TYPE h histogram\nh 4\n",
+		"unterminated labels":   "# HELP a x\n# TYPE a counter\na{s=\"1\" 1\n",
+		"raw newline escape":    "# HELP a x\n# TYPE a counter\na{s=\"1\\q\"} 1\n",
+		"empty exposition":      "",
+	}
+	for name, text := range cases {
+		if err := lintErr(t, text); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition:\n%s", name, text)
+		}
+	}
+}
+
+func TestLintRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_total", "round trip").Add(3)
+	r.Gauge("rt_gauge", `gauge with "quotes" and \slashes`).Set(-2.5)
+	h := r.HistogramVec("rt_seconds", "latency", "stage")
+	h.With("parse").Observe(150e3)
+	h.With("apply").Observe(2e6)
+	v := r.CounterVec("rt_site_total", "per site", "site")
+	v.With(`we"ird\site` + "\n").Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := lintErr(t, sb.String()); err != nil {
+		t.Fatalf("registry output fails its own lint: %v\n%s", err, sb.String())
+	}
+}

@@ -27,7 +27,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"servdisc/internal/obs"
 	"servdisc/internal/packet"
 )
 
@@ -145,6 +147,7 @@ type Stage struct {
 	name     string
 	proc     Proc
 	counters StageCounters
+	lat      *obs.Histogram
 }
 
 // NewStage builds a stage around a batch transformation.
@@ -158,10 +161,23 @@ func (s *Stage) Name() string { return s.name }
 // Counters exposes the stage's flow counters.
 func (s *Stage) Counters() *StageCounters { return &s.counters }
 
-// Process runs one batch through the stage, updating counters.
+// SetLatency attaches a per-batch latency histogram to the stage. Must
+// be set before batches flow; a nil histogram (the default) skips the
+// clock reads entirely.
+func (s *Stage) SetLatency(h *obs.Histogram) { s.lat = h }
+
+// Process runs one batch through the stage, updating counters (and the
+// latency histogram, when one is attached).
 func (s *Stage) Process(batch []packet.Packet) []packet.Packet {
 	s.counters.AddIn(len(batch))
+	var start time.Time
+	if s.lat != nil {
+		start = time.Now()
+	}
 	out := s.proc(batch)
+	if s.lat != nil {
+		s.lat.Observe(time.Since(start))
+	}
 	s.counters.AddOut(len(out))
 	s.counters.AddDropped(len(batch) - len(out))
 	return out
@@ -227,6 +243,14 @@ func NewPipeline(sink BatchSink, stages ...*Stage) *Pipeline {
 
 // Stages returns the pipeline's stages (for counter inspection).
 func (p *Pipeline) Stages() []*Stage { return p.stages }
+
+// Instrument attaches a latency histogram to every stage, obtained from
+// hist keyed by stage name. Call before batches flow.
+func (p *Pipeline) Instrument(hist func(stage string) *obs.Histogram) {
+	for _, s := range p.stages {
+		s.SetLatency(hist(s.name))
+	}
+}
 
 // HandleBatch implements BatchSink. Synchronous before Run; after Run the
 // batch is copied and handed to the stage workers. Calling HandleBatch

@@ -8,7 +8,19 @@ import (
 	"time"
 
 	"servdisc/internal/netaddr"
+	"servdisc/internal/obs"
 )
+
+// Metrics is the scheduler's optional telemetry bundle. All fields are
+// nil-safe; a nil bundle skips the extra clock reads.
+type Metrics struct {
+	// RTT observes each probe's wall-clock round trip (TCP and UDP).
+	RTT *obs.Histogram
+	// Sweep observes whole-sweep wall durations.
+	Sweep *obs.Histogram
+	// Flight receives a sweep-completed trace event per sweep.
+	Flight *obs.Recorder
+}
 
 // ReportSink consumes completed sweep reports — the active-side analogue
 // of pipeline.BatchSink. core.ActiveDiscoverer and core.Hybrid implement
@@ -86,6 +98,11 @@ type Scheduler struct {
 	// clock is injectable for deterministic tests (defaults to time.Now).
 	clock func() time.Time
 
+	// met is the optional telemetry bundle (see SetMetrics). Probe RTTs
+	// are measured on the wall clock even under an injected test clock —
+	// they report real backend latency, not simulated time.
+	met *Metrics
+
 	mu     sync.Mutex
 	nextID int
 }
@@ -105,6 +122,9 @@ func NewScheduler(backend Backend, cfg SchedulerConfig) *Scheduler {
 
 // Config returns the scheduler's configuration.
 func (s *Scheduler) Config() SchedulerConfig { return s.cfg }
+
+// SetMetrics attaches the telemetry bundle; call before sweeps start.
+func (s *Scheduler) SetMetrics(m *Metrics) { s.met = m }
 
 // addrOutcome is one worker's results for one target, tagged with the
 // target's index so the merged report is in canonical order.
@@ -138,6 +158,10 @@ func (s *Scheduler) Sweep(ctx context.Context) (*ScanReport, error) {
 	if workers > len(s.cfg.Targets) && len(s.cfg.Targets) > 0 {
 		workers = len(s.cfg.Targets)
 	}
+	var w0 time.Time
+	if s.met != nil {
+		w0 = time.Now()
+	}
 	rep := &ScanReport{ID: id, Started: s.clock()}
 	outs := make([][]addrOutcome, workers)
 	var wg sync.WaitGroup
@@ -167,6 +191,12 @@ func (s *Scheduler) Sweep(ctx context.Context) (*ScanReport, error) {
 	if err != nil {
 		rep.Truncated = true
 	}
+	if m := s.met; m != nil {
+		el := time.Since(w0)
+		m.Sweep.Observe(el)
+		m.Flight.Record(obs.TraceSweepCompleted, "",
+			int64(len(rep.TCP)+len(rep.UDP)+len(rep.Summaries)), el.Microseconds())
+	}
 	if s.cfg.OnSweep != nil {
 		s.cfg.OnSweep(rep, err)
 	}
@@ -193,7 +223,14 @@ func (s *Scheduler) sweepWorker(ctx context.Context, w, stride int) []addrOutcom
 				break
 			}
 			now := s.clock()
+			var p0 time.Time
+			if s.met != nil {
+				p0 = time.Now()
+			}
 			state := s.backend.ProbeTCP(now, target, port)
+			if m := s.met; m != nil {
+				m.RTT.Observe(time.Since(p0))
+			}
 			if s.cfg.Compact {
 				if !out.ok {
 					out.sum.Time = now
@@ -218,9 +255,16 @@ func (s *Scheduler) sweepWorker(ctx context.Context, w, stride int) []addrOutcom
 					break
 				}
 				now := s.clock()
+				var p0 time.Time
+				if s.met != nil {
+					p0 = time.Now()
+				}
+				state := s.backend.ProbeUDP(now, target, port)
+				if m := s.met; m != nil {
+					m.RTT.Observe(time.Since(p0))
+				}
 				out.udp = append(out.udp, UDPResult{
-					Time: now, Addr: target, Port: port,
-					State: s.backend.ProbeUDP(now, target, port),
+					Time: now, Addr: target, Port: port, State: state,
 				})
 			}
 		}

@@ -117,6 +117,31 @@ func (q *Query) matches(d Doc) bool {
 	return true
 }
 
+// Dimension names the index dimension that would drive this query's
+// scan — the same selection switch Epoch.Query applies, exposed so
+// callers can label query-latency metrics by execution strategy
+// ("which index answered") rather than by raw parameter shape.
+func (q Query) Dimension() string {
+	switch {
+	case q.Prefix.Bits() == 32 && q.Port != 0 && q.Proto != 0:
+		return "key"
+	case q.Prefix.Bits() >= 24:
+		return "prefix24"
+	case q.Port != 0:
+		return "port"
+	case q.Category != CatAny:
+		return "category"
+	case q.Prefix.Bits() != 0:
+		return "prefix"
+	case q.HasProvenance:
+		return "provenance"
+	case !q.MinFreshness.IsZero():
+		return "freshness"
+	default:
+		return "scan"
+	}
+}
+
 // limit returns the clamped page size.
 func (q *Query) limit() int {
 	switch {

@@ -23,6 +23,7 @@ import (
 	"servdisc/internal/federate"
 	"servdisc/internal/filter"
 	"servdisc/internal/netaddr"
+	"servdisc/internal/obs"
 	"servdisc/internal/packet"
 	"servdisc/internal/pipeline"
 	"servdisc/internal/probe"
@@ -89,6 +90,12 @@ type (
 	// QueryCache is the client-side query cache (passive fill from
 	// subscription events, preemptive Warm, expiry-driven purge).
 	QueryCache = query.Cache
+	// Telemetry is the typed metrics registry every pipeline carries
+	// (internal/obs): counters, gauges, latency histograms and the
+	// flight recorder, all scraped through WritePrometheus or served by
+	// Handler / DebugHandler. Share one registry across a pipeline and
+	// its daemon-level series by passing it in Config.Telemetry.
+	Telemetry = obs.Registry
 )
 
 // Event kinds, re-exported from core: see core.EventKind for semantics.
@@ -210,6 +217,14 @@ type Config struct {
 	// itself — never a full rescan — and each index epoch is an immutable
 	// value read lock-free by any number of concurrent queries.
 	QueryIndex bool
+	// Telemetry, when set, is the metrics registry the pipeline
+	// instruments itself into; nil makes NewPipeline create a private
+	// one (read it back with Pipeline.Metrics). Either way the pipeline
+	// registers its latency histograms (ingest dispatch/apply, snapshot
+	// merge, probe RTTs and sweeps, checkpoint write/restore, query
+	// execution) and records trace events into the registry's flight
+	// recorder. Instrumentation is zero-allocation on the hot paths.
+	Telemetry *Telemetry
 	// Retention, when enabled (any TTL > 0), expires services whose
 	// evidence ages past its TTL, measured on the observation clock (the
 	// newest packet timestamp ingested). Expired services leave Snapshot
@@ -283,6 +298,23 @@ type Pipeline struct {
 	sweepStop chan struct{}
 
 	qix *queryIndex // nil unless Config.QueryIndex was set
+
+	// telemetry: the registry plus the facade-level instruments that are
+	// observed from Pipeline methods (layer-internal instruments are
+	// wired directly into their layers by NewPipeline).
+	reg        *Telemetry
+	ingestLat  *obs.Histogram // whole ingest path, per HandleBatch call
+	restoreLat *obs.Histogram // RestoreFromCheckpoint wall time
+	// queryLat maps query dimension → its latency histogram, pre-resolved
+	// at construction so the query path never touches the registry lock.
+	queryLat map[string]*obs.Histogram
+}
+
+// queryDimensions are the values Query.Dimension can return — the label
+// space of servdisc_query_seconds, pre-registered so every dimension's
+// series exists from the first scrape.
+var queryDimensions = []string{
+	"key", "prefix24", "port", "category", "prefix", "provenance", "freshness", "scan",
 }
 
 // queryIndex keeps the secondary indexes in lockstep with the snapshot
@@ -348,11 +380,33 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		batchSize: cfg.BatchSize,
 		retention: cfg.Retention,
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	p.reg = reg
+	p.ingestLat = reg.Histogram("servdisc_ingest_batch_seconds",
+		"Whole ingest-path latency per packet batch: link assignment, taps and engine dispatch.")
+	engine.SetMetrics(&core.EngineMetrics{
+		Dispatch: reg.Histogram("servdisc_ingest_dispatch_seconds",
+			"Engine batch partition+scatter latency (inline mode includes shard applies)."),
+		Apply: reg.Histogram("servdisc_ingest_apply_seconds",
+			"Per-shard sub-batch apply latency on the shard workers."),
+		Snapshot: reg.Histogram("servdisc_snapshot_merge_seconds",
+			"Snapshot freeze+merge latency per snapshot actually built (cache hits untimed)."),
+		Flight: reg.Flight(),
+	})
 	if cfg.QueryIndex {
 		qix := &queryIndex{cat: query.NewCatalog(0)}
 		p.qix = qix
 		engine.OnSnapshot(qix.observe)
 		engine.Passive().OnSnapshot(qix.observe)
+		qv := reg.HistogramVec("servdisc_query_seconds",
+			"Query execution latency by the index dimension that served it.", "dim")
+		p.queryLat = make(map[string]*obs.Histogram, len(queryDimensions))
+		for _, d := range queryDimensions {
+			p.queryLat[d] = qv.With(d)
+		}
 	}
 	if cfg.Checkpoint != nil {
 		if cfg.Checkpoint.Dir == "" {
@@ -366,6 +420,13 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		p.ckpt = w
 		p.ckptDir = cfg.Checkpoint.Dir
 		p.ckptEvery = cfg.Checkpoint.Every
+		w.SetMetrics(&checkpoint.Metrics{
+			Write: reg.Histogram("servdisc_checkpoint_write_seconds",
+				"Checkpoint cut latency per chunk written (skipped checkpoints untimed)."),
+			Flight: reg.Flight(),
+		})
+		p.restoreLat = reg.Histogram("servdisc_checkpoint_restore_seconds",
+			"RestoreFromCheckpoint wall time per successful restore.")
 	}
 	if cfg.Scan != nil {
 		p.sched = probe.NewScheduler(cfg.Scan.backend(), probe.SchedulerConfig{
@@ -379,16 +440,36 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 			Compact:      cfg.Scan.Compact,
 			OnSweep:      cfg.Scan.OnSweep,
 		})
+		p.sched.SetMetrics(&probe.Metrics{
+			RTT: reg.Histogram("servdisc_probe_rtt_seconds",
+				"Per-probe wall-clock round trip (TCP connect and UDP probes)."),
+			Sweep: reg.Histogram("servdisc_scan_sweep_seconds",
+				"Whole active-scan sweep wall duration."),
+			Flight: reg.Flight(),
+		})
 	}
 	return p, nil
 }
+
+// Metrics returns the pipeline's telemetry registry — the one passed in
+// Config.Telemetry, or the private one NewPipeline created. Serve it with
+// Telemetry.Handler (Prometheus text exposition) or DebugHandler (adds
+// /debug/pprof and the /debug/flight trace dump), and register
+// daemon-level series directly on it.
+func (p *Pipeline) Metrics() *Telemetry { return p.reg }
 
 // Monitor exposes the link monitor — the pipeline's ingest point, and the
 // place to AddMirror secondary consumers (recorders, sampling studies).
 func (p *Pipeline) Monitor() *capture.Monitor { return p.monitor }
 
-// HandleBatch implements pipeline.BatchSink by feeding the monitor.
-func (p *Pipeline) HandleBatch(batch []packet.Packet) { p.monitor.HandleBatch(batch) }
+// HandleBatch implements pipeline.BatchSink by feeding the monitor. The
+// whole-path latency (assignment, taps, engine dispatch) lands in the
+// servdisc_ingest_batch_seconds histogram.
+func (p *Pipeline) HandleBatch(batch []packet.Packet) {
+	t0 := time.Now()
+	p.monitor.HandleBatch(batch)
+	p.ingestLat.Observe(time.Since(t0))
+}
 
 // AddReport implements probe.ReportSink: scan reports reconcile into the
 // engine alongside the passive stream.
@@ -513,7 +594,10 @@ func (p *Pipeline) Query(q Query) (QueryResult, error) {
 	if p.qix == nil {
 		return QueryResult{}, fmt.Errorf("servdisc: Config.QueryIndex not enabled")
 	}
-	return p.qix.cat.Epoch().Query(q)
+	t0 := time.Now()
+	res, err := p.qix.cat.Epoch().Query(q)
+	p.queryLat[q.Dimension()].Observe(time.Since(t0))
+	return res, err
 }
 
 // QueryIndexLen returns the number of services the query index currently
@@ -600,10 +684,19 @@ func (p *Pipeline) RestoreFromCheckpoint() (*CheckpointManifest, error) {
 	if p.ckpt == nil {
 		return nil, fmt.Errorf("servdisc: no Config.Checkpoint configured")
 	}
+	t0 := time.Now()
 	man, err := checkpoint.Restore(p.checkpointDir(), p.engine)
 	if err != nil || man == nil {
 		return man, err
 	}
+	el := time.Since(t0)
+	p.restoreLat.Observe(el)
+	restored := 0
+	for i := range man.Chunks {
+		restored += man.Chunks[i].Services
+	}
+	p.reg.Flight().Record(obs.TraceCheckpointRestored, "",
+		int64(restored), el.Microseconds())
 	p.restoredPub = man.Publisher
 	return man, nil
 }
