@@ -4,10 +4,17 @@
 // inventory with per-site provenance and cross-site dedup, and serves the
 // result over HTTP.
 //
-// Each feed connection bootstraps with the site's latest frozen snapshot
-// and then streams live events; on a broken connection federated backs
-// off, redials, and resumes from a fresh snapshot — the aggregator's
-// generation cursor guarantees the overlap is never double-counted.
+// Each feed connection opens with a resume hello carrying the
+// aggregator's cursor for that site: the publisher answers with just the
+// frames past the cursor when its replay ring still covers them (delta
+// resync — O(churn) bytes, not O(inventory)) and a full snapshot
+// bootstrap otherwise; either way the per-site sequence dedup guarantees
+// the overlap is never double-counted. Broken connections redial under
+// exponential backoff with full jitter (-retry is the base, -retry-cap
+// the ceiling), dials are bounded by -dial-timeout, silence beyond
+// -feed-idle (the publisher heartbeats inside it) drops the connection,
+// and -max-frames-per-sec/-max-bytes-per-sec cap each feed's ingest
+// rate. -feed-auth presents a shared token the publisher may require.
 //
 // With -checkpoint-dir the global inventory is durable: the aggregator
 // state (services, per-site dedup cursors, scan reports) is written
@@ -31,7 +38,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -61,14 +67,20 @@ func (f *feedList) Set(s string) error {
 }
 
 type options struct {
-	feeds     feedList
-	httpAddr  string
-	debugAddr string
-	retry     time.Duration
-	logEvents bool
-	ckptDir   string
-	ckptEvery time.Duration
-	tombGC    time.Duration
+	feeds       feedList
+	httpAddr    string
+	debugAddr   string
+	retry       time.Duration
+	retryCap    time.Duration
+	dialTimeout time.Duration
+	feedIdle    time.Duration
+	feedAuth    string
+	maxFrames   float64
+	maxBytes    float64
+	logEvents   bool
+	ckptDir     string
+	ckptEvery   time.Duration
+	tombGC      time.Duration
 }
 
 func main() {
@@ -76,7 +88,13 @@ func main() {
 	flag.Var(&o.feeds, "feed", "site feed address to aggregate (repeatable)")
 	flag.StringVar(&o.httpAddr, "http", ":8090", "serve the global inventory on this address")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof, /metrics and /debug/flight on this extra address")
-	flag.DurationVar(&o.retry, "retry", 2*time.Second, "reconnect backoff after a feed drops")
+	flag.DurationVar(&o.retry, "retry", 2*time.Second, "reconnect backoff base after a feed drops (grows exponentially with full jitter; was the fixed retry interval before delta resync)")
+	flag.DurationVar(&o.retryCap, "retry-cap", time.Minute, "reconnect backoff ceiling")
+	flag.DurationVar(&o.dialTimeout, "dial-timeout", 10*time.Second, "bound on each feed dial attempt")
+	flag.DurationVar(&o.feedIdle, "feed-idle", 45*time.Second, "drop a feed silent for this long (publisher heartbeats keep a healthy feed inside it)")
+	flag.StringVar(&o.feedAuth, "feed-auth", "", "shared token presented in the feed hello (publishers started with -feed-auth require it)")
+	flag.Float64Var(&o.maxFrames, "max-frames-per-sec", 0, "per-feed ingest cap in frames/s (0 = uncapped)")
+	flag.Float64Var(&o.maxBytes, "max-bytes-per-sec", 0, "per-feed ingest cap in bytes/s (0 = uncapped)")
 	flag.BoolVar(&o.logEvents, "log", true, "log global discoveries and scanner detections")
 	flag.StringVar(&o.ckptDir, "checkpoint-dir", "", "durable aggregator-state directory (restore on start, write periodically and on shutdown)")
 	flag.DurationVar(&o.ckptEvery, "checkpoint-every", 30*time.Second, "aggregator-state write interval (requires -checkpoint-dir)")
@@ -93,17 +111,46 @@ func main() {
 	}
 }
 
-// feedHealth counts one feed's connection churn for /metrics: dial
-// failures and completed connections (each completed connection is a
-// reconnect-to-come, so `connects - 1` is the reconnect count once the
-// feed has been up at all). connected tracks the live state for
-// /healthz: an aggregator with every feed down is serving only history.
+// feedHealth pairs one -feed address with its resilient client and the
+// live connection state /healthz reads. All churn counters (connects,
+// dial errors, resume hits, throttle stalls, ...) come from the client's
+// own stats; connected is mirrored here by the lifecycle callbacks so
+// tests can assemble the HTTP surface without running real connections.
 type feedHealth struct {
 	addr      string
+	fc        *federate.FeedClient
 	connected atomic.Bool
-	connects  atomic.Int64
-	dialFails atomic.Int64
-	drops     atomic.Int64
+}
+
+// newFeedHealth builds the client for one feed address with the daemon's
+// resilience options and lifecycle logging; run() starts fc.Run.
+func newFeedHealth(o options, agg *federate.Aggregator, addr string, flight *obs.Recorder) *feedHealth {
+	h := &feedHealth{addr: addr}
+	h.fc = federate.NewFeedClient(agg, addr, federate.FeedOptions{
+		AuthToken:       o.feedAuth,
+		DialTimeout:     o.dialTimeout,
+		IdleTimeout:     o.feedIdle,
+		Backoff:         federate.BackoffConfig{Base: o.retry, Cap: o.retryCap},
+		MaxFramesPerSec: o.maxFrames,
+		MaxBytesPerSec:  o.maxBytes,
+		OnConnect: func() {
+			h.connected.Store(true)
+			st := h.fc.Stats()
+			flight.Record(obs.TraceFeedConnected, addr, int64(st.Connects), 0)
+			fmt.Printf("feed %s: connected\n", addr)
+		},
+		OnDisconnect: func(err error) {
+			h.connected.Store(false)
+			st := h.fc.Stats()
+			flight.Record(obs.TraceFeedDisconnected, addr, int64(st.Disconnects), 0)
+			if err != nil {
+				fmt.Printf("feed %s: %v (backoff ceiling %s)\n", addr, err, h.fc.NextBackoff())
+			} else {
+				fmt.Printf("feed %s: stream ended (backoff ceiling %s)\n", addr, h.fc.NextBackoff())
+			}
+		},
+	})
+	return h
 }
 
 func run(o options) error {
@@ -172,8 +219,8 @@ func run(o options) error {
 
 	health := make([]*feedHealth, len(o.feeds))
 	for i, addr := range o.feeds {
-		health[i] = &feedHealth{addr: addr}
-		go feedLoop(sigCtx, agg, health[i], o.retry, reg.Flight())
+		health[i] = newFeedHealth(o, agg, addr, reg.Flight())
+		go func(h *feedHealth) { _ = h.fc.Run(sigCtx) }(health[i])
 	}
 
 	registerDaemonSeries(reg, agg, &stateWrites, &stateWriteFails)
@@ -236,38 +283,6 @@ func run(o options) error {
 			return err
 		case <-stateTick:
 			writeState()
-		}
-	}
-}
-
-// feedLoop keeps one site feed alive: dial, consume until the connection
-// ends, back off, redial. Every reconnect re-bootstraps from the site's
-// newest snapshot; the aggregator dedups the overlap by generation.
-func feedLoop(ctx context.Context, agg *federate.Aggregator, h *feedHealth, retry time.Duration, flight *obs.Recorder) {
-	for ctx.Err() == nil {
-		conn, err := net.Dial("tcp", h.addr)
-		if err != nil {
-			h.dialFails.Add(1)
-			fmt.Printf("feed %s: dial: %v (retrying in %s)\n", h.addr, err, retry)
-		} else {
-			n := h.connects.Add(1)
-			h.connected.Store(true)
-			flight.Record(obs.TraceFeedConnected, h.addr, n, 0)
-			fmt.Printf("feed %s: connected\n", h.addr)
-			err = agg.ReadFeed(ctx, conn)
-			conn.Close()
-			h.connected.Store(false)
-			flight.Record(obs.TraceFeedDisconnected, h.addr, h.drops.Add(1), 0)
-			if err != nil {
-				fmt.Printf("feed %s: %v (reconnecting in %s)\n", h.addr, err, retry)
-			} else {
-				fmt.Printf("feed %s: stream ended (reconnecting in %s)\n", h.addr, retry)
-			}
-		}
-		select {
-		case <-ctx.Done():
-			return
-		case <-time.After(retry):
 		}
 	}
 }
@@ -370,6 +385,8 @@ type siteMirror struct {
 	siteStaleness                        *obs.GaugeVec
 
 	feedConnects, feedDisconnects, feedDialErrors []*obs.Counter
+	feedResumes, feedFallbacks, feedStalls        []*obs.Counter
+	feedBackoff                                   []*obs.Gauge
 	health                                        []*feedHealth
 
 	mu    sync.Mutex
@@ -401,10 +418,22 @@ func newSiteMirror(reg *obs.Registry, agg *federate.Aggregator, health []*feedHe
 		"Feed connections that ended (each one triggers a redial).", "feed")
 	dialErrs := reg.CounterVec("federated_feed_dial_errors_total",
 		"Failed dial attempts.", "feed")
+	resumes := reg.CounterVec("federated_feed_resume_hits_total",
+		"Connections the publisher answered with a delta replay (resume cursor still in its ring).", "feed")
+	fallbacks := reg.CounterVec("federated_feed_snapshot_fallbacks_total",
+		"Connections that re-bootstrapped from a full snapshot (cursor too old, epoch changed, or first contact).", "feed")
+	stalls := reg.CounterVec("federated_feed_throttle_stalls_total",
+		"Frames the per-feed rate caps made wait.", "feed")
+	backoff := reg.GaugeVec("federated_feed_backoff_seconds",
+		"Un-jittered ceiling of the feed's next reconnect delay: the base while healthy, climbing toward the cap while failing.", "feed")
 	for _, h := range health {
 		m.feedConnects = append(m.feedConnects, connects.With(h.addr))
 		m.feedDisconnects = append(m.feedDisconnects, disconnects.With(h.addr))
 		m.feedDialErrors = append(m.feedDialErrors, dialErrs.With(h.addr))
+		m.feedResumes = append(m.feedResumes, resumes.With(h.addr))
+		m.feedFallbacks = append(m.feedFallbacks, fallbacks.With(h.addr))
+		m.feedStalls = append(m.feedStalls, stalls.With(h.addr))
+		m.feedBackoff = append(m.feedBackoff, backoff.With(h.addr))
 	}
 	return m
 }
@@ -444,9 +473,14 @@ func (m *siteMirror) refresh() {
 		}
 	}
 	for i, h := range m.health {
-		m.feedConnects[i].Set(uint64(h.connects.Load()))
-		m.feedDisconnects[i].Set(uint64(h.drops.Load()))
-		m.feedDialErrors[i].Set(uint64(h.dialFails.Load()))
+		st := h.fc.Stats()
+		m.feedConnects[i].Set(st.Connects)
+		m.feedDisconnects[i].Set(st.Disconnects)
+		m.feedDialErrors[i].Set(st.DialErrors)
+		m.feedResumes[i].Set(st.ResumeHits)
+		m.feedFallbacks[i].Set(st.SnapshotFallbacks)
+		m.feedStalls[i].Set(st.ThrottleStalls)
+		m.feedBackoff[i].Set(h.fc.NextBackoff().Seconds())
 	}
 }
 
@@ -530,33 +564,48 @@ func newMux(agg *federate.Aggregator, health []*feedHealth, reg *obs.Registry, m
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(stats)
 	})
-	// /healthz distinguishes "alive" from "useful": with every site feed
-	// disconnected the aggregator serves only history, so it reports
-	// degraded with a 503 (readiness-probe semantics) and per-feed detail
-	// naming the culprits.
+	// /healthz distinguishes "alive" from "useful", with a middle state
+	// for partial partitions: every feed up is "ok", some feeds down is
+	// "partial" (still 200 — the inventory is live, just missing vantage
+	// points; the per-feed detail names the culprits and their backoff
+	// state), and every feed down is "degraded" with a 503
+	// (readiness-probe semantics: the aggregator serves only history).
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		type feedStatus struct {
-			Addr        string `json:"addr"`
-			Connected   bool   `json:"connected"`
-			Connects    int64  `json:"connects"`
-			Disconnects int64  `json:"disconnects"`
-			DialErrors  int64  `json:"dial_errors"`
+			Addr              string  `json:"addr"`
+			Site              string  `json:"site,omitempty"`
+			Connected         bool    `json:"connected"`
+			Connects          uint64  `json:"connects"`
+			Disconnects       uint64  `json:"disconnects"`
+			DialErrors        uint64  `json:"dial_errors"`
+			ResumeHits        uint64  `json:"resume_hits"`
+			SnapshotFallbacks uint64  `json:"snapshot_fallbacks"`
+			BackoffSeconds    float64 `json:"backoff_seconds"`
 		}
 		feeds := make([]feedStatus, len(health))
-		anyUp := false
+		up := 0
 		for i, h := range health {
-			up := h.connected.Load()
-			anyUp = anyUp || up
+			connected := h.connected.Load()
+			if connected {
+				up++
+			}
+			st := h.fc.Stats()
 			feeds[i] = feedStatus{
-				Addr: h.addr, Connected: up,
-				Connects:    h.connects.Load(),
-				Disconnects: h.drops.Load(),
-				DialErrors:  h.dialFails.Load(),
+				Addr: h.addr, Site: string(h.fc.Site()), Connected: connected,
+				Connects:          st.Connects,
+				Disconnects:       st.Disconnects,
+				DialErrors:        st.DialErrors,
+				ResumeHits:        st.ResumeHits,
+				SnapshotFallbacks: st.SnapshotFallbacks,
+				BackoffSeconds:    h.fc.NextBackoff().Seconds(),
 			}
 		}
 		status, code := "ok", http.StatusOK
-		if !anyUp {
+		switch {
+		case up == 0:
 			status, code = "degraded", http.StatusServiceUnavailable
+		case up < len(health):
+			status = "partial"
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)

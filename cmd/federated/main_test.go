@@ -20,7 +20,7 @@ import (
 // does — registry, frame-latency histograms, daemon series, site mirror —
 // over an aggregator fed two sites' worth of frames, so the scrape
 // assertions see populated per-site series.
-func newTestServer(t *testing.T) (*httptest.Server, []*feedHealth) {
+func newTestServer(t *testing.T) (*httptest.Server, []*feedHealth, *federate.Aggregator) {
 	t.Helper()
 	agg := federate.NewAggregator()
 	reg := obs.NewRegistry()
@@ -52,13 +52,16 @@ func newTestServer(t *testing.T) (*httptest.Server, []*feedHealth) {
 		}
 	}
 
-	health := []*feedHealth{{addr: "127.0.0.1:9101"}, {addr: "127.0.0.1:9102"}}
+	health := []*feedHealth{
+		newFeedHealth(options{}, agg, "127.0.0.1:9101", reg.Flight()),
+		newFeedHealth(options{}, agg, "127.0.0.1:9102", reg.Flight()),
+	}
 	var stateWrites, stateWriteFails atomic.Int64
 	registerDaemonSeries(reg, agg, &stateWrites, &stateWriteFails)
 	mirror := newSiteMirror(reg, agg, health)
 	srv := httptest.NewServer(newMux(agg, health, reg, mirror))
 	t.Cleanup(srv.Close)
-	return srv, health
+	return srv, health, agg
 }
 
 func get(t *testing.T, url string) (int, string) {
@@ -79,7 +82,7 @@ func get(t *testing.T, url string) (int, string) {
 // against the strict exposition grammar plus the aggregate, per-site, and
 // per-feed series the registry must now serve.
 func TestMetricsExposition(t *testing.T) {
-	srv, _ := newTestServer(t)
+	srv, _, _ := newTestServer(t)
 	code, body := get(t, srv.URL+"/metrics")
 	if code != 200 {
 		t.Fatalf("GET /metrics: status %d", code)
@@ -104,6 +107,13 @@ func TestMetricsExposition(t *testing.T) {
 		`federated_feed_staleness_seconds{site="west"} 0`,
 		`federated_feed_connects_total{feed="127.0.0.1:9101"}`,
 		`federated_feed_disconnects_total{feed="127.0.0.1:9102"}`,
+		// The resilience series: resume-vs-snapshot split, rate-cap
+		// stalls, and the backoff-state gauge (2 = the default base, no
+		// failures yet).
+		`federated_feed_resume_hits_total{feed="127.0.0.1:9101"}`,
+		`federated_feed_snapshot_fallbacks_total{feed="127.0.0.1:9102"}`,
+		`federated_feed_throttle_stalls_total{feed="127.0.0.1:9101"}`,
+		`federated_feed_backoff_seconds{feed="127.0.0.1:9101"} 2`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)
@@ -111,10 +121,13 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
-// TestHealthzDegraded pins the liveness/usefulness split: every feed down
-// means 503 + "degraded" with per-feed detail; one live feed restores 200.
+// TestHealthzDegraded pins the three-state liveness/usefulness split:
+// every feed down is 503 + "degraded", a partial partition (some feeds
+// down) is 200 + "partial" with per-feed detail naming the culprits, and
+// every feed up is 200 + "ok" — walked in both directions so recovery
+// and re-partition transitions are both covered.
 func TestHealthzDegraded(t *testing.T) {
-	srv, health := newTestServer(t)
+	srv, health, _ := newTestServer(t)
 
 	code, body := get(t, srv.URL+"/healthz")
 	if code != http.StatusServiceUnavailable {
@@ -126,20 +139,91 @@ func TestHealthzDegraded(t *testing.T) {
 	if !strings.Contains(body, `"addr":"127.0.0.1:9101"`) || !strings.Contains(body, `"connected":false`) {
 		t.Errorf("degraded body lacks per-feed detail: %q", body)
 	}
+	if !strings.Contains(body, `"backoff_seconds":`) {
+		t.Errorf("degraded body lacks backoff state: %q", body)
+	}
 
+	// One of two feeds recovers: useful but partially partitioned.
 	health[0].connected.Store(true)
 	code, body = get(t, srv.URL+"/healthz")
 	if code != http.StatusOK {
 		t.Fatalf("one feed up: /healthz status %d, want 200", code)
 	}
+	if !strings.Contains(body, `"status":"partial"`) {
+		t.Errorf("partial body = %q, want status partial", body)
+	}
+	if !strings.Contains(body, `"connected":true`) || !strings.Contains(body, `"connected":false`) {
+		t.Errorf("partial body should name both the live and the dead feed: %q", body)
+	}
+
+	// Full recovery.
+	health[1].connected.Store(true)
+	code, body = get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("all feeds up: /healthz status %d, want 200", code)
+	}
 	if !strings.Contains(body, `"status":"ok"`) {
 		t.Errorf("healthy body = %q, want status ok", body)
+	}
+
+	// Re-partition: one feed drops again.
+	health[0].connected.Store(false)
+	if code, body = get(t, srv.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, `"status":"partial"`) {
+		t.Errorf("re-partition: status %d body %q, want 200 partial", code, body)
+	}
+}
+
+// TestStalenessGaugeMidResync watches the staleness gauge while a
+// lagging site catches up: east starts one minute behind the global
+// watermark, then replays events that close the gap — each scrape shows
+// the gauge shrinking monotonically to zero without touching west's.
+func TestStalenessGaugeMidResync(t *testing.T) {
+	srv, _, agg := newTestServer(t)
+
+	_, body := get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `federated_feed_staleness_seconds{site="east"} 60`) {
+		t.Fatalf("east not 60s stale before resync:\n%s", body)
+	}
+
+	// East replays its backlog in two steps (30s behind, then level with
+	// the global watermark) — the mid-resync scrapes must track it.
+	base := time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
+	step := func(seq uint64, at time.Time) {
+		ev := core.Event{
+			Kind: core.EventServiceDiscovered, Time: at,
+			Key: core.ServiceKey{
+				Addr:  netaddr.MustParseV4("128.125.2.2") + netaddr.V4(seq),
+				Proto: packet.ProtoTCP, Port: 443,
+			},
+			Provenance: core.PassiveOnly,
+		}
+		if err := agg.Apply(&federate.Frame{
+			V: federate.WireVersion, Type: federate.FrameEvent,
+			Site: "east", Epoch: 1, Seq: seq, Event: &ev,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	step(2, base.Add(30*time.Second))
+	_, body = get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `federated_feed_staleness_seconds{site="east"} 30`) {
+		t.Fatalf("east gauge did not shrink to 30s mid-resync:\n%s", body)
+	}
+
+	step(3, base.Add(time.Minute))
+	_, body = get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `federated_feed_staleness_seconds{site="east"} 0`) {
+		t.Fatalf("east gauge not zero after catching up:\n%s", body)
+	}
+	if !strings.Contains(body, `federated_feed_staleness_seconds{site="west"} 0`) {
+		t.Fatalf("west gauge perturbed by east's resync:\n%s", body)
 	}
 }
 
 // TestFlightEndpoint keeps /debug/flight mounted on the public mux.
 func TestFlightEndpoint(t *testing.T) {
-	srv, _ := newTestServer(t)
+	srv, _, _ := newTestServer(t)
 	if code, _ := get(t, srv.URL+"/debug/flight"); code != 200 {
 		t.Fatalf("GET /debug/flight: status %d", code)
 	}

@@ -157,7 +157,8 @@ func main() {
 }
 
 // connectFeed wires one publisher to the aggregator through an in-memory
-// connection speaking the federation wire format; the returned channel
+// connection speaking the federation wire format — the client-speaks-
+// first resume protocol FeedClient runs over TCP; the returned channel
 // yields the feed's terminal error (nil on clean end-of-stream).
 func connectFeed(ctx context.Context, agg *federate.Aggregator, pub *federate.Publisher) chan error {
 	c1, c2 := net.Pipe()
@@ -165,9 +166,10 @@ func connectFeed(ctx context.Context, agg *federate.Aggregator, pub *federate.Pu
 		_ = pub.ServeConn(ctx, c1)
 		c1.Close()
 	}()
+	fc := federate.NewFeedClient(agg, "pipe", federate.FeedOptions{})
 	done := make(chan error, 1)
 	go func() {
-		err := agg.ReadFeed(ctx, c2)
+		err := fc.RunConn(ctx, c2)
 		c2.Close()
 		done <- err
 	}()

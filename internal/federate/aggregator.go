@@ -341,6 +341,13 @@ func (a *Aggregator) Apply(f *Frame) error {
 	if f.Site == "" {
 		return fmt.Errorf("federate: frame without site identity")
 	}
+	if f.Type == FrameResume {
+		// Resume is strictly a client-to-publisher hello; one arriving on
+		// a feed is a protocol violation. Rejected before any bookkeeping
+		// (even the epoch cursor reset) so a hostile resume frame cannot
+		// perturb state at all.
+		return fmt.Errorf("federate: resume frame on an inbound feed")
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	st := a.site(f.Site)
@@ -353,7 +360,9 @@ func (a *Aggregator) Apply(f *Frame) error {
 		st.lastSeq, st.snapGen, st.snapApplied = 0, 0, false
 	}
 	switch f.Type {
-	case FrameHello:
+	case FrameHello, FrameHeartbeat:
+		// Hellos carry identity, heartbeats carry liveness; neither
+		// mutates merged state (beyond the epoch bookkeeping above).
 		return nil
 	case FrameEvent:
 		if f.Event == nil {
@@ -679,6 +688,23 @@ func (a *Aggregator) ReadFeed(ctx context.Context, r io.Reader) error {
 			return err
 		}
 	}
+}
+
+// SiteCursor reports the dedup cursor held for one site — the (epoch,
+// seq) high-water mark a reconnecting feed client presents as its resume
+// cursor. ok is false until the site has *applied state* — a snapshot or
+// at least one event — not merely a hello: a client whose bootstrap
+// snapshot was cut mid-frame has applied nothing, and letting it claim
+// resume-from-zero on redial would skip the snapshot (and its
+// snapshot-only weights and retractions) forever.
+func (a *Aggregator) SiteCursor(site SiteID) (epoch, seq uint64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.sites[site]
+	if st == nil || (!st.snapApplied && st.lastSeq == 0) {
+		return 0, 0, false
+	}
+	return st.epoch, st.lastSeq, true
 }
 
 // Staleness reports each site's discovery staleness: the aggregator-wide

@@ -507,8 +507,9 @@ func TestUpgradeFirstAnnouncesGlobally(t *testing.T) {
 }
 
 // TestWireFeedEndToEnd runs the full wire path — Publisher.ServeConn over
-// an in-memory connection into Aggregator.ReadFeed — and checks it lands
-// the same global state as an in-process attach.
+// an in-memory connection into FeedClient.RunConn (the client-speaks-
+// first resume protocol) — and checks it lands the same global state as
+// an in-process attach.
 func TestWireFeedEndToEnd(t *testing.T) {
 	wireAgg := NewAggregator()
 	site := newTestSite(3, 800)
@@ -520,8 +521,9 @@ func TestWireFeedEndToEnd(t *testing.T) {
 		c1.Close()
 		serveDone <- err
 	}()
+	fc := NewFeedClient(wireAgg, "pipe", FeedOptions{})
 	readDone := make(chan error, 1)
-	go func() { readDone <- wireAgg.ReadFeed(context.Background(), c2) }()
+	go func() { readDone <- fc.RunConn(context.Background(), c2) }()
 
 	site.produce()
 	site.eng.Close()
@@ -543,34 +545,47 @@ func TestWireFeedEndToEnd(t *testing.T) {
 // BenchmarkAggregatorIngest measures aggregator merge throughput —
 // events/s over pre-decoded frames — at 1, 2 and 4 concurrently applying
 // site feeds, the acceptance metric of the federation subsystem.
-func BenchmarkAggregatorIngest(b *testing.B) {
-	const eventsPerSite = 50000
+// benchFeeds builds nSites deterministic event streams of eventsPerSite
+// frames each: ~1/4 upgrades, 3/4 discoveries, across 10k keys/site.
+func benchFeeds(nSites, eventsPerSite int) [][]Frame {
 	base := time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
-	for _, nSites := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("sites=%d", nSites), func(b *testing.B) {
-			feeds := make([][]Frame, nSites)
-			for s := range feeds {
-				frames := make([]Frame, 0, eventsPerSite)
-				for i := 0; i < eventsPerSite; i++ {
-					// ~1/4 upgrades, 3/4 discoveries, across 10k keys/site.
-					key := core.ServiceKey{
-						Addr:  testCampus.Base() + netaddr.V4(i%10000),
-						Proto: packet.ProtoTCP,
-						Port:  uint16(22 + i%5),
-					}
-					ev := core.Event{Time: base.Add(time.Duration(i) * time.Millisecond), Key: key}
-					if i%4 == 3 {
-						ev.Kind, ev.Provenance = core.EventProvenanceUpgraded, core.PassiveFirst
-					} else {
-						ev.Kind, ev.Provenance = core.EventServiceDiscovered, core.PassiveOnly
-					}
-					frames = append(frames, Frame{
-						V: WireVersion, Type: FrameEvent,
-						Site: SiteID(fmt.Sprintf("site-%d", s)), Seq: uint64(i + 1), Event: &ev,
-					})
-				}
-				feeds[s] = frames
+	feeds := make([][]Frame, nSites)
+	for s := range feeds {
+		frames := make([]Frame, 0, eventsPerSite)
+		for i := 0; i < eventsPerSite; i++ {
+			key := core.ServiceKey{
+				Addr:  testCampus.Base() + netaddr.V4(i%10000),
+				Proto: packet.ProtoTCP,
+				Port:  uint16(22 + i%5),
 			}
+			ev := core.Event{Time: base.Add(time.Duration(i) * time.Millisecond), Key: key}
+			if i%4 == 3 {
+				ev.Kind, ev.Provenance = core.EventProvenanceUpgraded, core.PassiveFirst
+			} else {
+				ev.Kind, ev.Provenance = core.EventServiceDiscovered, core.PassiveOnly
+			}
+			frames = append(frames, Frame{
+				V: WireVersion, Type: FrameEvent,
+				Site: SiteID(fmt.Sprintf("site-%d", s)), Seq: uint64(i + 1), Event: &ev,
+			})
+		}
+		feeds[s] = frames
+	}
+	return feeds
+}
+
+// ingestLadder is the fleet-size ladder both ingest benchmarks climb:
+// events per site shrink as the fleet grows so each rung stays a
+// comparable (and CI-affordable) amount of total work.
+var ingestLadder = []struct{ sites, events int }{
+	{1, 50000}, {2, 50000}, {4, 50000},
+	{16, 8000}, {64, 2000}, {256, 500},
+}
+
+func BenchmarkAggregatorIngest(b *testing.B) {
+	for _, rung := range ingestLadder {
+		b.Run(fmt.Sprintf("sites=%d", rung.sites), func(b *testing.B) {
+			feeds := benchFeeds(rung.sites, rung.events)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -588,7 +603,7 @@ func BenchmarkAggregatorIngest(b *testing.B) {
 				wg.Wait()
 			}
 			b.StopTimer()
-			total := float64(eventsPerSite*nSites) * float64(b.N)
+			total := float64(rung.events*rung.sites) * float64(b.N)
 			b.ReportMetric(total/b.Elapsed().Seconds(), "events/s")
 		})
 	}

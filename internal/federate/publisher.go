@@ -2,8 +2,11 @@ package federate
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,33 +42,93 @@ const pumpBuffer = 1 << 15
 // a slow network writer for several seconds at realistic discovery rates.
 const feedBuffer = 1 << 13
 
-// writeTimeout bounds each frame write on a deadline-capable connection.
-// A peer that connects and then stops reading errors out within this
-// window instead of pinning a serving goroutine until process exit; it
-// recovers its missed frames from the snapshot on its next connection.
-const writeTimeout = time.Minute
-
 // writeDeadliner is the slice of net.Conn ServeConn uses to bound writes.
 type writeDeadliner interface {
 	SetWriteDeadline(t time.Time) error
 }
 
+// readDeadliner is the slice of net.Conn ServeConn uses to bound the wait
+// for the client's resume hello.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// PublisherOptions tunes the serving side of a publisher. The zero value
+// picks the defaults noted on each field.
+type PublisherOptions struct {
+	// ReplayRing is how many sequenced frames the delta-resync ring
+	// retains (per epoch). Zero means 16384; negative disables resume
+	// entirely (every reconnect bootstraps from a snapshot).
+	ReplayRing int
+	// Heartbeat is the keepalive interval on a quiet feed. Zero means
+	// 10s; negative disables heartbeats.
+	Heartbeat time.Duration
+	// WriteTimeout bounds each frame write on a deadline-capable
+	// connection; a peer that stops reading is evicted within this
+	// window. Zero means 1m.
+	WriteTimeout time.Duration
+	// HelloTimeout bounds the wait for a connecting reader's resume
+	// hello. Zero means 10s.
+	HelloTimeout time.Duration
+	// AuthToken, when non-empty, must match the Token field of every
+	// resume hello; a wrong or missing token is a clean close before any
+	// frame is served. Write-only readers (io.Writer without io.Reader)
+	// cannot authenticate and are refused outright.
+	AuthToken string
+}
+
+func (o PublisherOptions) withDefaults() PublisherOptions {
+	if o.ReplayRing == 0 {
+		o.ReplayRing = 1 << 14
+	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = 10 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = time.Minute
+	}
+	if o.HelloTimeout <= 0 {
+		o.HelloTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// PublisherStats counts the serving side's resilience events, for the
+// daemon metrics surface. All fields are totals since publisher start.
+type PublisherStats struct {
+	// ResumeHits counts connections served a delta from the replay ring;
+	// SnapshotFallbacks counts connections that needed the full snapshot
+	// bootstrap (first connect, stale cursor, epoch change, ring gap).
+	ResumeHits        uint64
+	SnapshotFallbacks uint64
+	// AuthFailures counts connections closed over a wrong or missing
+	// token; HellosRejected counts malformed or timed-out client hellos.
+	AuthFailures   uint64
+	HellosRejected uint64
+	// Evictions counts connections dropped on a frame-write deadline —
+	// readers too slow to keep up with the feed.
+	Evictions uint64
+	// HeartbeatsSent counts keepalive frames written across all readers.
+	HeartbeatsSent uint64
+}
+
 // Publisher tags one engine's discovery stream with a SiteID and serves it
-// to any number of readers, each bootstrapped with a frozen snapshot.
+// to any number of readers, each bootstrapped with a frozen snapshot — or,
+// when the reader presents a resume cursor the replay ring still covers,
+// with just the frames past that cursor (delta resync).
 //
-// The catch-up contract: a reader always receives one FrameHello, then one
-// FrameSnapshot whose Seq is the generation g it covers, then the live
-// event frames. Every event with sequence <= g is already reflected in the
-// snapshot (the snapshot is taken after those events were applied to the
-// engine), so a reconnecting aggregator that remembers its high-water
-// sequence can skip duplicates by generation and never double-counts.
-// Events published between the snapshot freeze and the subscription are
-// delivered as well; they may overlap the snapshot's content, which the
-// aggregator's idempotent merges absorb.
+// The catch-up contract: a reader always receives one FrameHello, then
+// either one FrameSnapshot whose Seq is the generation g it covers
+// followed by live event frames (every event with sequence <= g is
+// already reflected in the snapshot), or — when its resume cursor was
+// honored (hello.Resumed) — the replayed frames past its cursor followed
+// by live frames. Either way a reconnecting aggregator that remembers its
+// high-water sequence skips duplicates by generation and never
+// double-counts; replay/live overlap is absorbed the same way.
 //
 // Delivery to readers is bounded and lossy (pipeline.Hub semantics): a
 // reader that cannot keep up loses frames rather than stalling the others,
-// and recovers the lost state on its next connection's snapshot.
+// and recovers the lost state on its next connection.
 type Publisher struct {
 	site SiteID
 	// epoch identifies this publisher incarnation; sequence numbers are
@@ -76,9 +139,14 @@ type Publisher struct {
 	sub   *core.EventSub
 	seq   atomic.Uint64
 	done  chan struct{}
+	ring  *replayRing // nil when resume is disabled
+	opt   PublisherOptions
 
 	mu     sync.Mutex
 	closed bool
+
+	resumeHits, snapshotFallbacks, authFailures,
+	hellosRejected, evictions, heartbeats atomic.Uint64
 
 	// met is the optional telemetry bundle (see SetMetrics).
 	met *PublisherMetrics
@@ -86,6 +154,18 @@ type Publisher struct {
 
 // SetMetrics attaches the telemetry bundle; call before Serve/ServeConn.
 func (p *Publisher) SetMetrics(m *PublisherMetrics) { p.met = m }
+
+// Stats reports the serving side's resilience counters.
+func (p *Publisher) Stats() PublisherStats {
+	return PublisherStats{
+		ResumeHits:        p.resumeHits.Load(),
+		SnapshotFallbacks: p.snapshotFallbacks.Load(),
+		AuthFailures:      p.authFailures.Load(),
+		HellosRejected:    p.hellosRejected.Load(),
+		Evictions:         p.evictions.Load(),
+		HeartbeatsSent:    p.heartbeats.Load(),
+	}
+}
 
 // NewPublisher starts publishing the engine's stream under the given site
 // identity. The publisher subscribes to the engine immediately; close the
@@ -102,6 +182,12 @@ type PublisherState struct {
 }
 
 // NewPublisherResumed starts a publisher that continues a checkpointed
+// stream with default options; see NewPublisherOpts.
+func NewPublisherResumed(site SiteID, eng Engine, st PublisherState) *Publisher {
+	return NewPublisherOpts(site, eng, st, PublisherOptions{})
+}
+
+// NewPublisherOpts starts a publisher that continues a checkpointed
 // stream: it keeps the stored epoch and numbers new events after the
 // stored cursor, so a restored site resumes its feed instead of opening a
 // new epoch and reshipping history. Downstream aggregators treat the
@@ -110,11 +196,12 @@ type PublisherState struct {
 // sequence where ingest order matches, and absorb any residue through
 // idempotent merges and the next snapshot. A zero state is a fresh start
 // (a new wall-clock epoch), which is what NewPublisher passes.
-func NewPublisherResumed(site SiteID, eng Engine, st PublisherState) *Publisher {
+func NewPublisherOpts(site SiteID, eng Engine, st PublisherState, opt PublisherOptions) *Publisher {
 	epoch := st.Epoch
 	if epoch == 0 {
 		epoch = uint64(time.Now().UnixNano())
 	}
+	opt = opt.withDefaults()
 	p := &Publisher{
 		site:  site,
 		epoch: epoch,
@@ -122,6 +209,10 @@ func NewPublisherResumed(site SiteID, eng Engine, st PublisherState) *Publisher 
 		hub:   pipeline.NewHub[Frame](),
 		sub:   eng.Subscribe(pumpBuffer),
 		done:  make(chan struct{}),
+		opt:   opt,
+	}
+	if opt.ReplayRing > 0 {
+		p.ring = newReplayRing(opt.ReplayRing, st.Seq)
 	}
 	p.seq.Store(st.Seq)
 	go p.pump()
@@ -140,11 +231,23 @@ func (p *Publisher) Site() SiteID { return p.site }
 
 // pump sequences the engine's events into site-tagged frames. A single
 // goroutine assigns sequence numbers, so frame order on every reader's
-// subscription is the site's canonical stream order.
+// subscription is the site's canonical stream order. Each frame enters
+// the replay ring before the hub, so the ring always covers anything a
+// live subscriber could have missed.
 func (p *Publisher) pump() {
 	defer close(p.done)
+	dropped := p.sub.Dropped()
 	for ev := range p.sub.Events() {
 		ev := ev
+		if p.ring != nil {
+			if d := p.sub.Dropped(); d != dropped {
+				// Events vanished before ever being sequenced: their
+				// state mutations live only in future snapshots, so no
+				// resume cursor is trustworthy for the rest of the epoch.
+				p.ring.markGap()
+				dropped = d
+			}
+		}
 		n := p.seq.Add(1)
 		f := Frame{V: WireVersion, Type: FrameEvent, Site: p.site, Epoch: p.epoch, Seq: n, Event: &ev}
 		if ev.Kind == core.EventServiceExpired {
@@ -153,6 +256,9 @@ func (p *Publisher) pump() {
 			// clears the evidence instead of merging it.
 			f.Type, f.Event = FrameRetract, nil
 			f.Retract = &Retraction{Key: ev.Key, At: ev.Time, Prov: ev.Provenance}
+		}
+		if p.ring != nil {
+			p.ring.append(f)
 		}
 		p.hub.Publish(f)
 	}
@@ -191,28 +297,121 @@ func (p *Publisher) Close() {
 // snapshot, which is how late or reconnecting aggregators resynchronize
 // with a finished site.
 func (p *Publisher) Catchup(buf int) (bootstrap []Frame, live *pipeline.Sub[Frame]) {
+	bootstrap, live, _ = p.catchup(buf, ResumeCursor{})
+	return bootstrap, live
+}
+
+// catchup builds one reader's bootstrap, honoring a resume cursor when
+// the replay ring still covers it: the live subscription is attached
+// first, then either the ring's frames past the cursor (resumed == true)
+// or the hello + frozen snapshot. In the resume path any frame published
+// between the subscription attach and the ring copy appears in both —
+// the ring is appended before the hub publish, so nothing falls between
+// — and the reader's sequence dedup absorbs the overlap.
+func (p *Publisher) catchup(buf int, cur ResumeCursor) (bootstrap []Frame, live *pipeline.Sub[Frame], resumed bool) {
 	if buf <= 0 {
 		buf = feedBuffer
 	}
 	live = p.hub.Subscribe(buf)
+	if p.ring != nil && cur.Epoch == p.epoch {
+		if frames, ok := p.ring.replayFrom(cur.Seq); ok {
+			p.resumeHits.Add(1)
+			bootstrap = make([]Frame, 0, len(frames)+1)
+			bootstrap = append(bootstrap, Frame{
+				V: WireVersion, Type: FrameHello, Site: p.site, Epoch: p.epoch, Resumed: true,
+			})
+			bootstrap = append(bootstrap, frames...)
+			return bootstrap, live, true
+		}
+	}
+	p.snapshotFallbacks.Add(1)
 	gen := p.seq.Load()
 	snap := BuildSnapshot(p.eng.Snapshot())
 	bootstrap = []Frame{
 		{V: WireVersion, Type: FrameHello, Site: p.site, Epoch: p.epoch},
 		{V: WireVersion, Type: FrameSnapshot, Site: p.site, Epoch: p.epoch, Seq: gen, Snapshot: snap},
 	}
-	return bootstrap, live
+	return bootstrap, live, false
+}
+
+// readHello waits for the client's resume hello on a connecting reader,
+// bounded by HelloTimeout, and validates the version, frame type and
+// auth token. The returned cursor is zero when the client asked for a
+// snapshot explicitly.
+func (p *Publisher) readHello(rw io.ReadWriter) (ResumeCursor, error) {
+	rd, _ := rw.(readDeadliner)
+	if rd != nil {
+		_ = rd.SetReadDeadline(time.Now().Add(p.opt.HelloTimeout))
+	}
+	f, err := NewDecoder(rw).Decode()
+	if rd != nil {
+		_ = rd.SetReadDeadline(time.Time{})
+	}
+	if err != nil {
+		p.hellosRejected.Add(1)
+		return ResumeCursor{}, fmt.Errorf("federate: read client hello: %w", err)
+	}
+	if f.Type != FrameResume {
+		p.hellosRejected.Add(1)
+		return ResumeCursor{}, fmt.Errorf("federate: client hello type %q, want %q", f.Type, FrameResume)
+	}
+	if p.opt.AuthToken != "" && f.Token != p.opt.AuthToken {
+		p.authFailures.Add(1)
+		return ResumeCursor{}, errors.New("federate: feed auth token mismatch")
+	}
+	if f.Resume != nil {
+		return *f.Resume, nil
+	}
+	return ResumeCursor{}, nil
 }
 
 // ServeConn streams the feed to one reader until the publisher closes, the
 // context is cancelled, or the write fails (a vanished reader simply
-// drops). On a deadline-capable writer (a net.Conn) every frame write is
-// bounded by writeTimeout, and context cancellation closes the
-// connection, so a stalled peer cannot pin the serving goroutine — in
-// either case it resynchronizes from the snapshot on its next connection.
-// Safe for any number of concurrent connections.
+// drops).
+//
+// On an io.ReadWriter (any net.Conn) the protocol is client-speaks-first:
+// the reader opens with a FrameResume hello carrying its cursor and, if
+// the publisher demands one, the auth token; the publisher answers with a
+// delta replay when the cursor is still covered by the replay ring and a
+// snapshot bootstrap otherwise, then streams live frames interleaved with
+// heartbeats. On a write-only stream (an archive file, an HTTP response)
+// the hello is skipped and the reader gets the legacy snapshot-then-live
+// serving — unless an auth token is configured, which a write-only peer
+// cannot present.
+//
+// On a deadline-capable writer every frame write is bounded by
+// WriteTimeout, and context cancellation closes the connection, so a
+// stalled peer cannot pin the serving goroutine — a deadline-evicted or
+// disconnected reader resynchronizes (by cursor or snapshot) on its next
+// connection. Safe for any number of concurrent connections.
 func (p *Publisher) ServeConn(ctx context.Context, w io.Writer) error {
-	bootstrap, live := p.Catchup(0)
+	cur := ResumeCursor{}
+	if rw, ok := w.(io.ReadWriter); ok {
+		// Unblock a hello read stuck on a silent peer when the context
+		// ends before the serving loop's own watcher is installed.
+		stop := make(chan struct{})
+		if ctx != nil && ctx.Done() != nil {
+			go func() {
+				select {
+				case <-ctx.Done():
+					if c, ok := w.(io.Closer); ok {
+						c.Close()
+					}
+				case <-stop:
+				}
+			}()
+		}
+		var err error
+		cur, err = p.readHello(rw)
+		close(stop)
+		if err != nil {
+			return err
+		}
+	} else if p.opt.AuthToken != "" {
+		p.authFailures.Add(1)
+		return errors.New("federate: auth required but peer cannot send a hello")
+	}
+	bootstrap, live, _ := p.catchup(0, cur)
 	defer live.Cancel()
 	if ctx != nil {
 		if done := ctx.Done(); done != nil {
@@ -235,30 +434,52 @@ func (p *Publisher) ServeConn(ctx context.Context, w io.Writer) error {
 	enc := NewEncoder(w)
 	write := func(f *Frame) error {
 		if wd != nil {
-			_ = wd.SetWriteDeadline(time.Now().Add(writeTimeout))
+			_ = wd.SetWriteDeadline(time.Now().Add(p.opt.WriteTimeout))
 		}
+		var err error
 		if m := p.met; m != nil {
 			t0 := time.Now()
-			err := enc.Encode(f)
+			err = enc.Encode(f)
 			m.Encode.Observe(time.Since(t0))
-			return err
+		} else {
+			err = enc.Encode(f)
 		}
-		return enc.Encode(f)
+		if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+			p.evictions.Add(1)
+		}
+		return err
 	}
 	for i := range bootstrap {
 		if err := write(&bootstrap[i]); err != nil {
 			return err
 		}
 	}
-	for f := range live.Events() {
-		if err := write(&f); err != nil {
-			return err
+	var heartbeat <-chan time.Time
+	if p.opt.Heartbeat > 0 {
+		t := time.NewTicker(p.opt.Heartbeat)
+		defer t.Stop()
+		heartbeat = t.C
+	}
+	for {
+		select {
+		case f, ok := <-live.Events():
+			if !ok {
+				if ctx != nil {
+					return ctx.Err()
+				}
+				return nil
+			}
+			if err := write(&f); err != nil {
+				return err
+			}
+		case <-heartbeat:
+			hb := Frame{V: WireVersion, Type: FrameHeartbeat, Site: p.site, Epoch: p.epoch}
+			if err := write(&hb); err != nil {
+				return err
+			}
+			p.heartbeats.Add(1)
 		}
 	}
-	if ctx != nil {
-		return ctx.Err()
-	}
-	return nil
 }
 
 // Serve accepts aggregator connections on the listener, streaming the feed

@@ -1,0 +1,74 @@
+package federate
+
+import "sync"
+
+// replayRing is the publisher's bounded delta-resync buffer: the last N
+// sequenced frames of the current epoch, indexed by sequence number. A
+// reconnecting reader whose cursor still falls inside the ring gets only
+// the frames past it — O(missed churn) bytes — instead of a full snapshot
+// bootstrap — O(inventory) bytes.
+//
+// The ring holds the contiguous sequence range (lo-1, hi]; a cursor c is
+// resumable iff lo-1 <= c <= hi (c == lo-1 means "replay everything the
+// ring holds", c == hi means "nothing missed"). Anything older fell off
+// the ring; anything newer is from the future (a hostile or corrupted
+// cursor) — both force the snapshot fallback.
+//
+// A pump drop poisons the ring for the rest of the epoch (see markGap):
+// dropped events never received sequence numbers, so no sequence cursor
+// can express "I have the state they mutated". Only a snapshot carries
+// that state, so after a gap every resume must fall back.
+type replayRing struct {
+	mu     sync.Mutex
+	buf    []Frame
+	lo, hi uint64 // seqs held: [lo, hi]; empty when hi == lo-1
+	gapped bool
+}
+
+// newReplayRing sizes the ring and anchors it after the publisher's
+// current cursor: an empty ring accepts exactly the cursor start (a
+// fully-caught-up reader that missed nothing).
+func newReplayRing(capacity int, start uint64) *replayRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &replayRing{buf: make([]Frame, capacity), lo: start + 1, hi: start}
+}
+
+// append records one sequenced frame. The pump calls it in sequence
+// order before publishing to the hub, so every frame a live subscriber
+// could have missed is already in the ring.
+func (r *replayRing) append(f Frame) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[f.Seq%uint64(len(r.buf))] = f
+	r.hi = f.Seq
+	if span := r.hi - r.lo + 1; span > uint64(len(r.buf)) {
+		r.lo = r.hi - uint64(len(r.buf)) + 1
+	}
+}
+
+// markGap poisons the ring: the pump's engine subscription overflowed, so
+// mutations exist that were never sequenced and can only be recovered
+// from a snapshot. Every later resume attempt in this epoch falls back.
+func (r *replayRing) markGap() {
+	r.mu.Lock()
+	r.gapped = true
+	r.mu.Unlock()
+}
+
+// replayFrom returns copies of the frames with sequence > cursor, oldest
+// first, and whether the cursor was resumable at all. The copy is taken
+// under the lock so concurrent appends cannot tear a frame.
+func (r *replayRing) replayFrom(cursor uint64) ([]Frame, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gapped || cursor+1 < r.lo || cursor > r.hi {
+		return nil, false
+	}
+	out := make([]Frame, 0, r.hi-cursor)
+	for s := cursor + 1; s <= r.hi; s++ {
+		out = append(out, r.buf[s%uint64(len(r.buf))])
+	}
+	return out, true
+}

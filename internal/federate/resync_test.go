@@ -1,0 +1,548 @@
+package federate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"servdisc/internal/core"
+	"servdisc/internal/netaddr"
+	"servdisc/internal/packet"
+)
+
+// meteredConn counts the bytes a feed client pulls off the wire — the
+// resume-vs-snapshot cost measurement.
+type meteredConn struct {
+	net.Conn
+	n atomic.Int64
+}
+
+func (m *meteredConn) Read(p []byte) (int, error) {
+	n, err := m.Conn.Read(p)
+	m.n.Add(int64(n))
+	return n, err
+}
+
+// waitSeq polls the publisher's cursor until it reaches target (the pump
+// is asynchronous) or the deadline passes.
+func waitSeq(tb testing.TB, pub *Publisher, target uint64) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for pub.State().Seq < target {
+		if time.Now().After(deadline) {
+			tb.Fatalf("publisher seq stuck at %d, want %d", pub.State().Seq, target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// quiesce waits for the publisher's async pump to drain — the sequence
+// number must hold still across several polls — then returns the settled
+// state. Capturing State() while the pump is mid-drain hands back a
+// cursor that is stale by the time it is presented.
+func quiesce(tb testing.TB, pub *Publisher) PublisherState {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	st := pub.State()
+	for stable := 0; stable < 20; {
+		if time.Now().After(deadline) {
+			tb.Fatal("publisher pump never quiesced")
+		}
+		time.Sleep(2 * time.Millisecond)
+		if now := pub.State(); now.Seq == st.Seq {
+			stable++
+		} else {
+			st, stable = now, 0
+		}
+	}
+	return st
+}
+
+// waitCursor polls the aggregator's dedup cursor for one site.
+func waitCursor(tb testing.TB, agg *Aggregator, site SiteID, target uint64) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, seq, ok := agg.SiteCursor(site); ok && seq >= target {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, seq, _ := agg.SiteCursor(site)
+			tb.Fatalf("aggregator cursor for %s stuck at %d, want %d", site, seq, target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// runFeedOnce wires the client to the publisher over one in-memory
+// connection, waits for the aggregator's cursor to reach target, and
+// tears the connection down. It returns the bytes the client read.
+func runFeedOnce(t *testing.T, agg *Aggregator, fc *FeedClient, pub *Publisher, target uint64) int64 {
+	t.Helper()
+	server, client := net.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		_ = pub.ServeConn(ctx, server)
+		server.Close()
+	}()
+	mc := &meteredConn{Conn: client}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = fc.RunConn(ctx, mc)
+	}()
+	waitCursor(t, agg, pub.Site(), target)
+	cancel()
+	<-done
+	return mc.n.Load()
+}
+
+// TestResumeShipsDeltaNotInventory is the delta-resync acceptance test:
+// at a 100k-entry site, a reconnect after a short partition ships
+// O(missed-churn) bytes off the replay ring, not an O(inventory)
+// snapshot — visible in the byte counts and in the resume-hit /
+// snapshot-fallback counters on both ends.
+func TestResumeShipsDeltaNotInventory(t *testing.T) {
+	const resident = 100_000 // services in the inventory before the partition
+	const churn = 200        // services discovered while disconnected
+
+	eng := core.NewShardedPassive(testCampus, nil, 4)
+	pub := NewPublisherOpts("big-site", eng, PublisherState{}, PublisherOptions{})
+	defer pub.Close()
+
+	bld := packet.NewBuilder(0)
+	base := time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
+	cli := packet.Endpoint{Addr: netaddr.MustParseV4("64.10.0.1"), Port: 33000}
+	mkService := func(i int) *packet.Packet {
+		// Two ports per address keeps 100k distinct keys inside the /16.
+		srv := packet.Endpoint{Addr: testCampus.Base() + netaddr.V4(i/2), Port: uint16(80 + i%2)}
+		return bld.SynAck(base.Add(time.Duration(i)*time.Millisecond), srv, cli, 9, 8)
+	}
+
+	// Build the resident inventory in chunks, letting the pump drain
+	// between them so its bounded subscription never overflows (a pump
+	// gap would — correctly — force every resume to fall back).
+	var batch []packet.Packet
+	fed := 0
+	for i := 0; i < resident; i++ {
+		batch = append(batch, *mkService(i))
+		if len(batch) == 8192 || i == resident-1 {
+			eng.HandleBatch(batch)
+			fed += len(batch)
+			batch = batch[:0]
+			waitSeq(t, pub, uint64(fed))
+		}
+	}
+	if d := pub.Dropped(); d != 0 {
+		t.Fatalf("publisher pump dropped %d events during setup", d)
+	}
+
+	agg := NewAggregator()
+	fc := NewFeedClient(agg, "big-site-feed", FeedOptions{})
+
+	// Connection 1: first contact, snapshot bootstrap — the O(inventory)
+	// baseline.
+	snapshotBytes := runFeedOnce(t, agg, fc, pub, uint64(resident))
+
+	// The partition: churn services are discovered while disconnected.
+	for i := 0; i < churn; i++ {
+		batch = append(batch, *mkService(resident + i))
+	}
+	eng.HandleBatch(batch)
+	waitSeq(t, pub, uint64(resident+churn))
+
+	// Connection 2: the client presents its cursor; the replay ring
+	// still covers it, so only the churn is shipped.
+	resumeBytes := runFeedOnce(t, agg, fc, pub, uint64(resident+churn))
+
+	t.Logf("snapshot bootstrap: %d bytes; delta resume: %d bytes (%.1fx)",
+		snapshotBytes, resumeBytes, float64(snapshotBytes)/float64(resumeBytes))
+	if resumeBytes*20 >= snapshotBytes {
+		t.Errorf("resume shipped %d bytes against a %d-byte snapshot — not O(churn)",
+			resumeBytes, snapshotBytes)
+	}
+	ps := pub.Stats()
+	if ps.ResumeHits != 1 || ps.SnapshotFallbacks != 1 {
+		t.Errorf("publisher counters: resume=%d fallback=%d, want 1/1", ps.ResumeHits, ps.SnapshotFallbacks)
+	}
+	cs := fc.Stats()
+	if cs.ResumeHits != 1 || cs.SnapshotFallbacks != 1 {
+		t.Errorf("client counters: resume=%d fallback=%d, want 1/1", cs.ResumeHits, cs.SnapshotFallbacks)
+	}
+
+	// Convergence: after the standard quiesce-and-final-attach seal
+	// (events alone don't carry the snapshot-only flow/client weights;
+	// the next snapshot heals them) the resumed aggregator's dump equals
+	// a from-scratch bootstrap's.
+	eng.Close()
+	<-agg.Attach(pub)
+	ref := NewAggregator()
+	<-ref.Attach(pub)
+	if got, want := agg.Dump(), ref.Dump(); !bytes.Equal(got, want) {
+		t.Errorf("resumed aggregator diverges from snapshot bootstrap:\n%s", firstDiff(got, want))
+	}
+}
+
+// TestResumeFallbacks pins every path that must refuse a resume: an
+// epoch from another incarnation, a cursor older than the ring, a
+// hostile cursor from the future, and a publisher with resume disabled.
+func TestResumeFallbacks(t *testing.T) {
+	site := newTestSite(0, 400)
+	defer site.pub.Close()
+	site.produce()
+	waitSeq(t, site.pub, 1) // at least some events sequenced
+	cur := quiesce(t, site.pub)
+
+	cases := []struct {
+		name   string
+		cursor ResumeCursor
+	}{
+		{"epoch-change", ResumeCursor{Epoch: cur.Epoch + 1, Seq: cur.Seq}},
+		{"future-cursor", ResumeCursor{Epoch: cur.Epoch, Seq: cur.Seq + 1_000_000}},
+		{"zero-cursor", ResumeCursor{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bootstrap, live, resumed := site.pub.catchup(0, tc.cursor)
+			defer live.Cancel()
+			if resumed {
+				t.Fatalf("cursor %+v was resumed, want snapshot fallback", tc.cursor)
+			}
+			if len(bootstrap) != 2 || bootstrap[0].Type != FrameHello || bootstrap[1].Type != FrameSnapshot {
+				t.Fatalf("fallback bootstrap = %d frames, want hello+snapshot", len(bootstrap))
+			}
+			if bootstrap[0].Resumed {
+				t.Fatal("fallback hello claims Resumed")
+			}
+		})
+	}
+
+	t.Run("valid-cursor-resumes", func(t *testing.T) {
+		bootstrap, live, resumed := site.pub.catchup(0, ResumeCursor{Epoch: cur.Epoch, Seq: cur.Seq})
+		defer live.Cancel()
+		if !resumed {
+			t.Fatal("up-to-date cursor fell back to snapshot")
+		}
+		if len(bootstrap) != 1 || !bootstrap[0].Resumed {
+			t.Fatalf("resume bootstrap = %+v, want a single Resumed hello", bootstrap)
+		}
+	})
+
+	t.Run("stale-cursor", func(t *testing.T) {
+		// A tiny ring: the cursor falls off after a handful of events.
+		tiny := newTestSite(7, 200)
+		tiny.pub.Close()
+		tiny.pub = NewPublisherOpts(tiny.id, tiny.eng, PublisherState{}, PublisherOptions{ReplayRing: 8})
+		defer tiny.pub.Close()
+		tiny.produce()
+		waitSeq(t, tiny.pub, 16)
+		st := quiesce(t, tiny.pub)
+		if _, _, resumed := tiny.pub.catchup(0, ResumeCursor{Epoch: st.Epoch, Seq: 1}); resumed {
+			t.Fatal("cursor far behind an 8-frame ring was resumed")
+		}
+		if _, _, resumed := tiny.pub.catchup(0, ResumeCursor{Epoch: st.Epoch, Seq: st.Seq}); !resumed {
+			t.Fatal("fresh cursor on the tiny ring fell back")
+		}
+	})
+
+	t.Run("resume-disabled", func(t *testing.T) {
+		off := newTestSite(8, 200)
+		off.pub.Close()
+		off.pub = NewPublisherOpts(off.id, off.eng, PublisherState{}, PublisherOptions{ReplayRing: -1})
+		defer off.pub.Close()
+		off.produce()
+		st := off.pub.State()
+		if _, _, resumed := off.pub.catchup(0, ResumeCursor{Epoch: st.Epoch, Seq: st.Seq}); resumed {
+			t.Fatal("ReplayRing<0 still resumed")
+		}
+	})
+}
+
+// TestFeedAuth pins the shared-token option: the right token serves, a
+// wrong or missing one is a clean close before any frame, and a
+// write-only peer (which cannot speak a hello) is refused outright.
+func TestFeedAuth(t *testing.T) {
+	site := newTestSite(1, 200)
+	site.pub.Close()
+	pub := NewPublisherOpts(site.id, site.eng, PublisherState{}, PublisherOptions{AuthToken: "s3cret"})
+	defer pub.Close()
+	site.produce()
+
+	connect := func(token string) error {
+		server, client := net.Pipe()
+		defer client.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		serveErr := make(chan error, 1)
+		go func() {
+			err := pub.ServeConn(ctx, server)
+			server.Close()
+			serveErr <- err
+		}()
+		agg := NewAggregator()
+		fc := NewFeedClient(agg, "authed", FeedOptions{AuthToken: token})
+		runErr := make(chan error, 1)
+		go func() { runErr <- fc.RunConn(ctx, client) }()
+		select {
+		case err := <-serveErr:
+			if err != nil {
+				return err // rejected before serving
+			}
+		case <-time.After(100 * time.Millisecond):
+			// Still serving: the handshake was accepted.
+		}
+		if fc.Site() == "" {
+			// Give the hello a moment to land.
+			deadline := time.Now().Add(2 * time.Second)
+			for fc.Site() == "" && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if fc.Site() == "" {
+			return fmt.Errorf("no hello received")
+		}
+		return nil
+	}
+
+	if err := connect("s3cret"); err != nil {
+		t.Fatalf("correct token rejected: %v", err)
+	}
+	if err := connect("wrong"); err == nil {
+		t.Fatal("wrong token was served")
+	} else if !strings.Contains(err.Error(), "auth") {
+		t.Fatalf("wrong token error = %v, want auth mismatch", err)
+	}
+	if err := connect(""); err == nil {
+		t.Fatal("missing token was served")
+	}
+	if got := pub.Stats().AuthFailures; got != 2 {
+		t.Errorf("AuthFailures = %d, want 2", got)
+	}
+
+	// A write-only peer cannot authenticate.
+	var sink bytes.Buffer
+	if err := pub.ServeConn(context.Background(), &sink); err == nil {
+		t.Fatal("write-only peer served despite auth")
+	}
+	if sink.Len() != 0 {
+		t.Errorf("write-only peer received %d bytes before auth refusal", sink.Len())
+	}
+}
+
+// TestHostileHellos pins the hello gate: garbage bytes, a non-resume
+// frame, and silence (hello timeout) all end the connection with zero
+// frames served and a counted rejection.
+func TestHostileHellos(t *testing.T) {
+	site := newTestSite(2, 200)
+	site.pub.Close()
+	pub := NewPublisherOpts(site.id, site.eng, PublisherState{}, PublisherOptions{HelloTimeout: 100 * time.Millisecond})
+	defer pub.Close()
+
+	serve := func(send func(c net.Conn)) (served []byte, err error) {
+		server, client := net.Pipe()
+		defer client.Close()
+		errc := make(chan error, 1)
+		go func() {
+			e := pub.ServeConn(context.Background(), server)
+			server.Close()
+			errc <- e
+		}()
+		go send(client)
+		var buf bytes.Buffer
+		_ = client.SetReadDeadline(time.Now().Add(2 * time.Second))
+		b := make([]byte, 4096)
+		for {
+			n, rerr := client.Read(b)
+			buf.Write(b[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return buf.Bytes(), <-errc
+	}
+
+	if got, err := serve(func(c net.Conn) { c.Write([]byte("garbage not a frame\n")) }); err == nil {
+		t.Fatal("garbage hello was served")
+	} else if len(got) != 0 {
+		t.Errorf("garbage hello still received %d bytes", len(got))
+	}
+	if _, err := serve(func(c net.Conn) {
+		f := Frame{V: WireVersion, Type: FrameEvent, Site: "x", Epoch: 1, Seq: 1, Event: &core.Event{}}
+		_ = NewEncoder(c).Encode(&f)
+	}); err == nil {
+		t.Fatal("event frame accepted as hello")
+	}
+	if _, err := serve(func(c net.Conn) { /* silence: hello timeout */ }); err == nil {
+		t.Fatal("silent peer was served")
+	}
+	if got := pub.Stats().HellosRejected; got != 3 {
+		t.Errorf("HellosRejected = %d, want 3", got)
+	}
+}
+
+// TestHeartbeatKeepsIdleFeedAlive pins the keepalive pair: a quiet feed
+// stays inside the client's idle deadline because heartbeats keep
+// arriving, and heartbeats never perturb aggregator state.
+func TestHeartbeatKeepsIdleFeedAlive(t *testing.T) {
+	site := newTestSite(4, 100)
+	site.pub.Close()
+	pub := NewPublisherOpts(site.id, site.eng, PublisherState{}, PublisherOptions{Heartbeat: 20 * time.Millisecond})
+	site.produce()
+
+	agg := NewAggregator()
+	fc := NewFeedClient(agg, "quiet", FeedOptions{IdleTimeout: 150 * time.Millisecond})
+	server, client := net.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		_ = pub.ServeConn(ctx, server)
+		server.Close()
+	}()
+	done := make(chan error, 1)
+	go func() { done <- fc.RunConn(ctx, client) }()
+
+	// Several idle windows pass; only heartbeats flow.
+	select {
+	case err := <-done:
+		t.Fatalf("idle feed died despite heartbeats: %v", err)
+	case <-time.After(500 * time.Millisecond):
+	}
+	if fc.Stats().Heartbeats == 0 {
+		t.Error("no heartbeats counted on an idle feed")
+	}
+	if pub.Stats().HeartbeatsSent == 0 {
+		t.Error("publisher counted no heartbeats sent")
+	}
+	before := agg.Dump()
+	time.Sleep(100 * time.Millisecond)
+	if after := agg.Dump(); !bytes.Equal(before, after) {
+		t.Error("heartbeats mutated aggregator state")
+	}
+
+	// With the publisher closed the stream ends cleanly.
+	pub.Close()
+	site.eng.Close()
+	if err := <-done; err != nil {
+		t.Errorf("feed end after close: %v", err)
+	}
+}
+
+// TestIdleTimeoutTripsWithoutHeartbeats is the inverse: heartbeats off, a
+// silent publisher trips the client's idle deadline instead of hanging.
+func TestIdleTimeoutTripsWithoutHeartbeats(t *testing.T) {
+	site := newTestSite(5, 100)
+	site.pub.Close()
+	pub := NewPublisherOpts(site.id, site.eng, PublisherState{}, PublisherOptions{Heartbeat: -1})
+	defer pub.Close()
+
+	agg := NewAggregator()
+	fc := NewFeedClient(agg, "silent", FeedOptions{IdleTimeout: 80 * time.Millisecond})
+	server, client := net.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		_ = pub.ServeConn(ctx, server)
+		server.Close()
+	}()
+	done := make(chan error, 1)
+	go func() { done <- fc.RunConn(ctx, client) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("silent feed ended cleanly, want idle-deadline error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle deadline never tripped")
+	}
+}
+
+// TestStalenessDuringResync pins the staleness gauge mid-resync: while a
+// reconnected site replays its backlog the gauge shrinks monotonically
+// toward zero as the replayed frames advance the watermark.
+func TestStalenessDuringResync(t *testing.T) {
+	agg := NewAggregator()
+	base := time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC)
+	mkEvent := func(site SiteID, seq uint64, at time.Time) *Frame {
+		return &Frame{V: WireVersion, Type: FrameEvent, Site: site, Epoch: 1, Seq: seq, Event: &core.Event{
+			Kind: core.EventServiceDiscovered, Time: at,
+			Key: core.ServiceKey{
+				Addr:  testCampus.Base() + netaddr.V4(uint32(seq)),
+				Proto: packet.ProtoTCP, Port: 80,
+			},
+			Provenance: core.PassiveOnly,
+		}}
+	}
+	// Fresh site pins the global watermark at base+1h.
+	if err := agg.Apply(mkEvent("fresh", 1, base.Add(time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	// Lagging site reconnects and replays an hour of backlog.
+	last := time.Duration(-1)
+	for seq := uint64(1); seq <= 60; seq++ {
+		if err := agg.Apply(mkEvent("lagging", seq, base.Add(time.Duration(seq)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+		stale := agg.Staleness()["lagging"]
+		if last >= 0 && stale > last {
+			t.Fatalf("staleness rose mid-resync: %s -> %s at seq %d", last, stale, seq)
+		}
+		last = stale
+	}
+	if last != 0 {
+		t.Errorf("staleness after full resync = %s, want 0", last)
+	}
+}
+
+// TestNoResumeClaimBeforeAppliedState pins the cursor rule that keeps a
+// cut bootstrap recoverable: a hello alone registers the site but applies
+// nothing, so SiteCursor must not hand out a resume cursor for it — a
+// client whose first snapshot died mid-frame has to re-request the
+// snapshot on redial, not resume past it from seq 0 and lose the
+// snapshot-only weights and retractions forever.
+func TestNoResumeClaimBeforeAppliedState(t *testing.T) {
+	agg := NewAggregator()
+	hello := &Frame{V: WireVersion, Type: FrameHello, Site: "east", Epoch: 9}
+	if err := agg.Apply(hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := agg.SiteCursor("east"); ok {
+		t.Fatal("hello-only site handed out a resume cursor")
+	}
+
+	// A snapshot — even at generation zero — is applied state: resuming
+	// from (epoch, 0) is now correct, the snapshot's contents are held.
+	snap := &Frame{V: WireVersion, Type: FrameSnapshot, Site: "east", Epoch: 9, Seq: 0,
+		Snapshot: &Snapshot{}}
+	if err := agg.Apply(snap); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, seq, ok := agg.SiteCursor("east"); !ok || epoch != 9 || seq != 0 {
+		t.Fatalf("after snapshot: cursor (%d, %d, %v), want (9, 0, true)", epoch, seq, ok)
+	}
+
+	// Applied events count too (the snapshot-skipping path can't reach
+	// here from scratch, but an epoch that opened with events is state).
+	agg2 := NewAggregator()
+	ev := core.Event{
+		Kind: core.EventServiceDiscovered,
+		Time: time.Date(2006, 12, 16, 10, 0, 0, 0, time.UTC),
+		Key: core.ServiceKey{
+			Addr:  netaddr.MustParseV4("128.125.9.9"),
+			Proto: packet.ProtoTCP, Port: 80,
+		},
+		Provenance: core.PassiveOnly,
+	}
+	frame := &Frame{V: WireVersion, Type: FrameEvent, Site: "west", Epoch: 3, Seq: 1, Event: &ev}
+	if err := agg2.Apply(frame); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, seq, ok := agg2.SiteCursor("west"); !ok || epoch != 3 || seq != 1 {
+		t.Fatalf("after event: cursor (%d, %d, %v), want (3, 1, true)", epoch, seq, ok)
+	}
+}

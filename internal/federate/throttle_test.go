@@ -1,0 +1,131 @@
+package federate
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestTokenBucketVirtualClock drives one bucket on a synthetic clock:
+// inside the burst nothing waits, beyond it the wait equals the deficit
+// over the refill rate, and elapsed time refills up to the burst.
+func TestTokenBucketVirtualClock(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(10, 10) // 10 tokens/s, burst 10
+
+	if w := b.take(10, now); w != 0 {
+		t.Fatalf("burst take waited %s", w)
+	}
+	// Bucket empty: 5 more tokens owe 500ms at 10/s.
+	if w := b.take(5, now); w != 500*time.Millisecond {
+		t.Fatalf("deficit take waited %s, want 500ms", w)
+	}
+	// Two seconds later the bucket refilled (capped at burst 10): a
+	// 10-token take passes free again.
+	now = now.Add(2 * time.Second)
+	if w := b.take(10, now); w != 0 {
+		t.Fatalf("post-refill take waited %s", w)
+	}
+	// Refill never exceeds the burst: after a long idle gap one burst is
+	// free, the next charge owes immediately.
+	now = now.Add(time.Hour)
+	b.take(10, now)
+	if w := b.take(10, now); w != time.Second {
+		t.Fatalf("burst-capped take waited %s, want 1s", w)
+	}
+}
+
+// TestTokenBucketDisabled pins the zero-rate bypass.
+func TestTokenBucketDisabled(t *testing.T) {
+	b := newTokenBucket(0, 0)
+	if w := b.take(1e9, time.Now()); w != 0 {
+		t.Fatalf("disabled bucket waited %s", w)
+	}
+}
+
+// TestFeedThrottleStallsAndCancels pins the two-bucket admit: frames
+// inside both budgets pass without stalling, a byte-budget deficit
+// stalls, and context cancellation interrupts the stall.
+func TestFeedThrottleStallsAndCancels(t *testing.T) {
+	th := newFeedThrottle(1000, 1000)
+	if stalled, err := th.admit(context.Background(), 100); err != nil || stalled {
+		t.Fatalf("in-budget admit: stalled=%v err=%v", stalled, err)
+	}
+	// Blow the byte budget; the next admit must stall (briefly).
+	start := time.Now()
+	if stalled, err := th.admit(context.Background(), 2000); err != nil {
+		t.Fatal(err)
+	} else if !stalled {
+		t.Fatal("byte-budget deficit did not stall")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall absurdly long")
+	}
+
+	// A cancelled context interrupts a long stall immediately.
+	slow := newFeedThrottle(0, 1) // 1 byte/s: a 1MB frame owes ~12 days
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := slow.admit(ctx, 1<<20)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled stall returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not interrupt the stall")
+	}
+}
+
+// TestFeedClientThrottleCounts runs a throttled feed end to end and
+// checks stalls are counted and the stream still lands intact.
+func TestFeedClientThrottleCounts(t *testing.T) {
+	// Connect the feed BEFORE producing so the site's ~200 discoveries
+	// arrive as individual live frames rather than one bootstrap
+	// snapshot; a 100-frame/s cap (burst 100) then forces roughly a
+	// second of stalling without dragging the test out.
+	site := newTestSite(6, 600)
+	agg := NewAggregator()
+	fc := NewFeedClient(agg, "throttled", FeedOptions{MaxFramesPerSec: 100})
+	server, client := net.Pipe()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		_ = site.pub.ServeConn(ctx, server)
+		server.Close()
+	}()
+	done := make(chan error, 1)
+	go func() { done <- fc.RunConn(ctx, client) }()
+
+	// The hello lands only after the publisher subscribed its live tap,
+	// so once the client knows the site every later event is a frame.
+	for deadline := time.Now().Add(5 * time.Second); fc.Site() == ""; {
+		if time.Now().After(deadline) {
+			t.Fatal("feed never saw the hello")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	site.produce()
+	site.eng.Close() // ends the live stream; the feed drains and exits
+	if err := <-done; err != nil {
+		t.Fatalf("throttled feed: %v", err)
+	}
+	if fc.Stats().ThrottleStalls == 0 {
+		t.Errorf("no throttle stalls counted under a 100-frame/s cap (stats %+v)", fc.Stats())
+	}
+	// Events alone don't carry the snapshot-only flow/client weights, so
+	// seal both aggregators with the standard final snapshot attach
+	// before comparing (same contract as the resync tests).
+	<-agg.Attach(site.pub)
+	ref := NewAggregator()
+	<-ref.Attach(site.pub)
+	if got, want := agg.Dump(), ref.Dump(); string(got) != string(want) {
+		t.Errorf("throttled feed diverges:\n%s", firstDiff(got, want))
+	}
+}

@@ -38,7 +38,11 @@ import (
 // rejects frames from a different major version rather than guessing.
 // Version 2 added retraction: the retract frame type and the snapshot's
 // retraction list (TTL-expired services withdrawn from the aggregate).
-const WireVersion = 2
+// Version 3 added resilience: the client-side resume hello (delta resync
+// from a bounded replay ring instead of a full snapshot), wire-level
+// heartbeat frames, the shared-token auth field, and the publisher
+// hello's Resumed marker.
+const WireVersion = 3
 
 // maxFrameLen bounds a single frame's JSON body. Snapshot frames grow with
 // inventory size (~100 B per service), so the cap is generous; anything
@@ -67,7 +71,28 @@ const (
 	// service, so evidence of the given kind older than the retraction
 	// time no longer supports it. Sequenced like an event frame.
 	FrameRetract FrameType = "retract"
+	// FrameResume is the client hello: the first (and only) frame a
+	// connecting reader sends. It carries the reader's dedup cursor
+	// (Frame.Resume) and, when the publisher demands one, the shared auth
+	// token (Frame.Token). A publisher whose replay ring still covers the
+	// cursor answers with only the frames past it; otherwise it falls
+	// back to the full snapshot bootstrap. A zero cursor requests the
+	// snapshot explicitly (a first connection).
+	FrameResume FrameType = "resume"
+	// FrameHeartbeat is a publisher keepalive on a quiet feed: no
+	// payload, no sequence number, never mutates aggregator state. Its
+	// only job is to keep arriving before the reader's idle deadline.
+	FrameHeartbeat FrameType = "heartbeat"
 )
+
+// ResumeCursor is the payload of a resume hello: the highest (epoch, seq)
+// position the reader has applied from this site's stream. Sequence
+// numbers are only comparable within an epoch, so a cursor from another
+// incarnation is never resumable.
+type ResumeCursor struct {
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
 
 // Retraction is the payload of a retract frame (and one entry of a
 // snapshot's retraction list): the site no longer holds evidence of the
@@ -110,6 +135,17 @@ type Frame struct {
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
 	// Retract is the payload of a retract frame.
 	Retract *Retraction `json:"retract,omitempty"`
+	// Resume is the payload of a resume hello (client to publisher only).
+	Resume *ResumeCursor `json:"resume,omitempty"`
+	// Token is the shared auth secret on a resume hello; publishers
+	// configured with one close the connection when it is wrong or
+	// missing, before serving a single frame.
+	Token string `json:"token,omitempty"`
+	// Resumed marks the publisher's hello on a connection whose resume
+	// cursor was honored: the frames that follow are the delta past the
+	// cursor, not a snapshot bootstrap. Readers use it to count
+	// resume-hits against snapshot-fallbacks.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // FrameWriter writes arbitrary JSON values in the length-prefixed JSONL
